@@ -1,0 +1,158 @@
+// Command immortalsql is an interactive shell (and script runner) for an
+// Immortal DB database, speaking the paper's SQL subset:
+//
+//	CREATE [IMMORTAL] TABLE t (col TYPE [PRIMARY KEY], ...)
+//	ALTER TABLE t ENABLE SNAPSHOT
+//	BEGIN TRAN [AS OF "2004-08-12 10:15:20"] [ISOLATION SNAPSHOT]
+//	INSERT INTO t VALUES (...)
+//	UPDATE t SET col = v WHERE pk = x
+//	DELETE FROM t WHERE pk = x
+//	SELECT * FROM t [WHERE pk < x]
+//	SHOW HISTORY FOR t WHERE pk = x
+//	COMMIT / ROLLBACK
+//
+// Usage:
+//
+//	immortalsql -db ./mydb [-f script.sql]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"immortaldb"
+	"immortaldb/internal/sqlish"
+)
+
+func main() {
+	dir := flag.String("db", "immortaldb-data", "database directory")
+	script := flag.String("f", "", "execute statements from a file instead of stdin")
+	index := flag.String("index", "chain", "historical access path: chain or tsb")
+	flag.Parse()
+
+	opts := &immortaldb.Options{}
+	if *index == "tsb" {
+		opts.HistoricalIndex = immortaldb.IndexTSB
+	}
+	db, err := immortaldb.Open(*dir, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "immortalsql:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	sess := sqlish.NewSession(db)
+	defer sess.Close()
+
+	var in io.Reader = os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "immortalsql:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	if interactive {
+		fmt.Println("Immortal DB SQL shell — transaction-time support inside a database engine")
+		fmt.Println(`try: CREATE IMMORTAL TABLE MovingObjects (Oid smallint PRIMARY KEY, LocationX int, LocationY int)`)
+	}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if sess.InTransaction() {
+			fmt.Print("immortal*> ")
+		} else {
+			fmt.Print("immortal> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "--") {
+			prompt()
+			continue
+		}
+		if interactive && (strings.EqualFold(trimmed, "exit") || strings.EqualFold(trimmed, "quit")) {
+			break
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if !strings.HasSuffix(trimmed, ";") && interactive {
+			// Multi-line input until a semicolon in interactive mode.
+			fmt.Print("      ...> ")
+			continue
+		}
+		stmtText := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if stmtText == "" {
+			prompt()
+			continue
+		}
+		res, err := sess.Exec(stmtText)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			if !interactive {
+				os.Exit(1)
+			}
+		} else {
+			printResult(res)
+		}
+		prompt()
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "immortalsql:", err)
+		os.Exit(1)
+	}
+	if interactive {
+		fmt.Println()
+	}
+}
+
+func printResult(r *sqlish.Result) {
+	switch {
+	case r.Columns != nil:
+		widths := make([]int, len(r.Columns))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range r.Rows {
+			for i, v := range row {
+				if len(v) > widths[i] {
+					widths[i] = len(v)
+				}
+			}
+		}
+		for i, c := range r.Columns {
+			fmt.Printf("%-*s  ", widths[i], c)
+		}
+		fmt.Println()
+		for i := range r.Columns {
+			fmt.Print(strings.Repeat("-", widths[i]), "  ")
+		}
+		fmt.Println()
+		for _, row := range r.Rows {
+			for i, v := range row {
+				fmt.Printf("%-*s  ", widths[i], v)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%d rows)\n", len(r.Rows))
+	case r.Msg != "":
+		fmt.Println(r.Msg)
+	default:
+		fmt.Printf("(%d rows affected)\n", r.Affected)
+	}
+}

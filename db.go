@@ -1,0 +1,624 @@
+// Package immortaldb is a from-scratch Go implementation of Immortal DB
+// (Lomet et al., "Transaction Time Support Inside a Database Engine", ICDE
+// 2006): an embedded storage engine with transaction-time support built in.
+//
+// Updates never remove information: every insert, update and delete adds a
+// new record version, timestamped lazily with its transaction's commit time,
+// and stored in a time-split B-tree that integrates current and historical
+// data. The engine supports serializable transactions (fine-grained
+// locking), snapshot isolation, and read-only AS OF transactions over any
+// past state of immortal tables.
+//
+//	db, _ := immortaldb.Open(dir, nil)
+//	tbl, _ := db.CreateTable("accounts", immortaldb.TableOptions{Immortal: true})
+//	tx, _ := db.Begin(immortaldb.Serializable)
+//	tx.Set(tbl, []byte("alice"), []byte("100"))
+//	tx.Commit()
+//	...
+//	old, _ := db.BeginAsOf(yesterday)
+//	balance, ok, _ := old.Get(tbl, []byte("alice"))
+package immortaldb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"immortaldb/internal/buffer"
+	"immortaldb/internal/catalog"
+	"immortaldb/internal/cow"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/lock"
+	"immortaldb/internal/stamp"
+	"immortaldb/internal/storage/disk"
+	"immortaldb/internal/storage/page"
+	"immortaldb/internal/tsb"
+	"immortaldb/internal/wal"
+)
+
+// Timestamp is the transaction timestamp type: an 8-byte wall-clock value
+// with 20 ms resolution extended by a 4-byte sequence number (Figure 1b of
+// the paper).
+type Timestamp = itime.Timestamp
+
+// TID identifies a transaction.
+type TID = itime.TID
+
+// IndexMode selects how historical versions are reached.
+type IndexMode int
+
+// Historical index modes.
+const (
+	// IndexChain walks history page chains from the current page — the
+	// configuration the paper measures in Section 5.
+	IndexChain IndexMode = IndexMode(tsb.ModeChain)
+	// IndexTSB posts time-split B-tree index entries for history pages,
+	// the paper's Section 3.4 / future-work configuration.
+	IndexTSB IndexMode = IndexMode(tsb.ModeTSB)
+)
+
+// Options configure Open. The zero value (or nil) gives an 8 KB-page,
+// chain-indexed, lazily-timestamped engine with durable commits.
+type Options struct {
+	// PageSize in bytes (default 8192, the paper's page size).
+	PageSize int
+	// CacheFrames is the buffer pool capacity in pages (default 1024).
+	CacheFrames int
+	// NoSync disables fsync on commit (log and timestamp table). The
+	// default (false) gives durable commits; benchmarks set it to measure
+	// engine CPU and buffer behaviour rather than disk latency.
+	NoSync bool
+	// HistoricalIndex selects IndexChain (default) or IndexTSB.
+	HistoricalIndex IndexMode
+	// Threshold is the time-split utilization threshold T (default 0.70).
+	Threshold float64
+	// Clock supplies wall ticks; nil uses the OS clock at 20 ms resolution.
+	Clock itime.Clock
+	// DisablePTTGC turns off incremental timestamp-table garbage collection
+	// (ablation A3).
+	DisablePTTGC bool
+	// EagerTimestamping stamps versions at commit, with logging, instead of
+	// lazily (ablation A1 — the alternative Section 2.2 argues against).
+	EagerTimestamping bool
+	// PTTSyncEveryCommit hardens the persistent timestamp table on every
+	// commit rather than at checkpoints.
+	PTTSyncEveryCommit bool
+	// CheckpointEveryN takes an automatic checkpoint every N committed
+	// transactions (0 disables; checkpoints can always be taken manually).
+	CheckpointEveryN int
+	// LockTimeout bounds lock waits (default 10s).
+	LockTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.PageSize == 0 {
+		out.PageSize = page.DefaultSize
+	}
+	if out.CacheFrames == 0 {
+		out.CacheFrames = 1024
+	}
+	if out.Threshold == 0 {
+		out.Threshold = tsb.DefaultThreshold
+	}
+	if out.Clock == nil {
+		out.Clock = &itime.WallClock{}
+	}
+	return out
+}
+
+// Errors returned by the engine.
+var (
+	ErrClosed        = errors.New("immortaldb: database closed")
+	ErrTxDone        = errors.New("immortaldb: transaction already finished")
+	ErrReadOnly      = errors.New("immortaldb: read-only (AS OF) transaction")
+	ErrWriteConflict = errors.New("immortaldb: snapshot write conflict (first committer wins)")
+	ErrNotImmortal   = errors.New("immortaldb: table does not keep persistent versions")
+	ErrEmptyKey      = errors.New("immortaldb: empty key")
+	ErrNoHistory     = errors.New("immortaldb: time predates table history")
+)
+
+// Table is a handle to one table.
+type Table struct {
+	meta *catalog.Table
+	tree *tsb.Tree
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.meta.Name }
+
+// Immortal reports whether the table keeps persistent versions.
+func (t *Table) Immortal() bool { return t.meta.Immortal }
+
+// TableOptions configure CreateTable.
+type TableOptions struct {
+	// Immortal makes the table transaction-time: versions persist forever
+	// and AS OF queries work (CREATE IMMORTAL TABLE).
+	Immortal bool
+	// Snapshot keeps recent versions for snapshot isolation on a
+	// conventional table (ALTER TABLE ... ENABLE SNAPSHOT). Implied by
+	// Immortal.
+	Snapshot bool
+	// Columns optionally records a schema for the SQL layer.
+	Columns []catalog.Column
+}
+
+// DB is an Immortal DB database: one page file, one write-ahead log, and one
+// persistent timestamp table under a directory.
+type DB struct {
+	opts Options
+	dir  string
+
+	pager *disk.Pager
+	pool  *buffer.Pool
+	log   *wal.Log
+	ptt   *cow.Tree
+	stamp *stamp.Manager
+	locks *lock.Manager
+	cat   *catalog.Catalog
+	seq   *itime.Sequencer
+	tids  *itime.TIDSource
+
+	mu     sync.Mutex // guards trees, active, snapshots, lastLSN bookkeeping
+	trees  map[uint32]*tsb.Tree
+	active map[itime.TID]*Tx
+	closed bool
+
+	commitMu      sync.Mutex
+	txnsSinceCkpt int
+
+	commits, aborts uint64
+}
+
+// File names inside a database directory.
+const (
+	pagesFile = "data.pages"
+	walFile   = "wal.log"
+	pttFile   = "ptt.cow"
+)
+
+// Open opens or creates a database in dir.
+func Open(dir string, opts *Options) (*DB, error) {
+	o := opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("immortaldb: create %s: %w", dir, err)
+	}
+	pager, err := disk.Open(filepath.Join(dir, pagesFile), o.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, walFile))
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	log.NoSync = o.NoSync
+	ptt, err := cow.Open(filepath.Join(dir, pttFile), cow.Options{
+		ValSize: stamp.PTTValueLen,
+		NoSync:  o.NoSync,
+	})
+	if err != nil {
+		log.Close()
+		pager.Close()
+		return nil, err
+	}
+
+	db := &DB{
+		opts:   o,
+		dir:    dir,
+		pager:  pager,
+		pool:   buffer.New(pager, o.CacheFrames),
+		log:    log,
+		ptt:    ptt,
+		stamp:  stamp.NewManager(ptt),
+		locks:  lock.New(),
+		cat:    catalog.New(),
+		seq:    itime.NewSequencer(o.Clock),
+		tids:   itime.NewTIDSource(1),
+		trees:  make(map[uint32]*tsb.Tree),
+		active: make(map[itime.TID]*Tx),
+	}
+	db.stamp.GCEnabled = !o.DisablePTTGC
+	if o.LockTimeout > 0 {
+		db.locks.Timeout = o.LockTimeout
+	}
+	// The write-ahead rule: a page may be written only once the log covering
+	// its LSN is durable.
+	db.pool.FlushLSN = func(lsn uint64) error { return log.FlushTo(wal.LSN(lsn)) }
+	// Flush-triggered lazy timestamping (Section 2.2).
+	db.pool.PreFlush = func(pg any) {
+		dp, ok := pg.(*page.DataPage)
+		if !ok || dp.NoTail || !dp.HasUnstamped() {
+			return
+		}
+		counts := dp.StampAll(db.stamp.Resolve)
+		if len(counts) > 0 {
+			db.stamp.NoteStamped(counts, db.log.End)
+		}
+	}
+
+	if data := pager.GetMeta(); len(data) > 0 {
+		if err := db.cat.Load(data); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+	}
+	if err := db.recover(); err != nil {
+		db.closeFiles()
+		return nil, fmt.Errorf("immortaldb: recovery: %w", err)
+	}
+	// Open a tree per table.
+	for _, t := range db.cat.List() {
+		db.trees[t.ID] = db.openTree(t)
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.closeFiles()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) closeFiles() {
+	db.ptt.Close()
+	db.log.Close()
+	db.pager.Close()
+}
+
+// treeLogger adapts the WAL for one table's tree.
+type treeLogger struct {
+	db      *DB
+	tableID uint32
+}
+
+func (l *treeLogger) LogPageImage(pg any) (uint64, error) {
+	buf := make([]byte, l.db.pager.PageSize())
+	var id page.ID
+	var err error
+	switch v := pg.(type) {
+	case *page.DataPage:
+		id, err = v.ID, v.Marshal(buf)
+	case *page.IndexPage:
+		id, err = v.ID, v.Marshal(buf)
+	default:
+		return 0, fmt.Errorf("immortaldb: cannot log image of %T", pg)
+	}
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := l.db.log.Append(&wal.Record{Type: wal.TypePageImage, Page: id, Img: buf})
+	return uint64(lsn), err
+}
+
+func (l *treeLogger) LogRootChange(root page.ID, rootIsLeaf bool) error {
+	if err := l.db.cat.SetRoot(l.tableID, root, rootIsLeaf); err != nil {
+		return err
+	}
+	return l.db.logCatalog()
+}
+
+// logCatalog appends a full catalog snapshot to the log.
+func (db *DB) logCatalog() error {
+	blob, err := db.cat.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = db.log.Append(&wal.Record{Type: wal.TypeCatalog, Blob: blob})
+	return err
+}
+
+// treeStamper adapts the stamp manager for trees.
+type treeStamper struct{ db *DB }
+
+func (s *treeStamper) Resolve(tid itime.TID) (itime.Timestamp, bool) {
+	return s.db.stamp.Resolve(tid)
+}
+
+func (s *treeStamper) NoteStamped(counts map[itime.TID]int) {
+	s.db.stamp.NoteStamped(counts, s.db.log.End)
+}
+
+func (db *DB) openTree(t *catalog.Table) *tsb.Tree {
+	cfg := db.treeConfig(t)
+	return tsb.Open(cfg, t.Root, t.RootIsLeaf)
+}
+
+func (db *DB) treeConfig(t *catalog.Table) tsb.Config {
+	return tsb.Config{
+		Pool:      db.pool,
+		Pager:     db.pager,
+		TableID:   t.ID,
+		Logger:    &treeLogger{db: db, tableID: t.ID},
+		Stamper:   &treeStamper{db: db},
+		Mode:      tsb.Mode(db.opts.HistoricalIndex),
+		Threshold: db.opts.Threshold,
+		Immortal:  t.Immortal,
+		NoTail:    !t.Versioned(),
+		SplitNow: func() itime.Timestamp {
+			now := db.seq.Last().Next()
+			// A transaction that fixed its timestamp early (CURRENT TIME)
+			// will commit versions stamped at that reserved time; the time
+			// split boundary must not pass it.
+			if r := db.minReservedTS(); !r.IsZero() && r.Less(now) {
+				return r
+			}
+			return now
+		},
+		SnapshotHorizon: db.snapshotHorizon,
+	}
+}
+
+// snapshotHorizon returns the oldest timestamp an active snapshot can read;
+// with no active snapshots everything up to the last commit is reclaimable
+// (on non-immortal tables only).
+func (db *DB) snapshotHorizon() itime.Timestamp {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	h := db.seq.Last()
+	for _, tx := range db.active {
+		if tx.mode == SnapshotIsolation && tx.snapTS.Less(h) {
+			h = tx.snapTS
+		}
+	}
+	return h
+}
+
+// CreateTable creates a table. Immortal tables keep every version forever
+// and answer AS OF queries; Snapshot tables keep recent versions for
+// snapshot isolation; plain tables store bare records with no versioning
+// overhead at all.
+func (db *DB) CreateTable(name string, topts TableOptions) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if topts.Immortal {
+		topts.Snapshot = true
+	}
+	meta, err := db.cat.Create(catalog.Table{
+		Name:     name,
+		Immortal: topts.Immortal,
+		Snapshot: topts.Snapshot,
+		Columns:  topts.Columns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := tsb.Create(db.treeConfig(meta))
+	if err != nil {
+		db.cat.Drop(name)
+		return nil, err
+	}
+	root, isLeaf := tree.Root()
+	meta.Root, meta.RootIsLeaf = root, isLeaf
+	db.trees[meta.ID] = tree
+	if err := db.logCatalog(); err != nil {
+		return nil, err
+	}
+	if err := db.log.Flush(); err != nil {
+		return nil, err
+	}
+	if err := db.saveCatalogMeta(); err != nil {
+		return nil, err
+	}
+	return &Table{meta: meta, tree: tree}, nil
+}
+
+// Table returns a handle to an existing table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	meta, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{meta: meta, tree: db.trees[meta.ID]}, nil
+}
+
+// Tables lists table names.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []string
+	for _, t := range db.cat.List() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func (db *DB) saveCatalogMeta() error {
+	blob, err := db.cat.Marshal()
+	if err != nil {
+		return err
+	}
+	return db.pager.SetMeta(blob)
+}
+
+// Checkpoint hardens the database state: the persistent timestamp table is
+// committed, all dirty pages flush (stamping committed versions on the way
+// out), a checkpoint record is logged, and — now that the redo scan start
+// point has moved — completed PTT entries are garbage collected (Section
+// 2.2).
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	att := make([]wal.TxnState, 0, len(db.active))
+	for tid, tx := range db.active {
+		att = append(att, wal.TxnState{TID: tid, LastLSN: wal.LSN(tx.lastLSN.Load())})
+	}
+	db.mu.Unlock()
+
+	// PTT entries for commits already in the log must be durable before the
+	// checkpoint can move the redo scan start past those commit records.
+	if err := db.stamp.SyncPTT(); err != nil {
+		return err
+	}
+	if err := db.saveCatalogMeta(); err != nil {
+		return err
+	}
+	if err := db.pool.FlushAll(true); err != nil {
+		return err
+	}
+	dpt := db.pool.DirtyPages() // pages re-dirtied during the flush, if any
+	ck := &wal.Checkpoint{
+		ActiveTxns: att,
+		NextTID:    db.tids.Peek(),
+		LastTS:     db.seq.Last(),
+	}
+	for id, recLSN := range dpt {
+		ck.DirtyPages = append(ck.DirtyPages, wal.DirtyPage{ID: id, RecLSN: wal.LSN(recLSN)})
+	}
+	lsn, err := db.log.Append(&wal.Record{Type: wal.TypeCheckpoint, Blob: ck.Marshal()})
+	if err != nil {
+		return err
+	}
+	if err := db.log.SetCheckpoint(lsn); err != nil {
+		return err
+	}
+	// GC with the new redo scan start point.
+	if _, err := db.stamp.RunGC(ck.RedoScanStart(lsn)); err != nil {
+		return err
+	}
+	return db.stamp.SyncPTT()
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+	err := db.Checkpoint()
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	if err2 := db.log.Flush(); err == nil {
+		err = err2
+	}
+	if err2 := db.ptt.Close(); err == nil {
+		err = err2
+	}
+	if err2 := db.log.Close(); err == nil {
+		err = err2
+	}
+	if err2 := db.pager.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Stats aggregates engine counters for benchmarks and monitoring.
+type Stats struct {
+	Commits, Aborts uint64
+	Stamp           stamp.Stats
+	PTTEntries      uint64
+	LogBytes        int64
+	PagerReads      uint64
+	PagerWrites     uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+}
+
+// Stats returns a snapshot of engine counters.
+func (db *DB) Stats() Stats {
+	r, w, _ := db.pager.Stats()
+	h, m, _, _ := db.pool.Stats()
+	db.mu.Lock()
+	c, a := db.commits, db.aborts
+	db.mu.Unlock()
+	return Stats{
+		Commits:     c,
+		Aborts:      a,
+		Stamp:       db.stamp.Snapshot(),
+		PTTEntries:  db.stamp.PTTLen(),
+		LogBytes:    db.log.Size(),
+		PagerReads:  r,
+		PagerWrites: w,
+		CacheHits:   h,
+		CacheMisses: m,
+	}
+}
+
+// TreeStats returns split/chain counters for one table.
+func (db *DB) TreeStats(t *Table) tsb.Stats { return t.tree.Snapshot() }
+
+// crash closes the database files abruptly — no checkpoint, no buffer-pool
+// flush, no PTT commit, buffered log appends dropped. It simulates a process
+// crash so recovery tests can reopen and verify the ARIES passes and the
+// lazy re-timestamping behaviour. Production code uses Close.
+func (db *DB) crash() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.ptt.CloseNoCommit()
+	db.log.CloseNoFlush()
+	db.pager.Close()
+}
+
+// Meta exposes the table's catalog entry (schema, flags) to the SQL layer.
+func (t *Table) Meta() *catalog.Table { return t.meta }
+
+// EnableSnapshot turns on snapshot versioning for an empty conventional
+// table — the engine-level ALTER TABLE ... ENABLE SNAPSHOT of Section 4.1.
+func (db *DB) EnableSnapshot(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	meta, err := db.cat.Get(name)
+	if err != nil {
+		return err
+	}
+	if meta.Versioned() {
+		return nil
+	}
+	// Record layouts differ (no versioning tails), so only empty tables can
+	// switch.
+	empty := true
+	tree := db.trees[meta.ID]
+	if err := tree.ScanAsOf(nil, nil, itime.Max, 0, func(tsb.Result) bool {
+		empty = false
+		return false
+	}); err != nil {
+		return err
+	}
+	if err := db.cat.EnableSnapshot(name, empty); err != nil {
+		return err
+	}
+	// Reopen the tree with versioned semantics.
+	db.trees[meta.ID] = db.openTree(meta)
+	if err := db.logCatalog(); err != nil {
+		return err
+	}
+	return db.saveCatalogMeta()
+}
+
+// BeginAsOfString parses a SQL AS OF time literal and begins a historical
+// read-only transaction at it.
+func (db *DB) BeginAsOfString(s string) (*Tx, error) {
+	ts, err := itime.ParseAsOf(s)
+	if err != nil {
+		return nil, err
+	}
+	return db.BeginAsOfTS(ts)
+}
+
+// TableUtilization reports storage occupancy of one table's tree.
+func (db *DB) TableUtilization(t *Table) (tsb.Utilization, error) {
+	return t.tree.Utilization()
+}

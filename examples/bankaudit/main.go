@@ -1,0 +1,133 @@
+// Bank audit: the data-auditing scenario of the paper's introduction — "a
+// bank finds it useful to keep previous states of the database to check that
+// account balances are correct and to provide customers with a detailed
+// history of their account."
+//
+// The example posts transfers between accounts, then (a) audits that every
+// historical state conserves total money, and (b) prints one customer's
+// statement reconstructed purely from AS OF queries.
+//
+//	go run ./examples/bankaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"immortaldb"
+)
+
+var accounts = []string{"alice", "bob", "carol"}
+
+func main() {
+	dir, err := os.MkdirTemp("", "immortaldb-bankaudit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := immortaldb.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tbl, err := db.CreateTable("balances", immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Open the accounts with 100 each.
+	if err := db.Update(func(tx *immortaldb.Tx) error {
+		for _, a := range accounts {
+			if err := tx.Set(tbl, []byte(a), amount(100)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A day of transfers; remember each posting time.
+	transfers := []struct {
+		from, to string
+		n        int
+	}{
+		{"alice", "bob", 30},
+		{"bob", "carol", 55},
+		{"carol", "alice", 10},
+		{"alice", "carol", 25},
+		{"bob", "alice", 5},
+	}
+	var postTimes []immortaldb.Timestamp
+	for _, tr := range transfers {
+		err := db.Update(func(tx *immortaldb.Tx) error {
+			if err := move(tx, tbl, tr.from, -tr.n); err != nil {
+				return err
+			}
+			return move(tx, tbl, tr.to, +tr.n)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		postTimes = append(postTimes, db.Now())
+	}
+
+	// Audit: at EVERY posted state the books must balance. Because each
+	// transfer is one transaction, no AS OF time can ever observe money in
+	// flight.
+	fmt.Println("audit: total balance at every historical state")
+	for i, at := range postTimes {
+		tx, err := db.BeginAsOfTS(at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, a := range accounts {
+			v, ok, err := tx.Get(tbl, []byte(a))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				total += parse(v)
+			}
+		}
+		tx.Commit()
+		status := "OK"
+		if total != 300 {
+			status = "VIOLATION"
+		}
+		fmt.Printf("  after transfer %d: total=%d  %s\n", i+1, total, status)
+	}
+
+	// Customer statement: alice's balance over time, from History.
+	hist, err := db.History(tbl, []byte("alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstatement for alice (oldest first):")
+	for i := len(hist) - 1; i >= 0; i-- {
+		h := hist[i]
+		fmt.Printf("  %s  balance %s\n", h.Time.Format("15:04:05.000"), h.Value)
+	}
+}
+
+func move(tx *immortaldb.Tx, tbl *immortaldb.Table, account string, delta int) error {
+	v, ok, err := tx.Get(tbl, []byte(account))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no account %s", account)
+	}
+	return tx.Set(tbl, []byte(account), amount(parse(v)+delta))
+}
+
+func amount(n int) []byte { return []byte(strconv.Itoa(n)) }
+
+func parse(b []byte) int {
+	n, _ := strconv.Atoi(string(b))
+	return n
+}

@@ -1,0 +1,147 @@
+package immortaldb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"immortaldb/internal/itime"
+)
+
+// This file implements the "Next Steps" features of the paper's Section 7.2
+// that go beyond the measured prototype: CURRENT TIME support and the
+// queryable-backup restore path. (The third next step, TSB-tree indexing of
+// historical pages, is the IndexTSB mode.)
+
+// ErrTimestampOrder reports that a transaction which fixed its timestamp via
+// CurrentTime touched data committed after that timestamp; committing it
+// would violate timestamp/serialization agreement, so it must abort.
+var ErrTimestampOrder = errors.New("immortaldb: access conflicts with the transaction's already-chosen CURRENT TIME timestamp")
+
+// CurrentTime returns the transaction's timestamp, fixing it now if it was
+// not fixed yet — SQL's CURRENT TIME inside a transaction (Section 7.2: the
+// request "needs to return a time consistent with the transaction's
+// timestamp", which "forces a transaction's timestamp to be chosen earlier
+// than its commit time").
+//
+// After the timestamp is fixed, strict two-phase locking guarantees that
+// conflicting transactions either already committed (with smaller
+// timestamps) or wait behind this transaction's locks (and get larger ones);
+// the one remaining hazard — touching a version that committed after the
+// fixed timestamp — is validated on every subsequent read and write, which
+// then fail with ErrTimestampOrder (the transaction should roll back).
+// CurrentTime is only available in Serializable transactions; AS OF
+// transactions simply return their historical read point.
+func (tx *Tx) CurrentTime() (time.Time, error) {
+	if tx.done {
+		return time.Time{}, ErrTxDone
+	}
+	if tx.mode == asOf {
+		return tx.snapTS.Time(), nil
+	}
+	if tx.mode != Serializable {
+		return time.Time{}, fmt.Errorf("immortaldb: CURRENT TIME requires a serializable transaction (have %v)", tx.mode)
+	}
+	if tx.fixedTS.IsZero() {
+		// Reserve the next commit timestamp now. The sequencer moves past
+		// it, so later commits get strictly larger timestamps.
+		tx.db.commitMu.Lock()
+		tx.fixedTS = tx.db.seq.Next()
+		tx.db.commitMu.Unlock()
+	}
+	return tx.fixedTS.Time(), nil
+}
+
+// validateFixedTS enforces the CURRENT TIME ordering rule against a version
+// timestamp the transaction is about to depend on.
+func (tx *Tx) validateFixedTS(ts itime.Timestamp) error {
+	if tx.fixedTS.IsZero() || !ts.After(tx.fixedTS) {
+		return nil
+	}
+	return fmt.Errorf("%w: version at %v, transaction fixed at %v", ErrTimestampOrder, ts, tx.fixedTS)
+}
+
+// minReservedTS returns the smallest timestamp reserved by an active
+// CURRENT TIME transaction, or zero when none is reserved. Time splits must
+// not use a boundary beyond it: such a transaction will commit versions
+// stamped with its (earlier) reserved time, which must still land inside the
+// current page's time range.
+func (db *DB) minReservedTS() itime.Timestamp {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var min itime.Timestamp
+	for _, tx := range db.active {
+		if !tx.fixedTS.IsZero() && (min.IsZero() || tx.fixedTS.Less(min)) {
+			min = tx.fixedTS
+		}
+	}
+	return min
+}
+
+// ExportAsOf materializes the database state as of ts into a fresh database
+// at dir — the restore path of the paper's "query-able backup" next step
+// (Section 7.2 / [22]): the historical versions double as an always-online,
+// incrementally-maintained backup from which any past state can be
+// extracted. Only immortal tables are exported (conventional tables have no
+// past states to restore). The export carries the state, not the history:
+// it is a conventional point-in-time restore.
+func (db *DB) ExportAsOf(ts Timestamp, dir string) error {
+	out, err := Open(dir, &Options{
+		PageSize:    db.opts.PageSize,
+		CacheFrames: db.opts.CacheFrames,
+		NoSync:      db.opts.NoSync,
+		Clock:       db.opts.Clock,
+	})
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	db.mu.Lock()
+	tables := db.cat.List()
+	db.mu.Unlock()
+	for _, meta := range tables {
+		if !meta.Immortal {
+			continue
+		}
+		src, err := db.Table(meta.Name)
+		if err != nil {
+			return err
+		}
+		dst, err := out.CreateTable(meta.Name, TableOptions{
+			Immortal: true,
+			Columns:  meta.Columns,
+		})
+		if err != nil {
+			return err
+		}
+		srcTx, err := db.BeginAsOfTS(ts)
+		if err != nil {
+			return err
+		}
+		dstTx, err := out.Begin(Serializable)
+		if err != nil {
+			srcTx.Commit()
+			return err
+		}
+		var copyErr error
+		err = srcTx.Scan(src, nil, nil, func(k, v []byte) bool {
+			if copyErr = dstTx.Set(dst, k, v); copyErr != nil {
+				return false
+			}
+			return true
+		})
+		srcTx.Commit()
+		if err == nil {
+			err = copyErr
+		}
+		if err != nil {
+			dstTx.Rollback()
+			return fmt.Errorf("immortaldb: export of %s: %w", meta.Name, err)
+		}
+		if err := dstTx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

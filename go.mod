@@ -1,0 +1,3 @@
+module immortaldb
+
+go 1.22

@@ -1,0 +1,72 @@
+package immortaldb
+
+import (
+	"fmt"
+	"time"
+
+	"immortaldb/internal/itime"
+)
+
+// HistoryEntry is one version in a record's time-travel history.
+type HistoryEntry struct {
+	// Value is the record value (nil for a deletion).
+	Value []byte
+	// Time is the version's transaction (commit) time.
+	Time time.Time
+	// TS is the exact engine timestamp, usable with BeginAsOfTS.
+	TS Timestamp
+	// Deleted marks a delete stub: the record was deleted at Time.
+	Deleted bool
+	// Pending marks a version of a still-uncommitted transaction.
+	Pending bool
+	// TID is the writing transaction, set only while Pending.
+	TID TID
+}
+
+// History returns every version of key in t, newest first — the paper's
+// "time travel" over a particular object (Section 4.2). The table must be
+// immortal.
+func (db *DB) History(t *Table, key []byte) ([]HistoryEntry, error) {
+	if !t.meta.Immortal {
+		return nil, fmt.Errorf("%w: %s", ErrNotImmortal, t.meta.Name)
+	}
+	vis, err := t.tree.History(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HistoryEntry, 0, len(vis))
+	for _, v := range vis {
+		e := HistoryEntry{
+			Value:   v.Value,
+			Deleted: v.Stub,
+			Pending: !v.Stamped,
+			TID:     v.TID,
+		}
+		if v.Stamped {
+			e.TS = v.TS
+			e.Time = v.TS.Time()
+		}
+		if v.Stub {
+			e.Value = nil
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// GetAsOf is a convenience one-shot historical point read.
+func (db *DB) GetAsOf(t *Table, key []byte, at time.Time) ([]byte, bool, error) {
+	tx, err := db.BeginAsOf(at)
+	if err != nil {
+		return nil, false, err
+	}
+	defer tx.Commit()
+	return tx.Get(t, key)
+}
+
+// Now returns the timestamp of the most recent commit; an AS OF transaction
+// at Now sees exactly the current committed state.
+func (db *DB) Now() Timestamp { return db.seq.Last() }
+
+// MaxTime is the open-ended "current state" timestamp.
+func MaxTime() Timestamp { return itime.Max }

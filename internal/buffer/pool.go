@@ -1,0 +1,318 @@
+// Package buffer implements the buffer pool: an LRU cache of decoded pages
+// over the disk pager, enforcing the write-ahead rule (log flushed up to a
+// page's LSN before the page is written) and exposing the pre-flush hook
+// that drives flush-triggered lazy timestamping ("just before a cached page
+// is flushed to disk, we check whether the page contains any non-timestamped
+// records from committed transactions" — Section 2.2).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"immortaldb/internal/storage/disk"
+	"immortaldb/internal/storage/page"
+)
+
+// ErrAllPinned reports that the pool is full of pinned pages and cannot
+// evict. It indicates a pin leak or an undersized pool.
+var ErrAllPinned = errors.New("buffer: all frames pinned")
+
+// Frame is a cached page. Callers receive a pinned frame from Fetch or
+// NewPage and must Release it; the frame's decoded page must not be touched
+// after release.
+type Frame struct {
+	id     page.ID
+	pg     any // *page.DataPage | *page.IndexPage | *page.BlobPage
+	dirty  bool
+	recLSN uint64 // LSN of the first change since the page was last clean
+	pins   int
+	elem   *list.Element
+}
+
+// ID returns the page ID.
+func (f *Frame) ID() page.ID { return f.id }
+
+// Page returns the decoded page.
+func (f *Frame) Page() any { return f.pg }
+
+// Data returns the decoded page as a data page, or nil.
+func (f *Frame) Data() *page.DataPage {
+	d, _ := f.pg.(*page.DataPage)
+	return d
+}
+
+// Index returns the decoded page as an index page, or nil.
+func (f *Frame) Index() *page.IndexPage {
+	d, _ := f.pg.(*page.IndexPage)
+	return d
+}
+
+// Pool is the buffer pool. It is safe for concurrent use, but the decoded
+// pages it hands out are not internally locked: the storage layer above
+// (the TSB-tree) serializes access to page contents.
+type Pool struct {
+	mu     sync.Mutex
+	pager  *disk.Pager
+	cap    int
+	frames map[page.ID]*Frame
+	lru    *list.List // front = most recently used; holds *Frame
+
+	// PreFlush, when set, runs on a dirty page immediately before it is
+	// encoded and written — the lazy-timestamping flush trigger. Changes it
+	// makes are included in the write but do not move the page LSN
+	// (timestamping is never logged).
+	PreFlush func(pg any)
+	// FlushLSN, when set, is called with a dirty page's LSN before the page
+	// is written; it must make the log durable at least that far.
+	FlushLSN func(lsn uint64) error
+
+	hits, misses, evictions, flushes uint64
+}
+
+// New returns a pool of at most capacity frames over pager.
+func New(pager *disk.Pager, capacity int) *Pool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &Pool{
+		pager:  pager,
+		cap:    capacity,
+		frames: make(map[page.ID]*Frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// PageSize returns the underlying page size.
+func (p *Pool) PageSize() int { return p.pager.PageSize() }
+
+// Fetch returns a pinned frame for page id, reading and decoding it if not
+// cached.
+func (p *Pool) Fetch(id page.ID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		p.hits++
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	p.misses++
+	buf, err := p.pager.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := page.Unmarshal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: decode page %d: %w", id, err)
+	}
+	return p.installLocked(id, pg)
+}
+
+// NewPage installs a freshly created decoded page (whose ID the caller
+// already allocated from the pager) into the pool, pinned and dirty.
+func (p *Pool) NewPage(id page.ID, pg any, recLSN uint64) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[id]; ok {
+		return nil, fmt.Errorf("buffer: page %d already cached", id)
+	}
+	f, err := p.installLocked(id, pg)
+	if err != nil {
+		return nil, err
+	}
+	f.dirty = true
+	f.recLSN = recLSN
+	return f, nil
+}
+
+func (p *Pool) installLocked(id page.ID, pg any) (*Frame, error) {
+	if err := p.evictIfFullLocked(); err != nil {
+		return nil, err
+	}
+	f := &Frame{id: id, pg: pg, pins: 1}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f, nil
+}
+
+func (p *Pool) evictIfFullLocked() error {
+	for len(p.frames) >= p.cap {
+		var victim *Frame
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			f := e.Value.(*Frame)
+			if f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
+			return ErrAllPinned
+		}
+		if err := p.writeFrameLocked(victim); err != nil {
+			return err
+		}
+		p.lru.Remove(victim.elem)
+		delete(p.frames, victim.id)
+		p.evictions++
+	}
+	return nil
+}
+
+// Release unpins a frame obtained from Fetch or NewPage.
+func (p *Pool) Release(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: release of unpinned page %d", f.id))
+	}
+	f.pins--
+}
+
+// MarkDirty records that the frame's page was modified by a log record at
+// lsn. The first dirtying LSN since the page was clean becomes its RecLSN
+// for the dirty-page table.
+func (p *Pool) MarkDirty(f *Frame, lsn uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = lsn
+	}
+}
+
+// With fetches page id, runs fn on the decoded page, and releases it.
+func (p *Pool) With(id page.ID, fn func(pg any) error) error {
+	f, err := p.Fetch(id)
+	if err != nil {
+		return err
+	}
+	defer p.Release(f)
+	return fn(f.pg)
+}
+
+// pageLSN extracts the LSN header field from a decoded page.
+func pageLSN(pg any) uint64 {
+	switch v := pg.(type) {
+	case *page.DataPage:
+		return v.LSN
+	case *page.IndexPage:
+		return v.LSN
+	default:
+		return 0
+	}
+}
+
+// writeFrameLocked encodes and writes a frame if dirty, running the
+// pre-flush hook and the write-ahead check first. Pinned frames are left
+// alone: their holder may be mutating the decoded page right now, and a
+// fuzzy checkpoint simply keeps them in the dirty-page table.
+func (p *Pool) writeFrameLocked(f *Frame) error {
+	if !f.dirty || f.pins > 0 {
+		return nil
+	}
+	if p.PreFlush != nil {
+		p.PreFlush(f.pg)
+	}
+	if p.FlushLSN != nil {
+		if lsn := pageLSN(f.pg); lsn != 0 {
+			if err := p.FlushLSN(lsn); err != nil {
+				return fmt.Errorf("buffer: WAL flush for page %d: %w", f.id, err)
+			}
+		}
+	}
+	buf := make([]byte, p.pager.PageSize())
+	var err error
+	switch v := f.pg.(type) {
+	case *page.DataPage:
+		err = v.Marshal(buf)
+	case *page.IndexPage:
+		err = v.Marshal(buf)
+	case *page.BlobPage:
+		err = v.Marshal(buf)
+	default:
+		err = fmt.Errorf("buffer: cannot encode %T", f.pg)
+	}
+	if err != nil {
+		return fmt.Errorf("buffer: encode page %d: %w", f.id, err)
+	}
+	if err := p.pager.WritePage(f.id, buf); err != nil {
+		return err
+	}
+	f.dirty = false
+	f.recLSN = 0
+	p.flushes++
+	return nil
+}
+
+// FlushAll writes every dirty page. With sync set it also fsyncs the pager,
+// making the flush a durable (sharp) checkpoint of page state.
+func (p *Pool) FlushAll(sync bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if err := p.writeFrameLocked(f); err != nil {
+			return err
+		}
+	}
+	if sync {
+		return p.pager.Sync()
+	}
+	return nil
+}
+
+// FlushPage writes one page through if it is cached and dirty.
+func (p *Pool) FlushPage(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		return p.writeFrameLocked(f)
+	}
+	return nil
+}
+
+// DirtyPages returns the dirty-page table: page ID to RecLSN.
+func (p *Pool) DirtyPages() map[page.ID]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[page.ID]uint64)
+	for id, f := range p.frames {
+		if f.dirty {
+			out[id] = f.recLSN
+		}
+	}
+	return out
+}
+
+// Drop removes a page from the cache without writing it, for pages being
+// freed. The page must be unpinned.
+func (p *Pool) Drop(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return nil
+	}
+	if f.pins != 0 {
+		return fmt.Errorf("buffer: drop of pinned page %d", id)
+	}
+	p.lru.Remove(f.elem)
+	delete(p.frames, id)
+	return nil
+}
+
+// Stats returns cache counters: hits, misses, evictions, page flushes.
+func (p *Pool) Stats() (hits, misses, evictions, flushes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions, p.flushes
+}
+
+// Len returns the number of cached frames.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}

@@ -1,0 +1,247 @@
+package buffer
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/disk"
+	"immortaldb/internal/storage/page"
+)
+
+func newPool(t *testing.T, capacity int) (*Pool, *disk.Pager) {
+	t.Helper()
+	pg, err := disk.Open(filepath.Join(t.TempDir(), "db.pages"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pg.Close() })
+	return New(pg, capacity), pg
+}
+
+// newDataFrame allocates a page and installs a fresh data page for it.
+func newDataFrame(t *testing.T, p *Pool, pg *disk.Pager) *Frame {
+	t.Helper()
+	id, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := page.NewData(id, pg.PageSize())
+	f, err := p.NewPage(id, dp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFetchCachesPages(t *testing.T) {
+	p, pg := newPool(t, 8)
+	f := newDataFrame(t, p, pg)
+	id := f.ID()
+	f.Data().LSN = 5
+	if err := f.Data().Insert([]byte("k"), []byte("v"), false, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+	if err := p.FlushAll(false); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Data() != f.Data() {
+		t.Fatal("fetch did not return the cached object")
+	}
+	p.Release(f2)
+	hits, misses, _, _ := p.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestEvictionWritesDirtyAndRereads(t *testing.T) {
+	p, pg := newPool(t, 4)
+	var ids []page.ID
+	for i := 0; i < 10; i++ {
+		f := newDataFrame(t, p, pg)
+		if err := f.Data().Insert([]byte{byte(i)}, []byte("v"), false, 1); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID())
+		p.Release(f)
+	}
+	if p.Len() > 4 {
+		t.Fatalf("pool grew past capacity: %d", p.Len())
+	}
+	// Every page must be readable with its content intact.
+	for i, id := range ids {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", id, err)
+		}
+		if _, found := f.Data().FindSlot([]byte{byte(i)}); !found {
+			t.Fatalf("page %d lost its record", id)
+		}
+		p.Release(f)
+	}
+}
+
+func TestAllPinned(t *testing.T) {
+	p, pg := newPool(t, 4)
+	var frames []*Frame
+	for i := 0; i < 4; i++ {
+		frames = append(frames, newDataFrame(t, p, pg))
+	}
+	id, _ := pg.Allocate()
+	if _, err := p.NewPage(id, page.NewData(id, pg.PageSize()), 1); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("err = %v, want ErrAllPinned", err)
+	}
+	p.Release(frames[0])
+	if _, err := p.NewPage(id, page.NewData(id, pg.PageSize()), 1); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestPreFlushHookStampsBeforeWrite(t *testing.T) {
+	p, pg := newPool(t, 4)
+	f := newDataFrame(t, p, pg)
+	id := f.ID()
+	if err := f.Data().Insert([]byte("k"), []byte("v"), false, 42); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f)
+
+	stampCalls := 0
+	p.PreFlush = func(pgAny any) {
+		stampCalls++
+		if dp, ok := pgAny.(*page.DataPage); ok {
+			dp.StampAll(func(tid itime.TID) (itime.Timestamp, bool) {
+				return itime.Timestamp{Wall: 9}, tid == 42
+			})
+		}
+	}
+	if err := p.FlushAll(false); err != nil {
+		t.Fatal(err)
+	}
+	if stampCalls != 1 {
+		t.Fatalf("PreFlush ran %d times", stampCalls)
+	}
+	// Drop the cache and re-read: the stamp must be on disk.
+	if err := p.Drop(id); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(f2)
+	s, _ := f2.Data().FindSlot([]byte("k"))
+	if v := f2.Data().Latest(s); !v.Stamped || v.TS.Wall != 9 {
+		t.Fatalf("stamp not persisted: %+v", v)
+	}
+}
+
+func TestFlushLSNRespectsWALRule(t *testing.T) {
+	p, pg := newPool(t, 4)
+	f := newDataFrame(t, p, pg)
+	f.Data().LSN = 77
+	p.Release(f)
+
+	var asked []uint64
+	p.FlushLSN = func(lsn uint64) error {
+		asked = append(asked, lsn)
+		return nil
+	}
+	if err := p.FlushAll(false); err != nil {
+		t.Fatal(err)
+	}
+	if len(asked) != 1 || asked[0] != 77 {
+		t.Fatalf("FlushLSN calls = %v", asked)
+	}
+	// A failing WAL flush must abort the page write.
+	f2, _ := p.Fetch(f.ID())
+	f2.Data().LSN = 99
+	p.MarkDirty(f2, 99)
+	p.Release(f2)
+	p.FlushLSN = func(uint64) error { return errors.New("boom") }
+	if err := p.FlushAll(false); err == nil {
+		t.Fatal("flush with failing WAL must error")
+	}
+}
+
+func TestDirtyPagesTable(t *testing.T) {
+	p, pg := newPool(t, 8)
+	f1 := newDataFrame(t, p, pg)
+	f2 := newDataFrame(t, p, pg)
+	p.Release(f1)
+	p.Release(f2)
+	dpt := p.DirtyPages()
+	if len(dpt) != 2 {
+		t.Fatalf("dpt = %v", dpt)
+	}
+	if err := p.FlushAll(false); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DirtyPages()) != 0 {
+		t.Fatal("dpt not empty after flush")
+	}
+	// Re-dirty: RecLSN is the first dirtying LSN, not later ones.
+	f, _ := p.Fetch(f1.ID())
+	p.MarkDirty(f, 100)
+	p.MarkDirty(f, 200)
+	p.Release(f)
+	dpt = p.DirtyPages()
+	if dpt[f1.ID()] != 100 {
+		t.Fatalf("recLSN = %d, want 100", dpt[f1.ID()])
+	}
+}
+
+func TestDropPinned(t *testing.T) {
+	p, pg := newPool(t, 4)
+	f := newDataFrame(t, p, pg)
+	if err := p.Drop(f.ID()); err == nil {
+		t.Fatal("dropping a pinned page must fail")
+	}
+	p.Release(f)
+	if err := p.Drop(f.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drop(f.ID()); err != nil {
+		t.Fatal("dropping an absent page must be a no-op")
+	}
+}
+
+func TestWithRunsAndReleases(t *testing.T) {
+	p, pg := newPool(t, 4)
+	f := newDataFrame(t, p, pg)
+	id := f.ID()
+	p.Release(f)
+	err := p.With(id, func(pgAny any) error {
+		if pgAny.(*page.DataPage).ID != id {
+			t.Fatal("wrong page")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pins released: page can be dropped.
+	if err := p.Drop(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseUnpinnedPanics(t *testing.T) {
+	p, pg := newPool(t, 4)
+	f := newDataFrame(t, p, pg)
+	p.Release(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(f)
+}

@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCreateGetDrop(t *testing.T) {
+	c := New()
+	tbl, err := c.Create(Table{Name: "moving_objects", Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != 1 {
+		t.Fatalf("first table ID = %d", tbl.ID)
+	}
+	if _, err := c.Create(Table{Name: "moving_objects"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	got, err := c.Get("moving_objects")
+	if err != nil || got.ID != 1 || !got.Immortal {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if _, ok := c.ByID(1); !ok {
+		t.Fatal("ByID failed")
+	}
+	if err := c.Drop("moving_objects"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("moving_objects"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after drop: %v", err)
+	}
+	if err := c.Drop("moving_objects"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	c := New()
+	a, _ := c.Create(Table{Name: "a"})
+	c.Drop("a")
+	b, _ := c.Create(Table{Name: "b"})
+	if b.ID == a.ID {
+		t.Fatal("table ID reused after drop")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c := New()
+	c.Create(Table{Name: "t1", Immortal: true, Root: 7, RootIsLeaf: true,
+		Columns: []Column{{Name: "Oid", Type: TypeSmallInt, PrimaryKey: true}}})
+	c.Create(Table{Name: "t2", Snapshot: true})
+	c.SetRoot(2, 9, false)
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	if err := c2.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := c2.Get("t1")
+	if err != nil || !t1.Immortal || t1.Root != 7 || !t1.RootIsLeaf {
+		t.Fatalf("t1 = %+v, %v", t1, err)
+	}
+	pk, ok := t1.PrimaryKey()
+	if !ok || pk.Name != "Oid" {
+		t.Fatalf("pk = %+v, %v", pk, ok)
+	}
+	t2, _ := c2.Get("t2")
+	if !t2.Snapshot || t2.Root != 9 || t2.RootIsLeaf {
+		t.Fatalf("t2 = %+v", t2)
+	}
+	// ID allocation continues past loaded tables.
+	t3, _ := c2.Create(Table{Name: "t3"})
+	if t3.ID != 3 {
+		t.Fatalf("next ID after load = %d", t3.ID)
+	}
+}
+
+func TestEnableSnapshot(t *testing.T) {
+	c := New()
+	c.Create(Table{Name: "conv"})
+	if err := c.EnableSnapshot("conv", false); err == nil {
+		t.Fatal("enable snapshot on non-empty table must fail")
+	}
+	if err := c.EnableSnapshot("conv", true); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := c.Get("conv")
+	if !tbl.Snapshot || !tbl.Versioned() {
+		t.Fatalf("tbl = %+v", tbl)
+	}
+	// Idempotent.
+	if err := c.EnableSnapshot("conv", false); err != nil {
+		t.Fatal("re-enable must be a no-op")
+	}
+	if err := c.EnableSnapshot("ghost", true); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("enable on missing table: %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		c.Create(Table{Name: n})
+	}
+	list := c.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[2].Name != "zeta" {
+		t.Fatalf("list = %v", list)
+	}
+}

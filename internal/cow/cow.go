@@ -1,0 +1,876 @@
+// Package cow implements a small BoltDB-style copy-on-write B+tree keyed by
+// uint64 with fixed-size values, in its own file with dual meta pages and an
+// atomic root flip per commit.
+//
+// It is the substrate for Immortal DB's Persistent Timestamp Table (Section
+// 2.2): "a B-tree based table ordered by TID, which permits fast access
+// based on TID ... since TIDs are assigned in ascending order, all recent
+// table entries are at the tail of the table." Copy-on-write gives the PTT
+// crash consistency independent of the main WAL, which matters because PTT
+// garbage-collection deletes are deliberately not logged — a lost delete
+// merely strands an entry, exactly the failure mode the paper accepts.
+package cow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the tree.
+var (
+	ErrNotFound = errors.New("cow: key not found")
+	ErrBadFile  = errors.New("cow: bad or foreign file")
+	ErrClosed   = errors.New("cow: tree closed")
+	ErrValSize  = errors.New("cow: wrong value size")
+)
+
+const (
+	cowMagic      = 0x494d4d434f570a01 // "IMMCOW\n"
+	cowVersion    = 1
+	defaultPageSz = 4096
+	minPageSz     = 128
+	// node page header: crc(4) type(1) n(2) pad(1)
+	nodeHdrLen = 8
+	// meta payload: magic(8) version(4) pageSize(4) valSize(4) txid(8)
+	// root(8) numPages(8) count(8) freeLen(4) + free IDs
+	metaFixedLen = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4
+)
+
+const (
+	nodeLeaf   = 1
+	nodeBranch = 2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configure Open.
+type Options struct {
+	// PageSize for a new file (default 4096). Existing files keep theirs.
+	PageSize int
+	// ValSize is the fixed value size for a new file; required when
+	// creating. Existing files keep theirs.
+	ValSize int
+	// NoSync skips fsync on Commit (benchmarks).
+	NoSync bool
+}
+
+// Tree is a copy-on-write B+tree. All methods are safe for concurrent use,
+// serialized internally. Mutations are buffered in memory until Commit makes
+// them durable atomically; a crash reverts to the last committed state.
+type Tree struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	valSize  int
+	noSync   bool
+
+	txid     uint64
+	root     *node  // in-memory root (may mix clean and dirty nodes)
+	rootPage uint64 // on-disk root of the committed state (0 = empty tree)
+	numPages uint64 // file high-water mark in pages (incl. 2 meta pages)
+	count    uint64 // committed + uncommitted entry count
+
+	freeNow  []uint64 // reusable page IDs
+	freedTx  []uint64 // freed this txn; reusable after next commit
+	allocTx  []uint64 // allocated this txn (from freeNow or extension)
+	dirty    bool
+	closed   bool
+	commits  uint64
+	pagesOut uint64
+}
+
+type node struct {
+	leaf     bool
+	dirty    bool
+	page     uint64 // on-disk page if clean (0 for never-written dirty nodes)
+	keys     []uint64
+	vals     [][]byte // leaf only
+	children []uint64 // branch only: child page IDs (clean children)
+	kids     []*node  // branch only: loaded child nodes (nil = not loaded)
+}
+
+// Open opens or creates the tree file at path.
+func Open(path string, opts Options) (*Tree, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = defaultPageSz
+	}
+	if ps < minPageSz || ps&(ps-1) != 0 {
+		return nil, fmt.Errorf("cow: page size %d must be a power of two >= %d", ps, minPageSz)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cow: open %s: %w", path, err)
+	}
+	t := &Tree{f: f, noSync: opts.NoSync}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if opts.ValSize <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("cow: ValSize required to create %s", path)
+		}
+		t.pageSize = ps
+		t.valSize = opts.ValSize
+		t.numPages = 2
+		t.txid = 1
+		if err := t.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if !t.noSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	if err := t.loadMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.ValSize != 0 && opts.ValSize != t.valSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: value size %d, file uses %d", ErrBadFile, opts.ValSize, t.valSize)
+	}
+	return t, nil
+}
+
+func (t *Tree) metaBytes() []byte {
+	b := make([]byte, t.pageSize)
+	off := 4 // crc first
+	binary.BigEndian.PutUint64(b[off:], cowMagic)
+	binary.BigEndian.PutUint32(b[off+8:], cowVersion)
+	binary.BigEndian.PutUint32(b[off+12:], uint32(t.pageSize))
+	binary.BigEndian.PutUint32(b[off+16:], uint32(t.valSize))
+	binary.BigEndian.PutUint64(b[off+20:], t.txid)
+	binary.BigEndian.PutUint64(b[off+28:], t.rootPage)
+	binary.BigEndian.PutUint64(b[off+36:], t.numPages)
+	binary.BigEndian.PutUint64(b[off+44:], t.count)
+	free := t.freeNow
+	maxFree := (t.pageSize - 4 - metaFixedLen) / 8
+	if len(free) > maxFree {
+		free = free[:maxFree] // overflow leaks pages; safe
+	}
+	binary.BigEndian.PutUint32(b[off+52:], uint32(len(free)))
+	p := off + 56
+	for _, id := range free {
+		binary.BigEndian.PutUint64(b[p:], id)
+		p += 8
+	}
+	binary.BigEndian.PutUint32(b[0:], crc32.Checksum(b[4:], crcTable))
+	return b
+}
+
+// writeMeta writes the meta for the current txid into its alternating slot.
+func (t *Tree) writeMeta() error {
+	b := t.metaBytes()
+	slot := int64(t.txid%2) * int64(t.pageSize)
+	if _, err := t.f.WriteAt(b, slot); err != nil {
+		return fmt.Errorf("cow: write meta: %w", err)
+	}
+	return nil
+}
+
+type metaInfo struct {
+	txid, root, numPages, count uint64
+	pageSize, valSize           int
+	free                        []uint64
+}
+
+func parseMeta(b []byte) (*metaInfo, bool) {
+	if len(b) < 4+metaFixedLen {
+		return nil, false
+	}
+	if binary.BigEndian.Uint32(b[0:]) != crc32.Checksum(b[4:], crcTable) {
+		return nil, false
+	}
+	off := 4
+	if binary.BigEndian.Uint64(b[off:]) != cowMagic {
+		return nil, false
+	}
+	if binary.BigEndian.Uint32(b[off+8:]) != cowVersion {
+		return nil, false
+	}
+	m := &metaInfo{
+		pageSize: int(binary.BigEndian.Uint32(b[off+12:])),
+		valSize:  int(binary.BigEndian.Uint32(b[off+16:])),
+		txid:     binary.BigEndian.Uint64(b[off+20:]),
+		root:     binary.BigEndian.Uint64(b[off+28:]),
+		numPages: binary.BigEndian.Uint64(b[off+36:]),
+		count:    binary.BigEndian.Uint64(b[off+44:]),
+	}
+	n := int(binary.BigEndian.Uint32(b[off+52:]))
+	p := off + 56
+	if p+8*n > len(b) {
+		return nil, false
+	}
+	m.free = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		m.free[i] = binary.BigEndian.Uint64(b[p:])
+		p += 8
+	}
+	return m, true
+}
+
+func (t *Tree) loadMeta() error {
+	// The page size is inside the meta; probe with a generous buffer. The
+	// two meta slots live at offsets 0 and pageSize.
+	probe := make([]byte, 128*1024)
+	n, _ := t.f.ReadAt(probe, 0)
+	probe = probe[:n]
+	if len(probe) < 4+metaFixedLen {
+		return fmt.Errorf("%w: too small", ErrBadFile)
+	}
+	// tryAt parses a meta slot at off, trusting it only if its own stored
+	// page size is self-consistent with the offset layout.
+	tryAt := func(off int) *metaInfo {
+		if off+4+metaFixedLen > len(probe) {
+			return nil
+		}
+		ps := int(binary.BigEndian.Uint32(probe[off+16:]))
+		if ps < minPageSz || off+ps > len(probe) {
+			return nil
+		}
+		m, ok := parseMeta(probe[off : off+ps])
+		if !ok || m.pageSize != ps {
+			return nil
+		}
+		return m
+	}
+	best := tryAt(0)
+	if best != nil {
+		if m := tryAt(best.pageSize); m != nil && m.txid > best.txid {
+			best = m
+		}
+	} else {
+		// Slot 0 torn or never written: slot 1 sits at the (unknown) page
+		// size; page sizes are powers of two, so probe them.
+		for ps := minPageSz; ps <= 64*1024; ps *= 2 {
+			if m := tryAt(ps); m != nil && m.pageSize == ps {
+				best = m
+				break
+			}
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("%w: no valid meta page", ErrBadFile)
+	}
+	t.pageSize = best.pageSize
+	t.valSize = best.valSize
+	t.txid = best.txid
+	t.rootPage = best.root
+	t.numPages = best.numPages
+	t.count = best.count
+	t.freeNow = best.free
+	return nil
+}
+
+// --- node I/O ---
+
+func (t *Tree) leafCap() int   { return (t.pageSize - nodeHdrLen) / (8 + t.valSize) }
+func (t *Tree) branchCap() int { return (t.pageSize - nodeHdrLen) / 16 }
+
+func (t *Tree) readNode(id uint64) (*node, error) {
+	if id < 2 || id >= t.numPages {
+		return nil, fmt.Errorf("%w: node page %d out of range", ErrBadFile, id)
+	}
+	b := make([]byte, t.pageSize)
+	if _, err := t.f.ReadAt(b, int64(id)*int64(t.pageSize)); err != nil {
+		return nil, fmt.Errorf("cow: read node %d: %w", id, err)
+	}
+	if binary.BigEndian.Uint32(b[0:]) != crc32.Checksum(b[4:], crcTable) {
+		return nil, fmt.Errorf("%w: node %d checksum", ErrBadFile, id)
+	}
+	n := &node{page: id}
+	typ := b[4]
+	cnt := int(binary.BigEndian.Uint16(b[5:]))
+	off := nodeHdrLen
+	switch typ {
+	case nodeLeaf:
+		n.leaf = true
+		if cnt > t.leafCap() {
+			return nil, fmt.Errorf("%w: leaf %d count %d", ErrBadFile, id, cnt)
+		}
+		n.keys = make([]uint64, cnt)
+		n.vals = make([][]byte, cnt)
+		for i := 0; i < cnt; i++ {
+			n.keys[i] = binary.BigEndian.Uint64(b[off:])
+			off += 8
+			n.vals[i] = append([]byte(nil), b[off:off+t.valSize]...)
+			off += t.valSize
+		}
+	case nodeBranch:
+		if cnt > t.branchCap() {
+			return nil, fmt.Errorf("%w: branch %d count %d", ErrBadFile, id, cnt)
+		}
+		n.keys = make([]uint64, cnt)
+		n.children = make([]uint64, cnt)
+		n.kids = make([]*node, cnt)
+		for i := 0; i < cnt; i++ {
+			n.keys[i] = binary.BigEndian.Uint64(b[off:])
+			n.children[i] = binary.BigEndian.Uint64(b[off+8:])
+			off += 16
+		}
+	default:
+		return nil, fmt.Errorf("%w: node %d type %d", ErrBadFile, id, typ)
+	}
+	return n, nil
+}
+
+func (t *Tree) writeNode(n *node, id uint64) error {
+	b := make([]byte, t.pageSize)
+	if n.leaf {
+		b[4] = nodeLeaf
+	} else {
+		b[4] = nodeBranch
+	}
+	binary.BigEndian.PutUint16(b[5:], uint16(len(n.keys)))
+	off := nodeHdrLen
+	if n.leaf {
+		for i, k := range n.keys {
+			binary.BigEndian.PutUint64(b[off:], k)
+			off += 8
+			copy(b[off:], n.vals[i])
+			off += t.valSize
+		}
+	} else {
+		for i, k := range n.keys {
+			binary.BigEndian.PutUint64(b[off:], k)
+			binary.BigEndian.PutUint64(b[off+8:], n.children[i])
+			off += 16
+		}
+	}
+	binary.BigEndian.PutUint32(b[0:], crc32.Checksum(b[4:], crcTable))
+	if _, err := t.f.WriteAt(b, int64(id)*int64(t.pageSize)); err != nil {
+		return fmt.Errorf("cow: write node %d: %w", id, err)
+	}
+	t.pagesOut++
+	return nil
+}
+
+// --- tree navigation ---
+
+func (t *Tree) loadRoot() error {
+	if t.root != nil {
+		return nil
+	}
+	if t.rootPage == 0 {
+		t.root = &node{leaf: true, dirty: true}
+		return nil
+	}
+	r, err := t.readNode(t.rootPage)
+	if err != nil {
+		return err
+	}
+	t.root = r
+	return nil
+}
+
+func (t *Tree) child(n *node, i int) (*node, error) {
+	if n.kids[i] != nil {
+		return n.kids[i], nil
+	}
+	c, err := t.readNode(n.children[i])
+	if err != nil {
+		return nil, err
+	}
+	n.kids[i] = c
+	return c, nil
+}
+
+// touch returns a dirty (copy-on-write) version of child i of parent n,
+// updating the parent's reference. The parent must itself be dirty.
+func (t *Tree) touch(n *node, i int) (*node, error) {
+	c, err := t.child(n, i)
+	if err != nil {
+		return nil, err
+	}
+	if c.dirty {
+		return c, nil
+	}
+	cp := c.clone()
+	cp.dirty = true
+	if c.page != 0 {
+		t.freePage(c.page)
+	}
+	cp.page = 0
+	n.kids[i] = cp
+	n.children[i] = 0
+	return cp, nil
+}
+
+func (n *node) clone() *node {
+	cp := &node{leaf: n.leaf, page: n.page}
+	cp.keys = append([]uint64(nil), n.keys...)
+	if n.leaf {
+		cp.vals = make([][]byte, len(n.vals))
+		for i, v := range n.vals {
+			cp.vals[i] = append([]byte(nil), v...)
+		}
+	} else {
+		cp.children = append([]uint64(nil), n.children...)
+		cp.kids = append([]*node(nil), n.kids...)
+	}
+	return cp
+}
+
+func (t *Tree) freePage(id uint64) { t.freedTx = append(t.freedTx, id) }
+
+func (t *Tree) allocPage() uint64 {
+	if len(t.freeNow) > 0 {
+		id := t.freeNow[len(t.freeNow)-1]
+		t.freeNow = t.freeNow[:len(t.freeNow)-1]
+		t.allocTx = append(t.allocTx, id)
+		return id
+	}
+	id := t.numPages
+	t.numPages++
+	t.allocTx = append(t.allocTx, id)
+	return id
+}
+
+// search returns the child slot for key k in branch n: the last i with
+// keys[i] <= k, or 0.
+func branchSlot(n *node, k uint64) int {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > k }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Get returns the value for key k.
+func (t *Tree) Get(k uint64) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if err := t.loadRoot(); err != nil {
+		return nil, err
+	}
+	n := t.root
+	for !n.leaf {
+		if len(n.keys) == 0 {
+			return nil, ErrNotFound
+		}
+		c, err := t.child(n, branchSlot(n, k))
+		if err != nil {
+			return nil, err
+		}
+		n = c
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= k })
+	if i < len(n.keys) && n.keys[i] == k {
+		return append([]byte(nil), n.vals[i]...), nil
+	}
+	return nil, ErrNotFound
+}
+
+// Put inserts or replaces the value for key k. The value must be exactly
+// ValSize bytes. The change is buffered until Commit.
+func (t *Tree) Put(k uint64, v []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if len(v) != t.valSize {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrValSize, len(v), t.valSize)
+	}
+	if err := t.loadRoot(); err != nil {
+		return err
+	}
+	t.ensureRootDirty()
+	grew, err := t.putNode(t.root, k, v)
+	if err != nil {
+		return err
+	}
+	if grew {
+		t.count++
+	}
+	t.dirty = true
+	// Root split.
+	if t.overflow(t.root) {
+		left := t.root
+		right := t.splitNode(left)
+		newRoot := &node{
+			dirty:    true,
+			keys:     []uint64{minKey(left), minKey(right)},
+			children: []uint64{0, 0},
+			kids:     []*node{left, right},
+		}
+		t.root = newRoot
+	}
+	return nil
+}
+
+func (t *Tree) ensureRootDirty() {
+	if !t.root.dirty {
+		cp := t.root.clone()
+		cp.dirty = true
+		if t.root.page != 0 {
+			t.freePage(t.root.page)
+		}
+		cp.page = 0
+		t.root = cp
+	}
+}
+
+func (t *Tree) overflow(n *node) bool {
+	if n.leaf {
+		return len(n.keys) > t.leafCap()
+	}
+	return len(n.keys) > t.branchCap()
+}
+
+func minKey(n *node) uint64 {
+	if len(n.keys) == 0 {
+		return 0
+	}
+	return n.keys[0]
+}
+
+// splitNode splits an overfull dirty node in half, returning the new right
+// sibling.
+func (t *Tree) splitNode(n *node) *node {
+	mid := len(n.keys) / 2
+	r := &node{leaf: n.leaf, dirty: true}
+	r.keys = append(r.keys, n.keys[mid:]...)
+	n.keys = n.keys[:mid]
+	if n.leaf {
+		r.vals = append(r.vals, n.vals[mid:]...)
+		n.vals = n.vals[:mid]
+	} else {
+		r.children = append(r.children, n.children[mid:]...)
+		r.kids = append(r.kids, n.kids[mid:]...)
+		n.children = n.children[:mid]
+		n.kids = n.kids[:mid]
+	}
+	return r
+}
+
+// putNode inserts into dirty node n; reports whether the tree gained a key.
+func (t *Tree) putNode(n *node, k uint64, v []byte) (bool, error) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= k })
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = append([]byte(nil), v...)
+			return false, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = append([]byte(nil), v...)
+		return true, nil
+	}
+	if len(n.keys) == 0 {
+		// Empty branch (only possible transiently): degrade to leaf.
+		n.leaf = true
+		n.children, n.kids = nil, nil
+		return t.putNode(n, k, v)
+	}
+	slot := branchSlot(n, k)
+	c, err := t.touch(n, slot)
+	if err != nil {
+		return false, err
+	}
+	grew, err := t.putNode(c, k, v)
+	if err != nil {
+		return false, err
+	}
+	// Maintain separator: inserting below the smallest key lowers child 0's
+	// minimum.
+	if k < n.keys[slot] {
+		n.keys[slot] = k
+	}
+	if t.overflow(c) {
+		r := t.splitNode(c)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[slot+2:], n.keys[slot+1:])
+		n.keys[slot+1] = minKey(r)
+		n.children = append(n.children, 0)
+		copy(n.children[slot+2:], n.children[slot+1:])
+		n.children[slot+1] = 0
+		n.kids = append(n.kids, nil)
+		copy(n.kids[slot+2:], n.kids[slot+1:])
+		n.kids[slot+1] = r
+	}
+	return grew, nil
+}
+
+// Delete removes key k. Underfull nodes are not rebalanced (PTT deletions
+// run in ascending TID order, so old leaves empty out and are removed
+// whole); empty nodes are unlinked.
+func (t *Tree) Delete(k uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if err := t.loadRoot(); err != nil {
+		return err
+	}
+	t.ensureRootDirty()
+	removed, err := t.deleteNode(t.root, k)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return ErrNotFound
+	}
+	t.count--
+	t.dirty = true
+	// Collapse a single-child root chain.
+	for !t.root.leaf && len(t.root.keys) == 1 {
+		c, err := t.touch(t.root, 0)
+		if err != nil {
+			return err
+		}
+		t.root = c
+	}
+	return nil
+}
+
+func (t *Tree) deleteNode(n *node, k uint64) (bool, error) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= k })
+		if i >= len(n.keys) || n.keys[i] != k {
+			return false, nil
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true, nil
+	}
+	if len(n.keys) == 0 {
+		return false, nil
+	}
+	slot := branchSlot(n, k)
+	c, err := t.touch(n, slot)
+	if err != nil {
+		return false, err
+	}
+	removed, err := t.deleteNode(c, k)
+	if err != nil || !removed {
+		return removed, err
+	}
+	if len(c.keys) == 0 {
+		n.keys = append(n.keys[:slot], n.keys[slot+1:]...)
+		n.children = append(n.children[:slot], n.children[slot+1:]...)
+		n.kids = append(n.kids[:slot], n.kids[slot+1:]...)
+	} else {
+		n.keys[slot] = minKey(c)
+	}
+	return true, nil
+}
+
+// Scan calls fn for every key in [from, to] in ascending order; fn returning
+// false stops the scan.
+func (t *Tree) Scan(from, to uint64, fn func(k uint64, v []byte) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if err := t.loadRoot(); err != nil {
+		return err
+	}
+	_, err := t.scanNode(t.root, from, to, fn)
+	return err
+}
+
+func (t *Tree) scanNode(n *node, from, to uint64, fn func(uint64, []byte) bool) (bool, error) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= from })
+		for ; i < len(n.keys) && n.keys[i] <= to; i++ {
+			if !fn(n.keys[i], append([]byte(nil), n.vals[i]...)) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	start := 0
+	if len(n.keys) > 0 {
+		start = branchSlot(n, from)
+	}
+	for i := start; i < len(n.keys); i++ {
+		if i > start && n.keys[i] > to {
+			break
+		}
+		c, err := t.child(n, i)
+		if err != nil {
+			return false, err
+		}
+		cont, err := t.scanNode(c, from, to, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Len returns the number of entries (committed and pending).
+func (t *Tree) Len() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Commit writes all dirty nodes copy-on-write, flips the meta atomically and
+// (unless NoSync) fsyncs. After Commit the new state is the one recovered
+// after a crash.
+func (t *Tree) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if !t.dirty {
+		return nil
+	}
+	rootID, err := t.flushNode(t.root)
+	if err != nil {
+		return err
+	}
+	if !t.noSync {
+		if err := t.f.Sync(); err != nil {
+			return fmt.Errorf("cow: sync nodes: %w", err)
+		}
+	}
+	t.txid++
+	t.rootPage = rootID
+	// Pages freed this txn become reusable only after this meta is the
+	// fallback, i.e. from the next transaction on.
+	nextFree := append(append([]uint64(nil), t.freeNow...), t.freedTx...)
+	t.freeNow, t.freedTx, t.allocTx = nextFree, nil, nil
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	if !t.noSync {
+		if err := t.f.Sync(); err != nil {
+			return fmt.Errorf("cow: sync meta: %w", err)
+		}
+	}
+	t.dirty = false
+	t.commits++
+	return nil
+}
+
+// flushNode writes dirty node n (and dirty descendants) to fresh pages and
+// returns n's page ID. An empty root yields page 0 (empty tree).
+func (t *Tree) flushNode(n *node) (uint64, error) {
+	if n.leaf {
+		if !n.dirty {
+			return n.page, nil
+		}
+		if len(n.keys) == 0 && n == t.root {
+			n.dirty = false
+			n.page = 0
+			return 0, nil
+		}
+		id := t.allocPage()
+		if err := t.writeNode(n, id); err != nil {
+			return 0, err
+		}
+		n.dirty = false
+		n.page = id
+		return id, nil
+	}
+	if !n.dirty {
+		return n.page, nil
+	}
+	for i := range n.kids {
+		if n.kids[i] != nil && n.kids[i].dirty {
+			id, err := t.flushNode(n.kids[i])
+			if err != nil {
+				return 0, err
+			}
+			n.children[i] = id
+		} else if n.kids[i] != nil {
+			n.children[i] = n.kids[i].page
+		}
+	}
+	id := t.allocPage()
+	if err := t.writeNode(n, id); err != nil {
+		return 0, err
+	}
+	n.dirty = false
+	n.page = id
+	return id, nil
+}
+
+// Rollback discards uncommitted changes, reverting to the last commit.
+func (t *Tree) Rollback() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if !t.dirty {
+		return nil
+	}
+	// Reload the committed meta; it restores root, count and the free list
+	// (pages popped for this transaction's copies return with it). The
+	// in-memory tree rebuilds lazily from disk.
+	t.root = nil
+	t.freedTx = nil
+	t.allocTx = nil
+	t.dirty = false
+	return t.loadMeta()
+}
+
+// Stats returns commit and node-write counters.
+func (t *Tree) Stats() (commits, pageWrites uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commits, t.pagesOut
+}
+
+// NumPages returns the file's page high-water mark.
+func (t *Tree) NumPages() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.numPages
+}
+
+// CloseNoCommit closes the file abruptly, discarding uncommitted changes —
+// it simulates a process crash for recovery testing.
+func (t *Tree) CloseNoCommit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.f.Close()
+}
+
+// Close commits pending changes and closes the file.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	err := t.Commit()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err2 := t.f.Close(); err == nil {
+		err = err2
+	}
+	t.closed = true
+	return err
+}

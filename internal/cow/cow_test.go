@@ -1,0 +1,408 @@
+package cow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, valSize int) (*Tree, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ptt.cow")
+	tr, err := Open(path, Options{PageSize: 256, ValSize: valSize, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr, path
+}
+
+func v12(x uint64) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint64(b, x)
+	return b
+}
+
+func TestPutGet(t *testing.T) {
+	tr, _ := openTemp(t, 12)
+	for i := uint64(1); i <= 100; i++ {
+		if err := tr.Put(i, v12(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		got, err := tr.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if binary.BigEndian.Uint64(got) != i*10 {
+			t.Fatalf("Get(%d) = %d", i, binary.BigEndian.Uint64(got))
+		}
+	}
+	if _, err := tr.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	// Overwrite does not grow Len.
+	if err := tr.Put(5, v12(777)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len after overwrite = %d", tr.Len())
+	}
+	got, _ := tr.Get(5)
+	if binary.BigEndian.Uint64(got) != 777 {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestWrongValSize(t *testing.T) {
+	tr, _ := openTemp(t, 12)
+	if err := tr.Put(1, []byte("short")); !errors.Is(err, ErrValSize) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.cow")
+	tr, err := Open(path, Options{PageSize: 256, ValSize: 8, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if err := tr.Put(i, v8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+
+	tr2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != 500 {
+		t.Fatalf("Len after reopen = %d", tr2.Len())
+	}
+	for i := uint64(0); i < 500; i++ {
+		got, err := tr2.Get(i)
+		if err != nil || binary.BigEndian.Uint64(got) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, got, err)
+		}
+	}
+	if _, err := Open(path, Options{ValSize: 16, NoSync: true}); err == nil {
+		t.Fatal("mismatched value size accepted")
+	}
+}
+
+func v8(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, x)
+	return b
+}
+
+func TestUncommittedChangesRollBack(t *testing.T) {
+	tr, _ := openTemp(t, 8)
+	tr.Put(1, v8(1))
+	tr.Commit()
+	tr.Put(2, v8(2))
+	tr.Delete(1)
+	if err := tr.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get(1); err != nil {
+		t.Fatalf("committed key lost in rollback: %v", err)
+	}
+	if _, err := tr.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted key survived rollback: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestCrashRevertsToLastCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.cow")
+	tr, err := Open(path, Options{PageSize: 256, ValSize: 8, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		tr.Put(i, v8(i))
+	}
+	tr.Commit()
+	for i := uint64(50); i < 100; i++ {
+		tr.Put(i, v8(i))
+	}
+	// "Crash": close the fd without Commit.
+	// (Close would commit, so reach in and drop the state.)
+	tr.mu.Lock()
+	tr.f.Close()
+	tr.closed = true
+	tr.mu.Unlock()
+
+	tr2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != 50 {
+		t.Fatalf("Len after crash = %d, want 50", tr2.Len())
+	}
+	if _, err := tr2.Get(75); !errors.Is(err, ErrNotFound) {
+		t.Fatal("uncommitted key survived crash")
+	}
+}
+
+func TestTornMetaFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.cow")
+	tr, err := Open(path, Options{PageSize: 256, ValSize: 8, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Put(1, v8(1))
+	tr.Commit() // txid 2 -> slot 0
+	tr.Put(2, v8(2))
+	tr.Commit() // txid 3 -> slot 1
+	tr.Close()
+
+	// Corrupt the newest meta (txid 3 lives in slot 3%2=1).
+	f, _ := os.OpenFile(path, os.O_RDWR, 0)
+	f.WriteAt([]byte{0xde, 0xad}, 256+10)
+	f.Close()
+
+	tr2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	// Falls back to txid 2 state: key 1 present, key 2 state unknown to the
+	// fallback meta (it was committed in the torn meta's txn).
+	if _, err := tr2.Get(1); err != nil {
+		t.Fatalf("fallback state lost key 1: %v", err)
+	}
+	if _, err := tr2.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Fatal("torn meta's key visible after fallback")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := openTemp(t, 8)
+	for i := uint64(0); i < 300; i++ {
+		tr.Put(i, v8(i))
+	}
+	// Delete in ascending order, the PTT GC pattern.
+	for i := uint64(0); i < 200; i++ {
+		if err := tr.Delete(i); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 200; i++ {
+		if _, err := tr.Get(i); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key %d still present", i)
+		}
+	}
+	for i := uint64(200); i < 300; i++ {
+		if _, err := tr.Get(i); err != nil {
+			t.Fatalf("surviving key %d lost: %v", i, err)
+		}
+	}
+	if err := tr.Delete(9999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleting missing key: %v", err)
+	}
+	// Delete everything; tree must still work.
+	for i := uint64(200); i < 300; i++ {
+		tr.Delete(i)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Commit()
+	if err := tr.Put(7, v8(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	tr, _ := openTemp(t, 8)
+	for i := uint64(0); i < 100; i += 2 {
+		tr.Put(i, v8(i))
+	}
+	var got []uint64
+	tr.Scan(10, 20, func(k uint64, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	// Early stop.
+	n := 0
+	tr.Scan(0, 99, func(uint64, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+	// Empty range.
+	n = 0
+	tr.Scan(1, 1, func(uint64, []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("scan of absent range returned entries")
+	}
+}
+
+func TestPageReuse(t *testing.T) {
+	tr, _ := openTemp(t, 8)
+	for i := uint64(0); i < 200; i++ {
+		tr.Put(i, v8(i))
+		if i%10 == 0 {
+			tr.Commit()
+		}
+	}
+	tr.Commit()
+	grew := tr.NumPages()
+	// Steady-state churn: overwrites must reuse freed pages, not grow the
+	// file without bound.
+	for round := 0; round < 50; round++ {
+		for i := uint64(0); i < 200; i += 17 {
+			tr.Put(i, v8(i+uint64(round)))
+		}
+		tr.Commit()
+	}
+	if tr.NumPages() > grew*3 {
+		t.Fatalf("file grew from %d to %d pages despite free list", grew, tr.NumPages())
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "cow")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "t.cow")
+		tr, err := Open(path, Options{PageSize: 128, ValSize: 8, NoSync: true})
+		if err != nil {
+			return false
+		}
+		model := map[uint64]uint64{}
+		committed := map[uint64]uint64{}
+		for op := 0; op < 400; op++ {
+			k := uint64(rng.Intn(60))
+			switch rng.Intn(6) {
+			case 0, 1, 2:
+				v := rng.Uint64()
+				if tr.Put(k, v8(v)) != nil {
+					return false
+				}
+				model[k] = v
+			case 3:
+				err := tr.Delete(k)
+				_, had := model[k]
+				if had != (err == nil) {
+					t.Logf("seed %d: delete(%d) err=%v had=%v", seed, k, err, had)
+					return false
+				}
+				delete(model, k)
+			case 4:
+				if tr.Commit() != nil {
+					return false
+				}
+				committed = clone(model)
+			case 5:
+				if tr.Rollback() != nil {
+					return false
+				}
+				model = clone(committed)
+			}
+		}
+		// Verify model equivalence.
+		if int(tr.Len()) != len(model) {
+			t.Logf("seed %d: len %d vs model %d", seed, tr.Len(), len(model))
+			return false
+		}
+		for k, v := range model {
+			got, err := tr.Get(k)
+			if err != nil || binary.BigEndian.Uint64(got) != v {
+				t.Logf("seed %d: get(%d) = %v,%v want %d", seed, k, got, err, v)
+				return false
+			}
+		}
+		// Reopen and verify committed state round-trips.
+		tr.Commit()
+		tr.Close()
+		tr2, err := Open(path, Options{NoSync: true})
+		if err != nil {
+			return false
+		}
+		defer tr2.Close()
+		for k, v := range model {
+			got, err := tr2.Get(k)
+			if err != nil || binary.BigEndian.Uint64(got) != v {
+				t.Logf("seed %d: after reopen get(%d) = %v,%v want %d", seed, k, got, err, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clone(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestAscendingInsertTailClustered(t *testing.T) {
+	// The PTT usage pattern: ascending TIDs. Verify scans return ascending
+	// order and the last key is reachable.
+	tr, _ := openTemp(t, 8)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Put(i, v8(i))
+	}
+	last := uint64(0)
+	tr.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		if k <= last && last != 0 {
+			t.Fatalf("scan out of order: %d after %d", k, last)
+		}
+		last = k
+		return true
+	})
+	if last != 1000 {
+		t.Fatalf("last scanned = %d", last)
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	tr, _ := openTemp(t, 8)
+	tr.Close()
+	if err := tr.Put(1, v8(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	if _, err := tr.Get(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get after close: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package itime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the wall-tick component of timestamps. Implementations must
+// be safe for concurrent use and must never move backwards.
+type Clock interface {
+	// NowTick returns the current time in TickDuration units since the Unix
+	// epoch.
+	NowTick() int64
+}
+
+// WallClock reads the operating system clock, truncated to TickDuration,
+// mirroring the 20 ms resolution of SQL Server's date/time type. It guards
+// against the OS clock stepping backwards by never returning a value smaller
+// than one it has already returned.
+type WallClock struct {
+	last atomic.Int64
+}
+
+// NowTick implements Clock.
+func (c *WallClock) NowTick() int64 {
+	now := time.Now().UnixNano() / int64(TickDuration)
+	for {
+		prev := c.last.Load()
+		if now <= prev {
+			return prev
+		}
+		if c.last.CompareAndSwap(prev, now) {
+			return now
+		}
+	}
+}
+
+// SimClock is a deterministic clock for tests and benchmarks. It starts at a
+// fixed tick and advances only when told to (Advance) or, if AutoStep is set,
+// by AutoStep ticks every AutoEvery reads — which deterministically spreads
+// transactions across ticks so the sequence-number machinery is exercised.
+type SimClock struct {
+	mu        sync.Mutex
+	tick      int64
+	reads     int64
+	AutoStep  int64 // ticks to advance after every AutoEvery reads (0 = never)
+	AutoEvery int64 // number of reads between automatic steps (0 treated as 1)
+}
+
+// NewSimClock returns a SimClock positioned at start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{tick: start.UnixNano() / int64(TickDuration)}
+}
+
+// NowTick implements Clock.
+func (c *SimClock) NowTick() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.AutoStep > 0 {
+		every := c.AutoEvery
+		if every <= 0 {
+			every = 1
+		}
+		c.reads++
+		if c.reads%every == 0 {
+			c.tick += c.AutoStep
+		}
+	}
+	return c.tick
+}
+
+// Advance moves the clock forward by d (rounded down to whole ticks, minimum
+// one tick for any positive d).
+func (c *SimClock) Advance(d time.Duration) {
+	ticks := int64(d / TickDuration)
+	if ticks == 0 && d > 0 {
+		ticks = 1
+	}
+	c.mu.Lock()
+	c.tick += ticks
+	c.mu.Unlock()
+}
+
+// Sequencer hands out commit timestamps that are strictly increasing and
+// therefore consistent with commit (serialization) order, as Section 2.1
+// requires. Within one wall tick it increments the sequence number; when the
+// clock has moved on it resets the sequence number to zero.
+type Sequencer struct {
+	mu    sync.Mutex
+	clock Clock
+	last  Timestamp
+}
+
+// NewSequencer returns a Sequencer drawing wall ticks from clock.
+func NewSequencer(clock Clock) *Sequencer {
+	return &Sequencer{clock: clock}
+}
+
+// Next returns the next commit timestamp. It is safe for concurrent use; the
+// caller serializes commits, and the returned timestamps strictly increase in
+// the order Next returns them.
+func (s *Sequencer) Next() Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.clock.NowTick()
+	if w > s.last.Wall {
+		s.last = Timestamp{Wall: w}
+	} else {
+		// Same (or, defensively, earlier) tick: extend with the sequence
+		// number. 2^32 transactions per 20 ms exceeds any real system.
+		s.last = s.last.Next()
+	}
+	return s.last
+}
+
+// Last returns the most recently issued timestamp, or the zero timestamp if
+// none has been issued. It is the snapshot point for new snapshot-isolation
+// transactions: everything committed so far is visible at Last.
+func (s *Sequencer) Last() Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Reset restores the sequencer's high-water mark, used after recovery so
+// post-crash commits never reuse or precede a pre-crash timestamp.
+func (s *Sequencer) Reset(last Timestamp) {
+	s.mu.Lock()
+	if last.After(s.last) {
+		s.last = last
+	}
+	s.mu.Unlock()
+}
+
+// TIDSource allocates ascending transaction IDs.
+type TIDSource struct {
+	next atomic.Uint64
+}
+
+// NewTIDSource returns a source whose first TID is first (or 1 if first is 0).
+func NewTIDSource(first TID) *TIDSource {
+	s := &TIDSource{}
+	if first == 0 {
+		first = 1
+	}
+	s.next.Store(uint64(first))
+	return s
+}
+
+// Next returns the next TID.
+func (s *TIDSource) Next() TID { return TID(s.next.Add(1) - 1) }
+
+// Peek returns the TID that the next call to Next will return.
+func (s *TIDSource) Peek() TID { return TID(s.next.Load()) }
+
+// Bump raises the allocator so that the next TID is strictly greater than
+// seen; recovery uses it to skip past every TID found in the log.
+func (s *TIDSource) Bump(seen TID) {
+	for {
+		cur := s.next.Load()
+		if cur > uint64(seen) {
+			return
+		}
+		if s.next.CompareAndSwap(cur, uint64(seen)+1) {
+			return
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package lock implements the fine-grained lock manager backing serializable
+// transactions (Section 2.1: "SQL Server supports a number of isolation
+// modes, including serializable, via fine grained locking"). It provides
+// shared/exclusive record locks with lock upgrade, wait-for-graph deadlock
+// detection, and a timeout backstop.
+//
+// Snapshot-isolation reads never touch the lock manager — that is snapshot
+// isolation's selling point ("reads are not blocked by concurrent updates").
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"immortaldb/internal/itime"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Key names a lockable resource: one record of one table.
+type Key struct {
+	Table uint32
+	Key   string
+}
+
+// Errors returned by Acquire.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	ErrTimeout  = errors.New("lock: timed out waiting for lock")
+)
+
+// DefaultTimeout bounds a single lock wait.
+const DefaultTimeout = 10 * time.Second
+
+type waiter struct {
+	tid  itime.TID
+	mode Mode
+	ch   chan error // closed/sent when granted or aborted
+}
+
+type entry struct {
+	holders map[itime.TID]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager. The zero value is not usable; call New.
+type Manager struct {
+	mu      sync.Mutex
+	locks   map[Key]*entry
+	held    map[itime.TID]map[Key]Mode // per-transaction held locks
+	waitFor map[itime.TID]Key          // which key each blocked txn waits on
+	Timeout time.Duration
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		locks:   make(map[Key]*entry),
+		held:    make(map[itime.TID]map[Key]Mode),
+		waitFor: make(map[itime.TID]Key),
+		Timeout: DefaultTimeout,
+	}
+}
+
+// compatible reports whether a request by tid in mode m can be granted given
+// the current holders.
+func (e *entry) compatible(tid itime.TID, m Mode) bool {
+	for h, hm := range e.holders {
+		if h == tid {
+			continue // own lock: upgrade handled by caller
+		}
+		if m == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire takes key in mode for tid, blocking until granted, deadlock, or
+// timeout. Re-acquiring an already-held lock (same or weaker mode) returns
+// immediately; holding Shared and requesting Exclusive performs an upgrade.
+func (m *Manager) Acquire(tid itime.TID, key Key, mode Mode) error {
+	m.mu.Lock()
+	e, ok := m.locks[key]
+	if !ok {
+		e = &entry{holders: make(map[itime.TID]Mode)}
+		m.locks[key] = e
+	}
+	if have, holding := e.holders[tid]; holding {
+		if have == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil
+		}
+		// Upgrade S -> X: grantable when no other holder.
+		if len(e.holders) == 1 {
+			e.holders[tid] = Exclusive
+			m.held[tid][key] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+	} else if e.compatible(tid, mode) && len(e.queue) == 0 {
+		m.grantLocked(e, tid, key, mode)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait. Deadlock check: would waiting close a cycle?
+	if m.wouldDeadlockLocked(tid, e) {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: txn %d on %v", ErrDeadlock, tid, key)
+	}
+	w := &waiter{tid: tid, mode: mode, ch: make(chan error, 1)}
+	e.queue = append(e.queue, w)
+	m.waitFor[tid] = key
+	timeout := m.Timeout
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		// Re-check: the grant may have raced the timer.
+		select {
+		case err := <-w.ch:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiterLocked(key, w)
+		delete(m.waitFor, tid)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: txn %d on %v", ErrTimeout, tid, key)
+	}
+}
+
+func (m *Manager) grantLocked(e *entry, tid itime.TID, key Key, mode Mode) {
+	if cur, ok := e.holders[tid]; !ok || mode == Exclusive || cur == Shared {
+		if cur, ok := e.holders[tid]; !ok || mode > cur {
+			e.holders[tid] = mode
+		}
+	}
+	hm := m.held[tid]
+	if hm == nil {
+		hm = make(map[Key]Mode)
+		m.held[tid] = hm
+	}
+	if cur, ok := hm[key]; !ok || mode > cur {
+		hm[key] = mode
+	}
+}
+
+// wouldDeadlockLocked reports whether blocking tid on entry e creates a
+// cycle in the wait-for graph (tid waits for e's holders; each blocked txn
+// waits for the holders of the key it is queued on).
+func (m *Manager) wouldDeadlockLocked(tid itime.TID, e *entry) bool {
+	// DFS from each current holder of e: can we reach tid?
+	seen := make(map[itime.TID]bool)
+	var reach func(from itime.TID) bool
+	reach = func(from itime.TID) bool {
+		if from == tid {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		key, blocked := m.waitFor[from]
+		if !blocked {
+			return false
+		}
+		blockedOn, ok := m.locks[key]
+		if !ok {
+			return false
+		}
+		for h := range blockedOn.holders {
+			if h != from && reach(h) {
+				return true
+			}
+		}
+		return false
+	}
+	for h := range e.holders {
+		if h != tid && reach(h) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) removeWaiterLocked(key Key, w *waiter) {
+	e, ok := m.locks[key]
+	if !ok {
+		return
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll frees every lock held by tid (commit or abort) and wakes
+// waiters that become grantable.
+func (m *Manager) ReleaseAll(tid itime.TID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.held[tid] {
+		e := m.locks[key]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, tid)
+		m.wakeLocked(key, e)
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.locks, key)
+		}
+	}
+	delete(m.held, tid)
+	delete(m.waitFor, tid)
+}
+
+// wakeLocked grants queued waiters in FIFO order while compatible.
+func (m *Manager) wakeLocked(key Key, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if have, holding := e.holders[w.tid]; holding && w.mode == Exclusive && have == Shared {
+			// Queued upgrade.
+			if len(e.holders) != 1 {
+				return
+			}
+		} else if !e.compatible(w.tid, w.mode) {
+			return
+		}
+		e.queue = e.queue[1:]
+		m.grantLocked(e, w.tid, key, w.mode)
+		delete(m.waitFor, w.tid)
+		w.ch <- nil
+	}
+}
+
+// Held returns the mode tid holds on key, if any.
+func (m *Manager) Held(tid itime.TID, key Key) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[tid][key]
+	return mode, ok
+}
+
+// Count returns the number of distinct locked resources (for tests).
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}

@@ -1,0 +1,242 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"immortaldb/internal/itime"
+)
+
+func k(s string) Key { return Key{Table: 1, Key: s} }
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	if err := m.Acquire(1, k("a"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, k("a"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if mode, ok := m.Held(1, k("a")); !ok || mode != Shared {
+		t.Fatal("lock not held")
+	}
+}
+
+func TestExclusiveBlocksAndWakes(t *testing.T) {
+	m := New()
+	if err := m.Acquire(1, k("a"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Acquire(2, k("a"), Exclusive)
+		got.Store(true)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() {
+		t.Fatal("second X granted while first held")
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReacquireIsIdempotent(t *testing.T) {
+	m := New()
+	for i := 0; i < 3; i++ {
+		if err := m.Acquire(1, k("a"), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Acquire(1, k("a"), Shared); err != nil {
+		t.Fatal("S under own X must be free:", err)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := New()
+	if err := m.Acquire(1, k("a"), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, k("a"), Exclusive); err != nil {
+		t.Fatal("sole-holder upgrade must succeed:", err)
+	}
+	if mode, _ := m.Held(1, k("a")); mode != Exclusive {
+		t.Fatal("upgrade did not stick")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	m.Timeout = 5 * time.Second
+	if err := m.Acquire(1, k("a"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, k("b"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// txn 1 blocks on b.
+	errc := make(chan error, 1)
+	go func() { errc <- m.Acquire(1, k("b"), Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// txn 2 requesting a closes the cycle and must get ErrDeadlock.
+	err := m.Acquire(2, k("a"), Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	// Victim aborts; txn 1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two S holders both upgrading is the classic conversion deadlock.
+	m := New()
+	m.Timeout = 5 * time.Second
+	m.Acquire(1, k("a"), Shared)
+	m.Acquire(2, k("a"), Shared)
+	errc := make(chan error, 1)
+	go func() { errc <- m.Acquire(1, k("a"), Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(2, k("a"), Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := New()
+	m.Timeout = 30 * time.Millisecond
+	m.Acquire(1, k("a"), Exclusive)
+	err := m.Acquire(2, k("a"), Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// After the timeout the waiter is gone; release must not panic and the
+	// key must be reusable.
+	m.ReleaseAll(1)
+	if err := m.Acquire(2, k("a"), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOFairness(t *testing.T) {
+	m := New()
+	m.Acquire(1, k("a"), Exclusive)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 2; i <= 4; i++ {
+		wg.Add(1)
+		tid := itime.TID(i)
+		go func(n int) {
+			defer wg.Done()
+			if err := m.Acquire(tid, k("a"), Exclusive); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, n)
+			mu.Unlock()
+			m.ReleaseAll(tid)
+		}(i)
+		time.Sleep(20 * time.Millisecond) // establish queue order
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Fatalf("grant order = %v", order)
+	}
+}
+
+func TestWaiterBehindQueueDoesNotStarve(t *testing.T) {
+	// A new S request must queue behind a waiting X (no reader barging).
+	m := New()
+	m.Acquire(1, k("a"), Shared)
+	xdone := make(chan error, 1)
+	go func() { xdone <- m.Acquire(2, k("a"), Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	sdone := make(chan error, 1)
+	go func() { sdone <- m.Acquire(3, k("a"), Shared) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-sdone:
+		t.Fatal("reader barged past waiting writer")
+	default:
+	}
+	m.ReleaseAll(1)
+	if err := <-xdone; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-sdone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllCleansUp(t *testing.T) {
+	m := New()
+	m.Acquire(1, k("a"), Exclusive)
+	m.Acquire(1, k("b"), Shared)
+	m.ReleaseAll(1)
+	if m.Count() != 0 {
+		t.Fatalf("%d lock entries leaked", m.Count())
+	}
+	if _, ok := m.Held(1, k("a")); ok {
+		t.Fatal("lock still held after ReleaseAll")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := New()
+	m.Timeout = 2 * time.Second
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var deadlocks atomic.Int64
+	keys := []string{"a", "b", "c", "d"}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tid := itime.TID(g*1000 + i + 1)
+				ok := true
+				for j := 0; j < 3; j++ {
+					key := k(keys[(g+i+j)%len(keys)])
+					mode := Shared
+					if (i+j)%3 == 0 {
+						mode = Exclusive
+					}
+					if err := m.Acquire(tid, key, mode); err != nil {
+						if errors.Is(err, ErrDeadlock) {
+							deadlocks.Add(1)
+							ok = false
+							break
+						}
+						t.Error(err)
+						ok = false
+						break
+					}
+				}
+				_ = ok
+				m.ReleaseAll(tid)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Count() != 0 {
+		t.Fatalf("%d entries leaked after stress", m.Count())
+	}
+	t.Logf("deadlocks detected and broken: %d", deadlocks.Load())
+}

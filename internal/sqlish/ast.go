@@ -1,0 +1,499 @@
+package sqlish
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"immortaldb/internal/catalog"
+)
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTable is CREATE [IMMORTAL] TABLE name (col type [PRIMARY KEY], ...).
+type CreateTable struct {
+	Name     string
+	Immortal bool
+	Columns  []catalog.Column
+}
+
+// AlterEnableSnapshot is ALTER TABLE name ENABLE SNAPSHOT.
+type AlterEnableSnapshot struct{ Name string }
+
+// BeginTran is BEGIN TRAN [AS OF "time"] [ISOLATION SNAPSHOT].
+type BeginTran struct {
+	AsOf     string // empty if absent
+	Snapshot bool
+}
+
+// CommitTran is COMMIT [TRAN].
+type CommitTran struct{}
+
+// RollbackTran is ROLLBACK [TRAN].
+type RollbackTran struct{}
+
+// Insert is INSERT INTO name VALUES (v, ...).
+type Insert struct {
+	Table  string
+	Values []Literal
+}
+
+// Assign is one SET col = v.
+type Assign struct {
+	Column string
+	Value  Literal
+}
+
+// Update is UPDATE name SET a=v,... WHERE col op v.
+type Update struct {
+	Table string
+	Sets  []Assign
+	Where *Cond
+}
+
+// Delete is DELETE FROM name WHERE col op v.
+type Delete struct {
+	Table string
+	Where *Cond
+}
+
+// Select is SELECT cols FROM name [WHERE col op v].
+type Select struct {
+	Table   string
+	Columns []string // nil means *
+	Where   *Cond
+}
+
+// ShowHistory is SHOW HISTORY FOR name WHERE col = v — time travel over one
+// record (Section 4.2's "time travel" functionality).
+type ShowHistory struct {
+	Table string
+	Where *Cond
+}
+
+// Cond is a single comparison on one column.
+type Cond struct {
+	Column string
+	Op     string // = < > <= >=
+	Value  Literal
+}
+
+// Literal is an unparsed literal value.
+type Literal struct {
+	Text     string
+	IsString bool
+}
+
+func (Literal) String() string { return "" }
+
+func (CreateTable) stmt()         {}
+func (AlterEnableSnapshot) stmt() {}
+func (BeginTran) stmt()           {}
+func (CommitTran) stmt()          {}
+func (RollbackTran) stmt()        {}
+func (Insert) stmt()              {}
+func (Update) stmt()              {}
+func (Delete) stmt()              {}
+func (Select) stmt()              {}
+func (ShowHistory) stmt()         {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(in string) (Stmt, error) {
+	toks, err := tokenize(in)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return s, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, fmt.Errorf("sql: expected %s, found %q", want, p.cur().text)
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	return t.text, err
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.accept(tokIdent, "CREATE"):
+		return p.createTable()
+	case p.accept(tokIdent, "ALTER"):
+		return p.alterTable()
+	case p.accept(tokIdent, "BEGIN"):
+		return p.beginTran()
+	case p.accept(tokIdent, "COMMIT"):
+		p.accept(tokIdent, "TRAN")
+		p.accept(tokIdent, "TRANSACTION")
+		return CommitTran{}, nil
+	case p.accept(tokIdent, "ROLLBACK"):
+		p.accept(tokIdent, "TRAN")
+		p.accept(tokIdent, "TRANSACTION")
+		return RollbackTran{}, nil
+	case p.accept(tokIdent, "INSERT"):
+		return p.insert()
+	case p.accept(tokIdent, "UPDATE"):
+		return p.update()
+	case p.accept(tokIdent, "DELETE"):
+		return p.delete()
+	case p.accept(tokIdent, "SELECT"):
+		return p.selectStmt()
+	case p.accept(tokIdent, "SHOW"):
+		return p.showHistory()
+	default:
+		return nil, fmt.Errorf("sql: unrecognized statement starting with %q", p.cur().text)
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	s := CreateTable{}
+	if p.accept(tokIdent, "IMMORTAL") {
+		s.Immortal = true
+	}
+	if _, err := p.expect(tokIdent, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.column()
+		if err != nil {
+			return nil, err
+		}
+		s.Columns = append(s.Columns, col)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	// Optional storage clause "ON [PRIMARY]" — accepted and ignored, like
+	// the paper's example.
+	if p.accept(tokIdent, "ON") {
+		if p.accept(tokPunct, "[") {
+			p.accept(tokIdent, "PRIMARY")
+			p.accept(tokPunct, "]")
+		} else {
+			p.accept(tokIdent, "PRIMARY")
+		}
+	}
+	npk := 0
+	for _, c := range s.Columns {
+		if c.PrimaryKey {
+			npk++
+		}
+	}
+	if npk != 1 {
+		return nil, fmt.Errorf("sql: table %s needs exactly one PRIMARY KEY column, has %d", s.Name, npk)
+	}
+	return s, nil
+}
+
+func (p *parser) column() (catalog.Column, error) {
+	var c catalog.Column
+	name, err := p.ident()
+	if err != nil {
+		return c, err
+	}
+	c.Name = name
+	tname, err := p.ident()
+	if err != nil {
+		return c, err
+	}
+	switch strings.ToUpper(tname) {
+	case "SMALLINT":
+		c.Type = catalog.TypeSmallInt
+	case "INT", "INTEGER":
+		c.Type = catalog.TypeInt
+	case "BIGINT":
+		c.Type = catalog.TypeBigInt
+	case "VARCHAR", "TEXT":
+		c.Type = catalog.TypeVarChar
+		if p.accept(tokPunct, "(") { // VARCHAR(n): length accepted, unenforced
+			p.expect(tokNumber, "")
+			p.expect(tokPunct, ")")
+		}
+	case "DATETIME":
+		c.Type = catalog.TypeDateTime
+	default:
+		return c, fmt.Errorf("sql: unknown column type %q", tname)
+	}
+	if p.accept(tokIdent, "PRIMARY") {
+		if _, err := p.expect(tokIdent, "KEY"); err != nil {
+			return c, err
+		}
+		c.PrimaryKey = true
+	}
+	return c, nil
+}
+
+func (p *parser) alterTable() (Stmt, error) {
+	if _, err := p.expect(tokIdent, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "ENABLE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "SNAPSHOT"); err != nil {
+		return nil, err
+	}
+	return AlterEnableSnapshot{Name: name}, nil
+}
+
+func (p *parser) beginTran() (Stmt, error) {
+	if !p.accept(tokIdent, "TRAN") && !p.accept(tokIdent, "TRANSACTION") {
+		return nil, fmt.Errorf("sql: expected TRAN after BEGIN")
+	}
+	s := BeginTran{}
+	if p.accept(tokIdent, "AS") {
+		if _, err := p.expect(tokIdent, "OF"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		s.AsOf = t.text
+	}
+	if p.accept(tokIdent, "ISOLATION") {
+		if _, err := p.expect(tokIdent, "SNAPSHOT"); err != nil {
+			return nil, err
+		}
+		s.Snapshot = true
+	}
+	return s, nil
+}
+
+func (p *parser) insert() (Stmt, error) {
+	if _, err := p.expect(tokIdent, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := Insert{Table: name}
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		s.Values = append(s.Values, lit)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) literal() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if _, err := strconv.ParseFloat(t.text, 64); err != nil {
+			return Literal{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Literal{Text: t.text}, nil
+	case tokString:
+		p.pos++
+		return Literal{Text: t.text, IsString: true}, nil
+	default:
+		return Literal{}, fmt.Errorf("sql: expected literal, found %q", t.text)
+	}
+}
+
+func (p *parser) update() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "SET"); err != nil {
+		return nil, err
+	}
+	s := Update{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		s.Sets = append(s.Sets, Assign{Column: col, Value: lit})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	s.Where, err = p.where(true)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) delete() (Stmt, error) {
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := Delete{Table: name}
+	s.Where, err = p.where(true)
+	return s, err
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	s := Select{}
+	if p.accept(tokPunct, "*") {
+		// all columns
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = name
+	s.Where, err = p.where(false)
+	return s, err
+}
+
+func (p *parser) showHistory() (Stmt, error) {
+	if _, err := p.expect(tokIdent, "HISTORY"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "FOR"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := ShowHistory{Table: name}
+	s.Where, err = p.where(true)
+	if err != nil {
+		return nil, err
+	}
+	if s.Where.Op != "=" {
+		return nil, fmt.Errorf("sql: SHOW HISTORY requires an equality predicate")
+	}
+	return s, nil
+}
+
+// where parses [WHERE col op literal]; required forces its presence.
+func (p *parser) where(required bool) (*Cond, error) {
+	if !p.accept(tokIdent, "WHERE") {
+		if required {
+			return nil, fmt.Errorf("sql: WHERE clause required")
+		}
+		return nil, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">="):
+		p.pos++
+	default:
+		return nil, fmt.Errorf("sql: expected comparison operator, found %q", t.text)
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Column: col, Op: t.text, Value: lit}, nil
+}

@@ -1,0 +1,325 @@
+package sqlish
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/catalog"
+	"immortaldb/internal/itime"
+)
+
+func testSession(t *testing.T) (*Session, *itime.SimClock) {
+	t.Helper()
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
+	clock.AutoStep = 1
+	clock.AutoEvery = 2
+	db, err := immortaldb.Open(t.TempDir(), &immortaldb.Options{
+		PageSize: 1024, NoSync: true, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := NewSession(db)
+	t.Cleanup(func() { s.Close() })
+	return s, clock
+}
+
+func mustExec(t *testing.T, s *Session, sql string) *Result {
+	t.Helper()
+	r, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return r
+}
+
+const createMovingObjects = `Create IMMORTAL Table MovingObjects
+	(Oid smallint PRIMARY KEY, LocationX int, LocationY int) ON [PRIMARY]`
+
+func TestPaperExampleDDLAndAsOf(t *testing.T) {
+	s, clock := testSession(t)
+	// The paper's Section 4.1 CREATE statement, verbatim shape.
+	r := mustExec(t, s, createMovingObjects)
+	if !strings.Contains(r.Msg, "IMMORTAL") {
+		t.Fatalf("msg = %q", r.Msg)
+	}
+	for i := 0; i < 20; i++ {
+		mustExec(t, s, "INSERT INTO MovingObjects VALUES ("+itoa(i)+", 10, 20)")
+	}
+	// Advance past a known instant, then move the objects.
+	clock.Advance(time.Hour)
+	asOfTime := "2004-08-12 11:30:00"
+	clock.Advance(2 * time.Hour)
+	for i := 0; i < 20; i++ {
+		mustExec(t, s, "UPDATE MovingObjects SET LocationX = 99 WHERE Oid = "+itoa(i))
+	}
+
+	// The paper's Section 4.2 query, current state.
+	r = mustExec(t, s, "SELECT * FROM MovingObjects WHERE Oid < 10")
+	if len(r.Rows) != 10 {
+		t.Fatalf("current rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][1] != "99" {
+		t.Fatalf("current LocationX = %q", r.Rows[0][1])
+	}
+
+	// AS OF: the pre-update state.
+	mustExec(t, s, `Begin Tran AS OF "`+asOfTime+`"`)
+	r = mustExec(t, s, "SELECT * FROM MovingObjects WHERE Oid < 10")
+	mustExec(t, s, "Commit Tran")
+	if len(r.Rows) != 10 {
+		t.Fatalf("as-of rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][1] != "10" {
+		t.Fatalf("as-of LocationX = %q", r.Rows[0][1])
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func TestInsertSelectProjectionsAndPredicates(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE TABLE people (id int PRIMARY KEY, name varchar(20), age int)")
+	mustExec(t, s, "INSERT INTO people VALUES (1, 'alice', 30)")
+	mustExec(t, s, "INSERT INTO people VALUES (2, 'bob', 25)")
+	mustExec(t, s, "INSERT INTO people VALUES (3, 'carol', 35)")
+
+	r := mustExec(t, s, "SELECT name FROM people WHERE id = 2")
+	if len(r.Rows) != 1 || r.Rows[0][0] != "bob" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	r = mustExec(t, s, "SELECT id, name FROM people WHERE id >= 2")
+	if len(r.Rows) != 2 || r.Columns[0] != "id" {
+		t.Fatalf("rows = %v cols = %v", r.Rows, r.Columns)
+	}
+	// Non-key predicate: filtered scan.
+	r = mustExec(t, s, "SELECT name FROM people WHERE age > 28")
+	if len(r.Rows) != 2 {
+		t.Fatalf("age filter rows = %v", r.Rows)
+	}
+	// Duplicate PK rejected.
+	if _, err := s.Exec("INSERT INTO people VALUES (1, 'dup', 1)"); err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+	// Range ops on the key.
+	if r := mustExec(t, s, "SELECT * FROM people WHERE id < 3"); len(r.Rows) != 2 {
+		t.Fatalf("id<3 rows = %v", r.Rows)
+	}
+	if r := mustExec(t, s, "SELECT * FROM people WHERE id <= 3"); len(r.Rows) != 3 {
+		t.Fatalf("id<=3 rows = %v", r.Rows)
+	}
+	if r := mustExec(t, s, "SELECT * FROM people WHERE id > 3"); len(r.Rows) != 0 {
+		t.Fatalf("id>3 rows = %v", r.Rows)
+	}
+}
+
+func TestUpdateDeleteAffectedCounts(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE IMMORTAL TABLE t (id int PRIMARY KEY, v varchar(10))")
+	for i := 1; i <= 5; i++ {
+		mustExec(t, s, "INSERT INTO t VALUES ("+itoa(i)+", 'x')")
+	}
+	r := mustExec(t, s, "UPDATE t SET v = 'y' WHERE id <= 3")
+	if r.Affected != 3 {
+		t.Fatalf("update affected = %d", r.Affected)
+	}
+	r = mustExec(t, s, "DELETE FROM t WHERE id = 5")
+	if r.Affected != 1 {
+		t.Fatalf("delete affected = %d", r.Affected)
+	}
+	r = mustExec(t, s, "SELECT v FROM t WHERE id = 2")
+	if r.Rows[0][0] != "y" {
+		t.Fatalf("v = %q", r.Rows[0][0])
+	}
+	if r := mustExec(t, s, "SELECT * FROM t"); len(r.Rows) != 4 {
+		t.Fatalf("rows after delete = %d", len(r.Rows))
+	}
+}
+
+func TestExplicitTransactionRollback(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE TABLE t (id int PRIMARY KEY, v int)")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 10)")
+	mustExec(t, s, "BEGIN TRAN")
+	mustExec(t, s, "UPDATE t SET v = 99 WHERE id = 1")
+	r := mustExec(t, s, "SELECT v FROM t WHERE id = 1")
+	if r.Rows[0][0] != "99" {
+		t.Fatal("own write invisible inside transaction")
+	}
+	mustExec(t, s, "ROLLBACK")
+	r = mustExec(t, s, "SELECT v FROM t WHERE id = 1")
+	if r.Rows[0][0] != "10" {
+		t.Fatalf("v after rollback = %q", r.Rows[0][0])
+	}
+	if _, err := s.Exec("COMMIT"); err == nil {
+		t.Fatal("commit without transaction accepted")
+	}
+}
+
+func TestShowHistory(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE IMMORTAL TABLE t (id int PRIMARY KEY, v varchar(10))")
+	mustExec(t, s, "INSERT INTO t VALUES (7, 'one')")
+	mustExec(t, s, "UPDATE t SET v = 'two' WHERE id = 7")
+	mustExec(t, s, "DELETE FROM t WHERE id = 7")
+	r := mustExec(t, s, "SHOW HISTORY FOR t WHERE id = 7")
+	if len(r.Rows) != 3 {
+		t.Fatalf("history rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][1] != "DELETE" {
+		t.Fatalf("newest history op = %q", r.Rows[0][1])
+	}
+	if r.Rows[1][3] != "two" || r.Rows[2][3] != "one" {
+		t.Fatalf("history values wrong: %v", r.Rows)
+	}
+}
+
+func TestSnapshotIsolationStatement(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE IMMORTAL TABLE t (id int PRIMARY KEY, v int)")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 10)")
+	mustExec(t, s, "BEGIN TRAN ISOLATION SNAPSHOT")
+	r := mustExec(t, s, "SELECT v FROM t WHERE id = 1")
+	if r.Rows[0][0] != "10" {
+		t.Fatal("snapshot read wrong")
+	}
+	mustExec(t, s, "COMMIT")
+}
+
+func TestAlterEnableSnapshot(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE TABLE conv (id int PRIMARY KEY, v int)")
+	mustExec(t, s, "ALTER TABLE conv ENABLE SNAPSHOT")
+	mustExec(t, s, "INSERT INTO conv VALUES (1, 10)")
+	r := mustExec(t, s, "SELECT v FROM conv WHERE id = 1")
+	if r.Rows[0][0] != "10" {
+		t.Fatal("read after alter failed")
+	}
+	// Enabling on a non-empty non-versioned table fails.
+	mustExec(t, s, "CREATE TABLE conv2 (id int PRIMARY KEY, v int)")
+	mustExec(t, s, "INSERT INTO conv2 VALUES (1, 10)")
+	if _, err := s.Exec("ALTER TABLE conv2 ENABLE SNAPSHOT"); err == nil {
+		t.Fatal("alter of non-empty table accepted")
+	}
+}
+
+func TestDatetimeColumns(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE TABLE events (id int PRIMARY KEY, at datetime)")
+	mustExec(t, s, "INSERT INTO events VALUES (1, '2004-08-12 10:15:20')")
+	r := mustExec(t, s, "SELECT at FROM events WHERE id = 1")
+	if r.Rows[0][0] != "2004-08-12 10:15:20" {
+		t.Fatalf("datetime round trip = %q", r.Rows[0][0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s, _ := testSession(t)
+	bad := []string{
+		"",
+		"FLY ME TO THE MOON",
+		"CREATE TABLE t (id int)", // no primary key
+		"CREATE TABLE t (id int PRIMARY KEY, id2 int PRIMARY KEY)", // two
+		"SELECT * FROM",
+		"INSERT INTO t VALUES 1",
+		"UPDATE t SET v = 1",              // no WHERE
+		"DELETE FROM t",                   // no WHERE
+		"BEGIN TRAN AS OF 2004",           // unquoted time
+		"SELECT * FROM t WHERE id <> 1",   // unsupported op
+		"SHOW HISTORY FOR t WHERE id > 1", // non-equality
+		"INSERT INTO t VALUES ('unterminated",
+	}
+	for _, q := range bad {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("accepted: %s", q)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE TABLE t (id smallint PRIMARY KEY, v int)")
+	if _, err := s.Exec("INSERT INTO t VALUES (99999, 1)"); err == nil {
+		t.Fatal("smallint overflow accepted")
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES ('abc', 1)"); err == nil {
+		t.Fatal("string for int accepted")
+	}
+	if _, err := s.Exec("SELECT * FROM nosuch"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	if _, err := s.Exec("SELECT nosuchcol FROM t"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestValueEncodingOrderPreserved(t *testing.T) {
+	cases := []struct {
+		typ  catalog.ColType
+		vals []int64
+	}{
+		{catalog.TypeSmallInt, []int64{-32768, -1, 0, 1, 32767}},
+		{catalog.TypeInt, []int64{-2147483648, -5, 0, 7, 2147483647}},
+		{catalog.TypeBigInt, []int64{-1 << 62, -1, 0, 1, 1 << 62}},
+	}
+	for _, c := range cases {
+		var prev []byte
+		for i, n := range c.vals {
+			enc := (Value{Type: c.typ, Int: n}).encodeOrdered()
+			if i > 0 && string(prev) >= string(enc) {
+				t.Errorf("%s: encoding order broken at %d", c.typ, n)
+			}
+			dec, err := decodeOrdered(c.typ, enc)
+			if err != nil || dec.Int != n {
+				t.Errorf("%s: round trip of %d: %v %v", c.typ, n, dec, err)
+			}
+			prev = enc
+		}
+	}
+}
+
+func TestRowEncodingRoundTrip(t *testing.T) {
+	cols := []catalog.Column{
+		{Name: "id", Type: catalog.TypeInt, PrimaryKey: true},
+		{Name: "name", Type: catalog.TypeVarChar},
+		{Name: "big", Type: catalog.TypeBigInt},
+	}
+	vals := []Value{
+		{Type: catalog.TypeInt, Int: -42},
+		{Type: catalog.TypeVarChar, Str: "héllo, world"},
+		{Type: catalog.TypeBigInt, Int: 1 << 40},
+	}
+	enc, err := EncodeRow(cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(cols, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("col %d: %+v != %+v", i, got[i], vals[i])
+		}
+	}
+	if _, err := DecodeRow(cols, enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated row accepted")
+	}
+	if _, err := DecodeRow(cols[:2], enc); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s, _ := testSession(t)
+	mustExec(t, s, "CREATE TABLE t (id int PRIMARY KEY, v varchar(50))")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 'it''s quoted')")
+	r := mustExec(t, s, "SELECT v FROM t WHERE id = 1")
+	if r.Rows[0][0] != "it's quoted" {
+		t.Fatalf("escape = %q", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,173 @@
+package sqlish
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"time"
+
+	"immortaldb/internal/catalog"
+	"immortaldb/internal/itime"
+)
+
+// Value is one typed column value.
+type Value struct {
+	Type catalog.ColType
+	Int  int64  // SMALLINT, INT, BIGINT, DATETIME (wall ticks)
+	Str  string // VARCHAR
+}
+
+// ParseValue converts a literal to a typed value for column c.
+func ParseValue(c catalog.Column, lit Literal) (Value, error) {
+	v := Value{Type: c.Type}
+	switch c.Type {
+	case catalog.TypeSmallInt, catalog.TypeInt, catalog.TypeBigInt:
+		if lit.IsString {
+			return v, fmt.Errorf("sql: column %s: string literal for %s", c.Name, c.Type)
+		}
+		n, err := strconv.ParseInt(lit.Text, 10, 64)
+		if err != nil {
+			return v, fmt.Errorf("sql: column %s: %w", c.Name, err)
+		}
+		if err := checkIntRange(c.Type, n); err != nil {
+			return v, fmt.Errorf("sql: column %s: %w", c.Name, err)
+		}
+		v.Int = n
+	case catalog.TypeVarChar:
+		if !lit.IsString {
+			v.Str = lit.Text // numbers coerce to text
+		} else {
+			v.Str = lit.Text
+		}
+	case catalog.TypeDateTime:
+		if !lit.IsString {
+			return v, fmt.Errorf("sql: column %s: DATETIME needs a quoted literal", c.Name)
+		}
+		ts, err := itime.ParseAsOf(lit.Text)
+		if err != nil {
+			return v, fmt.Errorf("sql: column %s: %w", c.Name, err)
+		}
+		v.Int = ts.Wall
+	default:
+		return v, fmt.Errorf("sql: column %s: unsupported type %s", c.Name, c.Type)
+	}
+	return v, nil
+}
+
+func checkIntRange(t catalog.ColType, n int64) error {
+	switch t {
+	case catalog.TypeSmallInt:
+		if n < -1<<15 || n >= 1<<15 {
+			return fmt.Errorf("value %d out of SMALLINT range", n)
+		}
+	case catalog.TypeInt:
+		if n < -1<<31 || n >= 1<<31 {
+			return fmt.Errorf("value %d out of INT range", n)
+		}
+	}
+	return nil
+}
+
+// String renders the value for result sets.
+func (v Value) String() string {
+	switch v.Type {
+	case catalog.TypeVarChar:
+		return v.Str
+	case catalog.TypeDateTime:
+		return time.Unix(0, v.Int*int64(itime.TickDuration)).UTC().Format("2006-01-02 15:04:05")
+	default:
+		return strconv.FormatInt(v.Int, 10)
+	}
+}
+
+// encodeOrdered produces an order-preserving byte encoding (used for keys).
+func (v Value) encodeOrdered() []byte {
+	switch v.Type {
+	case catalog.TypeSmallInt:
+		b := make([]byte, 2)
+		binary.BigEndian.PutUint16(b, uint16(v.Int)^0x8000)
+		return b
+	case catalog.TypeInt:
+		b := make([]byte, 4)
+		binary.BigEndian.PutUint32(b, uint32(v.Int)^0x80000000)
+		return b
+	case catalog.TypeBigInt, catalog.TypeDateTime:
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(v.Int)^0x8000000000000000)
+		return b
+	default:
+		return []byte(v.Str)
+	}
+}
+
+func decodeOrdered(t catalog.ColType, b []byte) (Value, error) {
+	v := Value{Type: t}
+	switch t {
+	case catalog.TypeSmallInt:
+		if len(b) != 2 {
+			return v, fmt.Errorf("sql: bad SMALLINT encoding")
+		}
+		v.Int = int64(int16(binary.BigEndian.Uint16(b) ^ 0x8000))
+	case catalog.TypeInt:
+		if len(b) != 4 {
+			return v, fmt.Errorf("sql: bad INT encoding")
+		}
+		v.Int = int64(int32(binary.BigEndian.Uint32(b) ^ 0x80000000))
+	case catalog.TypeBigInt, catalog.TypeDateTime:
+		if len(b) != 8 {
+			return v, fmt.Errorf("sql: bad %s encoding", t)
+		}
+		v.Int = int64(binary.BigEndian.Uint64(b) ^ 0x8000000000000000)
+	default:
+		v.Str = string(b)
+	}
+	return v, nil
+}
+
+// EncodeKey encodes the primary key value of a row.
+func EncodeKey(pk catalog.Column, v Value) []byte { return v.encodeOrdered() }
+
+// EncodeRow encodes a full row (all columns, in schema order).
+func EncodeRow(cols []catalog.Column, vals []Value) ([]byte, error) {
+	if len(cols) != len(vals) {
+		return nil, fmt.Errorf("sql: %d values for %d columns", len(vals), len(cols))
+	}
+	var out []byte
+	for i := range cols {
+		enc := vals[i].encodeOrdered()
+		if len(enc) > 1<<16-1 {
+			return nil, fmt.Errorf("sql: column %s value too long", cols[i].Name)
+		}
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(enc)))
+		out = append(out, l[:]...)
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// DecodeRow decodes a row encoded by EncodeRow.
+func DecodeRow(cols []catalog.Column, b []byte) ([]Value, error) {
+	out := make([]Value, 0, len(cols))
+	off := 0
+	for i := range cols {
+		if off+2 > len(b) {
+			return nil, fmt.Errorf("sql: truncated row at column %s", cols[i].Name)
+		}
+		n := int(binary.BigEndian.Uint16(b[off:]))
+		off += 2
+		if off+n > len(b) {
+			return nil, fmt.Errorf("sql: truncated row at column %s", cols[i].Name)
+		}
+		v, err := decodeOrdered(cols[i].Type, b[off:off+n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		off += n
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("sql: %d trailing row bytes", len(b)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package stamp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"immortaldb/internal/cow"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/wal"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	ptt, err := cow.Open(filepath.Join(t.TempDir(), "ptt.cow"),
+		cow.Options{ValSize: PTTValueLen, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ptt.Close() })
+	return NewManager(ptt)
+}
+
+func ts(w int64, s uint32) itime.Timestamp { return itime.Timestamp{Wall: w, Seq: s} }
+
+func lsn(v wal.LSN) func() wal.LSN { return func() wal.LSN { return v } }
+
+func TestFourStageProtocol(t *testing.T) {
+	m := newManager(t)
+
+	// Stage I: begin.
+	m.Begin(1, false)
+	if _, ok := m.Resolve(1); ok {
+		t.Fatal("active transaction must not resolve")
+	}
+	// Stage II: three updates.
+	if err := m.AddRef(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Stage III: commit writes exactly one PTT entry.
+	if err := m.Commit(1, ts(10, 0), true, lsn(100)); err != nil {
+		t.Fatal(err)
+	}
+	if m.PTTLen() != 1 {
+		t.Fatalf("PTT len = %d", m.PTTLen())
+	}
+	// Stage IV: resolve from the VTT.
+	got, ok := m.Resolve(1)
+	if !ok || got != ts(10, 0) {
+		t.Fatalf("Resolve = %v, %v", got, ok)
+	}
+	if !m.Pending(1) {
+		t.Fatal("3 versions outstanding")
+	}
+	m.NoteStamped(map[itime.TID]int{1: 2}, lsn(200))
+	if !m.Pending(1) {
+		t.Fatal("1 version still outstanding")
+	}
+	m.NoteStamped(map[itime.TID]int{1: 1}, lsn(300))
+	if m.Pending(1) {
+		t.Fatal("all versions stamped")
+	}
+	st := m.Snapshot()
+	if st.PTTPuts != 1 || st.VersionsStamped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGCWatermark(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, false)
+	m.AddRef(1, 1)
+	m.Commit(1, ts(10, 0), true, lsn(50))
+	m.NoteStamped(map[itime.TID]int{1: 1}, lsn(120)) // doneLSN = 120
+
+	// Watermark not yet past doneLSN: no GC.
+	if n, err := m.RunGC(120); err != nil || n != 0 {
+		t.Fatalf("premature GC: n=%d err=%v", n, err)
+	}
+	if m.PTTLen() != 1 {
+		t.Fatal("entry GC'd too early")
+	}
+	// Watermark passes: entry goes from PTT and VTT.
+	if n, err := m.RunGC(121); err != nil || n != 1 {
+		t.Fatalf("GC: n=%d err=%v", n, err)
+	}
+	if m.PTTLen() != 0 || m.VTTLen() != 0 {
+		t.Fatalf("PTT=%d VTT=%d after GC", m.PTTLen(), m.VTTLen())
+	}
+}
+
+func TestGCSkipsIncompleteAndActive(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, false) // active
+	m.Begin(2, false) // committed, refs outstanding
+	m.AddRef(2, 2)
+	m.Commit(2, ts(10, 0), true, lsn(50))
+	m.NoteStamped(map[itime.TID]int{2: 1}, lsn(60))
+	m.Begin(3, false) // committed, zero refs: GC-able immediately
+	m.Commit(3, ts(11, 0), true, lsn(70))
+
+	if n, _ := m.RunGC(1000); n != 1 {
+		t.Fatalf("GC removed %d, want only txn 3", n)
+	}
+	if _, ok := m.Resolve(2); !ok {
+		t.Fatal("txn 2 must still resolve")
+	}
+}
+
+func TestGCDisabled(t *testing.T) {
+	m := newManager(t)
+	m.GCEnabled = false
+	m.Begin(1, false)
+	m.AddRef(1, 1)
+	m.Commit(1, ts(10, 0), true, lsn(50))
+	m.NoteStamped(map[itime.TID]int{1: 1}, lsn(60))
+	if n, _ := m.RunGC(1000); n != 0 {
+		t.Fatal("GC ran while disabled")
+	}
+	if m.PTTLen() != 1 {
+		t.Fatal("entry vanished")
+	}
+}
+
+func TestResolveFallsBackToPTTAndCaches(t *testing.T) {
+	m := newManager(t)
+	m.Begin(7, false)
+	m.Commit(7, ts(42, 3), true, lsn(10))
+	// Simulate VTT loss (e.g. long time passed; entry GC-able but the PTT
+	// entry is the source of truth): drop the VTT entry directly.
+	m.mu.Lock()
+	delete(m.vtt, 7)
+	m.mu.Unlock()
+
+	got, ok := m.Resolve(7)
+	if !ok || got != ts(42, 3) {
+		t.Fatalf("Resolve from PTT = %v, %v", got, ok)
+	}
+	st := m.Snapshot()
+	if st.PTTGets != 1 {
+		t.Fatalf("PTT gets = %d", st.PTTGets)
+	}
+	// Second resolve hits the VTT cache.
+	m.Resolve(7)
+	if st := m.Snapshot(); st.PTTGets != 1 {
+		t.Fatalf("PTT gets after cached resolve = %d", st.PTTGets)
+	}
+	// Cached-from-PTT entries have undefined refcounts: GC must skip them.
+	m.NoteStamped(map[itime.TID]int{7: 5}, lsn(99))
+	if n, _ := m.RunGC(10000); n != 0 {
+		t.Fatal("GC collected an undefined-refcount entry")
+	}
+}
+
+func TestSnapshotTransactionsStayVolatile(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, true)
+	m.AddRef(1, 2)
+	if err := m.Commit(1, ts(5, 0), true, lsn(10)); err != nil {
+		t.Fatal(err)
+	}
+	if m.PTTLen() != 0 {
+		t.Fatal("snapshot txn reached the PTT")
+	}
+	if got, ok := m.Resolve(1); !ok || got != ts(5, 0) {
+		t.Fatal("snapshot txn must resolve from VTT")
+	}
+	// VTT entry drops immediately when its refcount reaches zero.
+	m.NoteStamped(map[itime.TID]int{1: 2}, lsn(20))
+	if m.VTTLen() != 0 {
+		t.Fatalf("VTT len = %d, snapshot entry must drop at zero refs", m.VTTLen())
+	}
+}
+
+func TestNonPersistentTableCommit(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, false)
+	m.AddRef(1, 1)
+	// Conventional table with snapshot versions: persistent=false.
+	if err := m.Commit(1, ts(5, 0), false, lsn(10)); err != nil {
+		t.Fatal(err)
+	}
+	if m.PTTLen() != 0 {
+		t.Fatal("non-persistent commit reached the PTT")
+	}
+	if _, ok := m.Resolve(1); !ok {
+		t.Fatal("must resolve from VTT")
+	}
+}
+
+func TestAbortDropsEntry(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, false)
+	m.AddRef(1, 5)
+	m.Abort(1)
+	if _, ok := m.Resolve(1); ok {
+		t.Fatal("aborted txn resolved")
+	}
+	if m.VTTLen() != 0 {
+		t.Fatal("VTT entry survived abort")
+	}
+	if err := m.AddRef(1, 1); err == nil {
+		t.Fatal("AddRef after abort must fail")
+	}
+}
+
+func TestRestoreCommitted(t *testing.T) {
+	m := newManager(t)
+	// Recovery redo of a commit record.
+	if err := m.RestoreCommitted(9, ts(33, 1), true); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Resolve(9); !ok || got != ts(33, 1) {
+		t.Fatalf("Resolve restored = %v, %v", got, ok)
+	}
+	if m.PTTLen() != 1 {
+		t.Fatal("PTT entry not restored")
+	}
+	// Restored entries have undefined refcounts and are never GC'd — the
+	// paper's accepted post-crash leak.
+	m.NoteStamped(map[itime.TID]int{9: 1}, lsn(10))
+	if n, _ := m.RunGC(100000); n != 0 {
+		t.Fatal("restored entry GC'd")
+	}
+	// Idempotent redo.
+	if err := m.RestoreCommitted(9, ts(33, 1), true); err != nil {
+		t.Fatal(err)
+	}
+	if m.PTTLen() != 1 {
+		t.Fatal("double restore duplicated the entry")
+	}
+}
+
+func TestPTTSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ptt.cow")
+	ptt, err := cow.Open(path, cow.Options{ValSize: PTTValueLen, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ptt)
+	m.Begin(1, false)
+	m.Commit(1, ts(10, 2), true, lsn(5))
+	if err := m.SyncPTT(); err != nil {
+		t.Fatal(err)
+	}
+	ptt.Close()
+
+	ptt2, err := cow.Open(path, cow.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ptt2.Close()
+	m2 := NewManager(ptt2)
+	if got, ok := m2.Resolve(1); !ok || got != ts(10, 2) {
+		t.Fatalf("Resolve after reopen = %v, %v", got, ok)
+	}
+}
+
+func TestCommitReadOnlyGCsImmediately(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, false)
+	m.Commit(1, ts(10, 0), true, lsn(40)) // zero refs at commit
+	if n, _ := m.RunGC(41); n != 1 {
+		t.Fatal("zero-ref commit must be GC-able once the watermark passes")
+	}
+}

@@ -1,0 +1,334 @@
+// Package disk implements the page file: fixed-size pages addressed by
+// page.ID, with CRC32C checksums, a persistent free list, and a small engine
+// metadata area on page 0.
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"immortaldb/internal/storage/page"
+)
+
+// Errors returned by the pager.
+var (
+	ErrChecksum  = errors.New("disk: page checksum mismatch")
+	ErrBadMeta   = errors.New("disk: bad or foreign meta page")
+	ErrOutOfFile = errors.New("disk: page beyond end of file")
+	ErrClosed    = errors.New("disk: pager closed")
+)
+
+const (
+	magic         = 0x494d4d44420a01 // "IMMDB\n" + version tag
+	formatVersion = 1
+	// metaFixedLen is the meta page layout after the frame header:
+	// magic(8) version(4) pageSize(4) freeHead(8) metaLen(4).
+	metaFixedLen = 8 + 4 + 4 + 8 + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Pager manages a single page file. It is safe for concurrent use.
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages uint64 // includes the meta page
+	freeHead page.ID
+	meta     []byte
+	closed   bool
+	// syncs and writes count physical operations, for benchmarks.
+	writes uint64
+	reads  uint64
+	syncs  uint64
+}
+
+// Open opens or creates the page file at path. For a new file, pageSize sets
+// the page size; for an existing file pageSize must match the stored value
+// (or be 0 to accept whatever the file uses).
+func Open(path string, pageSize int) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+	}
+	p := &Pager{f: f}
+	if st.Size() == 0 {
+		if pageSize == 0 {
+			pageSize = page.DefaultSize
+		}
+		if pageSize < page.MinSize {
+			f.Close()
+			return nil, fmt.Errorf("disk: page size %d below minimum %d", pageSize, page.MinSize)
+		}
+		p.pageSize = pageSize
+		p.numPages = 1
+		if err := p.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	if err := p.readMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if pageSize != 0 && pageSize != p.pageSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: page size %d, file uses %d", ErrBadMeta, pageSize, p.pageSize)
+	}
+	// Derive the page count from the file size: it survives crashes that
+	// happen after extending the file but before a meta write.
+	p.numPages = uint64(st.Size()) / uint64(p.pageSize)
+	if p.numPages == 0 {
+		p.numPages = 1
+	}
+	return p, nil
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of pages in the file, the meta page included.
+func (p *Pager) NumPages() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages
+}
+
+// Stats returns physical I/O counters: pages read, pages written, syncs.
+func (p *Pager) Stats() (reads, writes, syncs uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reads, p.writes, p.syncs
+}
+
+func (p *Pager) writeMeta() error {
+	buf := make([]byte, p.pageSize)
+	buf[page.TypeOff] = byte(page.TypeMeta)
+	off := page.PayloadOff
+	binary.BigEndian.PutUint64(buf[off:], magic)
+	binary.BigEndian.PutUint32(buf[off+8:], formatVersion)
+	binary.BigEndian.PutUint32(buf[off+12:], uint32(p.pageSize))
+	binary.BigEndian.PutUint64(buf[off+16:], uint64(p.freeHead))
+	if page.PayloadOff+metaFixedLen+len(p.meta) > p.pageSize {
+		return fmt.Errorf("disk: engine meta too large: %d bytes", len(p.meta))
+	}
+	binary.BigEndian.PutUint32(buf[off+24:], uint32(len(p.meta)))
+	copy(buf[off+28:], p.meta)
+	binary.BigEndian.PutUint32(buf[page.ChecksumOff:], crc32.Checksum(buf[4:], crcTable))
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("disk: write meta: %w", err)
+	}
+	p.writes++
+	return nil
+}
+
+func (p *Pager) readMeta() error {
+	// The page size is stored inside the page; bootstrap by reading a
+	// minimal prefix first.
+	head := make([]byte, page.PayloadOff+metaFixedLen)
+	if _, err := p.f.ReadAt(head, 0); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMeta, err)
+	}
+	off := page.PayloadOff
+	if binary.BigEndian.Uint64(head[off:]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrBadMeta)
+	}
+	if v := binary.BigEndian.Uint32(head[off+8:]); v != formatVersion {
+		return fmt.Errorf("%w: format version %d", ErrBadMeta, v)
+	}
+	p.pageSize = int(binary.BigEndian.Uint32(head[off+12:]))
+	if p.pageSize < page.MinSize {
+		return fmt.Errorf("%w: page size %d", ErrBadMeta, p.pageSize)
+	}
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMeta, err)
+	}
+	if got, want := crc32.Checksum(buf[4:], crcTable), binary.BigEndian.Uint32(buf[page.ChecksumOff:]); got != want {
+		return fmt.Errorf("%w: meta page", ErrChecksum)
+	}
+	p.freeHead = page.ID(binary.BigEndian.Uint64(buf[off+16:]))
+	n := binary.BigEndian.Uint32(buf[off+24:])
+	if int(n) > p.pageSize-page.PayloadOff-metaFixedLen {
+		return fmt.Errorf("%w: meta blob length %d", ErrBadMeta, n)
+	}
+	p.meta = append([]byte(nil), buf[off+28:off+28+int(n)]...)
+	return nil
+}
+
+// GetMeta returns a copy of the engine metadata blob stored on page 0.
+func (p *Pager) GetMeta() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.meta...)
+}
+
+// SetMeta stores the engine metadata blob and writes the meta page through.
+func (p *Pager) SetMeta(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	old := p.meta
+	p.meta = append([]byte(nil), b...)
+	if err := p.writeMeta(); err != nil {
+		p.meta = old
+		return err
+	}
+	return nil
+}
+
+// MetaCapacity returns the maximum engine metadata blob size.
+func (p *Pager) MetaCapacity() int {
+	return p.pageSize - page.PayloadOff - metaFixedLen
+}
+
+// ReadPage reads page id into a freshly allocated buffer, verifying its
+// checksum.
+func (p *Pager) ReadPage(id page.ID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if uint64(id) >= p.numPages {
+		return nil, fmt.Errorf("%w: page %d of %d", ErrOutOfFile, id, p.numPages)
+	}
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: page %d", ErrOutOfFile, id)
+		}
+		return nil, fmt.Errorf("disk: read page %d: %w", id, err)
+	}
+	if got, want := crc32.Checksum(buf[4:], crcTable), binary.BigEndian.Uint32(buf[page.ChecksumOff:]); got != want {
+		return nil, fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	p.reads++
+	return buf, nil
+}
+
+// WritePage writes buf (exactly one page) to page id, stamping its checksum.
+func (p *Pager) WritePage(id page.ID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writePageLocked(id, buf)
+}
+
+func (p *Pager) writePageLocked(id page.ID, buf []byte) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("disk: write of %d bytes to %d-byte page", len(buf), p.pageSize)
+	}
+	if uint64(id) >= p.numPages {
+		return fmt.Errorf("%w: page %d of %d", ErrOutOfFile, id, p.numPages)
+	}
+	binary.BigEndian.PutUint32(buf[page.ChecksumOff:], crc32.Checksum(buf[4:], crcTable))
+	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("disk: write page %d: %w", id, err)
+	}
+	p.writes++
+	return nil
+}
+
+// Allocate returns a fresh page ID, reusing the free list when possible. The
+// page's prior content is undefined; callers must fully write it.
+func (p *Pager) Allocate() (page.ID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	if p.freeHead != 0 {
+		id := p.freeHead
+		buf := make([]byte, p.pageSize)
+		if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+			return 0, fmt.Errorf("disk: read free page %d: %w", id, err)
+		}
+		if page.TypeOf(buf) != page.TypeFree {
+			return 0, fmt.Errorf("disk: free list head %d is a %v page", id, page.TypeOf(buf))
+		}
+		p.freeHead = page.ID(binary.BigEndian.Uint64(buf[page.PayloadOff:]))
+		return id, nil
+	}
+	id := page.ID(p.numPages)
+	p.numPages++
+	// Extend the file so the page is addressable; content stays undefined
+	// until the caller writes it.
+	if err := p.f.Truncate(int64(p.numPages) * int64(p.pageSize)); err != nil {
+		p.numPages--
+		return 0, fmt.Errorf("disk: extend file: %w", err)
+	}
+	return id, nil
+}
+
+// Free returns page id to the free list.
+func (p *Pager) Free(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if id == 0 || uint64(id) >= p.numPages {
+		return fmt.Errorf("disk: cannot free page %d", id)
+	}
+	buf := make([]byte, p.pageSize)
+	buf[page.TypeOff] = byte(page.TypeFree)
+	binary.BigEndian.PutUint64(buf[page.PayloadOff:], uint64(p.freeHead))
+	if err := p.writePageLocked(id, buf); err != nil {
+		return err
+	}
+	p.freeHead = id
+	return nil
+}
+
+// Sync persists the free-list head and engine meta, then fsyncs the file.
+// Free-list updates between Syncs can be lost in a crash; lost pages leak
+// (they are simply never reused), which is safe.
+func (p *Pager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if err := p.writeMeta(); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("disk: sync: %w", err)
+	}
+	p.syncs++
+	return nil
+}
+
+// Close syncs and closes the file. The pager is unusable afterwards.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	err := p.writeMeta()
+	if err2 := p.f.Sync(); err == nil {
+		err = err2
+	}
+	if err2 := p.f.Close(); err == nil {
+		err = err2
+	}
+	p.closed = true
+	return err
+}

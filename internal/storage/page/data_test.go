@@ -1,0 +1,424 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"immortaldb/internal/itime"
+)
+
+func ts(wall int64, seq uint32) itime.Timestamp { return itime.Timestamp{Wall: wall, Seq: seq} }
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%06d", i)) }
+
+// stamp stamps every unstamped version of tid on p with time t.
+func stampTID(p *DataPage, tid itime.TID, t itime.Timestamp) int {
+	m := p.StampAll(func(id itime.TID) (itime.Timestamp, bool) {
+		if id == tid {
+			return t, true
+		}
+		return itime.Timestamp{}, false
+	})
+	return m[tid]
+}
+
+func TestInsertAndFind(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	for i := 0; i < 10; i++ {
+		if err := p.Insert(key(i), val(i), false, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.NumKeys() != 10 || p.NumVersions() != 10 {
+		t.Fatalf("keys=%d versions=%d", p.NumKeys(), p.NumVersions())
+	}
+	for i := 0; i < 10; i++ {
+		s, found := p.FindSlot(key(i))
+		if !found {
+			t.Fatalf("key %d not found", i)
+		}
+		v := p.Latest(s)
+		if !bytes.Equal(v.Value, val(i)) {
+			t.Fatalf("key %d: wrong value %q", i, v.Value)
+		}
+		if v.Stamped || v.TID != 7 {
+			t.Fatalf("fresh version must carry its TID: %+v", v)
+		}
+	}
+	if _, found := p.FindSlot([]byte("nope")); found {
+		t.Fatal("found nonexistent key")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertKeepsSlotOrder(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	order := rand.New(rand.NewSource(42)).Perm(50)
+	for _, i := range order {
+		if err := p.Insert(key(i), val(i), false, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 1; s < p.NumKeys(); s++ {
+		if bytes.Compare(p.Latest(s-1).Key, p.Latest(s).Key) >= 0 {
+			t.Fatalf("slots out of order at %d", s)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionChain(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	// Figure 2: Transaction I inserts A and B; II updates A; III updates both.
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	mustInsert(t, p, []byte("B"), []byte("b0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	mustInsert(t, p, []byte("A"), []byte("a1"), 2)
+	stampTID(p, 2, ts(11, 0))
+	mustInsert(t, p, []byte("A"), []byte("a2"), 3)
+	mustInsert(t, p, []byte("B"), []byte("b1"), 3)
+	stampTID(p, 3, ts(12, 0))
+
+	sA, _ := p.FindSlot([]byte("A"))
+	if got := p.ChainLen(sA); got != 3 {
+		t.Fatalf("A chain length = %d, want 3", got)
+	}
+	chain := p.Chain(sA)
+	wantVals := []string{"a2", "a1", "a0"}
+	for i, idx := range chain {
+		if string(p.Recs[idx].Value) != wantVals[i] {
+			t.Fatalf("chain[%d] = %q, want %q", i, p.Recs[idx].Value, wantVals[i])
+		}
+	}
+	sB, _ := p.FindSlot([]byte("B"))
+	if got := p.ChainLen(sB); got != 2 {
+		t.Fatalf("B chain length = %d, want 2", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionAsOf(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	mustInsert(t, p, []byte("A"), []byte("a1"), 2)
+	stampTID(p, 2, ts(20, 0))
+	mustInsert(t, p, []byte("A"), nil, 3) // delete stub (pending)
+	s, _ := p.FindSlot([]byte("A"))
+
+	cases := []struct {
+		at   itime.Timestamp
+		want string
+		ok   bool
+		stub bool
+	}{
+		{ts(5, 0), "", false, false},
+		{ts(10, 0), "a0", true, false},
+		{ts(15, 9), "a0", true, false},
+		{ts(20, 0), "a1", true, false},
+		{ts(99, 0), "a1", true, false}, // stub not yet stamped: invisible
+	}
+	for _, c := range cases {
+		v, ok := p.VersionAsOf(s, c.at)
+		if ok != c.ok {
+			t.Fatalf("as of %v: ok=%v want %v", c.at, ok, c.ok)
+		}
+		if ok && string(v.Value) != c.want {
+			t.Fatalf("as of %v: got %q want %q", c.at, v.Value, c.want)
+		}
+	}
+	// Stamp the stub: now it is the visible version after t=30.
+	stampTID(p, 3, ts(30, 0))
+	v, ok := p.VersionAsOf(s, ts(31, 0))
+	if !ok || !v.Stub {
+		t.Fatalf("as of after delete: want stub, got %+v ok=%v", v, ok)
+	}
+}
+
+func TestInsertUpdateOnStubThenReinsert(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	mustInsert(t, p, []byte("A"), nil, 2) // delete
+	if !p.Latest(0).Stub {
+		t.Fatal("latest should be a stub")
+	}
+	stampTID(p, 2, ts(20, 0))
+	mustInsert(t, p, []byte("A"), []byte("a1"), 3) // re-insert after delete
+	stampTID(p, 3, ts(30, 0))
+	s, _ := p.FindSlot([]byte("A"))
+	if got := p.ChainLen(s); got != 3 {
+		t.Fatalf("chain length = %d, want 3 (v0, stub, v1)", got)
+	}
+	if v, ok := p.VersionAsOf(s, ts(25, 0)); !ok || !v.Stub {
+		t.Fatalf("as of between delete and reinsert: want stub, got %+v", v)
+	}
+	if v, ok := p.VersionAsOf(s, ts(30, 0)); !ok || string(v.Value) != "a1" {
+		t.Fatalf("as of after reinsert: got %+v", v)
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := NewData(1, MinSize)
+	var err error
+	inserted := 0
+	for i := 0; i < 1000; i++ {
+		err = p.Insert(key(i), val(i), false, 1)
+		if err != nil {
+			break
+		}
+		inserted++
+	}
+	if err == nil {
+		t.Fatal("page never filled")
+	}
+	if err != ErrPageFull {
+		t.Fatalf("err = %v, want ErrPageFull", err)
+	}
+	if inserted == 0 {
+		t.Fatal("nothing fit in a MinSize page")
+	}
+	if p.Used() > MinSize {
+		t.Fatalf("Used %d exceeds page size %d", p.Used(), MinSize)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertTooLarge(t *testing.T) {
+	p := NewData(1, MinSize)
+	big := make([]byte, MinSize)
+	err := p.Insert([]byte("k"), big, false, 1)
+	if err == nil || err == ErrPageFull {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUndoInsert(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	mustInsert(t, p, []byte("A"), []byte("a1"), 2)
+	mustInsert(t, p, []byte("B"), []byte("b0"), 2)
+
+	if err := p.UndoInsert([]byte("A"), 2); err != nil {
+		t.Fatal(err)
+	}
+	s, found := p.FindSlot([]byte("A"))
+	if !found {
+		t.Fatal("A vanished")
+	}
+	if got := string(p.Latest(s).Value); got != "a0" {
+		t.Fatalf("after undo, latest A = %q", got)
+	}
+	if err := p.UndoInsert([]byte("B"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, found := p.FindSlot([]byte("B")); found {
+		t.Fatal("B should be fully removed")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Undoing a stamped or wrong-TID version must fail.
+	if err := p.UndoInsert([]byte("A"), 2); err == nil {
+		t.Fatal("undo of stamped version should fail")
+	}
+	if err := p.UndoInsert([]byte("missing"), 2); err == nil {
+		t.Fatal("undo of missing key should fail")
+	}
+}
+
+func TestStampAllCountsPerTID(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a"), 1)
+	mustInsert(t, p, []byte("B"), []byte("b"), 1)
+	mustInsert(t, p, []byte("C"), []byte("c"), 2)
+	mustInsert(t, p, []byte("D"), []byte("d"), 3) // still active
+
+	commits := map[itime.TID]itime.Timestamp{1: ts(10, 1), 2: ts(10, 2)}
+	m := p.StampAll(func(tid itime.TID) (itime.Timestamp, bool) {
+		t, ok := commits[tid]
+		return t, ok
+	})
+	if m[1] != 2 || m[2] != 1 {
+		t.Fatalf("stamped counts = %v", m)
+	}
+	if _, ok := m[3]; ok {
+		t.Fatal("active transaction must not be stamped")
+	}
+	if !p.HasUnstamped() {
+		t.Fatal("version of active txn should remain unstamped")
+	}
+	// Idempotent: second call stamps nothing new.
+	if m2 := p.StampAll(func(tid itime.TID) (itime.Timestamp, bool) {
+		t, ok := commits[tid]
+		return t, ok
+	}); len(m2) != 0 {
+		t.Fatalf("restamp = %v, want empty", m2)
+	}
+	s, _ := p.FindSlot([]byte("A"))
+	if v := p.Latest(s); !v.Stamped || v.TS != ts(10, 1) || v.TID != 0 {
+		t.Fatalf("stamped version wrong: %+v", v)
+	}
+}
+
+func TestOldestStart(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	if !p.OldestStart().IsZero() {
+		t.Fatal("empty page oldest start")
+	}
+	mustInsert(t, p, []byte("A"), []byte("a"), 1)
+	stampTID(p, 1, ts(30, 0))
+	mustInsert(t, p, []byte("B"), []byte("b"), 2)
+	stampTID(p, 2, ts(20, 0))
+	mustInsert(t, p, []byte("C"), []byte("c"), 3) // unstamped
+	if got := p.OldestStart(); got != ts(20, 0) {
+		t.Fatalf("OldestStart = %v", got)
+	}
+}
+
+func TestGCOlderThan(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	// Key A: versions at 10, 20, 30.
+	for i, at := range []int64{10, 20, 30} {
+		mustInsert(t, p, []byte("A"), []byte(fmt.Sprintf("a%d", i)), itime.TID(i+1))
+		stampTID(p, itime.TID(i+1), ts(at, 0))
+	}
+	// Key B: version at 10, stub at 20 (deleted).
+	mustInsert(t, p, []byte("B"), []byte("b0"), 10)
+	stampTID(p, 10, ts(10, 0))
+	mustInsert(t, p, []byte("B"), nil, 11)
+	stampTID(p, 11, ts(20, 0))
+
+	removed := p.GCOlderThan(ts(25, 0))
+	// A: version@20 is visible at 25, version@10 removable, version@30 kept.
+	// B: stub@20 visible at 25 and is chain head -> whole slot removable.
+	if removed != 3 {
+		t.Fatalf("removed = %d, want 3", removed)
+	}
+	sA, found := p.FindSlot([]byte("A"))
+	if !found || p.ChainLen(sA) != 2 {
+		t.Fatalf("A chain after GC: found=%v len=%d", found, p.ChainLen(sA))
+	}
+	if _, found := p.FindSlot([]byte("B")); found {
+		t.Fatal("deleted B should be fully reclaimed")
+	}
+	if v, ok := p.VersionAsOf(sA, ts(25, 0)); !ok || string(v.Value) != "a1" {
+		t.Fatalf("visibility at cutoff broken: %+v ok=%v", v, ok)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCKeepsUnstampedAndRecent(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	mustInsert(t, p, []byte("A"), []byte("a1"), 2) // unstamped head
+	if removed := p.GCOlderThan(ts(50, 0)); removed != 0 {
+		t.Fatalf("removed = %d; the stamped version is still visible at cutoff", removed)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInKeyRange(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	p.LowKey = []byte("b")
+	p.HighKey = []byte("m")
+	cases := map[string]bool{"a": false, "b": true, "c": true, "lzzz": true, "m": false, "z": false}
+	for k, want := range cases {
+		if got := p.InKeyRange([]byte(k)); got != want {
+			t.Errorf("InKeyRange(%q) = %v, want %v", k, got, want)
+		}
+	}
+	p.LowKey, p.HighKey = nil, nil
+	if !p.InKeyRange([]byte("anything")) {
+		t.Error("unbounded page must contain every key")
+	}
+}
+
+// Property: random interleavings of inserts, updates, stamps and undos keep
+// the page structurally valid, and Used() never exceeds the page size.
+func TestPageRandomOpsInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewData(1, 1024)
+		nextTID := itime.TID(1)
+		wall := int64(100)
+		type pending struct {
+			tid  itime.TID
+			keys [][]byte
+		}
+		var open *pending
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // write in open txn (start one if needed)
+				if open == nil {
+					open = &pending{tid: nextTID}
+					nextTID++
+				}
+				k := key(rng.Intn(20))
+				var v []byte
+				stub := rng.Intn(8) == 0
+				if !stub {
+					v = val(rng.Intn(1000))
+				}
+				if err := p.Insert(k, v, stub, open.tid); err == nil {
+					open.keys = append(open.keys, k)
+				}
+			case 2: // commit: stamp
+				if open != nil {
+					wall++
+					stampTID(p, open.tid, ts(wall, 0))
+					open = nil
+				}
+			case 3: // abort: undo in reverse order
+				if open != nil {
+					for i := len(open.keys) - 1; i >= 0; i-- {
+						if err := p.UndoInsert(open.keys[i], open.tid); err != nil {
+							return false
+						}
+					}
+					open = nil
+				}
+			case 4: // GC
+				p.GCOlderThan(ts(wall-int64(rng.Intn(20)), 0))
+			}
+			if p.Used() > 1024 {
+				t.Logf("seed %d: Used %d > 1024", seed, p.Used())
+				return false
+			}
+			if err := p.Validate(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustInsert(t *testing.T, p *DataPage, k, v []byte, tid itime.TID) {
+	t.Helper()
+	stub := v == nil
+	if err := p.Insert(k, v, stub, tid); err != nil {
+		t.Fatalf("insert %q: %v", k, err)
+	}
+}

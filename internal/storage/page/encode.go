@@ -1,0 +1,382 @@
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"immortaldb/internal/itime"
+)
+
+// Key length sentinel: a nil (unbounded) fence key is encoded as length
+// 0xFFFF, distinguishing it from a present empty key.
+const nilKeyLen = 0xFFFF
+
+// Data page flag bits.
+const (
+	dataFlagCurrent = 1 << 0
+	dataFlagNoTail  = 1 << 1
+)
+
+// Record flag bits.
+const (
+	recFlagStub    = 1 << 0
+	recFlagStamped = 1 << 1
+)
+
+type encoder struct {
+	buf []byte
+	off int
+}
+
+func (e *encoder) u8(v uint8)   { e.buf[e.off] = v; e.off++ }
+func (e *encoder) u16(v uint16) { binary.BigEndian.PutUint16(e.buf[e.off:], v); e.off += 2 }
+func (e *encoder) u32(v uint32) { binary.BigEndian.PutUint32(e.buf[e.off:], v); e.off += 4 }
+func (e *encoder) u64(v uint64) { binary.BigEndian.PutUint64(e.buf[e.off:], v); e.off += 8 }
+func (e *encoder) ts(v itime.Timestamp) {
+	v.Encode(e.buf[e.off:])
+	e.off += itime.EncodedLen
+}
+func (e *encoder) bytes(b []byte) { copy(e.buf[e.off:], b); e.off += len(b) }
+func (e *encoder) key(k []byte) {
+	if k == nil {
+		e.u16(nilKeyLen)
+		return
+	}
+	e.u16(uint16(len(k)))
+	e.bytes(k)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: truncated at offset %d (+%d)", ErrCorrupt, d.off, n)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) ts() itime.Timestamp {
+	if !d.need(itime.EncodedLen) {
+		return itime.Timestamp{}
+	}
+	v := itime.DecodeTimestamp(d.buf[d.off:])
+	d.off += itime.EncodedLen
+	return v
+}
+
+func (d *decoder) bytesN(n int) []byte {
+	if !d.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
+	return out
+}
+
+func (d *decoder) key() []byte {
+	n := d.u16()
+	if n == nilKeyLen {
+		return nil
+	}
+	return d.bytesN(int(n))
+}
+
+// TypeOf reports the page type stored in a raw page buffer.
+func TypeOf(buf []byte) Type {
+	if len(buf) <= TypeOff {
+		return TypeInvalid
+	}
+	return Type(buf[TypeOff])
+}
+
+// Marshal serializes the data page into buf, which must be the full page
+// size. The frame header bytes (checksum, written later by the pager) are
+// zeroed; the type byte is set.
+func (p *DataPage) Marshal(buf []byte) error {
+	if p.Used() > len(buf) {
+		return fmt.Errorf("page %d: %w: %d > %d bytes", p.ID, ErrPageFull, p.Used(), len(buf))
+	}
+	clear(buf)
+	buf[TypeOff] = byte(TypeData)
+	e := &encoder{buf: buf, off: PayloadOff}
+	e.u64(uint64(p.ID))
+	var flags uint8
+	if p.Current {
+		flags |= dataFlagCurrent
+	}
+	if p.NoTail {
+		flags |= dataFlagNoTail
+	}
+	e.u8(flags)
+	e.u64(uint64(p.Hist))
+	e.u64(p.LSN)
+	e.ts(p.StartTS)
+	e.ts(p.EndTS)
+	e.u16(uint16(len(p.Recs)))
+	e.u16(uint16(len(p.Slots)))
+	e.key(p.LowKey)
+	e.key(p.HighKey)
+	for i := range p.Recs {
+		v := &p.Recs[i]
+		e.u16(uint16(len(v.Key)))
+		e.u16(uint16(len(v.Value)))
+		var rf uint8
+		if v.Stub {
+			rf |= recFlagStub
+		}
+		if v.Stamped {
+			rf |= recFlagStamped
+		}
+		e.u8(rf)
+		e.bytes(v.Key)
+		e.bytes(v.Value)
+		if !p.NoTail {
+			// The 14-byte versioning tail of Figure 1b: VP, Ttime, SN. The
+			// Ttime field holds the TID until the version is stamped.
+			e.u16(uint16(v.Prev))
+			if v.Stamped {
+				e.u64(uint64(v.TS.Wall))
+				e.u32(v.TS.Seq)
+			} else {
+				e.u64(uint64(v.TID))
+				e.u32(0)
+			}
+		}
+	}
+	for _, s := range p.Slots {
+		e.u16(uint16(s))
+	}
+	return nil
+}
+
+// UnmarshalData parses a data page from a raw page buffer.
+func UnmarshalData(buf []byte) (*DataPage, error) {
+	if TypeOf(buf) != TypeData {
+		return nil, fmt.Errorf("%w: not a data page (type %v)", ErrCorrupt, TypeOf(buf))
+	}
+	d := &decoder{buf: buf, off: PayloadOff}
+	p := &DataPage{Size: len(buf), cachedUsed: -1}
+	p.ID = ID(d.u64())
+	flags := d.u8()
+	p.Current = flags&dataFlagCurrent != 0
+	p.NoTail = flags&dataFlagNoTail != 0
+	p.Hist = ID(d.u64())
+	p.LSN = d.u64()
+	p.StartTS = d.ts()
+	p.EndTS = d.ts()
+	nrecs := int(d.u16())
+	nslots := int(d.u16())
+	p.LowKey = d.key()
+	p.HighKey = d.key()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nrecs > len(buf) || nslots > nrecs {
+		return nil, fmt.Errorf("%w: implausible counts nrecs=%d nslots=%d", ErrCorrupt, nrecs, nslots)
+	}
+	p.Recs = make([]Version, nrecs)
+	for i := 0; i < nrecs; i++ {
+		klen := int(d.u16())
+		vlen := int(d.u16())
+		rf := d.u8()
+		v := &p.Recs[i]
+		v.Key = d.bytesN(klen)
+		v.Value = d.bytesN(vlen)
+		v.Stub = rf&recFlagStub != 0
+		v.Stamped = rf&recFlagStamped != 0
+		if p.NoTail {
+			v.Prev = NoPrev
+			v.Stamped = true
+		} else {
+			v.Prev = int16(d.u16())
+			ttime := d.u64()
+			sn := d.u32()
+			if v.Stamped {
+				v.TS = itime.Timestamp{Wall: int64(ttime), Seq: sn}
+			} else {
+				v.TID = itime.TID(ttime)
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if v.Prev != NoPrev && (v.Prev < 0 || int(v.Prev) >= nrecs) {
+			return nil, fmt.Errorf("%w: version pointer %d out of range", ErrCorrupt, v.Prev)
+		}
+	}
+	p.Slots = make([]int16, nslots)
+	for i := 0; i < nslots; i++ {
+		s := int16(d.u16())
+		if s < 0 || int(s) >= nrecs {
+			return nil, fmt.Errorf("%w: slot %d out of range", ErrCorrupt, s)
+		}
+		p.Slots[i] = s
+	}
+	return p, d.err
+}
+
+// Marshal serializes the index page into buf (full page size).
+func (p *IndexPage) Marshal(buf []byte) error {
+	if p.Used() > len(buf) {
+		return fmt.Errorf("index page %d: %w: %d > %d bytes", p.ID, ErrPageFull, p.Used(), len(buf))
+	}
+	clear(buf)
+	buf[TypeOff] = byte(TypeIndex)
+	e := &encoder{buf: buf, off: PayloadOff}
+	e.u64(uint64(p.ID))
+	e.u64(p.LSN)
+	e.u16(p.Level)
+	e.u16(uint16(len(p.Entries)))
+	for i := range p.Entries {
+		ent := &p.Entries[i]
+		e.u64(uint64(ent.Child))
+		if ent.Leaf {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.ts(ent.R.LowTS)
+		e.ts(ent.R.HighTS)
+		e.key(ent.R.LowKey)
+		e.key(ent.R.HighKey)
+	}
+	return nil
+}
+
+// UnmarshalIndex parses an index page from a raw page buffer.
+func UnmarshalIndex(buf []byte) (*IndexPage, error) {
+	if TypeOf(buf) != TypeIndex {
+		return nil, fmt.Errorf("%w: not an index page (type %v)", ErrCorrupt, TypeOf(buf))
+	}
+	d := &decoder{buf: buf, off: PayloadOff}
+	p := &IndexPage{Size: len(buf)}
+	p.ID = ID(d.u64())
+	p.LSN = d.u64()
+	p.Level = d.u16()
+	n := int(d.u16())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > len(buf) {
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrCorrupt, n)
+	}
+	p.Entries = make([]IndexEntry, n)
+	for i := 0; i < n; i++ {
+		ent := &p.Entries[i]
+		ent.Child = ID(d.u64())
+		ent.Leaf = d.u8() == 1
+		ent.R.LowTS = d.ts()
+		ent.R.HighTS = d.ts()
+		ent.R.LowKey = d.key()
+		ent.R.HighKey = d.key()
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	return p, nil
+}
+
+// BlobPage is a page in a chain of opaque engine bytes (catalog storage).
+type BlobPage struct {
+	ID   ID
+	Next ID
+	Data []byte
+}
+
+// blobHeaderLen: id(8) next(8) len(4).
+const blobHeaderLen = 8 + 8 + 4
+
+// BlobCapacity returns how many data bytes fit in one blob page.
+func BlobCapacity(pageSize int) int { return pageSize - PayloadOff - blobHeaderLen }
+
+// Marshal serializes the blob page into buf (full page size).
+func (p *BlobPage) Marshal(buf []byte) error {
+	if PayloadOff+blobHeaderLen+len(p.Data) > len(buf) {
+		return fmt.Errorf("blob page %d: %w", p.ID, ErrPageFull)
+	}
+	clear(buf)
+	buf[TypeOff] = byte(TypeBlob)
+	e := &encoder{buf: buf, off: PayloadOff}
+	e.u64(uint64(p.ID))
+	e.u64(uint64(p.Next))
+	e.u32(uint32(len(p.Data)))
+	e.bytes(p.Data)
+	return nil
+}
+
+// UnmarshalBlob parses a blob page from a raw page buffer.
+func UnmarshalBlob(buf []byte) (*BlobPage, error) {
+	if TypeOf(buf) != TypeBlob {
+		return nil, fmt.Errorf("%w: not a blob page (type %v)", ErrCorrupt, TypeOf(buf))
+	}
+	d := &decoder{buf: buf, off: PayloadOff}
+	p := &BlobPage{}
+	p.ID = ID(d.u64())
+	p.Next = ID(d.u64())
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	p.Data = d.bytesN(n)
+	return p, d.err
+}
+
+// Unmarshal dispatches on the page type and returns the decoded page as one
+// of *DataPage, *IndexPage or *BlobPage.
+func Unmarshal(buf []byte) (any, error) {
+	switch TypeOf(buf) {
+	case TypeData:
+		return UnmarshalData(buf)
+	case TypeIndex:
+		return UnmarshalIndex(buf)
+	case TypeBlob:
+		return UnmarshalBlob(buf)
+	default:
+		return nil, fmt.Errorf("%w: undecodable page type %v", ErrCorrupt, TypeOf(buf))
+	}
+}

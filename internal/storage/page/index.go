@@ -1,0 +1,211 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+
+	"immortaldb/internal/itime"
+)
+
+// Rect is a rectangle in (key, time) space describing the responsibility
+// region of a TSB-tree child: keys in [LowKey, HighKey) and times in
+// [LowTS, HighTS). nil LowKey/HighKey mean unbounded; HighTS == itime.Max
+// means the region is current (open-ended in time).
+type Rect struct {
+	LowKey, HighKey []byte
+	LowTS, HighTS   itime.Timestamp
+}
+
+// ContainsKey reports whether key falls in the rectangle's key interval.
+func (r Rect) ContainsKey(key []byte) bool {
+	if r.LowKey != nil && bytes.Compare(key, r.LowKey) < 0 {
+		return false
+	}
+	if r.HighKey != nil && bytes.Compare(key, r.HighKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+// ContainsTime reports whether ts falls in the rectangle's time interval.
+// Open-ended (current) rectangles contain every time >= LowTS, including
+// itime.Max itself, which the engine uses to mean "the current state".
+func (r Rect) ContainsTime(ts itime.Timestamp) bool {
+	if ts.Less(r.LowTS) {
+		return false
+	}
+	return r.HighTS.IsMax() || ts.Less(r.HighTS)
+}
+
+// Contains reports whether the point (key, ts) is inside the rectangle.
+func (r Rect) Contains(key []byte, ts itime.Timestamp) bool {
+	return r.ContainsKey(key) && r.ContainsTime(ts)
+}
+
+// IntersectsKeyRange reports whether the rectangle's key interval intersects
+// [lo, hi); nil bounds are unbounded.
+func (r Rect) IntersectsKeyRange(lo, hi []byte) bool {
+	if hi != nil && r.LowKey != nil && bytes.Compare(r.LowKey, hi) >= 0 {
+		return false
+	}
+	if lo != nil && r.HighKey != nil && bytes.Compare(lo, r.HighKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+func (r Rect) String() string {
+	k := func(b []byte) string {
+		if b == nil {
+			return "∞"
+		}
+		return fmt.Sprintf("%q", b)
+	}
+	return fmt.Sprintf("[%s,%s)x[%v,%v)", k(r.LowKey), k(r.HighKey), r.LowTS, r.HighTS)
+}
+
+// IndexEntry maps a child region to a child page.
+type IndexEntry struct {
+	R     Rect
+	Child ID
+	// Leaf reports whether Child is a data page rather than another index
+	// page.
+	Leaf bool
+}
+
+// indexEntryFixedLen is the marshalled size of an entry minus its key bytes:
+// child(8) leaf(1) lowTS(12) highTS(12) lowKeyLen(2) highKeyLen(2).
+const indexEntryFixedLen = 8 + 1 + itime.EncodedLen + itime.EncodedLen + 2 + 2
+
+func (e *IndexEntry) size() int {
+	return indexEntryFixedLen + len(e.R.LowKey) + len(e.R.HighKey)
+}
+
+// IndexPage is a TSB-tree index node: a set of child entries whose
+// rectangles tile the node's own responsibility region (Section 3.4).
+type IndexPage struct {
+	ID   ID
+	LSN  uint64
+	Size int // capacity in bytes; not marshalled
+	// Level is the height above the data pages: 1 means children are data
+	// pages.
+	Level   uint16
+	Entries []IndexEntry
+}
+
+// fixedIndexHeaderLen: id(8) lsn(8) level(2) nentries(2).
+const fixedIndexHeaderLen = 8 + 8 + 2 + 2
+
+// NewIndex returns an empty index page at the given level.
+func NewIndex(id ID, size int, level uint16) *IndexPage {
+	return &IndexPage{ID: id, Size: size, Level: level}
+}
+
+// Used returns the exact marshalled size of the page, frame header included.
+func (p *IndexPage) Used() int {
+	n := PayloadOff + fixedIndexHeaderLen
+	for i := range p.Entries {
+		n += p.Entries[i].size()
+	}
+	return n
+}
+
+// CanFit reports whether an additional entry e would fit.
+func (p *IndexPage) CanFit(e IndexEntry) bool {
+	size := p.Size
+	if size == 0 {
+		size = DefaultSize
+	}
+	return p.Used()+e.size() <= size
+}
+
+// FindChild returns the entry whose rectangle contains (key, ts). Entries'
+// rectangles are disjoint within a node, so at most one matches.
+func (p *IndexPage) FindChild(key []byte, ts itime.Timestamp) (IndexEntry, bool) {
+	for i := range p.Entries {
+		if p.Entries[i].R.Contains(key, ts) {
+			return p.Entries[i], true
+		}
+	}
+	return IndexEntry{}, false
+}
+
+// ChildrenForTime returns all entries whose time interval contains ts and
+// whose key interval intersects [loKey, hiKey) — the set of children an
+// as-of-ts range scan must visit.
+func (p *IndexPage) ChildrenForTime(loKey, hiKey []byte, ts itime.Timestamp) []IndexEntry {
+	var out []IndexEntry
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		if e.R.ContainsTime(ts) && e.R.IntersectsKeyRange(loKey, hiKey) {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// ChildrenForKey returns all entries whose key interval contains key — the
+// children a full-history (time travel) query of one key must visit.
+func (p *IndexPage) ChildrenForKey(key []byte) []IndexEntry {
+	var out []IndexEntry
+	for i := range p.Entries {
+		if p.Entries[i].R.ContainsKey(key) {
+			out = append(out, p.Entries[i])
+		}
+	}
+	return out
+}
+
+// Add appends an entry. The caller is responsible for capacity (CanFit) and
+// for keeping sibling rectangles disjoint.
+func (p *IndexPage) Add(e IndexEntry) { p.Entries = append(p.Entries, e) }
+
+// ReplaceChild rewrites the entry for child old in place. It returns false
+// if no entry references old.
+func (p *IndexPage) ReplaceChild(old ID, e IndexEntry) bool {
+	for i := range p.Entries {
+		if p.Entries[i].Child == old {
+			p.Entries[i] = e
+			return true
+		}
+	}
+	return false
+}
+
+// EntryFor returns the (first) entry pointing at child.
+func (p *IndexPage) EntryFor(child ID) (IndexEntry, bool) {
+	for i := range p.Entries {
+		if p.Entries[i].Child == child {
+			return p.Entries[i], true
+		}
+	}
+	return IndexEntry{}, false
+}
+
+// Validate checks that entry rectangles are pairwise disjoint.
+func (p *IndexPage) Validate() error {
+	for i := range p.Entries {
+		for j := i + 1; j < len(p.Entries); j++ {
+			a, b := p.Entries[i].R, p.Entries[j].R
+			if rectsOverlap(a, b) {
+				return fmt.Errorf("index page %d: overlapping rects %v and %v", p.ID, a, b)
+			}
+		}
+	}
+	return nil
+}
+
+func rectsOverlap(a, b Rect) bool {
+	if !a.IntersectsKeyRange(b.LowKey, b.HighKey) {
+		return false
+	}
+	// Time intervals [LowTS, HighTS) with Max meaning open-ended.
+	aHi, bHi := a.HighTS, b.HighTS
+	if !aHi.IsMax() && !b.LowTS.Less(aHi) {
+		return false
+	}
+	if !bHi.IsMax() && !a.LowTS.Less(bHi) {
+		return false
+	}
+	return true
+}

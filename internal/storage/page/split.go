@@ -1,0 +1,208 @@
+package page
+
+import (
+	"fmt"
+
+	"immortaldb/internal/itime"
+)
+
+// TimeSplit performs the paper's page time split (Section 3.3, Figure 3).
+// It moves historical record versions out of the current page p into a new
+// historical page and shrinks p in place. splitTS becomes the new start of
+// p's time range; the historical page covers [old StartTS, splitTS) and is
+// linked at the head of p's history chain.
+//
+// Version assignment follows the four cases of Figure 3, with a version's
+// lifetime [start, end) determined by its own timestamp and its successor's:
+//
+//  1. end <= splitTS: moved to the historical page;
+//  2. start < splitTS < end: copied to the historical page and (redundantly)
+//     kept in the current page — except delete stubs, which are dropped from
+//     the current page since absence already means "deleted" there;
+//  3. start >= splitTS: kept only in the current page;
+//  4. non-timestamped (uncommitted) versions: kept only in the current page.
+//
+// Every committed version must be stamped before calling TimeSplit — the
+// caller triggers lazy timestamping first (Section 2.2, "when we time split
+// a page ... we timestamp all versions from committed transactions").
+//
+// The returned historical page may be empty (NumVersions() == 0) when the
+// split freed no space; the caller should then fall back to a key split.
+func (p *DataPage) TimeSplit(splitTS itime.Timestamp, histID ID) (*DataPage, error) {
+	if !p.Current {
+		return nil, fmt.Errorf("page %d: time split of a historical page", p.ID)
+	}
+	if !p.StartTS.Less(splitTS) {
+		return nil, fmt.Errorf("page %d: split time %v not after page start %v", p.ID, splitTS, p.StartTS)
+	}
+	hist := &DataPage{
+		ID:         histID,
+		Size:       p.Size,
+		Current:    false,
+		NoTail:     p.NoTail,
+		Hist:       p.Hist,
+		StartTS:    p.StartTS,
+		EndTS:      splitTS,
+		LowKey:     cloneKey(p.LowKey),
+		HighKey:    cloneKey(p.HighKey),
+		cachedUsed: -1,
+	}
+
+	succ := p.successors()
+	var curRecs []Version
+	var curSlots []int16
+
+	for s := range p.Slots {
+		chain := p.Chain(s) // newest first
+		// Walk oldest -> newest so chains build in time order on both sides.
+		var histPrev = NoPrev
+		var curPrev = NoPrev
+		keyHasCur := false
+		for ci := len(chain) - 1; ci >= 0; ci-- {
+			i := chain[ci]
+			v := p.Recs[i]
+			switch {
+			case !v.Stamped:
+				// Case 4: uncommitted, current page only.
+				v.Prev = curPrev
+				curRecs = append(curRecs, v)
+				curPrev = int16(len(curRecs) - 1)
+				keyHasCur = true
+			default:
+				start := v.TS
+				end := p.EndOf(i, succ)
+				toHist := start.Less(splitTS)
+				toCur := end.After(splitTS)
+				if v.Stub && start.Less(splitTS) {
+					// Stubs earlier than the split time are removed from the
+					// current page (Section 3.3).
+					toCur = false
+				}
+				if toHist {
+					hv := v
+					hv.Prev = histPrev
+					if err := hist.insert(hv); err != nil {
+						return nil, fmt.Errorf("page %d: historical page overflow: %w", p.ID, err)
+					}
+					// insert placed it as the new chain head with Prev set by
+					// FindSlot chaining; fix the explicit Prev we computed.
+					hist.Recs[len(hist.Recs)-1].Prev = histPrev
+					histPrev = int16(len(hist.Recs) - 1)
+				}
+				if toCur {
+					cv := v
+					cv.Prev = curPrev
+					curRecs = append(curRecs, cv)
+					curPrev = int16(len(curRecs) - 1)
+					keyHasCur = true
+				}
+			}
+		}
+		if keyHasCur {
+			curSlots = append(curSlots, curPrev)
+		}
+	}
+
+	p.Recs = curRecs
+	p.Slots = curSlots
+	p.Hist = hist.ID
+	p.StartTS = splitTS
+	p.invalidateUsed()
+	return hist, nil
+}
+
+// KeySplit performs a B-tree style key split of a current page (Section 3.3):
+// the upper part of the key space, version chains included, moves to a new
+// current page. It returns the separator key; p keeps [LowKey, sep) and the
+// new right page covers [sep, HighKey). Both pages remain current, share p's
+// time-range start, and share p's history chain — versions for both key
+// subranges historically lived in the common ancestor pages.
+func (p *DataPage) KeySplit(rightID ID) (sep []byte, right *DataPage, err error) {
+	if !p.Current {
+		return nil, nil, fmt.Errorf("page %d: key split of a historical page", p.ID)
+	}
+	if len(p.Slots) < 2 {
+		return nil, nil, fmt.Errorf("page %d: key split needs at least 2 keys, have %d", p.ID, len(p.Slots))
+	}
+	// Balance by marshalled bytes, not key count: chains vary in length.
+	chainBytes := make([]int, len(p.Slots))
+	total := 0
+	for s := range p.Slots {
+		for i := p.Slots[s]; i != NoPrev; i = p.Recs[i].Prev {
+			chainBytes[s] += p.Recs[i].size(p.NoTail) + slotLen
+		}
+		total += chainBytes[s]
+	}
+	splitAt := len(p.Slots) / 2
+	cum := 0
+	for s := range p.Slots {
+		cum += chainBytes[s]
+		if cum*2 >= total {
+			splitAt = s + 1
+			break
+		}
+	}
+	if splitAt < 1 {
+		splitAt = 1
+	}
+	if splitAt >= len(p.Slots) {
+		splitAt = len(p.Slots) - 1
+	}
+	sep = cloneKey(p.Recs[p.Slots[splitAt]].Key)
+
+	right = &DataPage{
+		ID:         rightID,
+		Size:       p.Size,
+		Current:    true,
+		NoTail:     p.NoTail,
+		Hist:       p.Hist,
+		StartTS:    p.StartTS,
+		EndTS:      itime.Max,
+		LowKey:     cloneKey(sep),
+		HighKey:    cloneKey(p.HighKey),
+		cachedUsed: -1,
+	}
+
+	// Move the upper chains to the right page, oldest first per key.
+	for s := splitAt; s < len(p.Slots); s++ {
+		chain := p.Chain(s)
+		prev := NoPrev
+		for ci := len(chain) - 1; ci >= 0; ci-- {
+			v := p.Recs[chain[ci]]
+			v.Prev = prev
+			right.Recs = append(right.Recs, v)
+			prev = int16(len(right.Recs) - 1)
+		}
+		right.Slots = append(right.Slots, prev)
+	}
+
+	// Rebuild the left page with only the lower chains.
+	var leftRecs []Version
+	var leftSlots []int16
+	for s := 0; s < splitAt; s++ {
+		chain := p.Chain(s)
+		prev := NoPrev
+		for ci := len(chain) - 1; ci >= 0; ci-- {
+			v := p.Recs[chain[ci]]
+			v.Prev = prev
+			leftRecs = append(leftRecs, v)
+			prev = int16(len(leftRecs) - 1)
+		}
+		leftSlots = append(leftSlots, prev)
+	}
+	p.Recs = leftRecs
+	p.Slots = leftSlots
+	p.HighKey = cloneKey(sep)
+	p.invalidateUsed()
+	right.invalidateUsed()
+	return sep, right, nil
+}
+
+func cloneKey(k []byte) []byte {
+	if k == nil {
+		return nil
+	}
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out
+}

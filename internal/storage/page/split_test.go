@@ -1,0 +1,386 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"immortaldb/internal/itime"
+)
+
+// buildFigure3 reproduces the paper's Figure 3 scenario:
+//
+//	RecA: one version spanning the split time.
+//	RecB: an early version ending after the split (spans), and a recent
+//	      version starting after the split.
+//	RecC: an early version ending before the split, a center version
+//	      spanning it, and a delete stub after the split.
+func buildFigure3(t *testing.T) *DataPage {
+	t.Helper()
+	p := NewData(1, DefaultSize)
+	ins := func(k, v string, tid itime.TID, at int64) {
+		var b []byte
+		if v != "" {
+			b = []byte(v)
+		}
+		if err := p.Insert([]byte(k), b, v == "", tid); err != nil {
+			t.Fatal(err)
+		}
+		stampTID(p, tid, ts(at, 0))
+	}
+	ins("A", "a0", 1, 10) // A: [10, inf)
+	ins("B", "b0", 2, 20) // B: [20, 60)
+	ins("C", "c0", 3, 15) // C: [15, 30)
+	ins("C", "c1", 4, 30) // C: [30, 55)
+	ins("C", "", 5, 55)   // C stub: [55, inf) -- after split
+	ins("B", "b1", 6, 60) // B: [60, inf)
+	return p
+}
+
+const fig3Split = int64(50)
+
+func TestTimeSplitFigure3(t *testing.T) {
+	p := buildFigure3(t)
+	hist, err := p.TimeSplit(ts(fig3Split, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("current page invalid: %v", err)
+	}
+	if err := hist.Validate(); err != nil {
+		t.Fatalf("history page invalid: %v", err)
+	}
+	if hist.Current {
+		t.Fatal("history page marked current")
+	}
+	if p.Hist != hist.ID {
+		t.Fatal("current page history pointer not set")
+	}
+	if p.StartTS != ts(fig3Split, 0) || hist.EndTS != ts(fig3Split, 0) || !hist.StartTS.IsZero() {
+		t.Fatalf("time ranges wrong: cur start %v, hist [%v,%v)", p.StartTS, hist.StartTS, hist.EndTS)
+	}
+
+	get := func(pg *DataPage, k string) []string {
+		s, found := pg.FindSlot([]byte(k))
+		if !found {
+			return nil
+		}
+		var out []string
+		for _, i := range pg.Chain(s) {
+			v := pg.Recs[i]
+			if v.Stub {
+				out = append(out, "STUB@"+fmt.Sprint(v.TS.Wall))
+			} else {
+				out = append(out, string(v.Value))
+			}
+		}
+		return out
+	}
+
+	// A (spans): redundantly in both pages.
+	if got := get(p, "A"); len(got) != 1 || got[0] != "a0" {
+		t.Fatalf("current A = %v", got)
+	}
+	if got := get(hist, "A"); len(got) != 1 || got[0] != "a0" {
+		t.Fatalf("hist A = %v", got)
+	}
+	// B: early version spans (both), latest version only current.
+	if got := get(p, "B"); len(got) != 2 || got[0] != "b1" || got[1] != "b0" {
+		t.Fatalf("current B = %v", got)
+	}
+	if got := get(hist, "B"); len(got) != 1 || got[0] != "b0" {
+		t.Fatalf("hist B = %v", got)
+	}
+	// C: earliest only hist; center both; stub (after split) only current.
+	if got := get(hist, "C"); len(got) != 2 || got[0] != "c1" || got[1] != "c0" {
+		t.Fatalf("hist C = %v", got)
+	}
+	if got := get(p, "C"); len(got) != 2 || got[0] != "STUB@55" || got[1] != "c1" {
+		t.Fatalf("current C = %v", got)
+	}
+}
+
+func TestTimeSplitVisibilityPreserved(t *testing.T) {
+	// The essential point of Section 3.3: after a split, each page contains
+	// all the versions alive in its key and time region. Verify every
+	// historical query answers identically from the page covering its time.
+	p := buildFigure3(t)
+	type answer struct {
+		val  string
+		ok   bool
+		stub bool
+	}
+	lookup := func(pg *DataPage, k string, at itime.Timestamp) answer {
+		s, found := pg.FindSlot([]byte(k))
+		if !found {
+			return answer{}
+		}
+		v, ok := pg.VersionAsOf(s, at)
+		if !ok {
+			return answer{}
+		}
+		return answer{val: string(v.Value), ok: true, stub: v.Stub}
+	}
+	var before [200]map[string]answer
+	for w := 0; w < 200; w++ {
+		before[w] = map[string]answer{}
+		for _, k := range []string{"A", "B", "C"} {
+			before[w][k] = lookup(p, k, ts(int64(w), 0))
+		}
+	}
+	hist, err := p.TimeSplit(ts(fig3Split, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 200; w++ {
+		at := ts(int64(w), 0)
+		pg := p
+		if at.Less(ts(fig3Split, 0)) {
+			pg = hist
+		}
+		for _, k := range []string{"A", "B", "C"} {
+			got := lookup(pg, k, at)
+			// In the current page a record absent or stub-free at time >=
+			// split because its stub was dropped is "not alive"; map stubs
+			// and misses to the same observable answer.
+			want := before[w][k]
+			gAlive := got.ok && !got.stub
+			wAlive := want.ok && !want.stub
+			if gAlive != wAlive || (gAlive && got.val != want.val) {
+				t.Fatalf("key %s at %d: got %+v want %+v", k, w, got, want)
+			}
+		}
+	}
+}
+
+func TestTimeSplitUncommittedStaysCurrent(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	mustInsert(t, p, []byte("A"), []byte("a1-pending"), 99) // uncommitted
+	mustInsert(t, p, []byte("Z"), []byte("z-pending"), 99)  // uncommitted
+
+	hist, err := p.TimeSplit(ts(50, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a0 has unknown end (successor uncommitted) -> spans -> both pages.
+	s, _ := p.FindSlot([]byte("A"))
+	if p.ChainLen(s) != 2 {
+		t.Fatalf("current A chain = %d, want 2 (pending + a0)", p.ChainLen(s))
+	}
+	if !p.Latest(s).Stamped == false && p.Latest(s).TID != 99 {
+		t.Fatalf("latest A should be pending: %+v", p.Latest(s))
+	}
+	hs, found := hist.FindSlot([]byte("A"))
+	if !found || hist.ChainLen(hs) != 1 {
+		t.Fatal("a0 must be copied to history")
+	}
+	if _, found := hist.FindSlot([]byte("Z")); found {
+		t.Fatal("uncommitted-only key must not reach history")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSplitChainsHistory(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("A"), []byte("a0"), 1)
+	stampTID(p, 1, ts(10, 0))
+	h1, err := p.TimeSplit(ts(20, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, p, []byte("A"), []byte("a1"), 2)
+	stampTID(p, 2, ts(30, 0))
+	h2, err := p.TimeSplit(ts(40, 0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hist != h2.ID || h2.Hist != h1.ID || h1.Hist != 0 {
+		t.Fatalf("history chain wrong: p->%d, h2->%d, h1->%d", p.Hist, h2.Hist, h1.Hist)
+	}
+	if h2.StartTS != ts(20, 0) || h2.EndTS != ts(40, 0) {
+		t.Fatalf("h2 range [%v,%v)", h2.StartTS, h2.EndTS)
+	}
+}
+
+func TestTimeSplitErrors(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	p.StartTS = ts(50, 0)
+	if _, err := p.TimeSplit(ts(50, 0), 2); err == nil {
+		t.Fatal("split time must be after page start")
+	}
+	p.Current = false
+	if _, err := p.TimeSplit(ts(60, 0), 2); err == nil {
+		t.Fatal("cannot time split a historical page")
+	}
+}
+
+func TestKeySplit(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	p.Hist = 77
+	p.StartTS = ts(5, 0)
+	for i := 0; i < 40; i++ {
+		mustInsert(t, p, key(i), val(i), 1)
+	}
+	stampTID(p, 1, ts(10, 0))
+	for i := 0; i < 40; i += 2 {
+		mustInsert(t, p, key(i), val(i+1000), 2)
+	}
+	stampTID(p, 2, ts(20, 0))
+
+	before := map[string]int{}
+	for s := range p.Slots {
+		before[string(p.Latest(s).Key)] = p.ChainLen(s)
+	}
+
+	sep, right, err := p.KeySplit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.HighKey, sep) || !bytes.Equal(right.LowKey, sep) {
+		t.Fatal("fences not set to separator")
+	}
+	if right.Hist != 77 || p.Hist != 77 {
+		t.Fatal("both halves must share the history chain")
+	}
+	if right.StartTS != p.StartTS || !right.Current {
+		t.Fatal("right page must be current with same time start")
+	}
+	// Every key, with its whole chain, lives on exactly one side.
+	after := map[string]int{}
+	for s := range p.Slots {
+		k := string(p.Latest(s).Key)
+		if bytes.Compare([]byte(k), sep) >= 0 {
+			t.Fatalf("left page has key %q >= sep %q", k, sep)
+		}
+		after[k] = p.ChainLen(s)
+	}
+	for s := range right.Slots {
+		k := string(right.Latest(s).Key)
+		if bytes.Compare([]byte(k), sep) < 0 {
+			t.Fatalf("right page has key %q < sep %q", k, sep)
+		}
+		if _, dup := after[k]; dup {
+			t.Fatalf("key %q on both sides", k)
+		}
+		after[k] = right.ChainLen(s)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("key count changed: %d -> %d", len(before), len(after))
+	}
+	for k, n := range before {
+		if after[k] != n {
+			t.Fatalf("chain length of %q changed: %d -> %d", k, n, after[k])
+		}
+	}
+}
+
+func TestKeySplitErrors(t *testing.T) {
+	p := NewData(1, DefaultSize)
+	mustInsert(t, p, []byte("only"), []byte("v"), 1)
+	if _, _, err := p.KeySplit(2); err == nil {
+		t.Fatal("key split with one key must fail")
+	}
+	p.Current = false
+	if _, _, err := p.KeySplit(2); err == nil {
+		t.Fatal("key split of historical page must fail")
+	}
+}
+
+// Property: a time split at a random boundary preserves as-of visibility for
+// every (key, time) point and never grows total bytes beyond 2x.
+func TestTimeSplitPropertyVisibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewData(1, DefaultSize)
+		wall := int64(1)
+		seq := uint32(0)
+		tid := itime.TID(1)
+		for i := 0; i < 100; i++ {
+			k := key(rng.Intn(12))
+			stub := rng.Intn(6) == 0
+			var v []byte
+			if !stub {
+				v = val(rng.Intn(100))
+			}
+			if err := p.Insert(k, v, stub, tid); err != nil {
+				return false
+			}
+			stampTID(p, tid, ts(wall, seq))
+			tid++
+			// Advance like a commit sequencer: same tick bumps seq.
+			if step := int64(rng.Intn(3)); step > 0 {
+				wall += step
+				seq = 0
+			} else {
+				seq++
+			}
+		}
+		splitAt := ts(int64(rng.Intn(int(wall)))+1, 0)
+		if !p.StartTS.Less(splitAt) {
+			return true // skip degenerate boundary
+		}
+		type ans struct {
+			alive bool
+			val   string
+		}
+		snap := func(pg *DataPage, k []byte, at itime.Timestamp) ans {
+			s, found := pg.FindSlot(k)
+			if !found {
+				return ans{}
+			}
+			v, ok := pg.VersionAsOf(s, at)
+			if !ok || v.Stub {
+				return ans{}
+			}
+			return ans{true, string(v.Value)}
+		}
+		var want []ans
+		for w := int64(0); w <= wall+2; w++ {
+			for ki := 0; ki < 12; ki++ {
+				want = append(want, snap(p, key(ki), ts(w, 99)))
+			}
+		}
+		hist, err := p.TimeSplit(splitAt, 2)
+		if err != nil {
+			return false
+		}
+		if p.Validate() != nil || hist.Validate() != nil {
+			return false
+		}
+		i := 0
+		for w := int64(0); w <= wall+2; w++ {
+			at := ts(w, 99)
+			pg := p
+			if at.Less(splitAt) {
+				pg = hist
+			}
+			for ki := 0; ki < 12; ki++ {
+				if got := snap(pg, key(ki), at); got != want[i] {
+					t.Logf("seed %d: key %d at %d: got %+v want %+v (split %v)", seed, ki, w, got, want[i], splitAt)
+					return false
+				}
+				i++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

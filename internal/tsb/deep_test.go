@@ -1,0 +1,182 @@
+package tsb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
+)
+
+// TestDeepIndexGrowth drives enough volume through tiny pages that the TSB
+// index itself splits — by key and, in TSB mode, by time (historical index
+// pages) — across multiple levels, then verifies structure and every
+// historical answer.
+func TestDeepIndexGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep index growth is slow")
+	}
+	for _, mode := range []Mode{ModeChain, ModeTSB} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			h := newHarness(t, mode, 512, true)
+			rng := rand.New(rand.NewSource(5))
+			type stamped struct {
+				ts  itime.Timestamp
+				key string
+				val string
+			}
+			var log []stamped
+			const keys = 120
+			for i := 0; i < 4000; i++ {
+				k := fmt.Sprintf("key-%03d", rng.Intn(keys))
+				v := fmt.Sprintf("v%d", i)
+				ts := h.write(k, v, false)
+				log = append(log, stamped{ts, k, v})
+			}
+
+			// The index must have grown beyond one level.
+			root, rootIsLeaf := h.tree.Root()
+			if rootIsLeaf {
+				t.Fatal("root is still a leaf after 4000 writes on 512-byte pages")
+			}
+			depth, indexPages, dataPages := measure(t, h.tree, root)
+			if depth < 2 {
+				t.Fatalf("index depth = %d, want >= 2 (pages: %d index, %d data)", depth, indexPages, dataPages)
+			}
+			t.Logf("mode=%v depth=%d indexPages=%d dataPages=%d timeSplits=%d keySplits=%d",
+				mode, depth, indexPages, dataPages,
+				h.tree.Snapshot().TimeSplits, h.tree.Snapshot().KeySplits)
+
+			// Every answer still correct at random historical probes.
+			for probe := 0; probe < 500; probe++ {
+				e := log[rng.Intn(len(log))]
+				want := ""
+				for _, ev := range log {
+					if ev.key == e.key && !ev.ts.After(e.ts) {
+						want = ev.val
+					}
+				}
+				r := h.read(e.key, e.ts)
+				if !r.Found || string(r.Value) != want {
+					t.Fatalf("probe %s@%v: got (%v,%q) want %q", e.key, e.ts, r.Found, r.Value, want)
+				}
+			}
+			// Full current scan returns every key exactly once.
+			seen := map[string]bool{}
+			h.tree.ScanAsOf(nil, nil, itime.Max, 0, func(r Result) bool {
+				if seen[string(r.Key)] {
+					t.Fatalf("duplicate key %q in scan", r.Key)
+				}
+				seen[string(r.Key)] = true
+				return true
+			})
+			if len(seen) != keys {
+				t.Fatalf("current scan saw %d keys, want %d", len(seen), keys)
+			}
+		})
+	}
+}
+
+// measure walks the tree, validating every page, and returns (max depth,
+// index pages, data pages reachable from the index).
+func measure(t *testing.T, tree *Tree, root page.ID) (depth, indexPages, dataPages int) {
+	t.Helper()
+	seen := map[page.ID]bool{}
+	var walk func(id page.ID, d int)
+	walk = func(id page.ID, d int) {
+		if d > depth {
+			depth = d
+		}
+		f, err := tree.cfg.Pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tree.cfg.Pool.Release(f)
+		if ip := f.Index(); ip != nil {
+			if err := ip.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(ip.Entries) == 0 {
+				t.Fatalf("empty index page %d", id)
+			}
+			indexPages++
+			for _, e := range ip.Entries {
+				if seen[e.Child] {
+					continue // replicated historical entry
+				}
+				seen[e.Child] = true
+				walk(e.Child, d+1)
+			}
+			return
+		}
+		dp := f.Data()
+		if dp == nil {
+			t.Fatalf("page %d neither index nor data", id)
+		}
+		if err := dp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		dataPages++
+	}
+	walk(root, 1)
+	return depth, indexPages, dataPages
+}
+
+// TestHistoricalIndexPagesExist (TSB mode) asserts that deep histories
+// produce index time splits: some index pages hold only closed-time-range
+// entries — the "historical index pages" of the TSB-tree design.
+func TestHistoricalIndexPagesExist(t *testing.T) {
+	h := newHarness(t, ModeTSB, 512, true)
+	// Few keys, enormous history: hist entries overwhelm current ones, so
+	// index pages must shed them via time splits.
+	for i := 0; i < 3000; i++ {
+		h.write(fmt.Sprintf("k%d", i%8), fmt.Sprintf("v%d", i), false)
+	}
+	root, rootIsLeaf := h.tree.Root()
+	if rootIsLeaf {
+		t.Fatal("no index")
+	}
+	histIndexPages := 0
+	var walk func(id page.ID)
+	seen := map[page.ID]bool{}
+	var inspect func(ip *page.IndexPage)
+	inspect = func(ip *page.IndexPage) {
+		allClosed := len(ip.Entries) > 0
+		for _, e := range ip.Entries {
+			if e.R.HighTS.IsMax() {
+				allClosed = false
+			}
+		}
+		if allClosed {
+			histIndexPages++
+		}
+	}
+	walk = func(id page.ID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		f, err := h.tree.cfg.Pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.tree.cfg.Pool.Release(f)
+		ip := f.Index()
+		if ip == nil {
+			return
+		}
+		inspect(ip)
+		for _, e := range ip.Entries {
+			if !e.Leaf {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(root)
+	if histIndexPages == 0 {
+		t.Skip("workload produced no historical index pages; index stayed shallow")
+	}
+	t.Logf("historical index pages: %d", histIndexPages)
+}

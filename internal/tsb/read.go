@@ -1,0 +1,523 @@
+package tsb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"immortaldb/internal/buffer"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
+)
+
+// Result is a read outcome: a copy of the visible version, if any. Deleted
+// records (visible version is a delete stub) report Found=false with
+// Deleted=true.
+type Result struct {
+	Key     []byte
+	Value   []byte
+	TS      itime.Timestamp // start time of the version (zero if unstamped)
+	TID     itime.TID       // writer, when the version is the reader's own uncommitted write
+	Found   bool
+	Deleted bool
+}
+
+func resultFrom(v *page.Version) Result {
+	if v == nil {
+		return Result{}
+	}
+	r := Result{
+		Key:     append([]byte(nil), v.Key...),
+		Value:   append([]byte(nil), v.Value...),
+		Found:   !v.Stub,
+		Deleted: v.Stub,
+	}
+	if v.Stamped {
+		r.TS = v.TS
+	} else {
+		r.TID = v.TID
+	}
+	return r
+}
+
+// errNeedsStamp aborts a shared-lock read attempt: a visited page holds
+// committed-but-unstamped versions, so the read must retry under the
+// exclusive lock, where lazy timestamping may mutate pages ("if a
+// transaction reads a non-timestamped version, we timestamp it" — Section
+// 2.2). Page contents are only ever mutated under the tree's write lock.
+var errNeedsStamp = fmt.Errorf("tsb: retry read with stamping")
+
+// pageNeedsStamp reports whether dp carries versions whose transactions have
+// committed but which are not yet timestamped. Safe under the read lock:
+// stamping itself only happens under the write lock.
+func (t *Tree) pageNeedsStamp(dp *page.DataPage) bool {
+	if t.cfg.Stamper == nil {
+		return false
+	}
+	for i := range dp.Recs {
+		v := &dp.Recs[i]
+		if v.Stamped {
+			continue
+		}
+		if _, ok := t.cfg.Stamper.Resolve(v.TID); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeStamp stamps dp when allowed, or aborts the shared attempt.
+func (t *Tree) maybeStamp(lf *buffer.Frame, dp *page.DataPage, exclusive bool) error {
+	if !exclusive {
+		if t.pageNeedsStamp(dp) {
+			return errNeedsStamp
+		}
+		return nil
+	}
+	if t.stampPage(dp) {
+		t.cfg.Pool.MarkDirty(lf, dp.LSN)
+	}
+	return nil
+}
+
+// ReadKey returns the version of key visible at ts. ts == itime.Max reads
+// the current state. self, when non-zero, makes the reading transaction's
+// own uncommitted writes visible (they have no timestamp yet).
+//
+// The common path runs under the shared lock; if a visited page still holds
+// committed-but-unstamped versions the read retries under the exclusive
+// lock and timestamps them (the read trigger of lazy timestamping).
+func (t *Tree) ReadKey(key []byte, ts itime.Timestamp, self itime.TID) (Result, error) {
+	t.mu.RLock()
+	res, err := t.readKeyLocked(key, ts, self, false)
+	t.mu.RUnlock()
+	if err != errNeedsStamp {
+		return res, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.readKeyLocked(key, ts, self, true)
+}
+
+func (t *Tree) readKeyLocked(key []byte, ts itime.Timestamp, self itime.TID, excl bool) (Result, error) {
+	if t.cfg.NoTail {
+		return t.readNoTail(key)
+	}
+	if t.cfg.Mode == ModeTSB && !ts.IsMax() {
+		return t.readDirect(key, ts, self, excl)
+	}
+	return t.readViaChain(key, ts, self, excl)
+}
+
+func (t *Tree) readNoTail(key []byte) (Result, error) {
+	path, lf, err := t.descend(key, itime.Max)
+	if err != nil {
+		return Result{}, err
+	}
+	defer t.cfg.Pool.Release(lf)
+	defer t.releasePath(path)
+	dp := lf.Data()
+	s, found := dp.FindSlot(key)
+	if !found {
+		return Result{}, nil
+	}
+	return resultFrom(dp.Latest(s)), nil
+}
+
+// readDirect descends straight to the page covering (key, ts) — ModeTSB.
+func (t *Tree) readDirect(key []byte, ts itime.Timestamp, self itime.TID, excl bool) (Result, error) {
+	path, lf, err := t.descend(key, ts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer t.cfg.Pool.Release(lf)
+	defer t.releasePath(path)
+	dp := lf.Data()
+	if dp.Current {
+		if err := t.maybeStamp(lf, dp, excl); err != nil {
+			return Result{}, err
+		}
+	}
+	return t.lookIn(dp, key, ts, self), nil
+}
+
+// readViaChain finds the current page and walks its history chain back to
+// the page whose time range covers ts — the paper's prototype access path.
+func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID, excl bool) (Result, error) {
+	path, lf, err := t.descend(key, itime.Max)
+	if err != nil {
+		return Result{}, err
+	}
+	t.releasePath(path)
+	dp := lf.Data()
+	if err := t.maybeStamp(lf, dp, excl); err != nil {
+		t.cfg.Pool.Release(lf)
+		return Result{}, err
+	}
+	// "We check the current page's split time. If as of time is later than
+	// split time, the version we want is in the current page. Otherwise we
+	// follow the page chain" (Section 4.2).
+	for ts.Less(dp.StartTS) {
+		hist := dp.Hist
+		t.cfg.Pool.Release(lf)
+		if hist == 0 {
+			return Result{}, nil // before the beginning of history
+		}
+		lf, err = t.cfg.Pool.Fetch(hist)
+		if err != nil {
+			return Result{}, err
+		}
+		t.chainHops.Add(1)
+		dp = lf.Data()
+		if dp == nil {
+			t.cfg.Pool.Release(lf)
+			return Result{}, fmt.Errorf("tsb: history chain hit non-data page %d", hist)
+		}
+	}
+	res := t.lookIn(dp, key, ts, self)
+	t.cfg.Pool.Release(lf)
+	return res, nil
+}
+
+// lookIn finds the visible version of key in dp at ts, honouring the
+// reader's own uncommitted writes.
+func (t *Tree) lookIn(dp *page.DataPage, key []byte, ts itime.Timestamp, self itime.TID) Result {
+	s, found := dp.FindSlot(key)
+	if !found {
+		return Result{}
+	}
+	if self != 0 && dp.Current {
+		// The newest version may be the reader's own in-flight write.
+		for i := dp.Slots[s]; i != page.NoPrev; i = dp.Recs[i].Prev {
+			v := &dp.Recs[i]
+			if v.Stamped {
+				break
+			}
+			if v.TID == self {
+				return resultFrom(v)
+			}
+		}
+	}
+	v, ok := dp.VersionAsOf(s, ts)
+	if !ok {
+		return Result{}
+	}
+	return resultFrom(v)
+}
+
+// LatestInfo reports the newest version of key on its current page: its
+// timestamp (or writer TID if unstamped) and whether it is a delete stub.
+// The write-conflict check of snapshot isolation uses it (first committer
+// wins).
+func (t *Tree) LatestInfo(key []byte) (ts itime.Timestamp, tid itime.TID, stub, found bool, err error) {
+	t.mu.RLock()
+	ts, tid, stub, found, err = t.latestInfoLocked(key, false)
+	t.mu.RUnlock()
+	if err != errNeedsStamp {
+		return ts, tid, stub, found, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.latestInfoLocked(key, true)
+}
+
+func (t *Tree) latestInfoLocked(key []byte, excl bool) (itime.Timestamp, itime.TID, bool, bool, error) {
+	path, lf, err := t.descend(key, itime.Max)
+	if err != nil {
+		return itime.Timestamp{}, 0, false, false, err
+	}
+	defer t.cfg.Pool.Release(lf)
+	defer t.releasePath(path)
+	dp := lf.Data()
+	if err := t.maybeStamp(lf, dp, excl); err != nil {
+		return itime.Timestamp{}, 0, false, false, err
+	}
+	s, ok := dp.FindSlot(key)
+	if !ok {
+		return itime.Timestamp{}, 0, false, false, nil
+	}
+	v := dp.Latest(s)
+	if v.Stamped {
+		return v.TS, 0, v.Stub, true, nil
+	}
+	return itime.Timestamp{}, v.TID, v.Stub, true, nil
+}
+
+// ScanAsOf calls fn for every record alive at ts with lo <= key < hi (nil
+// bounds are unbounded), in ascending key order. ts == itime.Max scans the
+// current state. fn returning false stops the scan.
+func (t *Tree) ScanAsOf(lo, hi []byte, ts itime.Timestamp, self itime.TID, fn func(Result) bool) error {
+	t.mu.RLock()
+	results, err := t.collectScan(lo, hi, ts, self, false)
+	t.mu.RUnlock()
+	if err == errNeedsStamp {
+		t.mu.Lock()
+		results, err = t.collectScan(lo, hi, ts, self, true)
+		t.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(results[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID, excl bool) (map[string]Result, error) {
+	// Collect the set of data pages whose region intersects the scan.
+	pages, err := t.pagesForScan(lo, hi, ts)
+	if err != nil {
+		return nil, err
+	}
+	// Replicated spanning versions can surface the same key from two pages;
+	// keep one result per key (the copies are identical by construction).
+	results := make(map[string]Result)
+	for _, pid := range pages {
+		lf, err := t.cfg.Pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		dp := lf.Data()
+		if dp == nil {
+			t.cfg.Pool.Release(lf)
+			return nil, fmt.Errorf("tsb: scan hit non-data page %d", pid)
+		}
+		if dp.Current {
+			if err := t.maybeStamp(lf, dp, excl); err != nil {
+				t.cfg.Pool.Release(lf)
+				return nil, err
+			}
+		}
+		for s := range dp.Slots {
+			k := dp.Recs[dp.Slots[s]].Key
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				continue
+			}
+			if _, seen := results[string(k)]; seen {
+				continue
+			}
+			res := t.lookIn(dp, k, ts, self)
+			if res.Found {
+				results[string(k)] = res
+			}
+		}
+		t.cfg.Pool.Release(lf)
+	}
+	return results, nil
+}
+
+// pagesForScan returns the data pages an as-of-ts scan over [lo, hi) must
+// visit: via the index in ModeTSB, via current pages plus chain walks in
+// ModeChain. For NoTail tables there is no time dimension. The caller holds
+// the tree lock (shared or exclusive); nothing is mutated.
+func (t *Tree) pagesForScan(lo, hi []byte, ts itime.Timestamp) ([]page.ID, error) {
+	var out []page.ID
+	seen := make(map[page.ID]bool)
+	add := func(id page.ID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+
+	if t.cfg.Mode == ModeTSB && !ts.IsMax() && !t.cfg.NoTail {
+		// Direct: walk the index collecting children whose rect contains ts.
+		var walk func(id page.ID) error
+		walk = func(id page.ID) error {
+			f, err := t.cfg.Pool.Fetch(id)
+			if err != nil {
+				return err
+			}
+			defer t.cfg.Pool.Release(f)
+			if ip := f.Index(); ip != nil {
+				for _, e := range ip.ChildrenForTime(lo, hi, ts) {
+					if err := walk(e.Child); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			add(f.ID())
+			return nil
+		}
+		root, rootIsLeaf := t.root, t.rootIsLeaf
+		if rootIsLeaf {
+			add(root)
+			return out, nil
+		}
+		if err := walk(root); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	// Chain mode (and all current scans): find current pages, then follow
+	// each history chain back to the page covering ts.
+	currents, err := t.currentPages(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	for _, cid := range currents {
+		id := cid
+		for id != 0 {
+			f, err := t.cfg.Pool.Fetch(id)
+			if err != nil {
+				return nil, err
+			}
+			dp := f.Data()
+			if dp == nil {
+				t.cfg.Pool.Release(f)
+				return nil, fmt.Errorf("tsb: chain hit non-data page %d", id)
+			}
+			covers := !ts.Less(dp.StartTS)
+			next := dp.Hist
+			if !seen[id] && id != cid {
+				t.chainHops.Add(1)
+			}
+			if covers {
+				add(id)
+				t.cfg.Pool.Release(f)
+				break
+			}
+			t.cfg.Pool.Release(f)
+			id = next
+		}
+	}
+	return out, nil
+}
+
+// currentPages returns the IDs of current data pages intersecting [lo, hi).
+func (t *Tree) currentPages(lo, hi []byte) ([]page.ID, error) {
+	root, rootIsLeaf := t.root, t.rootIsLeaf
+	if rootIsLeaf {
+		return []page.ID{root}, nil
+	}
+	var out []page.ID
+	seen := make(map[page.ID]bool)
+	var walk func(id page.ID) error
+	walk = func(id page.ID) error {
+		f, err := t.cfg.Pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		defer t.cfg.Pool.Release(f)
+		ip := f.Index()
+		if ip == nil {
+			dp := f.Data()
+			if dp != nil && dp.Current && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+			return nil
+		}
+		for _, e := range ip.ChildrenForTime(lo, hi, itime.Max) {
+			if err := walk(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VersionInfo is one entry of a key's time-travel history.
+type VersionInfo struct {
+	Value   []byte
+	TS      itime.Timestamp
+	Stub    bool
+	Stamped bool
+	TID     itime.TID
+}
+
+// History returns every version of key, newest first — the "time travel"
+// functionality of Section 4.2. Replicated copies (from time splits) are
+// collapsed.
+func (t *Tree) History(key []byte) ([]VersionInfo, error) {
+	t.mu.RLock()
+	out, err := t.historyLocked(key, false)
+	t.mu.RUnlock()
+	if err != errNeedsStamp {
+		return out, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.historyLocked(key, true)
+}
+
+func (t *Tree) historyLocked(key []byte, excl bool) ([]VersionInfo, error) {
+	if t.cfg.NoTail {
+		return nil, fmt.Errorf("tsb: no history on a conventional table")
+	}
+	// Walk from the current page back through the whole chain (chain mode
+	// always works; TSB mode could use ChildrenForKey, but the chain is
+	// complete by construction and keeps this path mode-independent).
+	path, lf, err := t.descend(key, itime.Max)
+	if err != nil {
+		return nil, err
+	}
+	t.releasePath(path)
+	var out []VersionInfo
+	seenStart := make(map[itime.Timestamp]bool)
+	for {
+		dp := lf.Data()
+		if dp == nil {
+			t.cfg.Pool.Release(lf)
+			return nil, fmt.Errorf("tsb: history chain hit non-data page")
+		}
+		if dp.Current {
+			if err := t.maybeStamp(lf, dp, excl); err != nil {
+				t.cfg.Pool.Release(lf)
+				return nil, err
+			}
+		}
+		if s, found := dp.FindSlot(key); found {
+			for _, i := range dp.Chain(s) {
+				v := &dp.Recs[i]
+				if v.Stamped {
+					if seenStart[v.TS] {
+						continue
+					}
+					seenStart[v.TS] = true
+				}
+				out = append(out, VersionInfo{
+					Value:   append([]byte(nil), v.Value...),
+					TS:      v.TS,
+					Stub:    v.Stub,
+					Stamped: v.Stamped,
+					TID:     v.TID,
+				})
+			}
+		}
+		hist := dp.Hist
+		t.cfg.Pool.Release(lf)
+		if hist == 0 {
+			break
+		}
+		lf, err = t.cfg.Pool.Fetch(hist)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		// Unstamped (in-flight) versions are newest.
+		if out[a].Stamped != out[b].Stamped {
+			return !out[a].Stamped
+		}
+		return out[b].TS.Less(out[a].TS)
+	})
+	return out, nil
+}

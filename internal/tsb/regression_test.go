@@ -1,0 +1,68 @@
+package tsb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
+)
+
+// dump prints the tree structure (test helper).
+func (t *Tree) dump(tb testing.TB) {
+	root, rootIsLeaf := t.Root()
+	var walk func(id page.ID, depth int)
+	walk = func(id page.ID, depth int) {
+		pad := strings.Repeat("  ", depth)
+		f, err := t.cfg.Pool.Fetch(id)
+		if err != nil {
+			tb.Logf("%s<fetch %d: %v>", pad, id, err)
+			return
+		}
+		defer t.cfg.Pool.Release(f)
+		if ip := f.Index(); ip != nil {
+			tb.Logf("%sindex %d (level %d, %d entries)", pad, id, ip.Level, len(ip.Entries))
+			for _, e := range ip.Entries {
+				tb.Logf("%s  entry child=%d leaf=%v rect=%v", pad, e.Child, e.Leaf, e.R)
+				walk(e.Child, depth+2)
+			}
+			return
+		}
+		dp := f.Data()
+		tb.Logf("%sdata %d cur=%v keys=%d vers=%d [%q,%q) time=[%v,%v) hist=%d",
+			pad, id, dp.Current, dp.NumKeys(), dp.NumVersions(), dp.LowKey, dp.HighKey, dp.StartTS, dp.EndTS, dp.Hist)
+	}
+	if rootIsLeaf {
+		tb.Logf("root is leaf %d", root)
+	}
+	walk(root, 0)
+}
+
+// TestRegressionRootGrowthDuringTimeSplit pins the fix for a bug where a
+// time split of a root leaf grew an index root, and the follow-up key split
+// (still seeing an empty descent path) grew a second root that orphaned the
+// history entry — leaving a coverage hole for historical reads.
+func TestRegressionRootGrowthDuringTimeSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := newHarness(t, ModeTSB, 512, true)
+	type event struct {
+		ts  itime.Timestamp
+		key string
+	}
+	var log []event
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("key-%02d", rng.Intn(30))
+		stub := rng.Intn(8) == 0
+		v := fmt.Sprintf("s%d-v%d", 1, i)
+		ts := h.write(k, v, stub)
+		log = append(log, event{ts, k})
+		_, err := h.tree.ReadKey([]byte("key-08"), itime.Timestamp{Wall: 3, Seq: 0}, 0)
+		if err != nil {
+			t.Logf("FIRST FAILURE after write %d (%s @ %v)", i, k, ts)
+			h.tree.dump(t)
+			t.Fatal(err)
+		}
+	}
+}

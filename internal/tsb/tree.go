@@ -1,0 +1,266 @@
+// Package tsb implements the time-split B-tree — Immortal DB's integrated
+// storage structure housing all record versions, current and historical
+// (Section 3, and Lomet & Salzberg's TSB-tree it builds on).
+//
+// Current and historical versions start on the same data page, linked by
+// in-page version chains. Full current pages split by TIME (historical
+// versions move to a history page chained from the current page) and, above
+// a utilization threshold, additionally by KEY. Two historical access paths
+// are provided, matching the paper:
+//
+//   - ModeChain: the measured prototype of Section 5 — only current pages
+//     are indexed; as-of queries walk the history page chain backwards
+//     comparing split times.
+//   - ModeTSB: the full two-dimensional index of Section 3.4 — history pages
+//     get index entries describing (key range × time range) rectangles, and
+//     an as-of query descends directly to the one page that must contain the
+//     version of interest.
+package tsb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"immortaldb/internal/buffer"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/disk"
+	"immortaldb/internal/storage/page"
+)
+
+// Mode selects the historical access path.
+type Mode int
+
+// Historical access modes.
+const (
+	// ModeChain indexes only current pages; history is reached by walking
+	// each current page's time-split chain (the paper's prototype).
+	ModeChain Mode = iota
+	// ModeTSB posts index entries for historical pages, enabling direct
+	// descent to any (key, time) point.
+	ModeTSB
+)
+
+// DefaultThreshold is the storage utilization threshold T above which a time
+// split is followed by a key split (Section 3.3 suggests ~70%, yielding
+// single-timeslice utilization of about T·ln 2).
+const DefaultThreshold = 0.70
+
+// ErrNoSpace reports a record too large for any page.
+var ErrNoSpace = errors.New("tsb: record larger than a page")
+
+// Logger receives structure-modification after-images for the WAL. The
+// returned LSN becomes the page's LSN. A nil Logger disables logging (unit
+// tests).
+type Logger interface {
+	// LogPageImage logs a full after-image of a modified page.
+	LogPageImage(pg any) (lsn uint64, err error)
+	// LogRootChange records that the tree root moved (made durable so
+	// recovery can find the tree).
+	LogRootChange(root page.ID, rootIsLeaf bool) error
+}
+
+// Stamper resolves transaction IDs to commit timestamps and is told how many
+// versions of each transaction were lazily stamped (Section 2.2, stage IV).
+// A nil Stamper treats every TID as uncommitted.
+type Stamper interface {
+	Resolve(tid itime.TID) (itime.Timestamp, bool)
+	NoteStamped(counts map[itime.TID]int)
+}
+
+// Config configures a Tree.
+type Config struct {
+	Pool  *buffer.Pool
+	Pager *disk.Pager
+	// TableID tags lock keys and log records.
+	TableID uint32
+	// Logger may be nil (no WAL).
+	Logger Logger
+	// Stamper may be nil (no lazy timestamping).
+	Stamper Stamper
+	Mode    Mode
+	// Threshold is the post-time-split utilization above which a key split
+	// follows; 0 means DefaultThreshold.
+	Threshold float64
+	// Immortal enables time splits and forbids version GC. Non-immortal
+	// versioned tables (snapshot isolation only) GC old versions instead of
+	// time-splitting; their history never persists.
+	Immortal bool
+	// NoTail marks a conventional table: no version chains at all, updates
+	// in place. Implies !Immortal.
+	NoTail bool
+	// SplitNow supplies the "current time" used as a time-split boundary; it
+	// must return a timestamp strictly greater than every issued commit
+	// timestamp (the engine wires it to the commit sequencer).
+	SplitNow func() itime.Timestamp
+	// SnapshotHorizon returns the oldest timestamp any active snapshot
+	// transaction can still read; versions strictly older than the version
+	// visible there are reclaimable on non-immortal tables. A nil func
+	// disables GC.
+	SnapshotHorizon func() itime.Timestamp
+}
+
+// Tree is one table's time-split B-tree. The engine serializes structural
+// mutations; Tree adds its own lock so independent tables can proceed in
+// parallel and reads can run concurrently with each other.
+type Tree struct {
+	cfg Config
+
+	mu         sync.RWMutex
+	root       page.ID
+	rootIsLeaf bool
+
+	keySplits, timeSplits atomic.Uint64
+	chainHops             atomic.Uint64 // history pages visited by chain walks
+}
+
+// Open attaches a Tree to an existing root.
+func Open(cfg Config, root page.ID, rootIsLeaf bool) *Tree {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	return &Tree{cfg: cfg, root: root, rootIsLeaf: rootIsLeaf}
+}
+
+// Create allocates the initial (empty, unbounded, current) data page and
+// returns the new tree.
+func Create(cfg Config) (*Tree, error) {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	id, err := cfg.Pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	leaf := page.NewData(id, cfg.Pool.PageSize())
+	leaf.NoTail = cfg.NoTail
+	t := &Tree{cfg: cfg, root: id, rootIsLeaf: true}
+	lsn, err := t.logImage(leaf)
+	if err != nil {
+		return nil, err
+	}
+	leaf.LSN = lsn
+	f, err := cfg.Pool.NewPage(id, leaf, lsn)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Pool.Release(f)
+	if cfg.Logger != nil {
+		if err := cfg.Logger.LogRootChange(id, true); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Root returns the root page and whether it is a leaf, for catalog
+// persistence.
+func (t *Tree) Root() (page.ID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root, t.rootIsLeaf
+}
+
+// SetRoot repositions the tree (recovery applying a root-change record).
+func (t *Tree) SetRoot(root page.ID, isLeaf bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root = root
+	t.rootIsLeaf = isLeaf
+}
+
+// Stats describes tree activity.
+type Stats struct {
+	TimeSplits, KeySplits uint64
+	ChainHops             uint64
+}
+
+// Snapshot returns activity counters.
+func (t *Tree) Snapshot() Stats {
+	return Stats{
+		TimeSplits: t.timeSplits.Load(),
+		KeySplits:  t.keySplits.Load(),
+		ChainHops:  t.chainHops.Load(),
+	}
+}
+
+func (t *Tree) logImage(pg any) (uint64, error) {
+	if t.cfg.Logger == nil {
+		return 0, nil
+	}
+	return t.cfg.Logger.LogPageImage(pg)
+}
+
+// resolve adapts the Stamper to page.Resolver.
+func (t *Tree) resolve(tid itime.TID) (itime.Timestamp, bool) {
+	if t.cfg.Stamper == nil {
+		return itime.Timestamp{}, false
+	}
+	return t.cfg.Stamper.Resolve(tid)
+}
+
+// stampPage lazily timestamps every committed version on dp and reports the
+// counts to the Stamper. It returns true if anything was stamped (the page
+// must then be marked dirty). Timestamping is never logged.
+func (t *Tree) stampPage(dp *page.DataPage) bool {
+	if t.cfg.Stamper == nil || !dp.HasUnstamped() {
+		return false
+	}
+	counts := dp.StampAll(t.resolve)
+	if len(counts) == 0 {
+		return false
+	}
+	t.cfg.Stamper.NoteStamped(counts)
+	return true
+}
+
+// pathEntry is one index page on a descent path, with the rectangle the
+// parent assigned it (the root gets the unbounded rectangle).
+type pathEntry struct {
+	frame *buffer.Frame
+	rect  page.Rect
+}
+
+// releasePath unpins the frames of a descent path.
+func (t *Tree) releasePath(path []pathEntry) {
+	for _, pe := range path {
+		t.cfg.Pool.Release(pe.frame)
+	}
+}
+
+var everything = page.Rect{HighTS: itime.Max}
+
+// descend walks from the root towards the data page containing (key, ts),
+// returning the index path (possibly empty) and the pinned leaf frame. The
+// caller must hold t.mu (read or write).
+func (t *Tree) descend(key []byte, ts itime.Timestamp) ([]pathEntry, *buffer.Frame, error) {
+	root, rootIsLeaf := t.root, t.rootIsLeaf
+	if rootIsLeaf {
+		f, err := t.cfg.Pool.Fetch(root)
+		return nil, f, err
+	}
+	var path []pathEntry
+	id := root
+	rect := everything
+	for {
+		f, err := t.cfg.Pool.Fetch(id)
+		if err != nil {
+			t.releasePath(path)
+			return nil, nil, err
+		}
+		ip := f.Index()
+		if ip == nil {
+			// Reached a data page.
+			return path, f, nil
+		}
+		path = append(path, pathEntry{frame: f, rect: rect})
+		e, ok := ip.FindChild(key, ts)
+		if !ok {
+			t.releasePath(path)
+			return nil, nil, fmt.Errorf("tsb: index page %d has no child for (%q, %v)", id, key, ts)
+		}
+		id = e.Child
+		rect = e.R
+	}
+}

@@ -1,0 +1,87 @@
+package tsb
+
+import (
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
+)
+
+// Utilization describes storage occupancy, separating current pages (whose
+// single-timeslice utilization the threshold T controls — Section 3.3 notes
+// it converges to about T·ln 2) from historical pages.
+type Utilization struct {
+	CurrentPages int
+	HistPages    int
+	// CurrentUsed is the marshalled byte size of current pages' contents.
+	CurrentUsed int
+	// CurrentLive is the byte size of only the versions alive right now —
+	// the "current time slice".
+	CurrentLive int
+	// HistUsed is the marshalled byte size of historical pages' contents.
+	HistUsed int
+	// PageSize is the configured page capacity.
+	PageSize int
+}
+
+// CurrentSliceUtilization returns CurrentLive / (CurrentPages * PageSize).
+func (u Utilization) CurrentSliceUtilization() float64 {
+	if u.CurrentPages == 0 {
+		return 0
+	}
+	return float64(u.CurrentLive) / float64(u.CurrentPages*u.PageSize)
+}
+
+// Utilization walks the whole structure (current pages via the index,
+// historical pages via the chains) and reports occupancy.
+func (t *Tree) Utilization() (Utilization, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	u := Utilization{PageSize: t.cfg.Pool.PageSize()}
+	currents, err := t.currentPages(nil, nil)
+	if err != nil {
+		return u, err
+	}
+	seen := make(map[page.ID]bool)
+	for _, cid := range currents {
+		f, err := t.cfg.Pool.Fetch(cid)
+		if err != nil {
+			return u, err
+		}
+		dp := f.Data()
+		u.CurrentPages++
+		u.CurrentUsed += dp.Used()
+		u.CurrentLive += liveBytes(dp)
+		chain := dp.Hist
+		t.cfg.Pool.Release(f)
+		for chain != 0 && !seen[chain] {
+			seen[chain] = true
+			hf, err := t.cfg.Pool.Fetch(chain)
+			if err != nil {
+				return u, err
+			}
+			hp := hf.Data()
+			u.HistPages++
+			u.HistUsed += hp.Used()
+			chain = hp.Hist
+			t.cfg.Pool.Release(hf)
+		}
+	}
+	return u, nil
+}
+
+// liveBytes sums the sizes of versions visible at the current time.
+func liveBytes(dp *page.DataPage) int {
+	n := 0
+	for s := range dp.Slots {
+		v, ok := dp.VersionAsOf(s, itime.Max)
+		if !ok || v.Stub {
+			// An unstamped head also counts as live payload.
+			head := &dp.Recs[dp.Slots[s]]
+			if !head.Stamped && !head.Stub {
+				n += len(head.Key) + len(head.Value) + page.TailLen
+			}
+			continue
+		}
+		n += len(v.Key) + len(v.Value) + page.TailLen
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"immortaldb/internal/itime"
+)
+
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	l, err := Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l.NoSync = true
+	b.Cleanup(func() { l.Close() })
+	return l
+}
+
+// BenchmarkAppendInsertVersion measures the per-write log cost.
+func BenchmarkAppendInsertVersion(b *testing.B) {
+	l := benchLog(b)
+	rec := &Record{
+		Type: TypeInsertVersion, TID: 1, Table: 1, Page: 9,
+		Key: []byte("key-000123"), Value: make([]byte, 64),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 0 {
+			if err := l.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAppendCommitFlush is the commit critical path: one commit record
+// plus a log flush.
+func BenchmarkAppendCommitFlush(b *testing.B) {
+	l := benchLog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(&Record{Type: TypeCommit, TID: itime.TID(i), TS: itime.Timestamp{Wall: int64(i)}}); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

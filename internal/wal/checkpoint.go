@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
+)
+
+// TxnState is one active-transaction-table entry in a checkpoint.
+type TxnState struct {
+	TID     itime.TID
+	LastLSN LSN
+}
+
+// DirtyPage is one dirty-page-table entry in a checkpoint: the page and the
+// LSN of the first record that dirtied it since its last write to disk.
+type DirtyPage struct {
+	ID     page.ID
+	RecLSN LSN
+}
+
+// Checkpoint is the payload of a TypeCheckpoint record: a fuzzy (non-
+// quiescing) snapshot of recovery state, ARIES-style.
+type Checkpoint struct {
+	ActiveTxns []TxnState
+	DirtyPages []DirtyPage
+	// NextTID and LastTS restore the allocators after recovery so new
+	// transactions never reuse a TID or produce a non-increasing timestamp.
+	NextTID itime.TID
+	LastTS  itime.Timestamp
+}
+
+// RedoScanStart returns the LSN at which redo must begin for this
+// checkpoint: the minimum dirty-page RecLSN, or ckptLSN when no page is
+// dirty. Movement of this point is also what licenses PTT garbage
+// collection (Section 2.2): once it passes the end-of-log LSN recorded when
+// a transaction's timestamping completed, the stamped pages are on disk.
+func (c *Checkpoint) RedoScanStart(ckptLSN LSN) LSN {
+	start := ckptLSN
+	for _, dp := range c.DirtyPages {
+		if dp.RecLSN < start {
+			start = dp.RecLSN
+		}
+	}
+	return start
+}
+
+// Marshal encodes the checkpoint for a record blob.
+func (c *Checkpoint) Marshal() []byte {
+	n := 8 + itime.EncodedLen + 4 + len(c.ActiveTxns)*16 + 4 + len(c.DirtyPages)*16
+	b := make([]byte, n)
+	off := 0
+	binary.BigEndian.PutUint64(b[off:], uint64(c.NextTID))
+	off += 8
+	c.LastTS.Encode(b[off:])
+	off += itime.EncodedLen
+	binary.BigEndian.PutUint32(b[off:], uint32(len(c.ActiveTxns)))
+	off += 4
+	for _, t := range c.ActiveTxns {
+		binary.BigEndian.PutUint64(b[off:], uint64(t.TID))
+		binary.BigEndian.PutUint64(b[off+8:], uint64(t.LastLSN))
+		off += 16
+	}
+	binary.BigEndian.PutUint32(b[off:], uint32(len(c.DirtyPages)))
+	off += 4
+	for _, d := range c.DirtyPages {
+		binary.BigEndian.PutUint64(b[off:], uint64(d.ID))
+		binary.BigEndian.PutUint64(b[off+8:], uint64(d.RecLSN))
+		off += 16
+	}
+	return b
+}
+
+// UnmarshalCheckpoint decodes a checkpoint record blob.
+func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
+	bad := fmt.Errorf("%w: checkpoint blob", ErrCorruptRecord)
+	if len(b) < 8+itime.EncodedLen+4 {
+		return nil, bad
+	}
+	c := &Checkpoint{}
+	off := 0
+	c.NextTID = itime.TID(binary.BigEndian.Uint64(b[off:]))
+	off += 8
+	c.LastTS = itime.DecodeTimestamp(b[off:])
+	off += itime.EncodedLen
+	na := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+na*16+4 {
+		return nil, bad
+	}
+	c.ActiveTxns = make([]TxnState, na)
+	for i := range c.ActiveTxns {
+		c.ActiveTxns[i].TID = itime.TID(binary.BigEndian.Uint64(b[off:]))
+		c.ActiveTxns[i].LastLSN = LSN(binary.BigEndian.Uint64(b[off+8:]))
+		off += 16
+	}
+	nd := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+nd*16 {
+		return nil, bad
+	}
+	c.DirtyPages = make([]DirtyPage, nd)
+	for i := range c.DirtyPages {
+		c.DirtyPages[i].ID = page.ID(binary.BigEndian.Uint64(b[off:]))
+		c.DirtyPages[i].RecLSN = LSN(binary.BigEndian.Uint64(b[off+8:]))
+		off += 16
+	}
+	return c, nil
+}

@@ -1,0 +1,331 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// fileHeaderLen is the log file header: magic(8) checkpointLSN(8).
+const fileHeaderLen = 16
+
+const logMagic = 0x494d4d57414c0a01 // "IMMWAL\n" + version
+
+// FirstLSN is the LSN of the first record in a log file.
+const FirstLSN = LSN(fileHeaderLen)
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is the write-ahead log file. Appends are buffered in memory until
+// Flush; FlushedLSN tells the buffer pool how far the log is durable (the
+// WAL protocol: a page may be written only when the log covering its changes
+// has been flushed).
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte // pending appended bytes
+	bufStart LSN    // file offset of buf[0]
+	end      LSN    // next append position
+	flushed  LSN    // durable up to here (exclusive)
+	ckpt     LSN    // last checkpoint record, 0 if none
+	closed   bool
+	// NoSync skips fsync on Flush; used by benchmarks where the paper's
+	// workload measures CPU and buffer behaviour rather than disk latency.
+	NoSync bool
+
+	appends uint64
+	syncs   uint64
+}
+
+// Open opens or creates the log at path. On open it scans for the last valid
+// record, truncating any torn tail left by a crash.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if st.Size() == 0 {
+		var hdr [fileHeaderLen]byte
+		binary.BigEndian.PutUint64(hdr[0:], logMagic)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: init header: %w", err)
+		}
+		l.end = FirstLSN
+		l.bufStart = l.end
+		l.flushed = l.end
+		return l, nil
+	}
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, fileHeaderLen), hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read header: %w", err)
+	}
+	if binary.BigEndian.Uint64(hdr[0:]) != logMagic {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is not a log file", path)
+	}
+	l.ckpt = LSN(binary.BigEndian.Uint64(hdr[8:]))
+
+	// Scan forward to the last valid record.
+	data, err := io.ReadAll(io.NewSectionReader(f, fileHeaderLen, st.Size()-fileHeaderLen))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		_, n, err := decodeRecord(data[off:])
+		if err != nil {
+			break // torn tail
+		}
+		off += n
+	}
+	l.end = FirstLSN + LSN(off)
+	if err := f.Truncate(int64(l.end)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if l.ckpt >= l.end {
+		l.ckpt = 0 // checkpoint pointer beyond the valid log: ignore it
+	}
+	l.bufStart = l.end
+	l.flushed = l.end
+	return l, nil
+}
+
+// Append adds r to the log buffer and returns its LSN. The record is not
+// durable until Flush (or FlushTo past it).
+func (l *Log) Append(r *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.end
+	r.LSN = lsn
+	l.buf = r.encode(l.buf)
+	l.end += LSN(r.encodedLen())
+	l.appends++
+	return lsn, nil
+}
+
+// Flush writes all buffered records and makes them durable (unless NoSync).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.buf) > 0 {
+		if _, err := l.f.WriteAt(l.buf, int64(l.bufStart)); err != nil {
+			return fmt.Errorf("wal: write: %w", err)
+		}
+		l.bufStart += LSN(len(l.buf))
+		l.buf = l.buf[:0]
+	}
+	if !l.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.syncs++
+	}
+	l.flushed = l.bufStart
+	return nil
+}
+
+// FlushTo ensures the log is durable at least up to lsn (exclusive of
+// records after it). It is the buffer pool's write-ahead check.
+func (l *Log) FlushTo(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn <= l.flushed {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+// FlushedLSN returns the durable prefix end.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// End returns the LSN one past the last appended record — the "end of log"
+// the VTT snapshots when a transaction's timestamping completes (Section
+// 2.2, garbage collection).
+func (l *Log) End() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Checkpoint returns the LSN of the last checkpoint record, 0 if none.
+func (l *Log) Checkpoint() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckpt
+}
+
+// SetCheckpoint durably records lsn as the checkpoint pointer in the file
+// header. The checkpoint record itself must already be flushed.
+func (l *Log) SetCheckpoint(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if lsn >= l.flushed {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(lsn))
+	if _, err := l.f.WriteAt(b[:], 8); err != nil {
+		return fmt.Errorf("wal: write checkpoint pointer: %w", err)
+	}
+	if !l.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync checkpoint pointer: %w", err)
+		}
+		l.syncs++
+	}
+	l.ckpt = lsn
+	return nil
+}
+
+// ReadAt reads the single record at lsn. Pending appends are flushed first
+// so undo can read what it just wrote.
+func (l *Log) ReadAt(lsn LSN) (*Record, error) {
+	l.mu.Lock()
+	if len(l.buf) > 0 {
+		if err := l.flushLocked(); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	end := l.end
+	l.mu.Unlock()
+	if lsn < FirstLSN || lsn >= end {
+		return nil, fmt.Errorf("wal: LSN %d out of range [%d,%d)", lsn, FirstLSN, end)
+	}
+	var hdr [4]byte
+	if _, err := l.f.ReadAt(hdr[:], int64(lsn)); err != nil {
+		return nil, fmt.Errorf("wal: read at %d: %w", lsn, err)
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < recHeaderLen || total > MaxRecordLen {
+		return nil, fmt.Errorf("%w: at %d", ErrCorruptRecord, lsn)
+	}
+	buf := make([]byte, total)
+	if _, err := l.f.ReadAt(buf, int64(lsn)); err != nil {
+		return nil, fmt.Errorf("wal: read at %d: %w", lsn, err)
+	}
+	r, _, err := decodeRecord(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.LSN = lsn
+	return r, nil
+}
+
+// Scan calls fn for every record from lsn (inclusive) to the end of the log,
+// in order. Pending appends are flushed first. fn returning an error stops
+// the scan and returns that error.
+func (l *Log) Scan(from LSN, fn func(*Record) error) error {
+	l.mu.Lock()
+	if len(l.buf) > 0 {
+		if err := l.flushLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	end := l.end
+	l.mu.Unlock()
+	if from == 0 || from < FirstLSN {
+		from = FirstLSN
+	}
+	if from >= end {
+		return nil
+	}
+	data, err := io.ReadAll(io.NewSectionReader(l.f, int64(from), int64(end-from)))
+	if err != nil {
+		return fmt.Errorf("wal: scan read: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		r, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return fmt.Errorf("wal: scan at %d: %w", from+LSN(off), err)
+		}
+		r.LSN = from + LSN(off)
+		if err := fn(r); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Stats returns append and fsync counters.
+func (l *Log) Stats() (appends, syncs uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// Size returns the current log size in bytes, pending appends included.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.end)
+}
+
+// CloseNoFlush closes the log file abruptly, discarding buffered appends —
+// it simulates a process crash for recovery testing. Records already flushed
+// (every committed transaction's) remain on disk.
+func (l *Log) CloseNoFlush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.flushLocked()
+	if !l.NoSync {
+		if err2 := l.f.Sync(); err == nil {
+			err = err2
+		}
+	}
+	if err2 := l.f.Close(); err == nil {
+		err = err2
+	}
+	l.closed = true
+	return err
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamShape(t *testing.T) {
+	g := New(Config{Seed: 1})
+	ops, err := g.Stream(500, 32000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 32000 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	ins, upd := 0, 0
+	seen := make(map[uint16]bool)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			if seen[op.OID] {
+				t.Fatalf("object %d inserted twice", op.OID)
+			}
+			seen[op.OID] = true
+			ins++
+		case OpUpdate:
+			if !seen[op.OID] {
+				t.Fatalf("object %d updated before insert", op.OID)
+			}
+			upd++
+		}
+	}
+	if ins != 500 || upd != 31500 {
+		t.Fatalf("inserts=%d updates=%d", ins, upd)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, err := New(Config{Seed: 42}).Stream(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(Config{Seed: 42}).Stream(100, 1000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c, _ := New(Config{Seed: 43}).Stream(100, 1000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestObjectsMoveWithinBoundsAndSpeed(t *testing.T) {
+	g := New(Config{Seed: 7, Width: 100, Height: 100})
+	ops, err := g.Stream(50, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[uint16]Point)
+	for _, op := range ops {
+		if op.Pos.X < 0 || op.Pos.X >= 100 || op.Pos.Y < 0 || op.Pos.Y >= 100 {
+			t.Fatalf("object %d left the map: %+v", op.OID, op.Pos)
+		}
+		if prev, ok := last[op.OID]; ok && op.Kind == OpUpdate {
+			d := abs32(op.Pos.X-prev.X) + abs32(op.Pos.Y-prev.Y)
+			if d > 8 { // max speed class
+				t.Fatalf("object %d jumped %d cells", op.OID, d)
+			}
+		}
+		last[op.OID] = op.Pos
+	}
+}
+
+func TestUpdateCountsVary(t *testing.T) {
+	g := New(Config{Seed: 3})
+	if _, err := g.Stream(200, 8000); err != nil {
+		t.Fatal(err)
+	}
+	counts := g.UpdateCounts()
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// "Not all moving objects have the same number of updates" (Section 5).
+	if min == max {
+		t.Fatalf("all objects updated exactly %d times", min)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	g := New(Config{Seed: 1})
+	if _, err := g.Stream(0, 10); err == nil {
+		t.Fatal("zero inserts accepted")
+	}
+	if _, err := g.Stream(10, 5); err == nil {
+		t.Fatal("total < inserts accepted")
+	}
+	if _, err := g.Stream(1<<16+1, 1<<17); err == nil {
+		t.Fatal("too many objects accepted")
+	}
+}
+
+func TestKeyValueRoundTrip(t *testing.T) {
+	f := func(oid uint16, x, y int32) bool {
+		if x < 0 {
+			x = -x
+		}
+		if y < 0 {
+			y = -y
+		}
+		k, err := DecodeKey(Key(oid))
+		if err != nil || k != oid {
+			return false
+		}
+		p, err := DecodeValue(Value(Point{X: x, Y: y}))
+		return err == nil && p == Point{X: x, Y: y}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeKey([]byte{1}); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := DecodeValue([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short value accepted")
+	}
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

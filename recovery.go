@@ -1,0 +1,210 @@
+package immortaldb
+
+import (
+	"errors"
+	"fmt"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/disk"
+	"immortaldb/internal/storage/page"
+	"immortaldb/internal/tsb"
+	"immortaldb/internal/wal"
+)
+
+// recover brings the database to a consistent state after open: ARIES-style
+// analysis, redo, and undo over the write-ahead log.
+//
+// Two Immortal DB specifics (Section 2.2) shape the redo pass:
+//
+//   - Commit records carry the transaction timestamp, so the Persistent
+//     Timestamp Table entry is re-created if the crash lost it — lazy
+//     timestamping itself was never logged and simply re-runs after restart.
+//   - Volatile reference counts are gone; restored entries get an undefined
+//     count and are never garbage collected ("we simply end up with certain
+//     PTT entries that cannot be deleted" — the accepted cost).
+func (db *DB) recover() error {
+	ckptLSN := db.log.Checkpoint()
+	var ck *wal.Checkpoint
+	if ckptLSN != 0 {
+		rec, err := db.log.ReadAt(ckptLSN)
+		if err != nil {
+			return fmt.Errorf("read checkpoint: %w", err)
+		}
+		ck, err = wal.UnmarshalCheckpoint(rec.Blob)
+		if err != nil {
+			return err
+		}
+		db.tids.Bump(ck.NextTID - 1)
+		db.seq.Reset(ck.LastTS)
+	}
+
+	// --- Analysis + Redo in one forward pass ---
+	redoStart := wal.FirstLSN
+	att := make(map[itime.TID]wal.LSN) // active transactions -> last LSN
+	if ck != nil {
+		redoStart = ck.RedoScanStart(ckptLSN)
+		for _, t := range ck.ActiveTxns {
+			att[t.TID] = t.LastLSN
+		}
+	}
+
+	// Trees open lazily during redo as catalog records appear; start from
+	// the catalog already loaded from the pager meta.
+	redoTrees := make(map[uint32]*tsb.Tree)
+	treeFor := func(tableID uint32) (*tsb.Tree, error) {
+		if t, ok := redoTrees[tableID]; ok {
+			return t, nil
+		}
+		meta, ok := db.cat.ByID(tableID)
+		if !ok {
+			return nil, fmt.Errorf("redo references unknown table %d", tableID)
+		}
+		t := db.openTree(meta)
+		redoTrees[tableID] = t
+		return t, nil
+	}
+
+	err := db.log.Scan(redoStart, func(rec *wal.Record) error {
+		if rec.TID != 0 {
+			att[rec.TID] = rec.LSN
+			db.tids.Bump(rec.TID)
+		}
+		switch rec.Type {
+		case wal.TypePageImage:
+			if err := db.redoPageImage(rec); err != nil {
+				return err
+			}
+		case wal.TypeCatalog:
+			if err := db.cat.Load(rec.Blob); err != nil {
+				return err
+			}
+			// Root pointers may have moved; reposition already-open trees.
+			for id, t := range redoTrees {
+				if meta, ok := db.cat.ByID(id); ok {
+					t.SetRoot(meta.Root, meta.RootIsLeaf)
+				}
+			}
+		case wal.TypeInsertVersion:
+			meta, ok := db.cat.ByID(rec.Table)
+			if !ok {
+				return fmt.Errorf("redo references unknown table %d", rec.Table)
+			}
+			t, err := treeFor(rec.Table)
+			if err != nil {
+				return err
+			}
+			if meta.Versioned() {
+				return firstErr(t.ApplyInsertRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+			}
+			return firstErr(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+		case wal.TypeCLR:
+			meta, ok := db.cat.ByID(rec.Table)
+			if !ok {
+				return fmt.Errorf("redo references unknown table %d", rec.Table)
+			}
+			t, err := treeFor(rec.Table)
+			if err != nil {
+				return err
+			}
+			if meta.Versioned() {
+				if rec.Restore {
+					return firstErr(t.ApplyRestoreOwnRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+				}
+				return firstErr(t.ApplyUndoRedo(rec.Page, rec.TID, rec.Key, uint64(rec.LSN)))
+			}
+			// Conventional-table compensation: restore or remove.
+			if rec.Stub {
+				return firstErr(t.ApplyNoTailRedo(rec.Page, rec.Key, nil, true, uint64(rec.LSN)))
+			}
+			return firstErr(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, false, uint64(rec.LSN)))
+		case wal.TypeStamp:
+			t, err := treeFor(rec.Table)
+			if err != nil {
+				return err
+			}
+			return firstErr(t.ApplyStampRedo(rec.Page, rec.Key, rec.TID, rec.TS, uint64(rec.LSN)))
+		case wal.TypeCommit:
+			delete(att, rec.TID)
+			db.seq.Reset(rec.TS)
+			if err := db.stamp.RestoreCommitted(rec.TID, rec.TS, rec.HasTT); err != nil {
+				return err
+			}
+		case wal.TypeAbort:
+			delete(att, rec.TID)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Adopt the redo trees so undo (and later opens) share them.
+	db.mu.Lock()
+	for id, t := range redoTrees {
+		db.trees[id] = t
+	}
+	db.mu.Unlock()
+
+	// --- Undo losers ---
+	for tid, lastLSN := range att {
+		if err := db.undoTx(tid, lastLSN); err != nil {
+			return fmt.Errorf("undo of transaction %d: %w", tid, err)
+		}
+		if _, err := db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tid, PrevLSN: lastLSN}); err != nil {
+			return err
+		}
+	}
+	return db.log.Flush()
+}
+
+func firstErr(err error) error { return err }
+
+// redoPageImage installs a logged page after-image if the on-disk page has
+// not yet seen it. Pages allocated after the last durable allocator state
+// are re-extended first.
+func (db *DB) redoPageImage(rec *wal.Record) error {
+	// Make the page addressable: allocations lost in the crash re-extend the
+	// file here.
+	for page.ID(db.pager.NumPages()) <= rec.Page {
+		if _, err := db.pager.Allocate(); err != nil {
+			return err
+		}
+	}
+	// Compare LSNs. A page that never reached disk (or is torn) just takes
+	// the image.
+	cur, err := db.pager.ReadPage(rec.Page)
+	if err == nil {
+		if lsn, ok := imageLSN(cur); ok && lsn >= uint64(rec.LSN) {
+			return nil
+		}
+	} else if !errors.Is(err, disk.ErrChecksum) && !errors.Is(err, disk.ErrOutOfFile) {
+		return err
+	}
+	// Drop any stale cached copy, then write the image through.
+	if err := db.pool.Drop(rec.Page); err != nil {
+		return err
+	}
+	img := make([]byte, db.pager.PageSize())
+	copy(img, rec.Img)
+	return db.pager.WritePage(rec.Page, img)
+}
+
+// imageLSN extracts the page LSN from a raw page image.
+func imageLSN(buf []byte) (uint64, bool) {
+	switch page.TypeOf(buf) {
+	case page.TypeData:
+		p, err := page.UnmarshalData(buf)
+		if err != nil {
+			return 0, false
+		}
+		return p.LSN, true
+	case page.TypeIndex:
+		p, err := page.UnmarshalIndex(buf)
+		if err != nil {
+			return 0, false
+		}
+		return p.LSN, true
+	default:
+		return 0, false
+	}
+}

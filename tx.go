@@ -1,0 +1,618 @@
+package immortaldb
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/lock"
+	"immortaldb/internal/storage/page"
+	"immortaldb/internal/tsb"
+	"immortaldb/internal/wal"
+)
+
+// pageID shortens page.ID in log callbacks.
+type pageID = page.ID
+
+// IsolationLevel selects transaction semantics.
+type IsolationLevel int
+
+// Isolation levels.
+const (
+	// Serializable uses fine-grained two-phase locking: shared locks on
+	// reads, exclusive locks on writes, all held to commit.
+	Serializable IsolationLevel = iota
+	// SnapshotIsolation reads the database as of the transaction's start
+	// (never blocking on writers) and applies first-committer-wins to its
+	// own writes.
+	SnapshotIsolation
+	// asOf is an internal read-only mode over a past state.
+	asOf
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case Serializable:
+		return "serializable"
+	case SnapshotIsolation:
+		return "snapshot"
+	case asOf:
+		return "as-of"
+	default:
+		return "unknown"
+	}
+}
+
+// writeRec remembers one write for rollback and conflict bookkeeping.
+type writeRec struct {
+	table *Table
+	key   string
+}
+
+// Tx is a transaction. A Tx must not be used concurrently from multiple
+// goroutines.
+type Tx struct {
+	db     *DB
+	id     itime.TID
+	mode   IsolationLevel
+	snapTS itime.Timestamp // snapshot read point (SnapshotIsolation, asOf)
+	// lastLSN is the transaction's most recent log record (head of its undo
+	// chain); atomic because checkpoints read it from another goroutine.
+	lastLSN atomic.Uint64
+	writes  []writeRec
+	done    bool
+	hasTT   bool            // wrote a transaction-time (immortal) table
+	fixedTS itime.Timestamp // timestamp fixed early by CurrentTime (zero: commit-time choice)
+}
+
+// ID returns the transaction's TID.
+func (tx *Tx) ID() TID { return tx.id }
+
+// Begin starts a read-write transaction at the given isolation level.
+func (db *DB) Begin(level IsolationLevel) (*Tx, error) {
+	if level != Serializable && level != SnapshotIsolation {
+		return nil, fmt.Errorf("immortaldb: unsupported isolation level %v", level)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tx := &Tx{db: db, id: db.tids.Next(), mode: level}
+	if level == SnapshotIsolation {
+		tx.snapTS = db.seq.Last()
+	}
+	// Stage I of the timestamping protocol: create the VTT entry. Snapshot
+	// transactions on non-immortal tables never persist timestamps, but
+	// whether this transaction touches an immortal table is unknown yet; the
+	// snapshot flag here is refined at commit via the persistent argument.
+	db.stamp.Begin(tx.id, false)
+	db.active[tx.id] = tx
+	return tx, nil
+}
+
+// BeginAsOf starts a read-only transaction over the database state as of the
+// given wall-clock time ("Begin Tran AS OF", Section 4.2). Only immortal
+// tables can be read.
+func (db *DB) BeginAsOf(at time.Time) (*Tx, error) {
+	ts := itime.FromTime(at)
+	ts.Seq = 1<<32 - 1 // see the whole 20 ms tick
+	return db.BeginAsOfTS(ts)
+}
+
+// BeginAsOfTS is BeginAsOf with an exact engine timestamp (tests, and
+// replaying a timestamp obtained from History).
+func (db *DB) BeginAsOfTS(ts Timestamp) (*Tx, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tx := &Tx{db: db, id: db.tids.Next(), mode: asOf, snapTS: ts}
+	db.active[tx.id] = tx
+	return tx, nil
+}
+
+func (tx *Tx) check(write bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if write && tx.mode == asOf {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Set writes key=value in t: an insert if the key is new, an update
+// otherwise. On versioned tables this adds a new record version; on
+// conventional tables it updates in place.
+func (tx *Tx) Set(t *Table, key, value []byte) error {
+	return tx.write(t, key, value, false)
+}
+
+// Delete removes key from t. On versioned tables this adds a delete stub —
+// the record's history remains queryable; on conventional tables the record
+// is removed outright.
+func (tx *Tx) Delete(t *Table, key []byte) error {
+	return tx.write(t, key, nil, true)
+}
+
+func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
+	if err := tx.check(true); err != nil {
+		return err
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	db := tx.db
+	if err := db.locks.Acquire(tx.id, lock.Key{Table: t.meta.ID, Key: string(key)}, lock.Exclusive); err != nil {
+		return err
+	}
+	if (tx.mode == SnapshotIsolation || !tx.fixedTS.IsZero()) && t.meta.Versioned() {
+		ts, tid, _, found, err := t.tree.LatestInfo(key)
+		if err != nil {
+			return err
+		}
+		// First committer wins: abort if someone committed a newer version
+		// of this record after our snapshot (Section 1.1's snapshot
+		// isolation semantics). We hold the X lock, so any unstamped latest
+		// version can only be our own.
+		if tx.mode == SnapshotIsolation && found && tid != tx.id && ts.After(tx.snapTS) {
+			return fmt.Errorf("%w: key %q", ErrWriteConflict, key)
+		}
+		// CURRENT TIME ordering: overwriting a version stamped after the
+		// fixed timestamp would put the chain out of time order.
+		if found && tid != tx.id {
+			if err := tx.validateFixedTS(ts); err != nil {
+				return err
+			}
+		}
+	}
+
+	if !t.meta.Versioned() {
+		return tx.writeNoTail(t, key, value, del)
+	}
+
+	// Versioned write: a new non-timestamped version (delete stub for
+	// deletes), or an in-place overwrite of this transaction's own earlier
+	// uncommitted version. Logged as it is applied.
+	wasReplace := false
+	_, err := t.tree.Insert(tx.id, key, value, del, func(pid pageID, replaced bool, oldVal []byte, oldStub bool) (uint64, error) {
+		rec := &wal.Record{
+			Type:    wal.TypeInsertVersion,
+			TID:     tx.id,
+			PrevLSN: wal.LSN(tx.lastLSN.Load()),
+			Table:   t.meta.ID,
+			Page:    pid,
+			Key:     key,
+			Value:   value,
+			Stub:    del,
+		}
+		if replaced {
+			wasReplace = true
+			if oldVal == nil {
+				oldVal = []byte{}
+			}
+			rec.Old = oldVal
+			rec.OldStub = oldStub
+		}
+		lsn, err := db.log.Append(rec)
+		if err != nil {
+			return 0, err
+		}
+		tx.lastLSN.Store(uint64(lsn))
+		return uint64(lsn), nil
+	})
+	if err != nil {
+		return err
+	}
+	// Stage II: count the version against the transaction — overwrites did
+	// not create a new version.
+	if !wasReplace {
+		if err := db.stamp.AddRef(tx.id, 1); err != nil {
+			return err
+		}
+	}
+	tx.writes = append(tx.writes, writeRec{table: t, key: string(key)})
+	if t.meta.Immortal {
+		tx.hasTT = true
+	}
+	return nil
+}
+
+// writeNoTail handles conventional tables: in-place update, outright delete.
+func (tx *Tx) writeNoTail(t *Table, key, value []byte, del bool) error {
+	db := tx.db
+	appendRec := func(pid pageID, old []byte, existed bool) (uint64, error) {
+		rec := &wal.Record{
+			Type:    wal.TypeInsertVersion,
+			TID:     tx.id,
+			PrevLSN: wal.LSN(tx.lastLSN.Load()),
+			Table:   t.meta.ID,
+			Page:    pid,
+			Key:     key,
+			Value:   value,
+			Stub:    del,
+		}
+		if existed {
+			if old == nil {
+				old = []byte{}
+			}
+			rec.Old = old
+		}
+		lsn, err := db.log.Append(rec)
+		if err != nil {
+			return 0, err
+		}
+		tx.lastLSN.Store(uint64(lsn))
+		return uint64(lsn), nil
+	}
+	withOld := func(pid pageID, old []byte) (uint64, error) { return appendRec(pid, old, true) }
+	switch {
+	case del:
+		if _, err := t.tree.RemoveNoTail(key, withOld); err != nil {
+			if errors.Is(err, page.ErrNotFound) {
+				return nil // deleting a missing key is a no-op
+			}
+			return err
+		}
+	default:
+		_, found, err := t.tree.ReplaceNoTail(key, value, withOld)
+		if err != nil {
+			return err
+		}
+		if !found {
+			if _, err := t.tree.Insert(tx.id, key, value, false,
+				func(pid pageID, _ bool, _ []byte, _ bool) (uint64, error) {
+					return appendRec(pid, nil, false)
+				}); err != nil {
+				return err
+			}
+		}
+	}
+	tx.writes = append(tx.writes, writeRec{table: t, key: string(key)})
+	return nil
+}
+
+// Get returns the value of key visible to this transaction.
+func (tx *Tx) Get(t *Table, key []byte) ([]byte, bool, error) {
+	if err := tx.check(false); err != nil {
+		return nil, false, err
+	}
+	if tx.mode == asOf && !t.meta.Immortal {
+		return nil, false, fmt.Errorf("%w: %s", ErrNotImmortal, t.meta.Name)
+	}
+	if tx.mode == Serializable {
+		if err := tx.db.locks.Acquire(tx.id, lock.Key{Table: t.meta.ID, Key: string(key)}, lock.Shared); err != nil {
+			return nil, false, err
+		}
+	}
+	at := itime.Max
+	if tx.mode != Serializable {
+		at = tx.snapTS
+	}
+	// Own writes are visible even under snapshot reads.
+	res, err := t.tree.ReadKey(key, at, tx.id)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Found || res.Deleted {
+		// CURRENT TIME ordering: depending on a version committed after the
+		// fixed timestamp contradicts the chosen serialization point.
+		if err := tx.validateFixedTS(res.TS); err != nil {
+			return nil, false, err
+		}
+	}
+	if !res.Found && tx.mode == SnapshotIsolation {
+		// A write of our own may postdate the snapshot.
+		cur, err := t.tree.ReadKey(key, itime.Max, tx.id)
+		if err != nil {
+			return nil, false, err
+		}
+		if cur.TID == tx.id {
+			if cur.Deleted {
+				return nil, false, nil
+			}
+			if cur.Found {
+				return cur.Value, true, nil
+			}
+		}
+	}
+	return res.Value, res.Found, nil
+}
+
+// Scan calls fn for every visible record with lo <= key < hi (nil bounds are
+// unbounded) in key order; fn returning false stops the scan.
+func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if err := tx.check(false); err != nil {
+		return err
+	}
+	if tx.mode == asOf && !t.meta.Immortal {
+		return fmt.Errorf("%w: %s", ErrNotImmortal, t.meta.Name)
+	}
+	at := itime.Max
+	if tx.mode != Serializable {
+		at = tx.snapTS
+	}
+	var tsErr error
+	err := t.tree.ScanAsOf(lo, hi, at, tx.id, func(r tsb.Result) bool {
+		if tsErr = tx.validateFixedTS(r.TS); tsErr != nil {
+			return false
+		}
+		return fn(r.Key, r.Value)
+	})
+	if err == nil {
+		err = tsErr
+	}
+	return err
+}
+
+// Commit finishes the transaction. Its timestamp is chosen now — commit
+// time, the latest possible choice, guaranteeing agreement with
+// serialization order (Section 2.1) — and recorded in one PTT update;
+// the transaction's record versions are NOT revisited (lazy timestamping).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	db := tx.db
+	tx.done = true
+	defer db.finish(tx)
+
+	if tx.mode == asOf || len(tx.writes) == 0 {
+		// Read-only: nothing to log or stamp.
+		db.stamp.Abort(tx.id) // drop the VTT entry
+		return nil
+	}
+
+	db.commitMu.Lock()
+	ts := tx.fixedTS
+	if ts.IsZero() {
+		// Late choice: the timestamp is the commit time, so it necessarily
+		// agrees with serialization order (Section 2.1).
+		ts = db.seq.Next()
+	}
+	if db.opts.EagerTimestamping {
+		// Eager mode: revisit and stamp everything before commit completes.
+		// No TID-to-timestamp mapping needs to outlive the transaction.
+		if err := tx.eagerStamp(ts); err != nil {
+			db.commitMu.Unlock()
+			return err
+		}
+		db.stamp.Abort(tx.id)
+	} else if err := db.stamp.Commit(tx.id, ts, tx.hasTT, func() wal.LSN {
+		// Snapshot-only transactions (no immortal table touched) keep their
+		// mapping in the VTT alone; immortal writers get the one PTT insert.
+		return db.log.End()
+	}); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
+	_, err := db.log.Append(&wal.Record{
+		Type:    wal.TypeCommit,
+		TID:     tx.id,
+		PrevLSN: wal.LSN(tx.lastLSN.Load()),
+		TS:      ts,
+		HasTT:   tx.hasTT && !db.opts.EagerTimestamping,
+	})
+	if err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
+	if err := db.log.Flush(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
+	if db.opts.PTTSyncEveryCommit {
+		if err := db.stamp.SyncPTT(); err != nil {
+			db.commitMu.Unlock()
+			return err
+		}
+	}
+	db.commitMu.Unlock()
+
+	db.mu.Lock()
+	db.commits++
+	db.txnsSinceCkpt++
+	doCkpt := db.opts.CheckpointEveryN > 0 && db.txnsSinceCkpt >= db.opts.CheckpointEveryN
+	if doCkpt {
+		db.txnsSinceCkpt = 0
+	}
+	db.mu.Unlock()
+	if doCkpt {
+		return db.Checkpoint()
+	}
+	return nil
+}
+
+// eagerStamp revisits every record the transaction wrote and timestamps it
+// before commit completes, logging each stamp — exactly the cost profile
+// Section 2.2 rejects: commit is delayed and extra log records are written.
+func (tx *Tx) eagerStamp(ts itime.Timestamp) error {
+	db := tx.db
+	stamped := make(map[string]bool, len(tx.writes))
+	for _, w := range tx.writes {
+		if !w.table.meta.Versioned() {
+			continue
+		}
+		sk := fmt.Sprintf("%d/%s", w.table.meta.ID, w.key)
+		if stamped[sk] {
+			continue
+		}
+		stamped[sk] = true
+		w := w
+		_, err := w.table.tree.ApplyStamp([]byte(w.key), tx.id, ts, func(pid pageID) (uint64, error) {
+			lsn, err := db.log.Append(&wal.Record{
+				Type:  wal.TypeStamp,
+				TID:   tx.id,
+				Table: w.table.meta.ID,
+				Page:  pid,
+				Key:   []byte(w.key),
+				TS:    ts,
+			})
+			return uint64(lsn), err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rollback undoes the transaction: every versioned insert is removed (the
+// logical undo of ARIES), compensation records are logged, and locks drop.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	db := tx.db
+	tx.done = true
+	defer db.finish(tx)
+	defer func() {
+		db.mu.Lock()
+		db.aborts++
+		db.mu.Unlock()
+	}()
+
+	last := wal.LSN(tx.lastLSN.Load())
+	if err := db.undoTx(tx.id, last); err != nil {
+		return err
+	}
+	db.stamp.Abort(tx.id)
+	_, err := db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tx.id, PrevLSN: last})
+	return err
+}
+
+// undoTx walks a transaction's log chain backwards, undoing each update and
+// logging CLRs. It serves both online rollback and recovery undo.
+func (db *DB) undoTx(tid itime.TID, from wal.LSN) error {
+	cur := from
+	for cur != 0 {
+		rec, err := db.log.ReadAt(cur)
+		if err != nil {
+			return err
+		}
+		switch rec.Type {
+		case wal.TypeCLR:
+			// Already-compensated region: skip to the next record to undo.
+			cur = rec.Undo
+			continue
+		case wal.TypeInsertVersion:
+			t, ok := db.cat.ByID(rec.Table)
+			if !ok {
+				return fmt.Errorf("immortaldb: undo references unknown table %d", rec.Table)
+			}
+			tree := db.treeByID(rec.Table)
+			logCLR := func(stub bool, value []byte) tsb.LogFunc {
+				return func(pid pageID) (uint64, error) {
+					lsn, err := db.log.Append(&wal.Record{
+						Type:  wal.TypeCLR,
+						TID:   tid,
+						Table: rec.Table,
+						Page:  pid,
+						Key:   rec.Key,
+						Undo:  rec.PrevLSN,
+						Stub:  stub,
+						Value: value,
+					})
+					return uint64(lsn), err
+				}
+			}
+			if t.Versioned() {
+				if rec.Old != nil || rec.OldStub {
+					// Undo of an in-place overwrite: put the previous
+					// uncommitted state back.
+					if err := tree.UndoReplaceOwn(tid, rec.Key, rec.Old, rec.OldStub, logRestoreCLR(db, tid, rec)); err != nil {
+						return fmt.Errorf("immortaldb: undo overwrite of %q: %w", rec.Key, err)
+					}
+				} else if err := tree.UndoInsert(tid, rec.Key, logCLR(false, nil)); err != nil {
+					return fmt.Errorf("immortaldb: undo insert of %q: %w", rec.Key, err)
+				}
+			} else {
+				// Conventional table: restore the old value / remove.
+				if rec.Old != nil {
+					if err := tree.RestoreNoTail(rec.Key, rec.Old, true, logCLR(false, rec.Old)); err != nil {
+						return err
+					}
+				} else {
+					if err := tree.RestoreNoTail(rec.Key, nil, false, logCLR(true, nil)); err != nil {
+						return err
+					}
+				}
+			}
+		case wal.TypeStamp:
+			// Eager-mode stamp of a loser transaction: the stamped versions
+			// are removed by the InsertVersion undos that follow in the
+			// chain; nothing to compensate here.
+		}
+		cur = rec.PrevLSN
+	}
+	return nil
+}
+
+func (db *DB) treeByID(id uint32) *tsb.Tree {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.trees[id]
+}
+
+// finish releases a transaction's locks and bookkeeping.
+func (db *DB) finish(tx *Tx) {
+	db.locks.ReleaseAll(tx.id)
+	db.mu.Lock()
+	delete(db.active, tx.id)
+	db.mu.Unlock()
+}
+
+// Update runs fn in a serializable transaction, committing on success and
+// rolling back on error or panic.
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	tx, err := db.Begin(Serializable)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if !tx.done {
+			tx.Rollback()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil && !errors.Is(rbErr, ErrTxDone) {
+			return fmt.Errorf("%w (rollback: %v)", err, rbErr)
+		}
+		return err
+	}
+	return tx.Commit()
+}
+
+// View runs fn in a read-only snapshot transaction.
+func (db *DB) View(fn func(tx *Tx) error) error {
+	tx, err := db.Begin(SnapshotIsolation)
+	if err != nil {
+		return err
+	}
+	defer tx.Commit()
+	return fn(tx)
+}
+
+// logRestoreCLR builds the CLR logger for undoing an in-place overwrite: the
+// compensation carries the restored value and stub state, and is marked
+// Restore so redo re-applies the restore rather than removing a version.
+func logRestoreCLR(db *DB, tid itime.TID, rec *wal.Record) tsb.LogFunc {
+	return func(pid pageID) (uint64, error) {
+		lsn, err := db.log.Append(&wal.Record{
+			Type:    wal.TypeCLR,
+			TID:     tid,
+			Table:   rec.Table,
+			Page:    pid,
+			Key:     rec.Key,
+			Undo:    rec.PrevLSN,
+			Stub:    rec.OldStub,
+			Restore: true,
+			Value:   rec.Old,
+		})
+		return uint64(lsn), err
+	}
+}
