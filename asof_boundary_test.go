@@ -1,0 +1,122 @@
+package immortaldb
+
+// AS OF boundary semantics, pinned with a fully deterministic clock:
+//
+//   - a query exactly AT a commit timestamp sees that commit (inclusive);
+//   - commits sharing one 20 ms wall tick are distinguished by the sequence
+//     number, and an AS OF between two same-tick commits sees exactly the
+//     earlier one;
+//   - an AS OF before the first commit sees an empty table (not an error);
+//
+// and all of the above survive a close/reopen cycle (recovery rebuilds the
+// same history).
+
+import (
+	"testing"
+	"time"
+
+	"immortaldb/internal/itime"
+)
+
+func commitKV(t *testing.T, db *DB, tbl *Table, key, val string) Timestamp {
+	t.Helper()
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Set(tbl, []byte(key), []byte(val))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db.Now()
+}
+
+func stateAsOf(t *testing.T, db *DB, tbl *Table, at Timestamp) map[string]string {
+	t.Helper()
+	tx, err := db.BeginAsOfTS(at)
+	if err != nil {
+		t.Fatalf("BeginAsOfTS(%v): %v", at, err)
+	}
+	defer tx.Commit()
+	got := map[string]string{}
+	if err := tx.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan AS OF %v: %v", at, err)
+	}
+	return got
+}
+
+func wantState(t *testing.T, db *DB, tbl *Table, at Timestamp, label string, want map[string]string) {
+	t.Helper()
+	got := stateAsOf(t, db, tbl, at)
+	if len(got) != len(want) {
+		t.Fatalf("%s (AS OF %v): got %v, want %v", label, at, got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s (AS OF %v): key %s = %q, want %q", label, at, k, got[k], v)
+		}
+	}
+}
+
+func TestAsOfBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	// No AutoStep: the clock moves only when the test says so, making every
+	// commit timestamp — wall tick AND sequence number — predictable.
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
+	opts := testOpts(func(o *Options) { o.Clock = clock })
+
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("t", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a and b commit inside one wall tick; c lands on a later tick.
+	tsA := commitKV(t, db, tbl, "k", "a")
+	tsB := commitKV(t, db, tbl, "k", "b")
+	clock.Advance(5 * itime.TickDuration)
+	tsC := commitKV(t, db, tbl, "k", "c")
+
+	if tsA.Wall != tsB.Wall {
+		t.Fatalf("setup: a (%v) and b (%v) were meant to share a wall tick", tsA, tsB)
+	}
+	if tsB.Seq != tsA.Seq+1 {
+		t.Fatalf("setup: same-tick commits must differ by one sequence number: %v then %v", tsA, tsB)
+	}
+	if tsC.Wall <= tsB.Wall || tsC.Seq != 0 {
+		t.Fatalf("setup: c (%v) was meant to start a fresh tick after %v", tsC, tsB)
+	}
+
+	check := func(db *DB, tbl *Table) {
+		// Exactly at each commit timestamp: inclusive.
+		wantState(t, db, tbl, tsA, "at first commit", map[string]string{"k": "a"})
+		wantState(t, db, tbl, tsB, "at same-tick successor", map[string]string{"k": "b"})
+		wantState(t, db, tbl, tsC, "at later-tick commit", map[string]string{"k": "c"})
+		// Between the same-tick pair there is no representable timestamp
+		// (they differ by exactly one sequence number); between b and c there
+		// are both same-tick (higher Seq) and later-tick instants.
+		wantState(t, db, tbl, Timestamp{Wall: tsB.Wall, Seq: tsB.Seq + 9}, "same tick after b", map[string]string{"k": "b"})
+		wantState(t, db, tbl, Timestamp{Wall: tsC.Wall - 1, Seq: 0}, "tick before c", map[string]string{"k": "b"})
+		// Before the first commit: an empty table, not an error.
+		wantState(t, db, tbl, Timestamp{Wall: tsA.Wall - 1, Seq: 0}, "before first commit", map[string]string{})
+		wantState(t, db, tbl, Timestamp{Wall: tsA.Wall, Seq: 0}, "first instant of first tick", map[string]string{"k": "a"})
+	}
+	check(db, tbl)
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err = db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(db, tbl)
+}

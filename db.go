@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"immortaldb/internal/stamp"
 	"immortaldb/internal/storage/disk"
 	"immortaldb/internal/storage/page"
+	"immortaldb/internal/storage/vfs"
 	"immortaldb/internal/tsb"
 	"immortaldb/internal/wal"
 )
@@ -91,6 +93,16 @@ type Options struct {
 	CheckpointEveryN int
 	// LockTimeout bounds lock waits (default 10s).
 	LockTimeout time.Duration
+	// FS redirects all file I/O (page file, log, timestamp table) to an
+	// alternative filesystem — vfs.NewSim for crash testing. nil uses the
+	// real one; dir is then created on disk.
+	FS vfs.FS
+	// FullPageWrites logs a physical image of every page just before it is
+	// written in place, so recovery can repair a write torn mid-page by a
+	// crash (the same defense as PostgreSQL's full_page_writes). Off by
+	// default: it costs log volume, and tearing is still *detected* without
+	// it via page CRCs.
+	FullPageWrites bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -186,14 +198,20 @@ const (
 // Open opens or creates a database in dir.
 func Open(dir string, opts *Options) (*DB, error) {
 	o := opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("immortaldb: create %s: %w", dir, err)
+	fsys := o.FS
+	if fsys == nil {
+		// Paths on a simulated FS are pure names; only the real one needs
+		// the directory to exist.
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("immortaldb: create %s: %w", dir, err)
+		}
+		fsys = vfs.OS()
 	}
-	pager, err := disk.Open(filepath.Join(dir, pagesFile), o.PageSize)
+	pager, err := disk.OpenFS(fsys, filepath.Join(dir, pagesFile), o.PageSize)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(dir, walFile))
+	log, err := wal.OpenFS(fsys, filepath.Join(dir, walFile))
 	if err != nil {
 		pager.Close()
 		return nil, err
@@ -202,6 +220,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 	ptt, err := cow.Open(filepath.Join(dir, pttFile), cow.Options{
 		ValSize: stamp.PTTValueLen,
 		NoSync:  o.NoSync,
+		FS:      fsys,
 	})
 	if err != nil {
 		log.Close()
@@ -231,6 +250,12 @@ func Open(dir string, opts *Options) (*DB, error) {
 	// The write-ahead rule: a page may be written only once the log covering
 	// its LSN is durable.
 	db.pool.FlushLSN = func(lsn uint64) error { return log.FlushTo(wal.LSN(lsn)) }
+	if o.FullPageWrites {
+		db.pool.PreWrite = func(id page.ID, buf []byte) (uint64, error) {
+			lsn, err := log.Append(&wal.Record{Type: wal.TypePageImage, Page: id, Img: buf})
+			return uint64(lsn), err
+		}
+	}
 	// Flush-triggered lazy timestamping (Section 2.2).
 	db.pool.PreFlush = func(pg any) {
 		dp, ok := pg.(*page.DataPage)
@@ -459,6 +484,7 @@ func (db *DB) Checkpoint() error {
 		att = append(att, wal.TxnState{TID: tid, LastLSN: wal.LSN(tx.lastLSN.Load())})
 	}
 	db.mu.Unlock()
+	sort.Slice(att, func(i, j int) bool { return att[i].TID < att[j].TID })
 
 	// PTT entries for commits already in the log must be durable before the
 	// checkpoint can move the redo scan start past those commit records.
@@ -480,6 +506,7 @@ func (db *DB) Checkpoint() error {
 	for id, recLSN := range dpt {
 		ck.DirtyPages = append(ck.DirtyPages, wal.DirtyPage{ID: id, RecLSN: wal.LSN(recLSN)})
 	}
+	sort.Slice(ck.DirtyPages, func(i, j int) bool { return ck.DirtyPages[i].ID < ck.DirtyPages[j].ID })
 	lsn, err := db.log.Append(&wal.Record{Type: wal.TypeCheckpoint, Blob: ck.Marshal()})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"immortaldb/internal/storage/disk"
@@ -68,6 +69,11 @@ type Pool struct {
 	// FlushLSN, when set, is called with a dirty page's LSN before the page
 	// is written; it must make the log durable at least that far.
 	FlushLSN func(lsn uint64) error
+	// PreWrite, when set, sees the encoded bytes of every dirty page just
+	// before the physical write and returns an LSN the log must be durable
+	// through first. It implements full-page-writes: the hook logs a page
+	// image so recovery can repair a write torn by a crash.
+	PreWrite func(id page.ID, buf []byte) (uint64, error)
 
 	hits, misses, evictions, flushes uint64
 }
@@ -216,13 +222,6 @@ func (p *Pool) writeFrameLocked(f *Frame) error {
 	if p.PreFlush != nil {
 		p.PreFlush(f.pg)
 	}
-	if p.FlushLSN != nil {
-		if lsn := pageLSN(f.pg); lsn != 0 {
-			if err := p.FlushLSN(lsn); err != nil {
-				return fmt.Errorf("buffer: WAL flush for page %d: %w", f.id, err)
-			}
-		}
-	}
 	buf := make([]byte, p.pager.PageSize())
 	var err error
 	switch v := f.pg.(type) {
@@ -238,6 +237,24 @@ func (p *Pool) writeFrameLocked(f *Frame) error {
 	if err != nil {
 		return fmt.Errorf("buffer: encode page %d: %w", f.id, err)
 	}
+	// Write-ahead: the log must be durable through the page's own LSN and,
+	// with full-page-writes on, through the image record PreWrite just
+	// appended for it.
+	lsn := pageLSN(f.pg)
+	if p.PreWrite != nil {
+		imageLSN, err := p.PreWrite(f.id, buf)
+		if err != nil {
+			return fmt.Errorf("buffer: page image for page %d: %w", f.id, err)
+		}
+		if imageLSN > lsn {
+			lsn = imageLSN
+		}
+	}
+	if p.FlushLSN != nil && lsn != 0 {
+		if err := p.FlushLSN(lsn); err != nil {
+			return fmt.Errorf("buffer: WAL flush for page %d: %w", f.id, err)
+		}
+	}
 	if err := p.pager.WritePage(f.id, buf); err != nil {
 		return err
 	}
@@ -252,8 +269,16 @@ func (p *Pool) writeFrameLocked(f *Frame) error {
 func (p *Pool) FlushAll(sync bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if err := p.writeFrameLocked(f); err != nil {
+	// Flush in page-ID order: the physical write sequence must be a pure
+	// function of the workload so crash-matrix tests can replay an exact
+	// crash point.
+	ids := make([]page.ID, 0, len(p.frames))
+	for id := range p.frames {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := p.writeFrameLocked(p.frames[id]); err != nil {
 			return err
 		}
 	}

@@ -16,9 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sort"
 	"sync"
+
+	"immortaldb/internal/storage/vfs"
 )
 
 // Errors returned by the tree.
@@ -57,6 +58,8 @@ type Options struct {
 	ValSize int
 	// NoSync skips fsync on Commit (benchmarks).
 	NoSync bool
+	// FS is the filesystem to open the file on; nil means the real one.
+	FS vfs.FS
 }
 
 // Tree is a copy-on-write B+tree. All methods are safe for concurrent use,
@@ -64,7 +67,7 @@ type Options struct {
 // them durable atomically; a crash reverts to the last committed state.
 type Tree struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	pageSize int
 	valSize  int
 	noSync   bool
@@ -103,17 +106,21 @@ func Open(path string, opts Options) (*Tree, error) {
 	if ps < minPageSz || ps&(ps-1) != 0 {
 		return nil, fmt.Errorf("cow: page size %d must be a power of two >= %d", ps, minPageSz)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("cow: open %s: %w", path, err)
 	}
 	t := &Tree{f: f, noSync: opts.NoSync}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		if opts.ValSize <= 0 {
 			f.Close()
 			return nil, fmt.Errorf("cow: ValSize required to create %s", path)
@@ -749,6 +756,15 @@ func (t *Tree) Commit() error {
 			return fmt.Errorf("cow: sync nodes: %w", err)
 		}
 	}
+	// Snapshot the pre-flip state so a failed meta write or sync can revert
+	// to it: otherwise a retried Commit would advance txid twice and aim the
+	// retry at the slot holding the last durable meta.
+	oldTxid, oldRoot := t.txid, t.rootPage
+	oldFreeNow, oldFreedTx, oldAllocTx := t.freeNow, t.freedTx, t.allocTx
+	revert := func() {
+		t.txid, t.rootPage = oldTxid, oldRoot
+		t.freeNow, t.freedTx, t.allocTx = oldFreeNow, oldFreedTx, oldAllocTx
+	}
 	t.txid++
 	t.rootPage = rootID
 	// Pages freed this txn become reusable only after this meta is the
@@ -756,10 +772,12 @@ func (t *Tree) Commit() error {
 	nextFree := append(append([]uint64(nil), t.freeNow...), t.freedTx...)
 	t.freeNow, t.freedTx, t.allocTx = nextFree, nil, nil
 	if err := t.writeMeta(); err != nil {
+		revert()
 		return err
 	}
 	if !t.noSync {
 		if err := t.f.Sync(); err != nil {
+			revert()
 			return fmt.Errorf("cow: sync meta: %w", err)
 		}
 	}

@@ -1,0 +1,408 @@
+// Package fault drives the crash-matrix recovery harness: it runs a fixed,
+// fully deterministic workload against a database backed by the simulated
+// disk (vfs.SimFS), crashes the disk at a chosen I/O operation, reboots with
+// torn and lost sectors, recovers, and verifies the survivor against a
+// reference model.
+//
+// Determinism contract: for a given Seed, the sequence of database calls —
+// and therefore the sequence of disk operations — is identical regardless of
+// CrashAt. CrashAt only chooses where the run is cut short. That is what
+// makes "crash at operation N" a replayable coordinate: a failing point can
+// be re-run in isolation with the same seed.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/vfs"
+)
+
+// Config selects a workload instance and a crash point.
+type Config struct {
+	// Seed drives the workload generator and the simulated disk's torn-write
+	// coin flips.
+	Seed int64
+	// CrashAt crashes the simulated disk at the CrashAt-th I/O operation
+	// (1-based). 0 runs the workload to a clean Close, which is how callers
+	// learn the total operation count.
+	CrashAt int64
+	// Txns is the number of transactions to attempt (default 60).
+	Txns int
+}
+
+// Event is one write inside a transaction.
+type Event struct {
+	Key, Val string
+	Del      bool
+}
+
+// CommitRecord is one successfully committed transaction with its timestamp.
+type CommitRecord struct {
+	TS     immortaldb.Timestamp
+	Events []Event
+}
+
+// RunResult captures everything Verify needs: the crashed filesystem, the
+// committed history (the model), and the single maybe-committed transaction.
+type RunResult struct {
+	Config Config
+	FS     *vfs.SimFS
+
+	// Committed lists transactions whose Commit returned nil, in commit
+	// order. Recovery must preserve every one of them.
+	Committed []CommitRecord
+	// Pending holds the events of a transaction whose Commit returned an
+	// error. Its commit record may or may not have reached the disk, so
+	// recovery may legitimately resolve it either way ("presumed nothing"
+	// is wrong: the record could have hit the log just before the crash).
+	Pending []Event
+
+	// OpenCompleted is false when the crash hit during initial Open /
+	// CreateTable, before any transaction ran.
+	OpenCompleted bool
+	// Clean is true when the workload ran to a successful Close (no crash).
+	Clean bool
+	// Err is the first error the workload observed (the injected crash, on a
+	// healthy engine).
+	Err error
+	// Trace is the tail of the disk-operation log captured at crash time
+	// (Reboot and verification overwrite the filesystem's live trace).
+	Trace []vfs.Op
+}
+
+const (
+	dirName   = "crashsim"
+	tableName = "t"
+	numKeys   = 12
+)
+
+// workloadStart is the fixed simulated wall-clock origin.
+var workloadStart = time.Date(2006, 4, 3, 12, 0, 0, 0, time.UTC)
+
+func options(fs *vfs.SimFS) *immortaldb.Options {
+	return &immortaldb.Options{
+		PageSize:       1024,
+		CacheFrames:    8,
+		Clock:          itime.NewSimClock(workloadStart),
+		FS:             fs,
+		FullPageWrites: true,
+	}
+}
+
+// Run executes the deterministic workload for cfg, crashing at cfg.CrashAt.
+func Run(cfg Config) *RunResult {
+	if cfg.Txns == 0 {
+		cfg.Txns = 60
+	}
+	fs := vfs.NewSim(cfg.Seed)
+	if cfg.CrashAt > 0 {
+		fs.SetCrashAt(cfg.CrashAt)
+	}
+	res := &RunResult{Config: cfg, FS: fs}
+
+	opts := options(fs)
+	clock := opts.Clock.(*itime.SimClock)
+	db, err := immortaldb.Open(dirName, opts)
+	if err != nil {
+		res.Err = err
+		res.Trace = fs.Trace()
+		return res
+	}
+	abandon := func(err error) *RunResult {
+		res.Err = err
+		res.Trace = fs.Trace()
+		db.Close() // best effort; the disk has usually crashed under it
+		return res
+	}
+	tbl, err := db.CreateTable(tableName, immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		return abandon(err)
+	}
+	res.OpenCompleted = true
+
+	// The generator is a function of Seed alone. Every rng draw below happens
+	// in a fixed order, so two runs with the same seed issue identical I/O.
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + 17))
+	for i := 0; i < cfg.Txns; i++ {
+		// Advance the clock by 0–2 ticks: zero keeps consecutive commits on
+		// one wall tick, exercising the sequence-number tie-break.
+		if adv := rng.Intn(3); adv > 0 {
+			clock.Advance(time.Duration(adv) * itime.TickDuration)
+		}
+		if i%8 == 7 {
+			if err := db.Checkpoint(); err != nil {
+				return abandon(err)
+			}
+		}
+		tx, err := db.Begin(immortaldb.Serializable)
+		if err != nil {
+			return abandon(err)
+		}
+		rollback := rng.Intn(7) == 0
+		n := 1 + rng.Intn(4)
+		var evs []Event
+		for j := 0; j < n; j++ {
+			key := fmt.Sprintf("k%02d", rng.Intn(numKeys))
+			if rng.Intn(5) == 0 {
+				if err := tx.Delete(tbl, []byte(key)); err != nil {
+					tx.Rollback()
+					return abandon(err)
+				}
+				evs = append(evs, Event{Key: key, Del: true})
+			} else {
+				val := fmt.Sprintf("v%03d.%d.%s", i, j, strings.Repeat("x", 20+rng.Intn(80)))
+				if err := tx.Set(tbl, []byte(key), []byte(val)); err != nil {
+					tx.Rollback()
+					return abandon(err)
+				}
+				evs = append(evs, Event{Key: key, Val: val})
+			}
+		}
+		if rollback {
+			if err := tx.Rollback(); err != nil {
+				return abandon(err)
+			}
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			// The commit record may have reached the log before the crash.
+			res.Pending = evs
+			return abandon(err)
+		}
+		res.Committed = append(res.Committed, CommitRecord{TS: db.Now(), Events: evs})
+	}
+	if err := db.Close(); err != nil {
+		return abandon(err)
+	}
+	res.Clean = true
+	return res
+}
+
+func apply(state map[string]string, evs []Event) {
+	for _, e := range evs {
+		if e.Del {
+			delete(state, e.Key)
+		} else {
+			state[e.Key] = e.Val
+		}
+	}
+}
+
+func clone(state map[string]string) map[string]string {
+	out := make(map[string]string, len(state))
+	for k, v := range state {
+		out[k] = v
+	}
+	return out
+}
+
+func diff(got, want map[string]string) string {
+	keys := map[string]struct{}{}
+	for k := range got {
+		keys[k] = struct{}{}
+	}
+	for k := range want {
+		keys[k] = struct{}{}
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	var b strings.Builder
+	for _, k := range ordered {
+		g, gok := got[k]
+		w, wok := want[k]
+		if gok == wok && g == w {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s: got %q(%v) want %q(%v)\n", k, g, gok, w, wok)
+	}
+	return b.String()
+}
+
+func equal(got, want map[string]string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func scanAt(db *immortaldb.DB, tbl *immortaldb.Table, at immortaldb.Timestamp) (map[string]string, error) {
+	tx, err := db.BeginAsOfTS(at)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Commit()
+	state := map[string]string{}
+	err = tx.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		state[string(k)] = string(v)
+		return true
+	})
+	return state, err
+}
+
+func scanCurrent(db *immortaldb.DB, tbl *immortaldb.Table) (map[string]string, error) {
+	tx, err := db.Begin(immortaldb.Serializable)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Commit()
+	state := map[string]string{}
+	err = tx.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		state[string(k)] = string(v)
+		return true
+	})
+	return state, err
+}
+
+// Verify reboots the crashed disk, reopens the database (running recovery),
+// and checks the three invariant classes:
+//
+//  1. Durability/atomicity: the current state equals the replay of every
+//     committed transaction — plus, optionally, the single maybe-committed
+//     one. Nothing else (no partial transactions, no rolled-back data).
+//  2. History: AS OF every committed timestamp reproduces the model's state
+//     at that timestamp. The maybe-committed transaction cannot disturb
+//     these: its timestamp, if it got one durably, is strictly later.
+//  3. Forward life: a sentinel transaction commits, a checkpoint (which
+//     flush-stamps recovered pages and hardens the PTT) succeeds, and a
+//     second clean reopen re-verifies everything — proving the recovered
+//     pages are CRC-clean and the timestamp table is stampable again.
+func Verify(res *RunResult) error {
+	fs := res.FS
+	fs.Reboot()
+
+	db, err := immortaldb.Open(dirName, options(fs))
+	if err != nil {
+		if !res.OpenCompleted && len(res.Committed) == 0 && res.Pending == nil {
+			// Creation window: the database never finished coming into
+			// existence and holds no committed data; a clean refusal to open
+			// is acceptable.
+			return nil
+		}
+		return fmt.Errorf("reopen after recovery failed: %w", err)
+	}
+	defer db.Close()
+
+	tbl, err := db.Table(tableName)
+	if err != nil {
+		if len(res.Committed) == 0 {
+			// The crash hit before (or during) CreateTable became durable and
+			// nothing ever committed; an absent table is a valid outcome.
+			return nil
+		}
+		return fmt.Errorf("table lost despite %d commits: %w", len(res.Committed), err)
+	}
+
+	base := map[string]string{}
+	for _, c := range res.Committed {
+		apply(base, c.Events)
+	}
+	withPending := clone(base)
+	apply(withPending, res.Pending)
+
+	cur, err := scanCurrent(db, tbl)
+	if err != nil {
+		return fmt.Errorf("current-state scan: %w", err)
+	}
+	pendingApplied := false
+	switch {
+	case equal(cur, base):
+	case res.Pending != nil && equal(cur, withPending):
+		pendingApplied = true
+	default:
+		return fmt.Errorf("current state matches neither committed model nor committed+pending\nvs committed:\n%svs committed+pending:\n%s",
+			diff(cur, base), diff(cur, withPending))
+	}
+
+	checkHistory := func(db *immortaldb.DB, tbl *immortaldb.Table) error {
+		state := map[string]string{}
+		for i, c := range res.Committed {
+			apply(state, c.Events)
+			got, err := scanAt(db, tbl, c.TS)
+			if err != nil {
+				return fmt.Errorf("AS OF commit %d (ts %v): %w", i, c.TS, err)
+			}
+			if !equal(got, state) {
+				return fmt.Errorf("AS OF commit %d (ts %v) diverges:\n%s", i, c.TS, diff(got, state))
+			}
+		}
+		return nil
+	}
+	if err := checkHistory(db, tbl); err != nil {
+		return err
+	}
+
+	// Forward life: commit, checkpoint (flush-stamps + hardens PTT + GC),
+	// close, reopen, re-verify.
+	err = db.Update(func(tx *immortaldb.Tx) error {
+		return tx.Set(tbl, []byte("sentinel"), []byte("alive"))
+	})
+	if err != nil {
+		return fmt.Errorf("post-recovery commit: %w", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("post-recovery checkpoint: %w", err)
+	}
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("post-recovery close: %w", err)
+	}
+
+	db2, err := immortaldb.Open(dirName, options(fs))
+	if err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	defer db2.Close()
+	tbl2, err := db2.Table(tableName)
+	if err != nil {
+		return fmt.Errorf("table lost on second reopen: %w", err)
+	}
+	want := clone(base)
+	if pendingApplied {
+		want = clone(withPending)
+	}
+	want["sentinel"] = "alive"
+	cur2, err := scanCurrent(db2, tbl2)
+	if err != nil {
+		return fmt.Errorf("second current-state scan: %w", err)
+	}
+	if !equal(cur2, want) {
+		return fmt.Errorf("state after sentinel+checkpoint+reopen diverges:\n%s", diff(cur2, want))
+	}
+	if err := checkHistory(db2, tbl2); err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	return nil
+}
+
+// Describe renders a failure coordinate with enough context to replay it.
+func Describe(res *RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d crash-point=%d ops-executed=%d committed=%d pending=%v open-completed=%v\n",
+		res.Config.Seed, res.Config.CrashAt, res.FS.OpCount(), len(res.Committed), res.Pending != nil, res.OpenCompleted)
+	fmt.Fprintf(&b, "replay: go test -run TestCrashMatrix -seed=%d -point=%d\n", res.Config.Seed, res.Config.CrashAt)
+	fmt.Fprintf(&b, "last disk ops before crash:\n")
+	for _, op := range res.Trace {
+		fmt.Fprintf(&b, "  %s\n", op.String())
+	}
+	return b.String()
+}
+
+// Crashed reports whether err (or the filesystem) reflects the injected
+// crash, as opposed to an unexpected engine failure.
+func Crashed(res *RunResult) bool {
+	return res.FS.Crashed() || errors.Is(res.Err, vfs.ErrCrashed)
+}

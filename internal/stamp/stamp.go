@@ -8,6 +8,7 @@ package stamp
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"immortaldb/internal/cow"
@@ -125,6 +126,26 @@ func (m *Manager) Commit(tid itime.TID, ts itime.Timestamp, persistent bool, end
 // SyncPTT makes buffered PTT changes durable.
 func (m *Manager) SyncPTT() error { return m.ptt.Commit() }
 
+// UndoCommit reverses a Commit whose transaction failed to become durable —
+// the commit record could not be appended or flushed. The VTT entry reverts
+// to active and the buffered PTT insert is withdrawn, so the transaction can
+// still be rolled back normally.
+func (m *Manager) UndoCommit(tid itime.TID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.vtt[tid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTID, tid)
+	}
+	e.committed = false
+	e.ts = itime.Timestamp{}
+	e.doneLSN = 0
+	if err := m.ptt.Delete(uint64(tid)); err != nil && !errors.Is(err, cow.ErrNotFound) {
+		return fmt.Errorf("stamp: PTT withdraw for %d: %w", tid, err)
+	}
+	return nil
+}
+
 // Abort drops the transaction's VTT entry; its versions are being removed
 // by rollback, so no timestamp will ever be needed.
 func (m *Manager) Abort(tid itime.TID) {
@@ -198,7 +219,9 @@ func (m *Manager) RunGC(redoScanStart wal.LSN) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.gcRuns++
-	removed := 0
+	// Collect in TID order so PTT mutations — and therefore the I/O they
+	// cause — happen in a replayable sequence for crash-matrix tests.
+	eligible := make([]itime.TID, 0, len(m.vtt))
 	for tid, e := range m.vtt {
 		if !e.committed || e.snapshot || e.refCount != 0 || e.doneLSN == 0 {
 			continue
@@ -206,6 +229,11 @@ func (m *Manager) RunGC(redoScanStart wal.LSN) (int, error) {
 		if redoScanStart <= e.doneLSN {
 			continue
 		}
+		eligible = append(eligible, tid)
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
+	removed := 0
+	for _, tid := range eligible {
 		if err := m.ptt.Delete(uint64(tid)); err != nil && !errors.Is(err, cow.ErrNotFound) {
 			return removed, fmt.Errorf("stamp: PTT delete for %d: %w", tid, err)
 		}

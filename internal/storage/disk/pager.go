@@ -1,6 +1,7 @@
 // Package disk implements the page file: fixed-size pages addressed by
 // page.ID, with CRC32C checksums, a persistent free list, and a small engine
-// metadata area on page 0.
+// metadata area kept in two alternating meta pages so a torn meta write can
+// never brick the file.
 package disk
 
 import (
@@ -9,10 +10,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 
 	"immortaldb/internal/storage/page"
+	"immortaldb/internal/storage/vfs"
 )
 
 // Errors returned by the pager.
@@ -25,10 +26,16 @@ var (
 
 const (
 	magic         = 0x494d4d44420a01 // "IMMDB\n" + version tag
-	formatVersion = 1
+	formatVersion = 2
 	// metaFixedLen is the meta page layout after the frame header:
-	// magic(8) version(4) pageSize(4) freeHead(8) metaLen(4).
-	metaFixedLen = 8 + 4 + 4 + 8 + 4
+	// magic(8) version(4) pageSize(4) metaVer(8) freeHead(8) metaLen(4).
+	metaFixedLen = 8 + 4 + 4 + 8 + 8 + 4
+	// metaPages is the number of reserved meta pages at the front of the
+	// file. Meta writes ping-pong between them (slot = metaVer % 2), and
+	// every meta write is fsynced before the next one starts, so at any
+	// instant at most one slot is at risk of tearing: Open recovers the
+	// other, older slot. Data pages start at ID metaPages.
+	metaPages = 2
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -36,9 +43,10 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Pager manages a single page file. It is safe for concurrent use.
 type Pager struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	pageSize int
-	numPages uint64 // includes the meta page
+	numPages uint64 // includes the meta pages
+	metaVer  uint64 // version of the live meta slot; slot index = metaVer % 2
 	freeHead page.ID
 	meta     []byte
 	closed   bool
@@ -48,21 +56,27 @@ type Pager struct {
 	syncs  uint64
 }
 
-// Open opens or creates the page file at path. For a new file, pageSize sets
-// the page size; for an existing file pageSize must match the stored value
-// (or be 0 to accept whatever the file uses).
+// Open opens or creates the page file at path on the real filesystem. For a
+// new file, pageSize sets the page size; for an existing file pageSize must
+// match the stored value (or be 0 to accept whatever the file uses).
 func Open(path string, pageSize int) (*Pager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(vfs.OS(), path, pageSize)
+}
+
+// OpenFS is Open on an arbitrary filesystem — vfs.OS for production,
+// vfs.SimFS for crash testing.
+func OpenFS(fsys vfs.FS, path string, pageSize int) (*Pager, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("disk: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+		return nil, fmt.Errorf("disk: size %s: %w", path, err)
 	}
 	p := &Pager{f: f}
-	if st.Size() == 0 {
+	if size == 0 {
 		if pageSize == 0 {
 			pageSize = page.DefaultSize
 		}
@@ -71,14 +85,24 @@ func Open(path string, pageSize int) (*Pager, error) {
 			return nil, fmt.Errorf("disk: page size %d below minimum %d", pageSize, page.MinSize)
 		}
 		p.pageSize = pageSize
-		p.numPages = 1
+		p.numPages = metaPages
+		if err := f.Truncate(int64(metaPages) * int64(pageSize)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("disk: extend file: %w", err)
+		}
+		// Write and fsync the initial meta so a crash after Open returns
+		// finds at least one valid slot.
 		if err := p.writeMeta(); err != nil {
 			f.Close()
 			return nil, err
 		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("disk: sync: %w", err)
+		}
 		return p, nil
 	}
-	if err := p.readMeta(); err != nil {
+	if err := p.readMeta(pageSize); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -88,9 +112,9 @@ func Open(path string, pageSize int) (*Pager, error) {
 	}
 	// Derive the page count from the file size: it survives crashes that
 	// happen after extending the file but before a meta write.
-	p.numPages = uint64(st.Size()) / uint64(p.pageSize)
-	if p.numPages == 0 {
-		p.numPages = 1
+	p.numPages = uint64(size) / uint64(p.pageSize)
+	if p.numPages < metaPages {
+		p.numPages = metaPages
 	}
 	return p, nil
 }
@@ -98,7 +122,7 @@ func Open(path string, pageSize int) (*Pager, error) {
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
 
-// NumPages returns the number of pages in the file, the meta page included.
+// NumPages returns the number of pages in the file, the meta pages included.
 func (p *Pager) NumPages() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -112,69 +136,129 @@ func (p *Pager) Stats() (reads, writes, syncs uint64) {
 	return p.reads, p.writes, p.syncs
 }
 
+// writeMeta writes the next version of the meta into the alternate slot.
+// Callers MUST make the write durable (fsync) before the next writeMeta, or
+// a crash could tear both slots. On error the in-memory version is not
+// advanced, so a retry targets the same slot.
 func (p *Pager) writeMeta() error {
+	if page.PayloadOff+metaFixedLen+len(p.meta) > p.pageSize {
+		return fmt.Errorf("disk: engine meta too large: %d bytes", len(p.meta))
+	}
+	ver := p.metaVer + 1
 	buf := make([]byte, p.pageSize)
 	buf[page.TypeOff] = byte(page.TypeMeta)
 	off := page.PayloadOff
 	binary.BigEndian.PutUint64(buf[off:], magic)
 	binary.BigEndian.PutUint32(buf[off+8:], formatVersion)
 	binary.BigEndian.PutUint32(buf[off+12:], uint32(p.pageSize))
-	binary.BigEndian.PutUint64(buf[off+16:], uint64(p.freeHead))
-	if page.PayloadOff+metaFixedLen+len(p.meta) > p.pageSize {
-		return fmt.Errorf("disk: engine meta too large: %d bytes", len(p.meta))
-	}
-	binary.BigEndian.PutUint32(buf[off+24:], uint32(len(p.meta)))
-	copy(buf[off+28:], p.meta)
+	binary.BigEndian.PutUint64(buf[off+16:], ver)
+	binary.BigEndian.PutUint64(buf[off+24:], uint64(p.freeHead))
+	binary.BigEndian.PutUint32(buf[off+32:], uint32(len(p.meta)))
+	copy(buf[off+36:], p.meta)
 	binary.BigEndian.PutUint32(buf[page.ChecksumOff:], crc32.Checksum(buf[4:], crcTable))
-	if _, err := p.f.WriteAt(buf, 0); err != nil {
+	slot := int64(ver % metaPages)
+	if _, err := p.f.WriteAt(buf, slot*int64(p.pageSize)); err != nil {
 		return fmt.Errorf("disk: write meta: %w", err)
 	}
+	p.metaVer = ver
 	p.writes++
 	return nil
 }
 
-func (p *Pager) readMeta() error {
-	// The page size is stored inside the page; bootstrap by reading a
-	// minimal prefix first.
-	head := make([]byte, page.PayloadOff+metaFixedLen)
-	if _, err := p.f.ReadAt(head, 0); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadMeta, err)
-	}
-	off := page.PayloadOff
-	if binary.BigEndian.Uint64(head[off:]) != magic {
-		return fmt.Errorf("%w: bad magic", ErrBadMeta)
-	}
-	if v := binary.BigEndian.Uint32(head[off+8:]); v != formatVersion {
-		return fmt.Errorf("%w: format version %d", ErrBadMeta, v)
-	}
-	p.pageSize = int(binary.BigEndian.Uint32(head[off+12:]))
-	if p.pageSize < page.MinSize {
-		return fmt.Errorf("%w: page size %d", ErrBadMeta, p.pageSize)
-	}
-	buf := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(buf, 0); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadMeta, err)
-	}
-	if got, want := crc32.Checksum(buf[4:], crcTable), binary.BigEndian.Uint32(buf[page.ChecksumOff:]); got != want {
-		return fmt.Errorf("%w: meta page", ErrChecksum)
-	}
-	p.freeHead = page.ID(binary.BigEndian.Uint64(buf[off+16:]))
-	n := binary.BigEndian.Uint32(buf[off+24:])
-	if int(n) > p.pageSize-page.PayloadOff-metaFixedLen {
-		return fmt.Errorf("%w: meta blob length %d", ErrBadMeta, n)
-	}
-	p.meta = append([]byte(nil), buf[off+28:off+28+int(n)]...)
-	return nil
+// metaSlot holds one decoded meta page.
+type metaSlot struct {
+	pageSize int
+	ver      uint64
+	freeHead page.ID
+	meta     []byte
 }
 
-// GetMeta returns a copy of the engine metadata blob stored on page 0.
+// readSlot reads and validates the meta page in the given slot, assuming
+// page size ps. It returns nil if the slot is absent, torn, or foreign.
+func (p *Pager) readSlot(slot int, ps int) *metaSlot {
+	buf := make([]byte, ps)
+	if _, err := p.f.ReadAt(buf, int64(slot)*int64(ps)); err != nil {
+		return nil
+	}
+	if got, want := crc32.Checksum(buf[4:], crcTable), binary.BigEndian.Uint32(buf[page.ChecksumOff:]); got != want {
+		return nil
+	}
+	off := page.PayloadOff
+	if binary.BigEndian.Uint64(buf[off:]) != magic {
+		return nil
+	}
+	if binary.BigEndian.Uint32(buf[off+8:]) != formatVersion {
+		return nil
+	}
+	m := &metaSlot{
+		pageSize: int(binary.BigEndian.Uint32(buf[off+12:])),
+		ver:      binary.BigEndian.Uint64(buf[off+16:]),
+		freeHead: page.ID(binary.BigEndian.Uint64(buf[off+24:])),
+	}
+	if m.pageSize != ps {
+		return nil // valid-looking page at the wrong granularity
+	}
+	if int(m.ver%metaPages) != slot {
+		return nil // stale copy left behind in the wrong slot
+	}
+	n := binary.BigEndian.Uint32(buf[off+32:])
+	if int(n) > ps-page.PayloadOff-metaFixedLen {
+		return nil
+	}
+	m.meta = append([]byte(nil), buf[off+36:off+36+int(n)]...)
+	return m
+}
+
+// readMeta locates the newest valid meta slot. The page size is stored
+// inside the slots themselves, so it bootstraps from slot 0's header, the
+// caller's hint, and a power-of-two probe — slot 1 lives at offset pageSize,
+// which is unknowable until a size is assumed.
+func (p *Pager) readMeta(hint int) error {
+	var candidates []int
+	seen := map[int]bool{}
+	add := func(ps int) {
+		if ps >= page.MinSize && !seen[ps] {
+			seen[ps] = true
+			candidates = append(candidates, ps)
+		}
+	}
+	head := make([]byte, page.PayloadOff+metaFixedLen)
+	if _, err := p.f.ReadAt(head, 0); err == nil &&
+		binary.BigEndian.Uint64(head[page.PayloadOff:]) == magic {
+		add(int(binary.BigEndian.Uint32(head[page.PayloadOff+12:])))
+	}
+	add(hint)
+	for ps := page.MinSize; ps <= 1<<16; ps <<= 1 {
+		add(ps)
+	}
+	for _, ps := range candidates {
+		s0 := p.readSlot(0, ps)
+		s1 := p.readSlot(1, ps)
+		best := s0
+		if best == nil || (s1 != nil && s1.ver > best.ver) {
+			best = s1
+		}
+		if best == nil {
+			continue
+		}
+		p.pageSize = best.pageSize
+		p.metaVer = best.ver
+		p.freeHead = best.freeHead
+		p.meta = best.meta
+		return nil
+	}
+	return fmt.Errorf("%w: no valid meta slot", ErrBadMeta)
+}
+
+// GetMeta returns a copy of the engine metadata blob.
 func (p *Pager) GetMeta() []byte {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return append([]byte(nil), p.meta...)
 }
 
-// SetMeta stores the engine metadata blob and writes the meta page through.
+// SetMeta stores the engine metadata blob, writes the meta slot through, and
+// fsyncs, honoring the one-slot-at-risk discipline.
 func (p *Pager) SetMeta(b []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -186,6 +270,9 @@ func (p *Pager) SetMeta(b []byte) error {
 	if err := p.writeMeta(); err != nil {
 		p.meta = old
 		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("disk: sync: %w", err)
 	}
 	return nil
 }
@@ -202,6 +289,9 @@ func (p *Pager) ReadPage(id page.ID) ([]byte, error) {
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil, ErrClosed
+	}
+	if id < metaPages {
+		return nil, fmt.Errorf("disk: page %d is a meta page", id)
 	}
 	if uint64(id) >= p.numPages {
 		return nil, fmt.Errorf("%w: page %d of %d", ErrOutOfFile, id, p.numPages)
@@ -233,6 +323,9 @@ func (p *Pager) writePageLocked(id page.ID, buf []byte) error {
 	}
 	if len(buf) != p.pageSize {
 		return fmt.Errorf("disk: write of %d bytes to %d-byte page", len(buf), p.pageSize)
+	}
+	if id < metaPages {
+		return fmt.Errorf("disk: page %d is a meta page", id)
 	}
 	if uint64(id) >= p.numPages {
 		return fmt.Errorf("%w: page %d of %d", ErrOutOfFile, id, p.numPages)
@@ -283,7 +376,7 @@ func (p *Pager) Free(id page.ID) error {
 	if p.closed {
 		return ErrClosed
 	}
-	if id == 0 || uint64(id) >= p.numPages {
+	if id < metaPages || uint64(id) >= p.numPages {
 		return fmt.Errorf("disk: cannot free page %d", id)
 	}
 	buf := make([]byte, p.pageSize)

@@ -1,0 +1,60 @@
+// Package vfs defines the virtual file system boundary between the storage
+// engine and the operating system. The pager, the write-ahead log, and the
+// copy-on-write timestamp table all perform their I/O through the File
+// interface, so the entire durable state of a database can be redirected —
+// in production to real files (OS), in crash tests to a simulated disk with
+// deterministic fault injection (Sim).
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage engine needs. Implementations
+// must be safe for concurrent use by multiple goroutines.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync makes all preceding writes durable. Until Sync returns nil, any
+	// written data may be lost — wholly or partially, at sector granularity —
+	// in a crash.
+	Sync() error
+	// Truncate changes the file size; growth reads back as zeros.
+	Truncate(size int64) error
+	// Size returns the current file size in bytes.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS opens files. Paths are opaque to the engine; a simulated FS may treat
+// them as pure names.
+type FS interface {
+	// OpenFile opens the named file read-write, creating it if absent.
+	OpenFile(name string) (File, error)
+}
+
+// osFS is the production FS over the operating system.
+type osFS struct{}
+
+// OS returns the real-file implementation of FS.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// osFile adapts *os.File to File. The only addition is Size.
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

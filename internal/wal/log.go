@@ -5,8 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
+
+	"immortaldb/internal/storage/vfs"
 )
 
 // fileHeaderLen is the log file header: magic(8) checkpointLSN(8).
@@ -26,7 +27,7 @@ var ErrClosed = errors.New("wal: log closed")
 // has been flushed).
 type Log struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	buf      []byte // pending appended bytes
 	bufStart LSN    // file offset of buf[0]
 	end      LSN    // next append position
@@ -41,25 +42,37 @@ type Log struct {
 	syncs   uint64
 }
 
-// Open opens or creates the log at path. On open it scans for the last valid
-// record, truncating any torn tail left by a crash.
+// Open opens or creates the log at path on the real filesystem. On open it
+// scans for the last valid record, truncating any torn tail left by a crash.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(vfs.OS(), path)
+}
+
+// OpenFS is Open on an arbitrary filesystem — vfs.OS for production,
+// vfs.SimFS for crash testing.
+func OpenFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
 	l := &Log{f: f}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: stat: %w", err)
+		return nil, fmt.Errorf("wal: size: %w", err)
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		var hdr [fileHeaderLen]byte
 		binary.BigEndian.PutUint64(hdr[0:], logMagic)
 		if _, err := f.WriteAt(hdr[:], 0); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("wal: init header: %w", err)
+		}
+		// Make the header durable now: it is written exactly once, and a
+		// later Flush with NoSync set must not leave it at risk.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync header: %w", err)
 		}
 		l.end = FirstLSN
 		l.bufStart = l.end
@@ -78,7 +91,7 @@ func Open(path string) (*Log, error) {
 	l.ckpt = LSN(binary.BigEndian.Uint64(hdr[8:]))
 
 	// Scan forward to the last valid record.
-	data, err := io.ReadAll(io.NewSectionReader(f, fileHeaderLen, st.Size()-fileHeaderLen))
+	data, err := io.ReadAll(io.NewSectionReader(f, fileHeaderLen, size-fileHeaderLen))
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: read log: %w", err)
@@ -148,12 +161,15 @@ func (l *Log) flushLocked() error {
 	return nil
 }
 
-// FlushTo ensures the log is durable at least up to lsn (exclusive of
-// records after it). It is the buffer pool's write-ahead check.
+// FlushTo ensures the record at lsn (and everything before it) is durable.
+// It is the buffer pool's write-ahead check. flushed always sits on a record
+// boundary, so the record at lsn is durable exactly when lsn < flushed: a
+// record appended immediately after a flush starts AT the flushed offset and
+// is still entirely in the buffer — lsn == flushed means not yet written.
 func (l *Log) FlushTo(lsn LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lsn <= l.flushed {
+	if lsn < l.flushed {
 		return nil
 	}
 	return l.flushLocked()

@@ -3,6 +3,7 @@ package immortaldb
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"immortaldb/internal/itime"
 	"immortaldb/internal/storage/disk"
@@ -46,6 +47,27 @@ func (db *DB) recover() error {
 		for _, t := range ck.ActiveTxns {
 			att[t.TID] = t.LastLSN
 		}
+	}
+
+	// With full-page-writes on, a logical redo record can land on a page
+	// whose last in-place write was torn by the crash (checksum failure) or
+	// never became durable at all (short file). The write that damaged the
+	// page logged a later image of it first — an image whose LSN covers this
+	// record and which, because the damaged write was never followed by an
+	// fsync (and hence no checkpoint completed after it), lies at or after
+	// the redo scan start. Skipping the record is therefore safe: the image
+	// record later in this same scan rebuilds the page with the record's
+	// effect already applied. Without full-page-writes no such image exists
+	// and a damaged page is a real recovery failure, reported loudly.
+	tornOK := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		if db.opts.FullPageWrites &&
+			(errors.Is(err, disk.ErrChecksum) || errors.Is(err, disk.ErrOutOfFile)) {
+			return nil
+		}
+		return err
 	}
 
 	// Trees open lazily during redo as catalog records appear; start from
@@ -94,9 +116,9 @@ func (db *DB) recover() error {
 				return err
 			}
 			if meta.Versioned() {
-				return firstErr(t.ApplyInsertRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+				return tornOK(t.ApplyInsertRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
 			}
-			return firstErr(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+			return tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
 		case wal.TypeCLR:
 			meta, ok := db.cat.ByID(rec.Table)
 			if !ok {
@@ -108,21 +130,21 @@ func (db *DB) recover() error {
 			}
 			if meta.Versioned() {
 				if rec.Restore {
-					return firstErr(t.ApplyRestoreOwnRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+					return tornOK(t.ApplyRestoreOwnRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
 				}
-				return firstErr(t.ApplyUndoRedo(rec.Page, rec.TID, rec.Key, uint64(rec.LSN)))
+				return tornOK(t.ApplyUndoRedo(rec.Page, rec.TID, rec.Key, uint64(rec.LSN)))
 			}
 			// Conventional-table compensation: restore or remove.
 			if rec.Stub {
-				return firstErr(t.ApplyNoTailRedo(rec.Page, rec.Key, nil, true, uint64(rec.LSN)))
+				return tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, nil, true, uint64(rec.LSN)))
 			}
-			return firstErr(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, false, uint64(rec.LSN)))
+			return tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, false, uint64(rec.LSN)))
 		case wal.TypeStamp:
 			t, err := treeFor(rec.Table)
 			if err != nil {
 				return err
 			}
-			return firstErr(t.ApplyStampRedo(rec.Page, rec.Key, rec.TID, rec.TS, uint64(rec.LSN)))
+			return tornOK(t.ApplyStampRedo(rec.Page, rec.Key, rec.TID, rec.TS, uint64(rec.LSN)))
 		case wal.TypeCommit:
 			delete(att, rec.TID)
 			db.seq.Reset(rec.TS)
@@ -146,7 +168,16 @@ func (db *DB) recover() error {
 	db.mu.Unlock()
 
 	// --- Undo losers ---
-	for tid, lastLSN := range att {
+	// Undo in TID order: rollback appends CLRs and may evict pages, so the
+	// I/O it causes must be a deterministic function of the log contents for
+	// crash-matrix replay.
+	losers := make([]itime.TID, 0, len(att))
+	for tid := range att {
+		losers = append(losers, tid)
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
+	for _, tid := range losers {
+		lastLSN := att[tid]
 		if err := db.undoTx(tid, lastLSN); err != nil {
 			return fmt.Errorf("undo of transaction %d: %w", tid, err)
 		}
@@ -156,8 +187,6 @@ func (db *DB) recover() error {
 	}
 	return db.log.Flush()
 }
-
-func firstErr(err error) error { return err }
 
 // redoPageImage installs a logged page after-image if the on-disk page has
 // not yet seen it. Pages allocated after the last durable allocator state

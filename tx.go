@@ -397,11 +397,19 @@ func (tx *Tx) Commit() error {
 		TS:      ts,
 		HasTT:   tx.hasTT && !db.opts.EagerTimestamping,
 	})
-	if err != nil {
-		db.commitMu.Unlock()
-		return err
+	if err == nil {
+		err = db.log.Flush()
 	}
-	if err := db.log.Flush(); err != nil {
+	if err != nil {
+		// The commit record is not durable, so the transaction has NOT
+		// committed: withdraw the timestamp mapping recorded above, or the
+		// VTT/PTT would claim a commit the log cannot prove and lazy
+		// stamping would publish the transaction's versions.
+		if !db.opts.EagerTimestamping {
+			if uerr := db.stamp.UndoCommit(tx.id); uerr != nil {
+				err = fmt.Errorf("%w (timestamp withdraw: %v)", err, uerr)
+			}
+		}
 		db.commitMu.Unlock()
 		return err
 	}
