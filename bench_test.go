@@ -292,6 +292,39 @@ func BenchmarkSnapshotIsolation(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitThroughput measures durable single-record commits as the
+// client count grows, under the group-commit dispatcher and the serial
+// one-fsync-per-commit baseline (experiment C1). Unlike the other benchmarks
+// fsync stays ON — the shared sync is the effect under test. The reported
+// ns/op is per commit regardless of the client count.
+func BenchmarkCommitThroughput(b *testing.B) {
+	for _, mode := range []immortaldb.GroupCommitMode{immortaldb.GroupCommitOn, immortaldb.GroupCommitOff} {
+		name := "group"
+		if mode == immortaldb.GroupCommitOff {
+			name = "serial"
+		}
+		for _, clients := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", name, clients), func(b *testing.B) {
+				e, err := repro.NewEnv(benchOpts(), true, func(o *immortaldb.Options) {
+					o.NoSync = false
+					o.GroupCommit = mode
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				b.ResetTimer()
+				sec, commits, err := repro.CommitStorm(e, clients, b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(commits)/sec, "commits/s")
+			})
+		}
+	}
+}
+
 // BenchmarkHistoryTimeTravel measures whole-history retrieval of one record.
 func BenchmarkHistoryTimeTravel(b *testing.B) {
 	e, _ := prepEnv(b, true, nil)

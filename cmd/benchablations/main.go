@@ -5,6 +5,8 @@
 //	gc         — PTT garbage collection on/off (A3)
 //	threshold  — key-split utilization threshold sweep (A4)
 //	snapshot   — snapshot vs serializable readers under a write stream (S1)
+//	commit     — group-commit vs serial durable-commit throughput (C1),
+//	             also written as JSON rows to -commitout
 //	all        — everything
 //
 // Usage:
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +27,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	pageSize := flag.Int("pagesize", 8192, "page size in bytes")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	commitOut := flag.String("commitout", "BENCH_commit.json", "JSON output path for the commit experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -108,5 +112,29 @@ func main() {
 			fmt.Printf("%14s %10d %12.1f\n", r.ReaderMode, r.ReadsDone, r.ReadsPerMs)
 		}
 		fmt.Println()
+	}
+
+	if all || run["commit"] {
+		rows, err := repro.RunCommitThroughput(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("C1 — Durable commit throughput: group commit vs one fsync per commit")
+		fmt.Printf("%8s %8s %10s %10s %14s\n", "mode", "clients", "commits", "total(s)", "commits/s")
+		for _, r := range rows {
+			fmt.Printf("%8s %8d %10d %10.3f %14.1f\n",
+				r.Mode, r.Clients, r.Commits, r.Seconds, r.CommitsPerSec)
+		}
+		fmt.Println()
+		if *commitOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*commitOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *commitOut)
+		}
 	}
 }

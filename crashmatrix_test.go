@@ -16,6 +16,7 @@ package immortaldb_test
 import (
 	"flag"
 	"testing"
+	"time"
 
 	"immortaldb/internal/fault"
 )
@@ -23,6 +24,8 @@ import (
 var (
 	matrixSeed  = flag.Int64("seed", 1, "crash-matrix workload seed")
 	matrixPoint = flag.Int64("point", 0, "replay a single crash point (0 = full matrix)")
+	concSeed    = flag.Int64("cseed", 1, "concurrent crash-matrix workload seed")
+	concPoint   = flag.Int64("cpoint", 0, "re-run a single concurrent crash point (0 = full sweep)")
 )
 
 // minCrashPoints is the floor the full workload must generate: the matrix is
@@ -81,6 +84,83 @@ func TestCrashMatrix(t *testing.T) {
 	t.Logf("crash matrix: seed=%d, %d crash points, %d committed txns", seed, total, len(base.Committed))
 	for point := int64(1); point <= total; point++ {
 		runPoint(t, seed, point)
+	}
+}
+
+// TestCrashMatrixConcurrent sweeps crash points while several goroutines
+// commit through the group-commit pipeline. The disk-op sequence is not
+// deterministic here (the committer interleaving varies), so each run is
+// self-verifying: the harness records at runtime which transactions were
+// acked — with the commit timestamps the engine reported — and recovery must
+// preserve exactly those (plus, all-or-nothing, each worker's single
+// maybe-committed transaction). A txn whose commit record missed the shared
+// fsync can therefore never have been acked, or the sweep fails.
+func TestCrashMatrixConcurrent(t *testing.T) {
+	seed := *concSeed
+
+	runConc := func(t *testing.T, after int64, every time.Duration) bool {
+		t.Helper()
+		res := fault.RunConcurrent(fault.ConcurrentConfig{Seed: seed, CrashAfter: after, CommitEvery: every})
+		crashed := fault.ConcCrashed(res)
+		if !crashed && !res.Clean {
+			// Without a crash, every worker error is an engine bug.
+			t.Fatalf("crash-after %d: workload failed without a crash\n%s", after, fault.DescribeConcurrent(res))
+		}
+		if err := fault.VerifyConcurrent(res); err != nil {
+			t.Fatalf("crash-after %d failed verification: %v\n%s", after, err, fault.DescribeConcurrent(res))
+		}
+		return crashed
+	}
+
+	if *concPoint > 0 {
+		runConc(t, *concPoint, 0)
+		return
+	}
+
+	// Baseline: clean run, verified, to size the sweep. The op count is only
+	// an estimate for other interleavings, which is all a sweep needs.
+	base := fault.RunConcurrent(fault.ConcurrentConfig{Seed: seed})
+	if !base.Clean {
+		t.Fatalf("baseline concurrent workload failed\n%s", fault.DescribeConcurrent(base))
+	}
+	total := base.FS.OpCount() - base.SetupOps
+	if err := fault.VerifyConcurrent(base); err != nil {
+		t.Fatalf("baseline concurrent verification failed: %v", err)
+	}
+	const minConcPoints = 120
+	if total < minConcPoints {
+		t.Fatalf("concurrent phase generated only %d disk operations; need >= %d", total, minConcPoints)
+	}
+
+	points := int64(48)
+	if testing.Short() {
+		points = 12
+	}
+	stride := total / points
+	if stride < 1 {
+		stride = 1
+	}
+	crashes := 0
+	swept := 0
+	for after := int64(1); after <= total; after += stride {
+		swept++
+		if runConc(t, after, 0) {
+			crashes++
+		}
+	}
+	// Op counts vary across interleavings, so late points can finish cleanly
+	// before the crash fires; most must still crash or the sweep is not
+	// exercising recovery.
+	if crashes < swept/2 {
+		t.Fatalf("only %d of %d crash points actually crashed", crashes, swept)
+	}
+	t.Logf("concurrent crash matrix: seed=%d, %d points swept, %d crashed", seed, swept, crashes)
+
+	// A few points with a non-zero group-commit max delay: the leader then
+	// waits for followers before the shared fsync, shifting which commit
+	// records each sync round covers.
+	for after := total / 5; after <= total; after += total / 5 {
+		runConc(t, after, 200*time.Microsecond)
 	}
 }
 

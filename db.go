@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"immortaldb/internal/buffer"
@@ -91,6 +92,16 @@ type Options struct {
 	// CheckpointEveryN takes an automatic checkpoint every N committed
 	// transactions (0 disables; checkpoints can always be taken manually).
 	CheckpointEveryN int
+	// GroupCommit controls the WAL group-commit dispatcher: when on (the
+	// zero value), concurrent committers that reach the fsync together
+	// share a single one — a leader syncs the batched commit records while
+	// the others wait on the result. GroupCommitOff reverts to one fsync
+	// per commit.
+	GroupCommit GroupCommitMode
+	// CommitEvery bounds how long a group-commit leader waits before
+	// syncing, letting more committers join its batch at the cost of added
+	// commit latency (0, the default, syncs immediately).
+	CommitEvery time.Duration
 	// LockTimeout bounds lock waits (default 10s).
 	LockTimeout time.Duration
 	// FS redirects all file I/O (page file, log, timestamp table) to an
@@ -124,6 +135,17 @@ func (o *Options) withDefaults() Options {
 	}
 	return out
 }
+
+// GroupCommitMode toggles WAL group commit. The zero value is on.
+type GroupCommitMode int
+
+// Group-commit modes.
+const (
+	// GroupCommitOn batches concurrent commit fsyncs (the default).
+	GroupCommitOn GroupCommitMode = iota
+	// GroupCommitOff gives every commit its own fsync.
+	GroupCommitOff
+)
 
 // Errors returned by the engine.
 var (
@@ -177,6 +199,14 @@ type DB struct {
 	seq   *itime.Sequencer
 	tids  *itime.TIDSource
 
+	// visible is the snapshot visibility watermark: the timestamp of the
+	// newest commit whose TID-to-timestamp mapping is published. It can
+	// trail seq.Last() by the commits currently in flight between timestamp
+	// issue and stamp.Commit; snapshot transactions read here, never the
+	// sequencer, so a snapshot never includes a half-committed transaction.
+	// Updated under commitMu, read lock-free.
+	visible atomic.Pointer[itime.Timestamp]
+
 	mu     sync.Mutex // guards trees, active, snapshots, lastLSN bookkeeping
 	trees  map[uint32]*tsb.Tree
 	active map[itime.TID]*Tx
@@ -217,6 +247,8 @@ func Open(dir string, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	log.NoSync = o.NoSync
+	log.GroupCommit = o.GroupCommit != GroupCommitOff
+	log.CommitEvery = o.CommitEvery
 	ptt, err := cow.Open(filepath.Join(dir, pttFile), cow.Options{
 		ValSize: stamp.PTTValueLen,
 		NoSync:  o.NoSync,
@@ -244,6 +276,10 @@ func Open(dir string, opts *Options) (*DB, error) {
 		active: make(map[itime.TID]*Tx),
 	}
 	db.stamp.GCEnabled = !o.DisablePTTGC
+	// PTT write-ahead: the PTT file must never harden a TID→TS mapping whose
+	// commit record is still in the unsynced log tail (recovery would stamp a
+	// loser's versions from it).
+	db.stamp.ForceLog = log.SyncTo
 	if o.LockTimeout > 0 {
 		db.locks.Timeout = o.LockTimeout
 	}
@@ -256,16 +292,22 @@ func Open(dir string, opts *Options) (*DB, error) {
 			return uint64(lsn), err
 		}
 	}
-	// Flush-triggered lazy timestamping (Section 2.2).
+	// Flush-triggered lazy timestamping (Section 2.2). The page's StampLSN
+	// must advance before NoteStamped, which may retire the VTT entries
+	// holding the commit-record LSNs.
 	db.pool.PreFlush = func(pg any) {
 		dp, ok := pg.(*page.DataPage)
 		if !ok || dp.NoTail || !dp.HasUnstamped() {
 			return
 		}
 		counts := dp.StampAll(db.stamp.Resolve)
-		if len(counts) > 0 {
-			db.stamp.NoteStamped(counts, db.log.End)
+		if len(counts) == 0 {
+			return
 		}
+		if lsn := uint64(db.stamp.MaxCommitLSN(counts)); lsn > dp.StampLSN {
+			dp.StampLSN = lsn
+		}
+		db.stamp.NoteStamped(counts, db.log.End)
 	}
 
 	if data := pager.GetMeta(); len(data) > 0 {
@@ -278,6 +320,10 @@ func Open(dir string, opts *Options) (*DB, error) {
 		db.closeFiles()
 		return nil, fmt.Errorf("immortaldb: recovery: %w", err)
 	}
+	// Recovery republished every durable commit, so the watermark starts at
+	// the last issued timestamp.
+	last := db.seq.Last()
+	db.visible.Store(&last)
 	// Open a tree per table.
 	for _, t := range db.cat.List() {
 		db.trees[t.ID] = db.openTree(t)
@@ -348,6 +394,10 @@ func (s *treeStamper) NoteStamped(counts map[itime.TID]int) {
 	s.db.stamp.NoteStamped(counts, s.db.log.End)
 }
 
+func (s *treeStamper) MaxCommitLSN(counts map[itime.TID]int) uint64 {
+	return uint64(s.db.stamp.MaxCommitLSN(counts))
+}
+
 func (db *DB) openTree(t *catalog.Table) *tsb.Tree {
 	cfg := db.treeConfig(t)
 	return tsb.Open(cfg, t.Root, t.RootIsLeaf)
@@ -375,6 +425,24 @@ func (db *DB) treeConfig(t *catalog.Table) tsb.Config {
 			return now
 		},
 		SnapshotHorizon: db.snapshotHorizon,
+	}
+}
+
+// visibleTS returns the snapshot visibility watermark (see DB.visible).
+func (db *DB) visibleTS() itime.Timestamp {
+	if p := db.visible.Load(); p != nil {
+		return *p
+	}
+	return itime.Timestamp{}
+}
+
+// advanceVisible publishes ts as committed-visible. Callers hold commitMu;
+// the max keeps the watermark monotone when a CURRENT TIME transaction
+// commits at a timestamp reserved before later commits.
+func (db *DB) advanceVisible(ts itime.Timestamp) {
+	if p := db.visible.Load(); p == nil || p.Less(ts) {
+		t := ts
+		db.visible.Store(&t)
 	}
 }
 
@@ -474,16 +542,36 @@ func (db *DB) saveCatalogMeta() error {
 // point has moved — completed PTT entries are garbage collected (Section
 // 2.2).
 func (db *DB) Checkpoint() error {
+	// The ATT snapshot must be consistent with the log. Terminal records
+	// (commit records, rollback compensation) appear only under commitMu, so
+	// holding it here pins every listed transaction in a known state: its
+	// fate is still undecided, and whatever it logs next — more updates, its
+	// commit, its CLRs — lands at or past beginLSN, inside the analysis scan
+	// (Checkpoint.BeginLSN). Transactions whose fate is already logged are
+	// skipped: their terminal records precede the checkpoint record in the
+	// log, so recovery reading this checkpoint finds them durable, whereas
+	// listing such a transaction as active would get it undone whenever the
+	// redo scan starts past its commit record.
+	db.commitMu.Lock()
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
+		db.commitMu.Unlock()
 		return ErrClosed
 	}
+	beginLSN := db.log.End()
 	att := make([]wal.TxnState, 0, len(db.active))
 	for tid, tx := range db.active {
-		att = append(att, wal.TxnState{TID: tid, LastLSN: wal.LSN(tx.lastLSN.Load())})
+		if tx.terminalLogged {
+			continue
+		}
+		tx.logMu.Lock()
+		last := wal.LSN(tx.lastLSN.Load())
+		tx.logMu.Unlock()
+		att = append(att, wal.TxnState{TID: tid, LastLSN: last})
 	}
 	db.mu.Unlock()
+	db.commitMu.Unlock()
 	sort.Slice(att, func(i, j int) bool { return att[i].TID < att[j].TID })
 
 	// PTT entries for commits already in the log must be durable before the
@@ -502,6 +590,7 @@ func (db *DB) Checkpoint() error {
 		ActiveTxns: att,
 		NextTID:    db.tids.Peek(),
 		LastTS:     db.seq.Last(),
+		BeginLSN:   beginLSN,
 	}
 	for id, recLSN := range dpt {
 		ck.DirtyPages = append(ck.DirtyPages, wal.DirtyPage{ID: id, RecLSN: wal.LSN(recLSN)})

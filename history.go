@@ -64,9 +64,11 @@ func (db *DB) GetAsOf(t *Table, key []byte, at time.Time) ([]byte, bool, error) 
 	return tx.Get(t, key)
 }
 
-// Now returns the timestamp of the most recent commit; an AS OF transaction
-// at Now sees exactly the current committed state.
-func (db *DB) Now() Timestamp { return db.seq.Last() }
+// Now returns the timestamp of the most recent visible commit; an AS OF
+// transaction at Now sees exactly the current committed state. With commits
+// in flight, Now trails the sequencer by exactly those not-yet-published
+// timestamps.
+func (db *DB) Now() Timestamp { return db.visibleTS() }
 
 // MaxTime is the open-ended "current state" timestamp.
 func MaxTime() Timestamp { return itime.Max }

@@ -31,6 +31,13 @@ type Frame struct {
 	recLSN uint64 // LSN of the first change since the page was last clean
 	pins   int
 	elem   *list.Element
+	// latch protects the decoded page's contents between concurrent pin
+	// holders. Most of the storage layer needs no latching — writers hold the
+	// table tree's exclusive lock, and unpinned frames are only touched under
+	// the pool mutex — but lazy timestamping mutates version fields in place
+	// under the tree's SHARED lock, so readers of a current page take the
+	// read latch and the stamping path takes the write latch.
+	latch sync.RWMutex
 }
 
 // ID returns the page ID.
@@ -50,6 +57,18 @@ func (f *Frame) Index() *page.IndexPage {
 	d, _ := f.pg.(*page.IndexPage)
 	return d
 }
+
+// RLatch takes the frame's shared content latch. Callers must hold a pin.
+func (f *Frame) RLatch() { f.latch.RLock() }
+
+// RUnlatch releases the shared content latch.
+func (f *Frame) RUnlatch() { f.latch.RUnlock() }
+
+// Latch takes the frame's exclusive content latch (in-place stamping).
+func (f *Frame) Latch() { f.latch.Lock() }
+
+// Unlatch releases the exclusive content latch.
+func (f *Frame) Unlatch() { f.latch.Unlock() }
 
 // Pool is the buffer pool. It is safe for concurrent use, but the decoded
 // pages it hands out are not internally locked: the storage layer above
@@ -237,10 +256,14 @@ func (p *Pool) writeFrameLocked(f *Frame) error {
 	if err != nil {
 		return fmt.Errorf("buffer: encode page %d: %w", f.id, err)
 	}
-	// Write-ahead: the log must be durable through the page's own LSN and,
-	// with full-page-writes on, through the image record PreWrite just
-	// appended for it.
+	// Write-ahead: the log must be durable through the page's own LSN, the
+	// commit records of any lazily stamped versions (StampLSN — stamping is
+	// not logged, so the page LSN does not cover it) and, with
+	// full-page-writes on, through the image record PreWrite just appended.
 	lsn := pageLSN(f.pg)
+	if dp, ok := f.pg.(*page.DataPage); ok && dp.StampLSN > lsn {
+		lsn = dp.StampLSN
+	}
 	if p.PreWrite != nil {
 		imageLSN, err := p.PreWrite(f.id, buf)
 		if err != nil {

@@ -1,0 +1,450 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/vfs"
+)
+
+// The concurrent crash matrix drives N goroutines through the group-commit
+// pipeline while the simulated disk crashes underneath them. Unlike the
+// serial matrix, the disk-operation sequence is NOT deterministic — the
+// interleaving of committers (and which of them lands the shared fsync)
+// varies run to run — so there is no precomputed reference model. Instead
+// each run records, at runtime, exactly which transactions were acked
+// (Commit returned nil, with the commit timestamp the engine reported) and
+// which single transaction per worker was in Commit when the crash hit.
+// Verification is then self-contained:
+//
+//   - every acked transaction must survive recovery in full, and an AS OF
+//     query at its recorded commit timestamp must reproduce it — a txn whose
+//     commit record missed the shared fsync must therefore never have been
+//     acked;
+//   - a transaction whose Commit returned an error is all-or-nothing: its
+//     writes are either all present (the record reached the log just before
+//     the crash) or all absent;
+//   - nothing else survives (no ghosts, no partial transactions).
+//
+// Workers write disjoint key ranges ("g<W>." prefixes), which keeps the
+// per-worker reference model exact while still exercising the shared parts
+// of the pipeline: the commit sequencer, the group-commit dispatcher and its
+// shared fsyncs, the tree latches, and the timestamp tables.
+
+// ConcurrentConfig selects a concurrent workload instance and a crash point.
+type ConcurrentConfig struct {
+	// Seed drives the per-worker generators and the disk's torn-write coin
+	// flips.
+	Seed int64
+	// CrashAfter crashes the disk at the CrashAfter-th I/O operation counted
+	// from the end of setup (Open + CreateTable), so every point lands in
+	// the concurrent commit phase. 0 runs to a clean Close.
+	CrashAfter int64
+	// Workers is the number of committing goroutines (default 4).
+	Workers int
+	// TxnsPerWorker is the number of transactions each worker attempts
+	// (default 10).
+	TxnsPerWorker int
+	// CommitEvery, when non-zero, is passed to the engine as the
+	// group-commit max-delay knob.
+	CommitEvery time.Duration
+}
+
+// WorkerTxn is one transaction attempted by a worker.
+type WorkerTxn struct {
+	Worker int
+	TID    immortaldb.TID
+	Events []Event
+	// TS is the commit timestamp the engine reported, set only for acked
+	// transactions.
+	TS immortaldb.Timestamp
+}
+
+// ConcurrentResult captures a run of the concurrent workload.
+type ConcurrentResult struct {
+	Config   ConcurrentConfig
+	FS       *vfs.SimFS
+	SetupOps int64
+
+	// Acked[w] lists worker w's transactions whose Commit returned nil, in
+	// the worker's program order (which is also commit-timestamp order:
+	// a worker's next commit starts only after its previous one returned).
+	Acked [][]WorkerTxn
+	// Pending[w] is worker w's transaction whose Commit returned an error,
+	// or nil. At most one per worker: workers stop at the first failure.
+	Pending []*WorkerTxn
+	// Rolled[w] lists the TIDs of worker w's deliberately rolled-back txns.
+	Rolled [][]immortaldb.TID
+
+	// Clean is true when every worker finished and Close succeeded.
+	Clean bool
+	// Errs records the first error each worker observed (nil if none).
+	Errs []error
+	// Trace is the tail of the disk-operation log captured at crash time.
+	Trace []vfs.Op
+}
+
+const (
+	concKeysPerWorker = 6
+	concTableName     = "ct"
+	concDirName       = "crashsim-conc"
+)
+
+func concKey(worker int, rng *rand.Rand) string {
+	return fmt.Sprintf("g%d.k%02d", worker, rng.Intn(concKeysPerWorker))
+}
+
+// RunConcurrent executes the concurrent workload for cfg, crashing at
+// cfg.CrashAfter operations past setup.
+func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.TxnsPerWorker == 0 {
+		cfg.TxnsPerWorker = 10
+	}
+	fs := vfs.NewSim(cfg.Seed)
+	res := &ConcurrentResult{
+		Config:  cfg,
+		FS:      fs,
+		Acked:   make([][]WorkerTxn, cfg.Workers),
+		Pending: make([]*WorkerTxn, cfg.Workers),
+		Rolled:  make([][]immortaldb.TID, cfg.Workers),
+		Errs:    make([]error, cfg.Workers),
+	}
+
+	opts := options(fs)
+	opts.CommitEvery = cfg.CommitEvery
+	clock := opts.Clock.(*itime.SimClock)
+	// Workers advance the clock implicitly: one tick every few reads keeps
+	// commit timestamps spread over wall ticks while still exercising the
+	// same-tick sequence-number tie-break.
+	clock.AutoStep = 1
+	clock.AutoEvery = 3
+
+	db, err := immortaldb.Open(concDirName, opts)
+	if err != nil {
+		res.Errs[0] = err
+		res.Trace = fs.Trace()
+		return res
+	}
+	tbl, err := db.CreateTable(concTableName, immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		res.Errs[0] = err
+		res.Trace = fs.Trace()
+		db.Close()
+		return res
+	}
+	res.SetupOps = fs.OpCount()
+	if cfg.CrashAfter > 0 {
+		fs.SetCrashAt(res.SetupOps + cfg.CrashAfter)
+	}
+
+	var (
+		mu sync.Mutex // guards Acked/Pending/Errs across workers
+		wg sync.WaitGroup
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*104729 + int64(w)*7919 + 1))
+			fail := func(err error) {
+				mu.Lock()
+				res.Errs[w] = err
+				mu.Unlock()
+			}
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				if w == 0 && i == cfg.TxnsPerWorker/2 {
+					// One checkpoint races the committers: page flushing,
+					// flush-stamping, and PTT hardening all run against the
+					// group-commit pipeline.
+					if err := db.Checkpoint(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				tx, err := db.Begin(immortaldb.Serializable)
+				if err != nil {
+					fail(err)
+					return
+				}
+				n := 1 + rng.Intn(3)
+				var evs []Event
+				aborted := false
+				for j := 0; j < n; j++ {
+					key := concKey(w, rng)
+					if rng.Intn(5) == 0 {
+						if err := tx.Delete(tbl, []byte(key)); err != nil {
+							tx.Rollback()
+							fail(err)
+							return
+						}
+						evs = append(evs, Event{Key: key, Del: true})
+					} else {
+						val := fmt.Sprintf("w%d.t%d.%d.%s", w, i, j, strings.Repeat("y", 10+rng.Intn(60)))
+						if err := tx.Set(tbl, []byte(key), []byte(val)); err != nil {
+							tx.Rollback()
+							fail(err)
+							return
+						}
+						evs = append(evs, Event{Key: key, Val: val})
+					}
+				}
+				if rng.Intn(8) == 0 {
+					aborted = true
+					if err := tx.Rollback(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if aborted {
+					mu.Lock()
+					res.Rolled[w] = append(res.Rolled[w], tx.ID())
+					mu.Unlock()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					// The commit record may or may not have reached the
+					// durable log; recovery may resolve it either way.
+					mu.Lock()
+					res.Pending[w] = &WorkerTxn{Worker: w, TID: tx.ID(), Events: evs}
+					res.Errs[w] = err
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				res.Acked[w] = append(res.Acked[w], WorkerTxn{Worker: w, TID: tx.ID(), Events: evs, TS: tx.CommitTS()})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Trace = fs.Trace()
+
+	failed := false
+	for _, err := range res.Errs {
+		if err != nil {
+			failed = true
+			break
+		}
+	}
+	if failed {
+		db.Close() // best effort; the disk has usually crashed under it
+		return res
+	}
+	if err := db.Close(); err != nil {
+		res.Errs[0] = err
+		return res
+	}
+	res.Clean = true
+	return res
+}
+
+// ConcCrashed reports whether the run was cut short by the injected crash,
+// as opposed to an unexpected engine failure (or no failure at all).
+func ConcCrashed(res *ConcurrentResult) bool {
+	return res.FS.Crashed()
+}
+
+// workerPrefix is the key prefix owned by worker w.
+func workerPrefix(w int) string { return fmt.Sprintf("g%d.", w) }
+
+// VerifyConcurrent reboots the crashed disk, recovers, and checks the
+// concurrent-run invariants described in the package comment.
+func VerifyConcurrent(res *ConcurrentResult) error {
+	fs := res.FS
+	fs.Reboot()
+
+	opts := options(fs)
+	opts.CommitEvery = res.Config.CommitEvery
+	db, err := immortaldb.Open(concDirName, opts)
+	if err != nil {
+		return fmt.Errorf("reopen after recovery failed: %w", err)
+	}
+	defer db.Close()
+	tbl, err := db.Table(concTableName)
+	if err != nil {
+		return fmt.Errorf("table lost (setup completed before the crash was armed): %w", err)
+	}
+
+	// Per-worker reference models from the runtime-recorded acks.
+	base := make([]map[string]string, res.Config.Workers)
+	withPending := make([]map[string]string, res.Config.Workers)
+	for w := 0; w < res.Config.Workers; w++ {
+		base[w] = map[string]string{}
+		for _, txn := range res.Acked[w] {
+			apply(base[w], txn.Events)
+		}
+		withPending[w] = clone(base[w])
+		if res.Pending[w] != nil {
+			apply(withPending[w], res.Pending[w].Events)
+		}
+	}
+
+	// Current state, partitioned by worker prefix. Keys outside every
+	// worker's range are ghosts.
+	partition := func(state map[string]string) ([]map[string]string, error) {
+		parts := make([]map[string]string, res.Config.Workers)
+		for w := range parts {
+			parts[w] = map[string]string{}
+		}
+		for k, v := range state {
+			placed := false
+			for w := 0; w < res.Config.Workers; w++ {
+				if strings.HasPrefix(k, workerPrefix(w)) {
+					parts[w][k] = v
+					placed = true
+					break
+				}
+			}
+			if !placed && k != "sentinel" {
+				return nil, fmt.Errorf("ghost key %q belongs to no worker", k)
+			}
+		}
+		return parts, nil
+	}
+
+	checkCurrent := func(db *immortaldb.DB, tbl *immortaldb.Table, wantSentinel bool) error {
+		cur, err := scanCurrent(db, tbl)
+		if err != nil {
+			return fmt.Errorf("current-state scan: %w", err)
+		}
+		if _, ok := cur["sentinel"]; ok != wantSentinel {
+			return fmt.Errorf("sentinel present=%v, want %v", ok, wantSentinel)
+		}
+		parts, err := partition(cur)
+		if err != nil {
+			return err
+		}
+		for w := 0; w < res.Config.Workers; w++ {
+			switch {
+			case equal(parts[w], base[w]):
+			case res.Pending[w] != nil && equal(parts[w], withPending[w]):
+				// The maybe-committed transaction made it; fold it into the
+				// model so history checks and the second reopen agree.
+				base[w] = withPending[w]
+			default:
+				return fmt.Errorf("worker %d state matches neither its %d acked txns nor acked+pending\nvs acked:\n%svs acked+pending:\n%s",
+					w, len(res.Acked[w]), diff(parts[w], base[w]), diff(parts[w], withPending[w]))
+			}
+		}
+		return nil
+	}
+	if err := checkCurrent(db, tbl, false); err != nil {
+		return err
+	}
+
+	// Acked transactions survive with their recorded timestamps: AS OF each
+	// ack's commit TS, the worker's partition equals the replay of its acked
+	// prefix. Workers' ranges are disjoint, so other workers never perturb
+	// the partition; a worker's own maybe-committed txn has a strictly later
+	// timestamp than all of its acks.
+	checkHistory := func(db *immortaldb.DB, tbl *immortaldb.Table) error {
+		for w := 0; w < res.Config.Workers; w++ {
+			state := map[string]string{}
+			for i, txn := range res.Acked[w] {
+				apply(state, txn.Events)
+				got, err := scanAt(db, tbl, txn.TS)
+				if err != nil {
+					return fmt.Errorf("worker %d AS OF ack %d (ts %v): %w", w, i, txn.TS, err)
+				}
+				parts, err := partition(got)
+				if err != nil {
+					return fmt.Errorf("worker %d AS OF ack %d (ts %v): %w", w, i, txn.TS, err)
+				}
+				if !equal(parts[w], state) {
+					return fmt.Errorf("worker %d acked txn %d (ts %v) not fully recovered:\n%s",
+						w, i, txn.TS, diff(parts[w], state))
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkHistory(db, tbl); err != nil {
+		return err
+	}
+
+	// Forward life: the recovered database must keep working — commit,
+	// checkpoint (flush-stamps recovered pages, hardens the PTT), reopen,
+	// re-verify.
+	err = db.Update(func(tx *immortaldb.Tx) error {
+		return tx.Set(tbl, []byte("sentinel"), []byte("alive"))
+	})
+	if err != nil {
+		return fmt.Errorf("post-recovery commit: %w", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("post-recovery checkpoint: %w", err)
+	}
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("post-recovery close: %w", err)
+	}
+
+	db2, err := immortaldb.Open(concDirName, opts)
+	if err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	defer db2.Close()
+	tbl2, err := db2.Table(concTableName)
+	if err != nil {
+		return fmt.Errorf("table lost on second reopen: %w", err)
+	}
+	if err := checkCurrent(db2, tbl2, true); err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	if err := checkHistory(db2, tbl2); err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	return nil
+}
+
+// DescribeConcurrent renders a failure coordinate. Concurrent runs are not
+// bit-replayable (the interleaving varies), but the seed and crash point
+// localize the failure and the trace shows the final disk operations.
+func DescribeConcurrent(res *ConcurrentResult) string {
+	var b strings.Builder
+	acked := 0
+	for _, a := range res.Acked {
+		acked += len(a)
+	}
+	pending := 0
+	for _, p := range res.Pending {
+		if p != nil {
+			pending++
+		}
+	}
+	fmt.Fprintf(&b, "seed=%d crash-after=%d setup-ops=%d ops-executed=%d acked=%d pending=%d clean=%v\n",
+		res.Config.Seed, res.Config.CrashAfter, res.SetupOps, res.FS.OpCount(), acked, pending, res.Clean)
+	fmt.Fprintf(&b, "rerun (not bit-identical): go test -run TestCrashMatrixConcurrent -cseed=%d -cpoint=%d\n",
+		res.Config.Seed, res.Config.CrashAfter)
+	for w, err := range res.Errs {
+		if err != nil {
+			fmt.Fprintf(&b, "worker %d first error: %v\n", w, err)
+		}
+	}
+	for w := range res.Acked {
+		var tids []string
+		for _, txn := range res.Acked[w] {
+			tids = append(tids, fmt.Sprintf("%d@%v", txn.TID, txn.TS))
+		}
+		fmt.Fprintf(&b, "worker %d acked TIDs: %s", w, strings.Join(tids, " "))
+		if res.Pending[w] != nil {
+			fmt.Fprintf(&b, " pending=%d", res.Pending[w].TID)
+		}
+		if len(res.Rolled[w]) > 0 {
+			fmt.Fprintf(&b, " rolled=%v", res.Rolled[w])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "last disk ops before crash:\n")
+	for _, op := range res.Trace {
+		fmt.Fprintf(&b, "  %s\n", op.String())
+	}
+	return b.String()
+}

@@ -35,6 +35,12 @@ type vttEntry struct {
 	snapshot  bool // snapshot-isolation-only txn: VTT-only, never in the PTT
 	refCount  int
 	doneLSN   wal.LSN // end-of-log when refCount hit zero; 0 = not yet
+	// commitLSN is the transaction's commit record, 0 when provably durable
+	// already (PTT-cached and recovery-restored entries). Lazy stamping is
+	// never logged, so a page carrying a freshly stamped version must not
+	// reach disk before the log covers this LSN: recovery would otherwise
+	// find a stamped — published — version of a transaction it must undo.
+	commitLSN wal.LSN
 }
 
 // Manager owns the VTT and PTT.
@@ -46,6 +52,21 @@ type Manager struct {
 	// GCEnabled turns incremental PTT garbage collection on (the default).
 	// The A3 ablation switches it off to measure unbounded PTT growth.
 	GCEnabled bool
+
+	// ForceLog, when set, forces the WAL durable through the given LSN.
+	// SyncPTT calls it before hardening the PTT file: commit timestamps
+	// enter the PTT while the commit record may still sit in the unsynced
+	// log tail (the group-commit pipeline publishes the mapping before the
+	// shared fsync), and the PTT is a separate file the log's append order
+	// cannot protect. Without the force, a crash could leave a durable
+	// TID→TS mapping for a transaction recovery must undo — lazy stamping
+	// would then stamp a loser's versions.
+	ForceLog func(wal.LSN) error
+
+	// pttMaxCommitLSN is the highest commit-record LSN among transactions
+	// inserted into the PTT since open; the WAL must be durable through it
+	// before the PTT file is.
+	pttMaxCommitLSN wal.LSN
 
 	pttPuts, pttGets, pttDeletes, stamps, gcRuns uint64
 }
@@ -89,10 +110,13 @@ func (m *Manager) AddRef(tid itime.TID, n int) error {
 // Commit records the transaction's timestamp (stage III): the VTT entry is
 // completed, and — for transactions against transaction-time tables — a
 // single PTT entry is written. The updated data records are NOT revisited;
-// that is the entire point of lazy timestamping. endOfLog supplies the
+// that is the entire point of lazy timestamping. commitLSN is the
+// transaction's (already appended, not necessarily durable) commit record;
+// MaxCommitLSN reports it to the buffer pool so pages stamped before the
+// record's fsync completes still respect write-ahead. endOfLog supplies the
 // current end-of-log LSN for transactions that committed with zero
 // outstanding versions.
-func (m *Manager) Commit(tid itime.TID, ts itime.Timestamp, persistent bool, endOfLog func() wal.LSN) error {
+func (m *Manager) Commit(tid itime.TID, ts itime.Timestamp, persistent bool, commitLSN wal.LSN, endOfLog func() wal.LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.vtt[tid]
@@ -101,6 +125,7 @@ func (m *Manager) Commit(tid itime.TID, ts itime.Timestamp, persistent bool, end
 	}
 	e.ts = ts
 	e.committed = true
+	e.commitLSN = commitLSN
 	if e.snapshot || !persistent {
 		// Snapshot transactions are never entered into the PTT; their VTT
 		// entry can be dropped as soon as the reference count reaches zero.
@@ -115,6 +140,9 @@ func (m *Manager) Commit(tid itime.TID, ts itime.Timestamp, persistent bool, end
 		return fmt.Errorf("stamp: PTT insert for %d: %w", tid, err)
 	}
 	m.pttPuts++
+	if commitLSN > m.pttMaxCommitLSN {
+		m.pttMaxCommitLSN = commitLSN
+	}
 	if e.refCount == 0 {
 		// Nothing to stamp (e.g. a read-only commit still entered here):
 		// eligible for GC as soon as the watermark passes.
@@ -123,8 +151,20 @@ func (m *Manager) Commit(tid itime.TID, ts itime.Timestamp, persistent bool, end
 	return nil
 }
 
-// SyncPTT makes buffered PTT changes durable.
-func (m *Manager) SyncPTT() error { return m.ptt.Commit() }
+// SyncPTT makes buffered PTT changes durable, first forcing the WAL through
+// every commit record whose timestamp the PTT carries (see ForceLog).
+func (m *Manager) SyncPTT() error {
+	m.mu.Lock()
+	lsn := m.pttMaxCommitLSN
+	force := m.ForceLog
+	m.mu.Unlock()
+	if lsn > 0 && force != nil {
+		if err := force(lsn); err != nil {
+			return fmt.Errorf("stamp: log force before PTT sync: %w", err)
+		}
+	}
+	return m.ptt.Commit()
+}
 
 // UndoCommit reverses a Commit whose transaction failed to become durable —
 // the commit record could not be appended or flushed. The VTT entry reverts
@@ -140,6 +180,7 @@ func (m *Manager) UndoCommit(tid itime.TID) error {
 	e.committed = false
 	e.ts = itime.Timestamp{}
 	e.doneLSN = 0
+	e.commitLSN = 0
 	if err := m.ptt.Delete(uint64(tid)); err != nil && !errors.Is(err, cow.ErrNotFound) {
 		return fmt.Errorf("stamp: PTT withdraw for %d: %w", tid, err)
 	}
@@ -174,6 +215,25 @@ func (m *Manager) Resolve(tid itime.TID) (itime.Timestamp, bool) {
 	ts := itime.DecodeTimestamp(val)
 	m.vtt[tid] = &vttEntry{ts: ts, committed: true, refCount: refUndefined}
 	return ts, true
+}
+
+// MaxCommitLSN returns the highest commit-record LSN among the transactions
+// in counts (as returned by a page's StampAll): the point the log must be
+// durable through before a page carrying those freshly applied stamps may be
+// written. TIDs resolved from the PTT or restored by recovery contribute
+// nothing — their commit records are already durable (a PTT hit implies a
+// synced PTT whose entry the durable log proved, and recovery read the
+// record off disk).
+func (m *Manager) MaxCommitLSN(counts map[itime.TID]int) wal.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max wal.LSN
+	for tid := range counts {
+		if e, ok := m.vtt[tid]; ok && e.commitLSN > max {
+			max = e.commitLSN
+		}
+	}
+	return max
 }
 
 // NoteStamped records that counts[tid] versions of each transaction were

@@ -37,7 +37,7 @@ func TestFourStageProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Stage III: commit writes exactly one PTT entry.
-	if err := m.Commit(1, ts(10, 0), true, lsn(100)); err != nil {
+	if err := m.Commit(1, ts(10, 0), true, 0, lsn(100)); err != nil {
 		t.Fatal(err)
 	}
 	if m.PTTLen() != 1 {
@@ -69,7 +69,7 @@ func TestGCWatermark(t *testing.T) {
 	m := newManager(t)
 	m.Begin(1, false)
 	m.AddRef(1, 1)
-	m.Commit(1, ts(10, 0), true, lsn(50))
+	m.Commit(1, ts(10, 0), true, 0, lsn(50))
 	m.NoteStamped(map[itime.TID]int{1: 1}, lsn(120)) // doneLSN = 120
 
 	// Watermark not yet past doneLSN: no GC.
@@ -93,10 +93,10 @@ func TestGCSkipsIncompleteAndActive(t *testing.T) {
 	m.Begin(1, false) // active
 	m.Begin(2, false) // committed, refs outstanding
 	m.AddRef(2, 2)
-	m.Commit(2, ts(10, 0), true, lsn(50))
+	m.Commit(2, ts(10, 0), true, 0, lsn(50))
 	m.NoteStamped(map[itime.TID]int{2: 1}, lsn(60))
 	m.Begin(3, false) // committed, zero refs: GC-able immediately
-	m.Commit(3, ts(11, 0), true, lsn(70))
+	m.Commit(3, ts(11, 0), true, 0, lsn(70))
 
 	if n, _ := m.RunGC(1000); n != 1 {
 		t.Fatalf("GC removed %d, want only txn 3", n)
@@ -111,7 +111,7 @@ func TestGCDisabled(t *testing.T) {
 	m.GCEnabled = false
 	m.Begin(1, false)
 	m.AddRef(1, 1)
-	m.Commit(1, ts(10, 0), true, lsn(50))
+	m.Commit(1, ts(10, 0), true, 0, lsn(50))
 	m.NoteStamped(map[itime.TID]int{1: 1}, lsn(60))
 	if n, _ := m.RunGC(1000); n != 0 {
 		t.Fatal("GC ran while disabled")
@@ -124,7 +124,7 @@ func TestGCDisabled(t *testing.T) {
 func TestResolveFallsBackToPTTAndCaches(t *testing.T) {
 	m := newManager(t)
 	m.Begin(7, false)
-	m.Commit(7, ts(42, 3), true, lsn(10))
+	m.Commit(7, ts(42, 3), true, 0, lsn(10))
 	// Simulate VTT loss (e.g. long time passed; entry GC-able but the PTT
 	// entry is the source of truth): drop the VTT entry directly.
 	m.mu.Lock()
@@ -155,7 +155,7 @@ func TestSnapshotTransactionsStayVolatile(t *testing.T) {
 	m := newManager(t)
 	m.Begin(1, true)
 	m.AddRef(1, 2)
-	if err := m.Commit(1, ts(5, 0), true, lsn(10)); err != nil {
+	if err := m.Commit(1, ts(5, 0), true, 0, lsn(10)); err != nil {
 		t.Fatal(err)
 	}
 	if m.PTTLen() != 0 {
@@ -176,7 +176,7 @@ func TestNonPersistentTableCommit(t *testing.T) {
 	m.Begin(1, false)
 	m.AddRef(1, 1)
 	// Conventional table with snapshot versions: persistent=false.
-	if err := m.Commit(1, ts(5, 0), false, lsn(10)); err != nil {
+	if err := m.Commit(1, ts(5, 0), false, 0, lsn(10)); err != nil {
 		t.Fatal(err)
 	}
 	if m.PTTLen() != 0 {
@@ -239,7 +239,7 @@ func TestPTTSurvivesReopen(t *testing.T) {
 	}
 	m := NewManager(ptt)
 	m.Begin(1, false)
-	m.Commit(1, ts(10, 2), true, lsn(5))
+	m.Commit(1, ts(10, 2), true, 0, lsn(5))
 	if err := m.SyncPTT(); err != nil {
 		t.Fatal(err)
 	}
@@ -259,8 +259,46 @@ func TestPTTSurvivesReopen(t *testing.T) {
 func TestCommitReadOnlyGCsImmediately(t *testing.T) {
 	m := newManager(t)
 	m.Begin(1, false)
-	m.Commit(1, ts(10, 0), true, lsn(40)) // zero refs at commit
+	m.Commit(1, ts(10, 0), true, 0, lsn(40)) // zero refs at commit
 	if n, _ := m.RunGC(41); n != 1 {
 		t.Fatal("zero-ref commit must be GC-able once the watermark passes")
+	}
+}
+
+// TestMaxCommitLSN checks the write-ahead guard for lazily stamped pages:
+// live commits report their commit-record LSN, while PTT-cached and
+// recovery-restored entries (provably durable) contribute nothing.
+func TestMaxCommitLSN(t *testing.T) {
+	m := newManager(t)
+	m.Begin(1, false)
+	m.AddRef(1, 2)
+	m.Begin(2, false)
+	m.AddRef(2, 1)
+	if err := m.Commit(1, ts(5, 0), true, 120, lsn(130)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2, ts(6, 0), true, 150, lsn(160)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreCommitted(3, ts(2, 0), true); err != nil {
+		t.Fatal(err)
+	}
+	got := m.MaxCommitLSN(map[itime.TID]int{1: 2, 3: 1})
+	if got != 120 {
+		t.Fatalf("MaxCommitLSN{1,3} = %d, want 120", got)
+	}
+	got = m.MaxCommitLSN(map[itime.TID]int{1: 1, 2: 1})
+	if got != 150 {
+		t.Fatalf("MaxCommitLSN{1,2} = %d, want 150", got)
+	}
+	if got = m.MaxCommitLSN(map[itime.TID]int{3: 1, 99: 1}); got != 0 {
+		t.Fatalf("MaxCommitLSN over durable/unknown TIDs = %d, want 0", got)
+	}
+	// A withdrawn commit no longer pins the log.
+	if err := m.UndoCommit(2); err != nil {
+		t.Fatal(err)
+	}
+	if got = m.MaxCommitLSN(map[itime.TID]int{2: 1}); got != 0 {
+		t.Fatalf("MaxCommitLSN after UndoCommit = %d, want 0", got)
 	}
 }

@@ -52,6 +52,16 @@ type DataPage struct {
 	Recs  []Version
 	Slots []int16
 
+	// StampLSN is the highest commit-record LSN among transactions whose
+	// versions were lazily stamped in place on this page. Stamping is never
+	// logged and does not move the page LSN, but a freshly stamped version
+	// reaching disk before its commit record would survive a crash that must
+	// roll the transaction back — so the buffer pool flushes the log through
+	// max(LSN, StampLSN) before writing the page. Transient: not marshalled
+	// (after a reboot every stamp on disk is covered by a durable commit
+	// record, or the page write would not have happened).
+	StampLSN uint64
+
 	// cachedUsed memoizes Used(); -1 means unknown. Mutators adjust it
 	// incrementally or invalidate it; Validate cross-checks it.
 	cachedUsed int

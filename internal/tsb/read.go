@@ -40,16 +40,9 @@ func resultFrom(v *page.Version) Result {
 	return r
 }
 
-// errNeedsStamp aborts a shared-lock read attempt: a visited page holds
-// committed-but-unstamped versions, so the read must retry under the
-// exclusive lock, where lazy timestamping may mutate pages ("if a
-// transaction reads a non-timestamped version, we timestamp it" — Section
-// 2.2). Page contents are only ever mutated under the tree's write lock.
-var errNeedsStamp = fmt.Errorf("tsb: retry read with stamping")
-
 // pageNeedsStamp reports whether dp carries versions whose transactions have
-// committed but which are not yet timestamped. Safe under the read lock:
-// stamping itself only happens under the write lock.
+// committed but which are not yet timestamped. The caller holds the frame's
+// shared latch (or any exclusive lock over the page).
 func (t *Tree) pageNeedsStamp(dp *page.DataPage) bool {
 	if t.cfg.Stamper == nil {
 		return false
@@ -66,47 +59,63 @@ func (t *Tree) pageNeedsStamp(dp *page.DataPage) bool {
 	return false
 }
 
-// maybeStamp stamps dp when allowed, or aborts the shared attempt.
-func (t *Tree) maybeStamp(lf *buffer.Frame, dp *page.DataPage, exclusive bool) error {
-	if !exclusive {
-		if t.pageNeedsStamp(dp) {
-			return errNeedsStamp
-		}
-		return nil
+// maybeStamp lazily timestamps dp's committed versions in place ("if a
+// transaction reads a non-timestamped version, we timestamp it" — Section
+// 2.2). It runs under the tree's SHARED lock: concurrent readers of the same
+// page are excluded by the frame's latch, not the tree lock, so AS OF scans
+// and snapshot reads on other pages proceed in parallel. The caller holds a
+// pin on lf (which also keeps the buffer pool from flushing the page
+// mid-stamp: flushes skip pinned frames).
+func (t *Tree) maybeStamp(lf *buffer.Frame, dp *page.DataPage) {
+	if t.cfg.Stamper == nil {
+		return
 	}
+	lf.RLatch()
+	need := t.pageNeedsStamp(dp)
+	lf.RUnlatch()
+	if !need {
+		return
+	}
+	lf.Latch()
+	// Re-check under the exclusive latch: another reader may have stamped
+	// the page while we waited (stampPage then finds nothing — benign).
 	if t.stampPage(dp) {
 		t.cfg.Pool.MarkDirty(lf, dp.LSN)
 	}
-	return nil
+	lf.Unlatch()
+}
+
+// lookInLatched is lookIn under the frame's shared latch when dp is a
+// current page (the only pages mutated in place — by stamping — under the
+// shared tree lock). Historical pages are immutable outside the tree's
+// exclusive lock and need no latch.
+func (t *Tree) lookInLatched(lf *buffer.Frame, dp *page.DataPage, key []byte, ts itime.Timestamp, self itime.TID) Result {
+	if !dp.Current {
+		return t.lookIn(dp, key, ts, self)
+	}
+	lf.RLatch()
+	defer lf.RUnlatch()
+	return t.lookIn(dp, key, ts, self)
 }
 
 // ReadKey returns the version of key visible at ts. ts == itime.Max reads
 // the current state. self, when non-zero, makes the reading transaction's
 // own uncommitted writes visible (they have no timestamp yet).
 //
-// The common path runs under the shared lock; if a visited page still holds
-// committed-but-unstamped versions the read retries under the exclusive
-// lock and timestamps them (the read trigger of lazy timestamping).
+// Reads run entirely under the shared tree lock; when a visited page holds
+// committed-but-unstamped versions, the read trigger of lazy timestamping
+// stamps them in place under the page frame's exclusive latch, so reads of
+// other pages — and the commit pipeline — are never blocked by it.
 func (t *Tree) ReadKey(key []byte, ts itime.Timestamp, self itime.TID) (Result, error) {
 	t.mu.RLock()
-	res, err := t.readKeyLocked(key, ts, self, false)
-	t.mu.RUnlock()
-	if err != errNeedsStamp {
-		return res, err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.readKeyLocked(key, ts, self, true)
-}
-
-func (t *Tree) readKeyLocked(key []byte, ts itime.Timestamp, self itime.TID, excl bool) (Result, error) {
+	defer t.mu.RUnlock()
 	if t.cfg.NoTail {
 		return t.readNoTail(key)
 	}
 	if t.cfg.Mode == ModeTSB && !ts.IsMax() {
-		return t.readDirect(key, ts, self, excl)
+		return t.readDirect(key, ts, self)
 	}
-	return t.readViaChain(key, ts, self, excl)
+	return t.readViaChain(key, ts, self)
 }
 
 func (t *Tree) readNoTail(key []byte) (Result, error) {
@@ -125,7 +134,7 @@ func (t *Tree) readNoTail(key []byte) (Result, error) {
 }
 
 // readDirect descends straight to the page covering (key, ts) — ModeTSB.
-func (t *Tree) readDirect(key []byte, ts itime.Timestamp, self itime.TID, excl bool) (Result, error) {
+func (t *Tree) readDirect(key []byte, ts itime.Timestamp, self itime.TID) (Result, error) {
 	path, lf, err := t.descend(key, ts)
 	if err != nil {
 		return Result{}, err
@@ -134,26 +143,21 @@ func (t *Tree) readDirect(key []byte, ts itime.Timestamp, self itime.TID, excl b
 	defer t.releasePath(path)
 	dp := lf.Data()
 	if dp.Current {
-		if err := t.maybeStamp(lf, dp, excl); err != nil {
-			return Result{}, err
-		}
+		t.maybeStamp(lf, dp)
 	}
-	return t.lookIn(dp, key, ts, self), nil
+	return t.lookInLatched(lf, dp, key, ts, self), nil
 }
 
 // readViaChain finds the current page and walks its history chain back to
 // the page whose time range covers ts — the paper's prototype access path.
-func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID, excl bool) (Result, error) {
+func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID) (Result, error) {
 	path, lf, err := t.descend(key, itime.Max)
 	if err != nil {
 		return Result{}, err
 	}
 	t.releasePath(path)
 	dp := lf.Data()
-	if err := t.maybeStamp(lf, dp, excl); err != nil {
-		t.cfg.Pool.Release(lf)
-		return Result{}, err
-	}
+	t.maybeStamp(lf, dp)
 	// "We check the current page's split time. If as of time is later than
 	// split time, the version we want is in the current page. Otherwise we
 	// follow the page chain" (Section 4.2).
@@ -174,7 +178,7 @@ func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID, excl
 			return Result{}, fmt.Errorf("tsb: history chain hit non-data page %d", hist)
 		}
 	}
-	res := t.lookIn(dp, key, ts, self)
+	res := t.lookInLatched(lf, dp, key, ts, self)
 	t.cfg.Pool.Release(lf)
 	return res, nil
 }
@@ -205,42 +209,76 @@ func (t *Tree) lookIn(dp *page.DataPage, key []byte, ts itime.Timestamp, self it
 	return resultFrom(v)
 }
 
-// LatestInfo reports the newest version of key on its current page: its
-// timestamp (or writer TID if unstamped) and whether it is a delete stub.
-// The write-conflict check of snapshot isolation uses it (first committer
-// wins).
-func (t *Tree) LatestInfo(key []byte) (ts itime.Timestamp, tid itime.TID, stub, found bool, err error) {
+// LatestInfo reports the newest version of key — its timestamp (or writer
+// TID if unstamped) and whether it is a delete stub. The write-conflict
+// check of snapshot isolation uses it (first committer wins).
+//
+// The newest version normally lives on the key's current page, but a time
+// split drops delete stubs older than the split time from the current page
+// entirely (absence there already means "deleted"), leaving the record's
+// newest version on a history page. A conflict check that stopped at the
+// current page would miss a deletion committed after the caller's snapshot.
+// `since` bounds the caller's indifference: versions at or before it never
+// matter, so the history chain is walked only when the current page has
+// time-split after `since` — otherwise absence from the current page proves
+// no version newer than `since` exists. Pass itime.Max to never walk.
+func (t *Tree) LatestInfo(key []byte, since itime.Timestamp) (ts itime.Timestamp, tid itime.TID, stub, found bool, err error) {
 	t.mu.RLock()
-	ts, tid, stub, found, err = t.latestInfoLocked(key, false)
-	t.mu.RUnlock()
-	if err != errNeedsStamp {
-		return ts, tid, stub, found, err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.latestInfoLocked(key, true)
-}
-
-func (t *Tree) latestInfoLocked(key []byte, excl bool) (itime.Timestamp, itime.TID, bool, bool, error) {
+	defer t.mu.RUnlock()
 	path, lf, err := t.descend(key, itime.Max)
 	if err != nil {
 		return itime.Timestamp{}, 0, false, false, err
 	}
-	defer t.cfg.Pool.Release(lf)
-	defer t.releasePath(path)
+	t.releasePath(path)
 	dp := lf.Data()
-	if err := t.maybeStamp(lf, dp, excl); err != nil {
-		return itime.Timestamp{}, 0, false, false, err
-	}
+	t.maybeStamp(lf, dp)
+	lf.RLatch()
 	s, ok := dp.FindSlot(key)
-	if !ok {
+	if ok {
+		v := dp.Latest(s)
+		lf.RUnlatch()
+		t.cfg.Pool.Release(lf)
+		if v.Stamped {
+			return v.TS, 0, v.Stub, true, nil
+		}
+		return itime.Timestamp{}, v.TID, v.Stub, true, nil
+	}
+	lf.RUnlatch()
+	if !since.Less(dp.StartTS) {
+		// No time split after `since`: a version newer than `since` would
+		// still be on the current page, so absence is authoritative.
+		t.cfg.Pool.Release(lf)
 		return itime.Timestamp{}, 0, false, false, nil
 	}
-	v := dp.Latest(s)
-	if v.Stamped {
-		return v.TS, 0, v.Stub, true, nil
+	// Walk the history chain to the nearest page still holding the key; its
+	// newest version (a migrated delete stub, for keys dead at the split) is
+	// the record's newest version overall. Historical pages are immutable,
+	// so no latch is needed past the current page.
+	for {
+		hist := dp.Hist
+		t.cfg.Pool.Release(lf)
+		if hist == 0 {
+			return itime.Timestamp{}, 0, false, false, nil
+		}
+		lf, err = t.cfg.Pool.Fetch(hist)
+		if err != nil {
+			return itime.Timestamp{}, 0, false, false, err
+		}
+		t.chainHops.Add(1)
+		dp = lf.Data()
+		if dp == nil {
+			t.cfg.Pool.Release(lf)
+			return itime.Timestamp{}, 0, false, false, fmt.Errorf("tsb: history chain hit non-data page %d", hist)
+		}
+		if s, ok := dp.FindSlot(key); ok {
+			v := dp.Latest(s)
+			t.cfg.Pool.Release(lf)
+			if v.Stamped {
+				return v.TS, 0, v.Stub, true, nil
+			}
+			return itime.Timestamp{}, v.TID, v.Stub, true, nil
+		}
 	}
-	return itime.Timestamp{}, v.TID, v.Stub, true, nil
 }
 
 // ScanAsOf calls fn for every record alive at ts with lo <= key < hi (nil
@@ -248,13 +286,8 @@ func (t *Tree) latestInfoLocked(key []byte, excl bool) (itime.Timestamp, itime.T
 // current state. fn returning false stops the scan.
 func (t *Tree) ScanAsOf(lo, hi []byte, ts itime.Timestamp, self itime.TID, fn func(Result) bool) error {
 	t.mu.RLock()
-	results, err := t.collectScan(lo, hi, ts, self, false)
+	results, err := t.collectScan(lo, hi, ts, self)
 	t.mu.RUnlock()
-	if err == errNeedsStamp {
-		t.mu.Lock()
-		results, err = t.collectScan(lo, hi, ts, self, true)
-		t.mu.Unlock()
-	}
 	if err != nil {
 		return err
 	}
@@ -271,7 +304,7 @@ func (t *Tree) ScanAsOf(lo, hi []byte, ts itime.Timestamp, self itime.TID, fn fu
 	return nil
 }
 
-func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID, excl bool) (map[string]Result, error) {
+func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID) (map[string]Result, error) {
 	// Collect the set of data pages whose region intersects the scan.
 	pages, err := t.pagesForScan(lo, hi, ts)
 	if err != nil {
@@ -291,10 +324,8 @@ func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID, ex
 			return nil, fmt.Errorf("tsb: scan hit non-data page %d", pid)
 		}
 		if dp.Current {
-			if err := t.maybeStamp(lf, dp, excl); err != nil {
-				t.cfg.Pool.Release(lf)
-				return nil, err
-			}
+			t.maybeStamp(lf, dp)
+			lf.RLatch()
 		}
 		for s := range dp.Slots {
 			k := dp.Recs[dp.Slots[s]].Key
@@ -311,6 +342,9 @@ func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID, ex
 			if res.Found {
 				results[string(k)] = res
 			}
+		}
+		if dp.Current {
+			lf.RUnlatch()
 		}
 		t.cfg.Pool.Release(lf)
 	}
@@ -448,17 +482,11 @@ type VersionInfo struct {
 // collapsed.
 func (t *Tree) History(key []byte) ([]VersionInfo, error) {
 	t.mu.RLock()
-	out, err := t.historyLocked(key, false)
-	t.mu.RUnlock()
-	if err != errNeedsStamp {
-		return out, err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.historyLocked(key, true)
+	defer t.mu.RUnlock()
+	return t.historyLocked(key)
 }
 
-func (t *Tree) historyLocked(key []byte, excl bool) ([]VersionInfo, error) {
+func (t *Tree) historyLocked(key []byte) ([]VersionInfo, error) {
 	if t.cfg.NoTail {
 		return nil, fmt.Errorf("tsb: no history on a conventional table")
 	}
@@ -479,10 +507,8 @@ func (t *Tree) historyLocked(key []byte, excl bool) ([]VersionInfo, error) {
 			return nil, fmt.Errorf("tsb: history chain hit non-data page")
 		}
 		if dp.Current {
-			if err := t.maybeStamp(lf, dp, excl); err != nil {
-				t.cfg.Pool.Release(lf)
-				return nil, err
-			}
+			t.maybeStamp(lf, dp)
+			lf.RLatch()
 		}
 		if s, found := dp.FindSlot(key); found {
 			for _, i := range dp.Chain(s) {
@@ -501,6 +527,9 @@ func (t *Tree) historyLocked(key []byte, excl bool) ([]VersionInfo, error) {
 					TID:     v.TID,
 				})
 			}
+		}
+		if dp.Current {
+			lf.RUnlatch()
 		}
 		hist := dp.Hist
 		t.cfg.Pool.Release(lf)

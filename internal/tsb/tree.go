@@ -67,6 +67,10 @@ type Logger interface {
 type Stamper interface {
 	Resolve(tid itime.TID) (itime.Timestamp, bool)
 	NoteStamped(counts map[itime.TID]int)
+	// MaxCommitLSN returns the highest commit-record LSN among the stamped
+	// transactions — the write-ahead point for a page carrying their stamps.
+	// It must be queried before NoteStamped, which may retire the entries.
+	MaxCommitLSN(counts map[itime.TID]int) uint64
 }
 
 // Config configures a Tree.
@@ -202,7 +206,11 @@ func (t *Tree) resolve(tid itime.TID) (itime.Timestamp, bool) {
 
 // stampPage lazily timestamps every committed version on dp and reports the
 // counts to the Stamper. It returns true if anything was stamped (the page
-// must then be marked dirty). Timestamping is never logged.
+// must then be marked dirty). Timestamping is never logged, so the page's
+// StampLSN advances to the stamped transactions' highest commit-record LSN
+// instead — the buffer pool flushes the log through it before a page write.
+// Callers must hold either the tree's exclusive lock or the frame's
+// exclusive latch.
 func (t *Tree) stampPage(dp *page.DataPage) bool {
 	if t.cfg.Stamper == nil || !dp.HasUnstamped() {
 		return false
@@ -210,6 +218,9 @@ func (t *Tree) stampPage(dp *page.DataPage) bool {
 	counts := dp.StampAll(t.resolve)
 	if len(counts) == 0 {
 		return false
+	}
+	if lsn := t.cfg.Stamper.MaxCommitLSN(counts); lsn > dp.StampLSN {
+		dp.StampLSN = lsn
 	}
 	t.cfg.Stamper.NoteStamped(counts)
 	return true

@@ -35,6 +35,8 @@ func (m *mockStamper) Resolve(tid itime.TID) (itime.Timestamp, bool) {
 	return ts, ok
 }
 
+func (m *mockStamper) MaxCommitLSN(counts map[itime.TID]int) uint64 { return 0 }
+
 func (m *mockStamper) NoteStamped(counts map[itime.TID]int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

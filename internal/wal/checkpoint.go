@@ -30,6 +30,15 @@ type Checkpoint struct {
 	// transactions never reuse a TID or produce a non-increasing timestamp.
 	NextTID itime.TID
 	LastTS  itime.Timestamp
+	// BeginLSN is the end-of-log position at the instant ActiveTxns was
+	// snapshotted — the moral equivalent of ARIES's begin_checkpoint record.
+	// The checkpoint is fuzzy: transactions keep committing, aborting, and
+	// writing between the snapshot and the checkpoint record itself, so a
+	// listed transaction's later records (its commit, its CLRs, updates past
+	// the snapshotted LastLSN) land in [BeginLSN, ckptLSN). The analysis
+	// scan must start no later than BeginLSN or it would miss them and undo
+	// a committed transaction.
+	BeginLSN LSN
 }
 
 // RedoScanStart returns the LSN at which redo must begin for this
@@ -39,6 +48,11 @@ type Checkpoint struct {
 // a transaction's timestamping completed, the stamped pages are on disk.
 func (c *Checkpoint) RedoScanStart(ckptLSN LSN) LSN {
 	start := ckptLSN
+	// With active transactions in the snapshot, analysis must cover
+	// everything they logged after the snapshot was taken (see BeginLSN).
+	if len(c.ActiveTxns) > 0 && c.BeginLSN != 0 && c.BeginLSN < start {
+		start = c.BeginLSN
+	}
 	for _, dp := range c.DirtyPages {
 		if dp.RecLSN < start {
 			start = dp.RecLSN
@@ -49,13 +63,15 @@ func (c *Checkpoint) RedoScanStart(ckptLSN LSN) LSN {
 
 // Marshal encodes the checkpoint for a record blob.
 func (c *Checkpoint) Marshal() []byte {
-	n := 8 + itime.EncodedLen + 4 + len(c.ActiveTxns)*16 + 4 + len(c.DirtyPages)*16
+	n := 8 + itime.EncodedLen + 8 + 4 + len(c.ActiveTxns)*16 + 4 + len(c.DirtyPages)*16
 	b := make([]byte, n)
 	off := 0
 	binary.BigEndian.PutUint64(b[off:], uint64(c.NextTID))
 	off += 8
 	c.LastTS.Encode(b[off:])
 	off += itime.EncodedLen
+	binary.BigEndian.PutUint64(b[off:], uint64(c.BeginLSN))
+	off += 8
 	binary.BigEndian.PutUint32(b[off:], uint32(len(c.ActiveTxns)))
 	off += 4
 	for _, t := range c.ActiveTxns {
@@ -76,7 +92,7 @@ func (c *Checkpoint) Marshal() []byte {
 // UnmarshalCheckpoint decodes a checkpoint record blob.
 func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
 	bad := fmt.Errorf("%w: checkpoint blob", ErrCorruptRecord)
-	if len(b) < 8+itime.EncodedLen+4 {
+	if len(b) < 8+itime.EncodedLen+8+4 {
 		return nil, bad
 	}
 	c := &Checkpoint{}
@@ -85,6 +101,8 @@ func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
 	off += 8
 	c.LastTS = itime.DecodeTimestamp(b[off:])
 	off += itime.EncodedLen
+	c.BeginLSN = LSN(binary.BigEndian.Uint64(b[off:]))
+	off += 8
 	na := int(binary.BigEndian.Uint32(b[off:]))
 	off += 4
 	if len(b) < off+na*16+4 {

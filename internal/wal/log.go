@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"time"
 
 	"immortaldb/internal/storage/vfs"
 )
@@ -25,8 +27,14 @@ var ErrClosed = errors.New("wal: log closed")
 // Flush; FlushedLSN tells the buffer pool how far the log is durable (the
 // WAL protocol: a page may be written only when the log covering its changes
 // has been flushed).
+//
+// Appends stay cheap and concurrent: l.mu covers only the in-memory buffer.
+// The write+fsync of a flush happens outside l.mu, serialized by flushMu, so
+// new records can be appended while a sync is in flight — the property group
+// commit (SyncTo) depends on.
 type Log struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // in-memory state: buf, offsets, counters, closed
+	flushMu  sync.Mutex // serializes flush rounds: file writes stay ordered
 	f        vfs.File
 	buf      []byte // pending appended bytes
 	bufStart LSN    // file offset of buf[0]
@@ -37,9 +45,26 @@ type Log struct {
 	// NoSync skips fsync on Flush; used by benchmarks where the paper's
 	// workload measures CPU and buffer behaviour rather than disk latency.
 	NoSync bool
+	// GroupCommit makes SyncTo share fsyncs between concurrent committers: a
+	// leader flushes through the highest pending LSN while followers park,
+	// then everyone whose record is covered wakes. Must be set before use.
+	GroupCommit bool
+	// CommitEvery bounds the extra latency a group-commit leader adds waiting
+	// for followers to join its fsync. Zero (the default) never waits: the
+	// leader flushes immediately, and batching arises from committers that
+	// arrive while its sync is in flight.
+	CommitEvery time.Duration
+
+	// Group-commit dispatcher state. gcRound counts completed flush rounds so
+	// followers can wait for "the round after mine started".
+	gcMu     sync.Mutex
+	gcCond   *sync.Cond
+	gcLeader bool
+	gcRound  uint64
 
 	appends uint64
 	syncs   uint64
+	grouped uint64 // SyncTo calls satisfied by another caller's fsync
 }
 
 // Open opens or creates the log at path on the real filesystem. On open it
@@ -135,29 +160,58 @@ func (l *Log) Append(r *Record) (LSN, error) {
 
 // Flush writes all buffered records and makes them durable (unless NoSync).
 func (l *Log) Flush() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.flushLocked()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return l.flushRoundLocked()
 }
 
-func (l *Log) flushLocked() error {
+// flushRoundLocked runs one flush round: it takes ownership of the pending
+// buffer under l.mu, writes and syncs it with l.mu released, then advances
+// the durable watermark. The caller holds flushMu, so concurrent flushers
+// with overlapping ranges are ordered — a later round can only write bytes
+// appended after the earlier round's capture, never the same file range
+// twice with different content — and re-flushing an already-durable range
+// degenerates to an empty write plus an extra (idempotent) fsync.
+func (l *Log) flushRoundLocked() error {
+	l.mu.Lock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	if len(l.buf) > 0 {
-		if _, err := l.f.WriteAt(l.buf, int64(l.bufStart)); err != nil {
+	buf := l.buf
+	start := l.bufStart
+	end := l.end
+	l.buf = nil
+	l.bufStart = end
+	l.mu.Unlock()
+
+	if len(buf) > 0 {
+		if _, err := l.f.WriteAt(buf, int64(start)); err != nil {
+			// Hand the bytes back: appends that raced in during the write sit
+			// in l.buf and belong directly after ours, so the spliced buffer
+			// is contiguous again from start.
+			l.mu.Lock()
+			l.buf = append(buf, l.buf...)
+			l.bufStart = start
+			l.mu.Unlock()
 			return fmt.Errorf("wal: write: %w", err)
 		}
-		l.bufStart += LSN(len(l.buf))
-		l.buf = l.buf[:0]
 	}
 	if !l.NoSync {
 		if err := l.f.Sync(); err != nil {
+			// Written but not durable: flushed stays put, a later round's
+			// sync covers these bytes.
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+	}
+	l.mu.Lock()
+	if !l.NoSync {
 		l.syncs++
 	}
-	l.flushed = l.bufStart
+	if end > l.flushed {
+		l.flushed = end
+	}
+	l.mu.Unlock()
 	return nil
 }
 
@@ -168,11 +222,100 @@ func (l *Log) flushLocked() error {
 // is still entirely in the buffer — lsn == flushed means not yet written.
 func (l *Log) FlushTo(lsn LSN) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if lsn < l.flushed {
+	covered := lsn < l.flushed
+	l.mu.Unlock()
+	if covered {
 		return nil
 	}
-	return l.flushLocked()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	// A round that completed while this caller waited for flushMu may already
+	// have covered lsn; re-flushing would only burn an extra fsync.
+	l.mu.Lock()
+	covered = lsn < l.flushed
+	l.mu.Unlock()
+	if covered {
+		return nil
+	}
+	return l.flushRoundLocked()
+}
+
+// SyncTo makes the record at lsn durable — the commit path's durability
+// point. With GroupCommit off it is FlushTo. With it on, concurrent callers
+// elect a leader: the leader (optionally waiting CommitEvery for more
+// committers to append) runs one flush round covering everything appended so
+// far, while followers park; when the round ends, every caller whose record
+// it covered returns on that single shared fsync, and anyone left over
+// competes to lead the next round.
+func (l *Log) SyncTo(lsn LSN) error {
+	if !l.GroupCommit {
+		return l.FlushTo(lsn)
+	}
+	l.gcMu.Lock()
+	if l.gcCond == nil {
+		l.gcCond = sync.NewCond(&l.gcMu)
+	}
+	waited := false
+	for {
+		l.mu.Lock()
+		covered := lsn < l.flushed
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			l.gcMu.Unlock()
+			return ErrClosed
+		}
+		if covered {
+			if waited {
+				l.grouped++
+			}
+			l.gcMu.Unlock()
+			return nil
+		}
+		if !l.gcLeader {
+			l.gcLeader = true
+			l.gcMu.Unlock()
+			if l.CommitEvery > 0 {
+				time.Sleep(l.CommitEvery)
+			} else {
+				// Give committers already on the run queue one scheduler pass
+				// to append before the round captures the buffer. A goroutine
+				// blocked in a short fsync keeps its P until the runtime
+				// retakes it, so on few-core boxes concurrent committers
+				// otherwise never overlap a sync round and every round flushes
+				// a single record. With an idle run queue this is a no-op, so
+				// a lone committer pays nothing.
+				runtime.Gosched()
+			}
+			err := func() error {
+				l.flushMu.Lock()
+				defer l.flushMu.Unlock()
+				return l.flushRoundLocked()
+			}()
+			l.gcMu.Lock()
+			l.gcLeader = false
+			l.gcRound++
+			l.gcCond.Broadcast()
+			l.gcMu.Unlock()
+			return err
+		}
+		// Follow: wait out the in-flight round, then re-check. If the round
+		// failed or started before our append, the loop elects us leader and
+		// we get the flush error (or success) firsthand.
+		round := l.gcRound
+		for l.gcRound == round {
+			l.gcCond.Wait()
+		}
+		waited = true
+	}
+}
+
+// GroupedSyncs returns how many SyncTo calls were satisfied by an fsync
+// another caller issued — the group-commit batching win.
+func (l *Log) GroupedSyncs() uint64 {
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	return l.grouped
 }
 
 // FlushedLSN returns the durable prefix end.
@@ -201,15 +344,13 @@ func (l *Log) Checkpoint() LSN {
 // SetCheckpoint durably records lsn as the checkpoint pointer in the file
 // header. The checkpoint record itself must already be flushed.
 func (l *Log) SetCheckpoint(lsn LSN) error {
+	if err := l.FlushTo(lsn); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
-	}
-	if lsn >= l.flushed {
-		if err := l.flushLocked(); err != nil {
-			return err
-		}
 	}
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], uint64(lsn))
@@ -230,14 +371,14 @@ func (l *Log) SetCheckpoint(lsn LSN) error {
 // so undo can read what it just wrote.
 func (l *Log) ReadAt(lsn LSN) (*Record, error) {
 	l.mu.Lock()
-	if len(l.buf) > 0 {
-		if err := l.flushLocked(); err != nil {
-			l.mu.Unlock()
+	pending := len(l.buf) > 0
+	end := l.end
+	l.mu.Unlock()
+	if pending {
+		if err := l.Flush(); err != nil {
 			return nil, err
 		}
 	}
-	end := l.end
-	l.mu.Unlock()
 	if lsn < FirstLSN || lsn >= end {
 		return nil, fmt.Errorf("wal: LSN %d out of range [%d,%d)", lsn, FirstLSN, end)
 	}
@@ -266,14 +407,14 @@ func (l *Log) ReadAt(lsn LSN) (*Record, error) {
 // the scan and returns that error.
 func (l *Log) Scan(from LSN, fn func(*Record) error) error {
 	l.mu.Lock()
-	if len(l.buf) > 0 {
-		if err := l.flushLocked(); err != nil {
-			l.mu.Unlock()
+	pending := len(l.buf) > 0
+	end := l.end
+	l.mu.Unlock()
+	if pending {
+		if err := l.Flush(); err != nil {
 			return err
 		}
 	}
-	end := l.end
-	l.mu.Unlock()
 	if from == 0 || from < FirstLSN {
 		from = FirstLSN
 	}
@@ -318,30 +459,61 @@ func (l *Log) Size() int64 {
 // (every committed transaction's) remain on disk.
 func (l *Log) CloseNoFlush() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
-	return l.f.Close()
+	err := l.f.Close()
+	l.mu.Unlock()
+	l.gcMu.Lock()
+	if l.gcCond != nil {
+		l.gcRound++
+		l.gcCond.Broadcast()
+	}
+	l.gcMu.Unlock()
+	return err
 }
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
-	err := l.flushLocked()
-	if !l.NoSync {
-		if err2 := l.f.Sync(); err == nil {
-			err = err2
+	var err error
+	if len(l.buf) > 0 {
+		if _, werr := l.f.WriteAt(l.buf, int64(l.bufStart)); werr != nil {
+			err = fmt.Errorf("wal: write: %w", werr)
+		} else {
+			l.bufStart += LSN(len(l.buf))
+			l.buf = nil
 		}
+	}
+	if err == nil && !l.NoSync {
+		if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: sync: %w", serr)
+		} else {
+			l.syncs++
+			l.flushed = l.bufStart
+		}
+	} else if err == nil {
+		l.flushed = l.bufStart
 	}
 	if err2 := l.f.Close(); err == nil {
 		err = err2
 	}
 	l.closed = true
+	l.mu.Unlock()
+	// Wake any group-commit followers so they observe closed and return.
+	l.gcMu.Lock()
+	if l.gcCond != nil {
+		l.gcRound++
+		l.gcCond.Broadcast()
+	}
+	l.gcMu.Unlock()
 	return err
 }

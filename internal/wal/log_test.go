@@ -265,6 +265,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		DirtyPages: []DirtyPage{{ID: 3, RecLSN: 50}, {ID: 9, RecLSN: 40}},
 		NextTID:    42,
 		LastTS:     itime.Timestamp{Wall: 11, Seq: 2},
+		BeginLSN:   90,
 	}
 	got, err := UnmarshalCheckpoint(c.Marshal())
 	if err != nil {
@@ -279,6 +280,17 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	empty := &Checkpoint{}
 	if empty.RedoScanStart(500) != 500 {
 		t.Fatal("empty DPT must start redo at the checkpoint")
+	}
+	// With active transactions, analysis must start no later than the ATT
+	// snapshot point: records they log after the snapshot land past it.
+	active := &Checkpoint{ActiveTxns: []TxnState{{TID: 1, LastLSN: 100}}, BeginLSN: 90}
+	if active.RedoScanStart(500) != 90 {
+		t.Fatalf("active ATT must clamp the scan to BeginLSN, got %d", active.RedoScanStart(500))
+	}
+	// With an empty ATT the clamp is pointless and would only retard PTT GC.
+	idle := &Checkpoint{BeginLSN: 90}
+	if idle.RedoScanStart(500) != 500 {
+		t.Fatalf("idle checkpoint must not clamp to BeginLSN, got %d", idle.RedoScanStart(500))
 	}
 	if _, err := UnmarshalCheckpoint([]byte{1, 2}); err == nil {
 		t.Fatal("short blob accepted")

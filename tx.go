@@ -1,8 +1,11 @@
 package immortaldb
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,14 +64,37 @@ type Tx struct {
 	// lastLSN is the transaction's most recent log record (head of its undo
 	// chain); atomic because checkpoints read it from another goroutine.
 	lastLSN atomic.Uint64
-	writes  []writeRec
-	done    bool
-	hasTT   bool            // wrote a transaction-time (immortal) table
-	fixedTS itime.Timestamp // timestamp fixed early by CurrentTime (zero: commit-time choice)
+	// logMu makes a log append and the lastLSN advance one step as seen by a
+	// checkpoint's ATT snapshot: a record the snapshot's LastLSN does not
+	// cover is guaranteed an LSN at or past the checkpoint's BeginLSN, so
+	// the analysis scan finds it and repairs the ATT entry.
+	logMu sync.Mutex
+	// terminalLogged is set (under db.commitMu) once the transaction's fate
+	// is decided in the log — its commit record is appended, or its rollback
+	// has fully compensated its updates. Checkpoints skip such transactions:
+	// their terminal records precede the checkpoint record, so if recovery
+	// ever reads this checkpoint those records are durable, and listing the
+	// transaction as active could get a committed transaction undone when
+	// the analysis scan starts past its commit record.
+	terminalLogged bool
+	writes   []writeRec
+	done     bool
+	hasTT    bool            // wrote a transaction-time (immortal) table
+	fixedTS  itime.Timestamp // timestamp fixed early by CurrentTime (zero: commit-time choice)
+	commitTS itime.Timestamp // commit timestamp, set once Commit succeeds
 }
 
 // ID returns the transaction's TID.
 func (tx *Tx) ID() TID { return tx.id }
+
+// CommitTS returns the transaction's commit timestamp. It is zero until
+// Commit returns successfully, and stays zero for transactions that had
+// nothing to commit (read-only and AS OF transactions).
+func (tx *Tx) CommitTS() Timestamp { return tx.commitTS }
+
+// SnapshotTS returns the transaction's snapshot read point (zero for
+// Serializable transactions, which always read the latest committed state).
+func (tx *Tx) SnapshotTS() Timestamp { return tx.snapTS }
 
 // Begin starts a read-write transaction at the given isolation level.
 func (db *DB) Begin(level IsolationLevel) (*Tx, error) {
@@ -82,7 +108,12 @@ func (db *DB) Begin(level IsolationLevel) (*Tx, error) {
 	}
 	tx := &Tx{db: db, id: db.tids.Next(), mode: level}
 	if level == SnapshotIsolation {
-		tx.snapTS = db.seq.Last()
+		// The snapshot read point is the visibility watermark — the newest
+		// commit whose timestamp mapping is published — not seq.Last(): with
+		// concurrent committers the sequencer may already have issued
+		// timestamps for commits still in flight, and a snapshot that
+		// included one would see its versions appear mid-transaction.
+		tx.snapTS = db.visibleTS()
 	}
 	// Stage I of the timestamping protocol: create the VTT entry. Snapshot
 	// transactions on non-immortal tables never persist timestamps, but
@@ -151,15 +182,28 @@ func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
 		return err
 	}
 	if (tx.mode == SnapshotIsolation || !tx.fixedTS.IsZero()) && t.meta.Versioned() {
-		ts, tid, _, found, err := t.tree.LatestInfo(key)
+		// `since` tells LatestInfo how old a version can be before we stop
+		// caring — it only chases a delete stub migrated off the current
+		// page by a time split when the stub could postdate that bound.
+		since := itime.Max
+		if tx.mode == SnapshotIsolation {
+			since = tx.snapTS
+		}
+		if !tx.fixedTS.IsZero() && tx.fixedTS.Less(since) {
+			since = tx.fixedTS
+		}
+		ts, tid, _, found, err := t.tree.LatestInfo(key, since)
 		if err != nil {
 			return err
 		}
 		// First committer wins: abort if someone committed a newer version
 		// of this record after our snapshot (Section 1.1's snapshot
-		// isolation semantics). We hold the X lock, so any unstamped latest
-		// version can only be our own.
-		if tx.mode == SnapshotIsolation && found && tid != tx.id && ts.After(tx.snapTS) {
+		// isolation semantics). A foreign unstamped latest version is also
+		// a conflict: we hold the X lock, so its writer is no longer
+		// active — it committed after our snapshot was taken and simply has
+		// not been lazily stamped yet.
+		if tx.mode == SnapshotIsolation && found && tid != tx.id &&
+			(tid != 0 || ts.After(tx.snapTS)) {
 			return fmt.Errorf("%w: key %q", ErrWriteConflict, key)
 		}
 		// CURRENT TIME ordering: overwriting a version stamped after the
@@ -198,12 +242,7 @@ func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
 			rec.Old = oldVal
 			rec.OldStub = oldStub
 		}
-		lsn, err := db.log.Append(rec)
-		if err != nil {
-			return 0, err
-		}
-		tx.lastLSN.Store(uint64(lsn))
-		return uint64(lsn), nil
+		return tx.appendChained(rec)
 	})
 	if err != nil {
 		return err
@@ -222,9 +261,22 @@ func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
 	return nil
 }
 
+// appendChained appends one record to the transaction's undo chain and
+// advances lastLSN, atomically with respect to checkpoint ATT snapshots
+// (see the logMu field comment).
+func (tx *Tx) appendChained(rec *wal.Record) (uint64, error) {
+	tx.logMu.Lock()
+	defer tx.logMu.Unlock()
+	lsn, err := tx.db.log.Append(rec)
+	if err != nil {
+		return 0, err
+	}
+	tx.lastLSN.Store(uint64(lsn))
+	return uint64(lsn), nil
+}
+
 // writeNoTail handles conventional tables: in-place update, outright delete.
 func (tx *Tx) writeNoTail(t *Table, key, value []byte, del bool) error {
-	db := tx.db
 	appendRec := func(pid pageID, old []byte, existed bool) (uint64, error) {
 		rec := &wal.Record{
 			Type:    wal.TypeInsertVersion,
@@ -242,12 +294,7 @@ func (tx *Tx) writeNoTail(t *Table, key, value []byte, del bool) error {
 			}
 			rec.Old = old
 		}
-		lsn, err := db.log.Append(rec)
-		if err != nil {
-			return 0, err
-		}
-		tx.lastLSN.Store(uint64(lsn))
-		return uint64(lsn), nil
+		return tx.appendChained(rec)
 	}
 	withOld := func(pid pageID, old []byte) (uint64, error) { return appendRec(pid, old, true) }
 	switch {
@@ -293,20 +340,11 @@ func (tx *Tx) Get(t *Table, key []byte) ([]byte, bool, error) {
 	if tx.mode != Serializable {
 		at = tx.snapTS
 	}
-	// Own writes are visible even under snapshot reads.
-	res, err := t.tree.ReadKey(key, at, tx.id)
-	if err != nil {
-		return nil, false, err
-	}
-	if res.Found || res.Deleted {
-		// CURRENT TIME ordering: depending on a version committed after the
-		// fixed timestamp contradicts the chosen serialization point.
-		if err := tx.validateFixedTS(res.TS); err != nil {
-			return nil, false, err
-		}
-	}
-	if !res.Found && tx.mode == SnapshotIsolation {
-		// A write of our own may postdate the snapshot.
+	// Own writes are visible even under snapshot reads — and they postdate
+	// the snapshot, so after a time split they can live on a newer page than
+	// the one covering snapTS, where the as-of read would instead surface an
+	// older committed version. Check them first.
+	if tx.mode == SnapshotIsolation && tx.wrote(t, key) {
 		cur, err := t.tree.ReadKey(key, itime.Max, tx.id)
 		if err != nil {
 			return nil, false, err
@@ -320,7 +358,29 @@ func (tx *Tx) Get(t *Table, key []byte) ([]byte, bool, error) {
 			}
 		}
 	}
+	res, err := t.tree.ReadKey(key, at, tx.id)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Found || res.Deleted {
+		// CURRENT TIME ordering: depending on a version committed after the
+		// fixed timestamp contradicts the chosen serialization point.
+		if err := tx.validateFixedTS(res.TS); err != nil {
+			return nil, false, err
+		}
+	}
 	return res.Value, res.Found, nil
+}
+
+// wrote reports whether the transaction has written key in t.
+func (tx *Tx) wrote(t *Table, key []byte) bool {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		w := &tx.writes[i]
+		if w.table.meta.ID == t.meta.ID && w.key == string(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // Scan calls fn for every visible record with lo <= key < hi (nil bounds are
@@ -336,17 +396,87 @@ func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) err
 	if tx.mode != Serializable {
 		at = tx.snapTS
 	}
+	// A snapshot transaction's own writes postdate its snapshot, and after a
+	// time split they live on a newer page than the one covering snapTS, so
+	// the as-of scan can miss them entirely — the scan counterpart of Get's
+	// own-write fallback. Overlay the current state of every key this
+	// transaction wrote in range.
+	var own map[string]tsb.Result
+	if tx.mode == SnapshotIsolation {
+		for _, w := range tx.writes {
+			if w.table.meta.ID != t.meta.ID {
+				continue
+			}
+			k := []byte(w.key)
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				continue
+			}
+			if _, done := own[w.key]; done {
+				continue
+			}
+			cur, err := t.tree.ReadKey(k, itime.Max, tx.id)
+			if err != nil {
+				return err
+			}
+			if cur.TID != tx.id {
+				continue // newest version is not ours (should not happen: X lock held)
+			}
+			if own == nil {
+				own = make(map[string]tsb.Result)
+			}
+			own[w.key] = cur
+		}
+	}
 	var tsErr error
+	if own == nil {
+		err := t.tree.ScanAsOf(lo, hi, at, tx.id, func(r tsb.Result) bool {
+			if tsErr = tx.validateFixedTS(r.TS); tsErr != nil {
+				return false
+			}
+			return fn(r.Key, r.Value)
+		})
+		if err == nil {
+			err = tsErr
+		}
+		return err
+	}
+	merged := make(map[string]tsb.Result)
 	err := t.tree.ScanAsOf(lo, hi, at, tx.id, func(r tsb.Result) bool {
+		if _, ours := own[string(r.Key)]; ours {
+			return true // replaced by the overlay below
+		}
 		if tsErr = tx.validateFixedTS(r.TS); tsErr != nil {
 			return false
 		}
-		return fn(r.Key, r.Value)
+		merged[string(r.Key)] = r
+		return true
 	})
-	if err == nil {
-		err = tsErr
+	if err != nil {
+		return err
 	}
-	return err
+	if tsErr != nil {
+		return tsErr
+	}
+	for k, r := range own {
+		if r.Found {
+			merged[k] = r
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r := merged[k]
+		if !fn(r.Key, r.Value) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Commit finishes the transaction. Its timestamp is chosen now — commit
@@ -367,6 +497,10 @@ func (tx *Tx) Commit() error {
 		return nil
 	}
 
+	// Phase 1, under commitMu: pick the timestamp, append the commit record,
+	// and publish the TID-to-timestamp mapping. commitMu makes timestamp
+	// order equal commit-record order within the log, so a group-commit
+	// fsync that covers a batch of commit records covers a timestamp prefix.
 	db.commitMu.Lock()
 	ts := tx.fixedTS
 	if ts.IsZero() {
@@ -382,44 +516,73 @@ func (tx *Tx) Commit() error {
 			return err
 		}
 		db.stamp.Abort(tx.id)
-	} else if err := db.stamp.Commit(tx.id, ts, tx.hasTT, func() wal.LSN {
-		// Snapshot-only transactions (no immortal table touched) keep their
-		// mapping in the VTT alone; immortal writers get the one PTT insert.
-		return db.log.End()
-	}); err != nil {
-		db.commitMu.Unlock()
-		return err
 	}
-	_, err := db.log.Append(&wal.Record{
+	// The commit record is appended BEFORE stamp.Commit publishes the
+	// mapping: lazy stamping is never logged, so the moment the mapping is
+	// resolvable a stamped page could head for disk, and the buffer pool
+	// must know the commit-record LSN (the page's StampLSN write-ahead
+	// point) to hold that write until the log covers it.
+	lsn, err := db.log.Append(&wal.Record{
 		Type:    wal.TypeCommit,
 		TID:     tx.id,
 		PrevLSN: wal.LSN(tx.lastLSN.Load()),
 		TS:      ts,
 		HasTT:   tx.hasTT && !db.opts.EagerTimestamping,
 	})
-	if err == nil {
-		err = db.log.Flush()
-	}
 	if err != nil {
-		// The commit record is not durable, so the transaction has NOT
-		// committed: withdraw the timestamp mapping recorded above, or the
-		// VTT/PTT would claim a commit the log cannot prove and lazy
+		// Nothing was published: the VTT entry is still active, exactly as
+		// if Commit had not been called.
+		db.commitMu.Unlock()
+		return err
+	}
+	// The transaction's fate is now in the log; a checkpoint taken from here
+	// on must not list it as active (see terminalLogged).
+	tx.terminalLogged = true
+	if !db.opts.EagerTimestamping {
+		if serr := db.stamp.Commit(tx.id, ts, tx.hasTT, lsn, func() wal.LSN {
+			// Snapshot-only transactions (no immortal table touched) keep
+			// their mapping in the VTT alone; immortal writers get the one
+			// PTT insert.
+			return db.log.End()
+		}); serr != nil {
+			// The commit record is already in the log buffer and cannot be
+			// retracted. Neutralize it: undo the versions with CLRs and log
+			// an abort, so if the record ever reaches disk recovery replays
+			// a transaction that committed empty.
+			last := wal.LSN(tx.lastLSN.Load())
+			if uerr := db.undoTx(tx.id, last); uerr == nil {
+				db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tx.id, PrevLSN: last})
+			}
+			db.stamp.Abort(tx.id)
+			db.commitMu.Unlock()
+			return serr
+		}
+	}
+	db.advanceVisible(ts)
+	db.commitMu.Unlock()
+
+	// Phase 2, outside commitMu: harden the commit record. With group commit
+	// on, concurrent committers share one fsync here instead of queueing one
+	// fsync each behind commitMu. The transaction's locks are held until
+	// Commit returns, so conflicting writers cannot observe its effects
+	// before durability is settled either way.
+	if err := db.log.SyncTo(lsn); err != nil {
+		// Not durable, so not committed: withdraw the timestamp mapping, or
+		// the VTT/PTT would claim a commit the log cannot prove and lazy
 		// stamping would publish the transaction's versions.
 		if !db.opts.EagerTimestamping {
 			if uerr := db.stamp.UndoCommit(tx.id); uerr != nil {
 				err = fmt.Errorf("%w (timestamp withdraw: %v)", err, uerr)
 			}
 		}
-		db.commitMu.Unlock()
 		return err
 	}
+	tx.commitTS = ts
 	if db.opts.PTTSyncEveryCommit {
 		if err := db.stamp.SyncPTT(); err != nil {
-			db.commitMu.Unlock()
 			return err
 		}
 	}
-	db.commitMu.Unlock()
 
 	db.mu.Lock()
 	db.commits++
@@ -484,10 +647,21 @@ func (tx *Tx) Rollback() error {
 		db.mu.Unlock()
 	}()
 
+	// commitMu makes the whole compensation atomic with respect to a
+	// checkpoint's ATT snapshot: the snapshot sees this transaction either
+	// before any CLR exists (recovery undoes the full chain from LastLSN) or
+	// after compensation is complete (terminalLogged set, skipped). A
+	// mid-rollback snapshot would carry a LastLSN that predates the CLRs and
+	// recovery would undo already-compensated updates.
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	last := wal.LSN(tx.lastLSN.Load())
 	if err := db.undoTx(tx.id, last); err != nil {
 		return err
 	}
+	// Every update is compensated in the log; even if the abort record below
+	// fails to append, recovery has nothing left to undo.
+	tx.terminalLogged = true
 	db.stamp.Abort(tx.id)
 	_, err := db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tx.id, PrevLSN: last})
 	return err
