@@ -7,6 +7,8 @@
 //	snapshot   — snapshot vs serializable readers under a write stream (S1)
 //	commit     — group-commit vs serial durable-commit throughput (C1),
 //	             also written as JSON rows to -commitout
+//	serve      — wire-protocol vs embedded durable-commit throughput (C2),
+//	             also written as JSON rows to -serveout
 //	all        — everything
 //
 // Usage:
@@ -28,6 +30,7 @@ func main() {
 	pageSize := flag.Int("pagesize", 8192, "page size in bytes")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	commitOut := flag.String("commitout", "BENCH_commit.json", "JSON output path for the commit experiment (empty disables)")
+	serveOut := flag.String("serveout", "BENCH_server.json", "JSON output path for the serve experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -135,6 +138,30 @@ func main() {
 				fail(err)
 			}
 			fmt.Println("wrote", *commitOut)
+		}
+	}
+
+	if all || run["serve"] {
+		rows, err := repro.RunServerThroughput(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("C2 — Durable commit throughput: wire protocol vs embedded")
+		fmt.Printf("%10s %8s %10s %10s %14s\n", "mode", "clients", "commits", "total(s)", "commits/s")
+		for _, r := range rows {
+			fmt.Printf("%10s %8d %10d %10.3f %14.1f\n",
+				r.Mode, r.Clients, r.Commits, r.Seconds, r.CommitsPerSec)
+		}
+		fmt.Println()
+		if *serveOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*serveOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *serveOut)
 		}
 	}
 }

@@ -1,0 +1,154 @@
+// Command immortald serves an Immortal DB database over the wire protocol.
+//
+// It listens for wire-protocol clients (cmd/immortalsql -connect, or the
+// internal/client Go package), enforces a connection cap and per-request
+// deadlines, and exposes Prometheus-style /metrics plus /healthz over a
+// separate HTTP listener. SIGINT/SIGTERM triggers a graceful shutdown: the
+// listener closes, connections holding an open transaction get the drain
+// timeout to commit or roll back, and the database closes cleanly behind
+// them.
+//
+// Usage:
+//
+//	immortald -db ./mydb -listen :7707 -http :7708
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/server"
+)
+
+func main() {
+	dir := flag.String("db", "immortaldb-data", "database directory")
+	listen := flag.String("listen", ":7707", "wire-protocol listen address")
+	httpAddr := flag.String("http", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+	maxConns := flag.Int("max-conns", 128, "maximum concurrent client connections")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request I/O deadline")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window for open transactions")
+	index := flag.String("index", "chain", "historical access path: chain or tsb")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "immortald: ", log.LstdFlags)
+
+	opts := &immortaldb.Options{DrainTimeout: *drain}
+	if *index == "tsb" {
+		opts.HistoricalIndex = immortaldb.IndexTSB
+	}
+	db, err := immortaldb.Open(*dir, opts)
+	if err != nil {
+		logger.Fatalf("open %s: %v", *dir, err)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConns:       *maxConns,
+		IdleTimeout:    *idle,
+		RequestTimeout: *reqTimeout,
+		Logf:           logger.Printf,
+	})
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		db.Close()
+		logger.Fatalf("listen %s: %v", *listen, err)
+	}
+	logger.Printf("serving %s on %s", *dir, addr)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			writeMetrics(w, db.Stats(), srv.Stats())
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if srv.Stats().Draining {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatalf("http listen %s: %v", *httpAddr, err)
+		}
+		httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := httpSrv.Serve(hl); err != nil && err != http.ErrServerClosed {
+				logger.Printf("http: %v", err)
+			}
+		}()
+		logger.Printf("metrics on http://%s/metrics", hl.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("signal %v: draining (up to %v)", s, *drain)
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v (survivors force-closed)", err)
+	}
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if err := db.Close(); err != nil {
+		logger.Fatalf("close: %v", err)
+	}
+	logger.Printf("closed cleanly")
+}
+
+// writeMetrics renders engine and server counters in Prometheus text
+// exposition format.
+func writeMetrics(w http.ResponseWriter, ds immortaldb.Stats, ss server.Stats) {
+	p := func(name string, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	p("immortaldb_commits_total", "Committed transactions.", ds.Commits)
+	p("immortaldb_aborts_total", "Aborted transactions.", ds.Aborts)
+	p("immortaldb_open_txns", "Currently active transactions.", ds.OpenTxns)
+	p("immortaldb_vtt_backlog", "Volatile timestamp table entries awaiting lazy timestamping.", ds.VTTBacklog)
+	p("immortaldb_ptt_entries", "Persistent timestamp table entries.", ds.PTTEntries)
+	p("immortaldb_log_bytes", "Write-ahead log size in bytes.", ds.LogBytes)
+	p("immortaldb_log_appends_total", "Log records appended.", ds.LogAppends)
+	p("immortaldb_log_syncs_total", "Log fsyncs issued.", ds.LogSyncs)
+	p("immortaldb_grouped_commits_total", "Commit hardenings satisfied by another committer's fsync.", ds.GroupedCommits)
+	p("immortaldb_group_commit_batch_mean", "Mean commits hardened per fsync.", ds.MeanCommitBatch())
+	p("immortaldb_pager_reads_total", "Pages read from disk.", ds.PagerReads)
+	p("immortaldb_pager_writes_total", "Pages written to disk.", ds.PagerWrites)
+	p("immortaldb_cache_hits_total", "Buffer-pool hits.", ds.CacheHits)
+	p("immortaldb_cache_misses_total", "Buffer-pool misses.", ds.CacheMisses)
+	p("immortaldb_time_splits_total", "TSB time splits across all tables.", ds.TimeSplits)
+	p("immortaldb_key_splits_total", "TSB key splits across all tables.", ds.KeySplits)
+	p("immortaldb_chain_hops_total", "Version-chain hops during historical reads.", ds.ChainHops)
+	p("immortald_conns_accepted_total", "Connections accepted.", ss.Accepted)
+	p("immortald_conns_refused_total", "Connections refused over the cap.", ss.Refused)
+	p("immortald_conns_active", "Connections currently open.", ss.ActiveConns)
+	p("immortald_requests_total", "Statements executed.", ss.Requests)
+	p("immortald_request_errors_total", "Statements answered with an error frame.", ss.Errors)
+	p("immortald_conn_panics_total", "Connection handlers killed by a panic.", ss.Panics)
+	draining := 0
+	if ss.Draining {
+		draining = 1
+	}
+	p("immortald_draining", "1 while a graceful shutdown is in progress.", draining)
+}

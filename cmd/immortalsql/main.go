@@ -14,10 +14,12 @@
 // Usage:
 //
 //	immortalsql -db ./mydb [-f script.sql]
+//	immortalsql -connect localhost:7707   # drive a running immortald
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,26 +27,92 @@ import (
 	"strings"
 
 	"immortaldb"
+	"immortaldb/internal/client"
 	"immortaldb/internal/sqlish"
 )
 
+// executor abstracts the REPL's backend: an embedded database directory or a
+// remote immortald server.
+type executor interface {
+	Exec(sql string) (*sqlish.Result, error)
+	InTransaction() bool
+	Close() error
+}
+
+// localExec runs statements on an embedded engine.
+type localExec struct {
+	db   *immortaldb.DB
+	sess *sqlish.Session
+}
+
+func (l *localExec) Exec(sql string) (*sqlish.Result, error) { return l.sess.Exec(sql) }
+func (l *localExec) InTransaction() bool                     { return l.sess.InTransaction() }
+func (l *localExec) Close() error {
+	l.sess.Close()
+	return l.db.Close()
+}
+
+// remoteExec runs statements over the wire on one pinned server session. The
+// server owns the transaction state; the REPL mirrors it by watching which
+// statements succeed, so the prompt can show an open transaction.
+type remoteExec struct {
+	pool *client.DB
+	sess *client.Session
+	inTx bool
+}
+
+func (r *remoteExec) Exec(sql string) (*sqlish.Result, error) {
+	res, err := r.sess.Exec(context.Background(), sql)
+	if err == nil {
+		if stmt, perr := sqlish.Parse(sql); perr == nil {
+			switch stmt.(type) {
+			case sqlish.BeginTran:
+				r.inTx = true
+			case sqlish.CommitTran, sqlish.RollbackTran:
+				r.inTx = false
+			}
+		}
+	}
+	return res, err
+}
+func (r *remoteExec) InTransaction() bool { return r.inTx }
+func (r *remoteExec) Close() error {
+	r.sess.Close()
+	return r.pool.Close()
+}
+
 func main() {
 	dir := flag.String("db", "immortaldb-data", "database directory")
+	connect := flag.String("connect", "", "immortald address (host:port); overrides -db")
 	script := flag.String("f", "", "execute statements from a file instead of stdin")
 	index := flag.String("index", "chain", "historical access path: chain or tsb")
 	flag.Parse()
 
-	opts := &immortaldb.Options{}
-	if *index == "tsb" {
-		opts.HistoricalIndex = immortaldb.IndexTSB
+	var sess executor
+	if *connect != "" {
+		pool, err := client.Open(*connect, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "immortalsql:", err)
+			os.Exit(1)
+		}
+		csess, err := pool.Session(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "immortalsql:", err)
+			os.Exit(1)
+		}
+		sess = &remoteExec{pool: pool, sess: csess}
+	} else {
+		opts := &immortaldb.Options{}
+		if *index == "tsb" {
+			opts.HistoricalIndex = immortaldb.IndexTSB
+		}
+		db, err := immortaldb.Open(*dir, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "immortalsql:", err)
+			os.Exit(1)
+		}
+		sess = &localExec{db: db, sess: sqlish.NewSession(db)}
 	}
-	db, err := immortaldb.Open(*dir, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "immortalsql:", err)
-		os.Exit(1)
-	}
-	defer db.Close()
-	sess := sqlish.NewSession(db)
 	defer sess.Close()
 
 	var in io.Reader = os.Stdin

@@ -114,6 +114,12 @@ type Options struct {
 	// default: it costs log volume, and tearing is still *detected* without
 	// it via page CRCs.
 	FullPageWrites bool
+	// DrainTimeout bounds how long Close waits for in-flight transaction
+	// operations (a commit mid-fsync, a scan mid-page) to finish before
+	// closing the files out from under them (default 15s). Transactions
+	// still open once operations drain are rolled back on their owners'
+	// behalf; their next call returns ErrAborted.
+	DrainTimeout time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -147,9 +153,14 @@ const (
 	GroupCommitOff
 )
 
+// DefaultDrainTimeout is Options.DrainTimeout's default.
+const DefaultDrainTimeout = 15 * time.Second
+
 // Errors returned by the engine.
 var (
 	ErrClosed        = errors.New("immortaldb: database closed")
+	ErrShuttingDown  = errors.New("immortaldb: database shutting down")
+	ErrAborted       = errors.New("immortaldb: transaction aborted by shutdown")
 	ErrTxDone        = errors.New("immortaldb: transaction already finished")
 	ErrReadOnly      = errors.New("immortaldb: read-only (AS OF) transaction")
 	ErrWriteConflict = errors.New("immortaldb: snapshot write conflict (first committer wins)")
@@ -212,10 +223,17 @@ type DB struct {
 	active map[itime.TID]*Tx
 	closed bool
 
+	// draining is set at the start of Close: Begin refuses new transactions
+	// (ErrShuttingDown) while in-flight operations — counted by opCount,
+	// entered via Tx.opEnter — are waited out on the opDone condition.
+	draining bool
+	opCount  int
+	opDone   *sync.Cond
+
 	commitMu      sync.Mutex
 	txnsSinceCkpt int
 
-	commits, aborts uint64
+	commits, aborts atomic.Uint64
 }
 
 // File names inside a database directory.
@@ -275,6 +293,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		trees:  make(map[uint32]*tsb.Tree),
 		active: make(map[itime.TID]*Tx),
 	}
+	db.opDone = sync.NewCond(&db.mu)
 	db.stamp.GCEnabled = !o.DisablePTTGC
 	// PTT write-ahead: the PTT file must never harden a TID→TS mapping whose
 	// commit record is still in the unsynced log tail (recovery would stamp a
@@ -471,6 +490,9 @@ func (db *DB) CreateTable(name string, topts TableOptions) (*Table, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if db.draining {
+		return nil, ErrShuttingDown
+	}
 	if topts.Immortal {
 		topts.Snapshot = true
 	}
@@ -610,14 +632,59 @@ func (db *DB) Checkpoint() error {
 	return db.stamp.SyncPTT()
 }
 
-// Close checkpoints and closes the database.
+// Close shuts the database down cleanly: new Begin calls fail with
+// ErrShuttingDown, in-flight transaction operations are waited out (bounded
+// by Options.DrainTimeout) so an acknowledged commit is never raced by the
+// file teardown, transactions left open are rolled back on their owners'
+// behalf, and the final checkpoint and file closes run against a quiesced
+// engine.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	if db.closed {
+	if db.closed || db.draining {
 		db.mu.Unlock()
 		return nil
 	}
+	db.draining = true
+	// Kill every open transaction: its next operation returns ErrAborted.
+	// Operations already past opEnter finish normally — including commits,
+	// whose acknowledgements stay trustworthy.
+	for _, tx := range db.active {
+		tx.killed.Store(true)
+	}
+	grace := db.opts.DrainTimeout
+	if grace <= 0 {
+		grace = DefaultDrainTimeout
+	}
+	deadline := time.Now().Add(grace)
+	var timer *time.Timer
+	if db.opCount > 0 {
+		timer = time.AfterFunc(grace, func() {
+			db.mu.Lock()
+			db.opDone.Broadcast()
+			db.mu.Unlock()
+		})
+	}
+	for db.opCount > 0 && time.Now().Before(deadline) {
+		db.opDone.Wait()
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	drained := db.opCount == 0
+	victims := make([]*Tx, 0, len(db.active))
+	for _, tx := range db.active {
+		victims = append(victims, tx)
+	}
 	db.mu.Unlock()
+	// Transactions left open after the drain have no operation in flight, so
+	// rolling them back here cannot race their owners: opEnter now fails on
+	// the killed flag. If the drain timed out we skip this — the checkpoint
+	// lists the stragglers in its ATT and recovery undoes them instead.
+	if drained {
+		for _, tx := range victims {
+			db.abortForShutdown(tx)
+		}
+	}
 	err := db.Checkpoint()
 	db.mu.Lock()
 	db.closed = true
@@ -637,36 +704,101 @@ func (db *DB) Close() error {
 	return err
 }
 
-// Stats aggregates engine counters for benchmarks and monitoring.
+// abortForShutdown rolls back a transaction left open at Close on its
+// owner's behalf. The owner cannot interfere: the killed flag turns its next
+// operation into ErrAborted before it touches engine state. Undo runs under
+// commitMu exactly like Rollback, so the compensation is atomic with respect
+// to the final checkpoint's ATT snapshot.
+func (db *DB) abortForShutdown(tx *Tx) {
+	if tx.mode == asOf || tx.terminalLogged {
+		db.finish(tx)
+		return
+	}
+	db.commitMu.Lock()
+	last := wal.LSN(tx.lastLSN.Load())
+	if err := db.undoTx(tx.id, last); err != nil {
+		// Compensation failed (I/O error): leave the transaction in the
+		// active map so the checkpoint's ATT lists it and recovery undoes
+		// its updates at the next open.
+		db.commitMu.Unlock()
+		return
+	}
+	tx.terminalLogged = true
+	db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tx.id, PrevLSN: last})
+	db.stamp.Abort(tx.id)
+	db.commitMu.Unlock()
+	db.aborts.Add(1)
+	db.finish(tx)
+}
+
+// Stats aggregates engine counters for benchmarks and monitoring — the feed
+// for immortald's /metrics endpoint.
 type Stats struct {
 	Commits, Aborts uint64
-	Stamp           stamp.Stats
-	PTTEntries      uint64
-	LogBytes        int64
-	PagerReads      uint64
-	PagerWrites     uint64
-	CacheHits       uint64
-	CacheMisses     uint64
+	// OpenTxns counts transactions currently active.
+	OpenTxns int
+	Stamp    stamp.Stats
+	// VTTBacklog is the volatile timestamp table's entry count: commits
+	// whose versions still await lazy timestamping (plus active writers).
+	VTTBacklog int
+	PTTEntries uint64
+	LogBytes   int64
+	// LogAppends and LogSyncs count log records appended and fsyncs issued;
+	// GroupedCommits counts commit hardenings satisfied by another
+	// committer's fsync — the group-commit batching win.
+	LogAppends     uint64
+	LogSyncs       uint64
+	GroupedCommits uint64
+	PagerReads     uint64
+	PagerWrites    uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	// TimeSplits, KeySplits and ChainHops aggregate tree activity across
+	// all tables.
+	TimeSplits uint64
+	KeySplits  uint64
+	ChainHops  uint64
+}
+
+// MeanCommitBatch estimates the mean group-commit batch size: every fsync
+// hardens one leader plus the followers that shared it.
+func (s Stats) MeanCommitBatch() float64 {
+	if s.LogSyncs == 0 {
+		return 0
+	}
+	return 1 + float64(s.GroupedCommits)/float64(s.LogSyncs)
 }
 
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
 	r, w, _ := db.pager.Stats()
 	h, m, _, _ := db.pool.Stats()
-	db.mu.Lock()
-	c, a := db.commits, db.aborts
-	db.mu.Unlock()
-	return Stats{
-		Commits:     c,
-		Aborts:      a,
-		Stamp:       db.stamp.Snapshot(),
-		PTTEntries:  db.stamp.PTTLen(),
-		LogBytes:    db.log.Size(),
-		PagerReads:  r,
-		PagerWrites: w,
-		CacheHits:   h,
-		CacheMisses: m,
+	appends, syncs := db.log.Stats()
+	st := Stats{
+		Commits:        db.commits.Load(),
+		Aborts:         db.aborts.Load(),
+		Stamp:          db.stamp.Snapshot(),
+		VTTBacklog:     db.stamp.VTTLen(),
+		PTTEntries:     db.stamp.PTTLen(),
+		LogBytes:       db.log.Size(),
+		LogAppends:     appends,
+		LogSyncs:       syncs,
+		GroupedCommits: db.log.GroupedSyncs(),
+		PagerReads:     r,
+		PagerWrites:    w,
+		CacheHits:      h,
+		CacheMisses:    m,
 	}
+	db.mu.Lock()
+	st.OpenTxns = len(db.active)
+	for _, t := range db.trees {
+		ts := t.Snapshot()
+		st.TimeSplits += ts.TimeSplits
+		st.KeySplits += ts.KeySplits
+		st.ChainHops += ts.ChainHops
+	}
+	db.mu.Unlock()
+	return st
 }
 
 // TreeStats returns split/chain counters for one table.
@@ -695,6 +827,9 @@ func (db *DB) EnableSnapshot(name string) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.draining {
+		return ErrShuttingDown
 	}
 	meta, err := db.cat.Get(name)
 	if err != nil {

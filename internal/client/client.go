@@ -1,0 +1,431 @@
+// Package client is the Go client for immortald: a database/sql-flavored
+// connection pool over the wire protocol.
+//
+//	db, _ := client.Open("localhost:7707", nil)
+//	defer db.Close()
+//	res, _ := db.Exec(ctx, `SELECT * FROM accounts WHERE id = 1`)
+//	tx, _ := db.Begin(ctx)
+//	tx.Exec(ctx, `UPDATE accounts SET balance = 90 WHERE id = 1`)
+//	tx.Commit(ctx)
+//
+// Statements outside Begin auto-commit on a pooled connection. A Tx (or a
+// Session) pins one connection, because the server keeps transaction state
+// per connection.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"immortaldb/internal/sqlish"
+	"immortaldb/internal/wire"
+)
+
+// Options tune the pool. The zero value (or nil) uses the defaults below.
+type Options struct {
+	// MaxConns caps pooled connections (default 8). Exec blocks — honoring
+	// its context — when all are busy.
+	MaxConns int
+	// DialTimeout bounds one dial attempt (default 5s).
+	DialTimeout time.Duration
+	// DialRetries is how many times a failed dial is retried with
+	// exponential backoff (default 3; total attempts = DialRetries+1).
+	DialRetries int
+	// RetryBackoff is the first retry's delay, doubling per retry
+	// (default 50ms).
+	RetryBackoff time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.MaxConns <= 0 {
+		out.MaxConns = 8
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	if out.DialRetries < 0 {
+		out.DialRetries = 0
+	} else if out.DialRetries == 0 {
+		out.DialRetries = 3
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 50 * time.Millisecond
+	}
+	return out
+}
+
+// ErrPoolClosed reports use of a closed pool.
+var ErrPoolClosed = errors.New("client: pool closed")
+
+// RemoteError is a statement error reported by the server. The connection
+// that carried it remains healthy and is returned to the pool.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// DB is a pooled client to one immortald server.
+type DB struct {
+	addr string
+	opts Options
+
+	// slots is a counting semaphore over connection capacity; holders may
+	// take an idle connection or dial a fresh one.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	idle   []*wconn
+	closed bool
+}
+
+// Open validates the address by dialing (with retry) and returns a pool.
+func Open(addr string, opts *Options) (*DB, error) {
+	d := &DB{addr: addr, opts: opts.withDefaults()}
+	d.slots = make(chan struct{}, d.opts.MaxConns)
+	for i := 0; i < d.opts.MaxConns; i++ {
+		d.slots <- struct{}{}
+	}
+	c, err := d.dial(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.idle = append(d.idle, c)
+	d.mu.Unlock()
+	return d, nil
+}
+
+// dial connects, with exponential-backoff retry, and shakes hands.
+func (d *DB) dial(ctx context.Context) (*wconn, error) {
+	backoff := d.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= d.opts.DialRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		nc, err := (&net.Dialer{Timeout: d.opts.DialTimeout}).DialContext(ctx, "tcp", d.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c := &wconn{nc: nc, br: bufio.NewReader(nc)}
+		if err := c.handshake(ctx, d.opts.DialTimeout); err != nil {
+			nc.Close()
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("client: dial %s: %w", d.addr, lastErr)
+}
+
+// acquire takes a capacity slot and returns a connection: an idle one if
+// available (fromIdle true), freshly dialed otherwise.
+func (d *DB) acquire(ctx context.Context) (c *wconn, fromIdle bool, err error) {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, false, ErrPoolClosed
+	}
+	select {
+	case <-d.slots:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.slots <- struct{}{}
+		return nil, false, ErrPoolClosed
+	}
+	if n := len(d.idle); n > 0 {
+		c := d.idle[n-1]
+		d.idle = d.idle[:n-1]
+		d.mu.Unlock()
+		return c, true, nil
+	}
+	d.mu.Unlock()
+	c, err = d.dial(ctx)
+	if err != nil {
+		d.slots <- struct{}{}
+		return nil, false, err
+	}
+	return c, false, nil
+}
+
+// release returns a connection to the pool, discarding broken ones.
+func (d *DB) release(c *wconn, healthy bool) {
+	d.mu.Lock()
+	if healthy && !d.closed {
+		d.idle = append(d.idle, c)
+		c = nil
+	}
+	d.mu.Unlock()
+	if c != nil {
+		c.nc.Close()
+	}
+	d.slots <- struct{}{}
+}
+
+// Exec runs one auto-commit statement on a pooled connection. When an
+// idle-pooled connection turns out stale — the server closed it while it
+// sat in the pool — Exec transparently retries once on a freshly dialed
+// connection. (Like database/sql's bad-connection retry, this can in
+// principle re-execute a statement the server received just before dying;
+// callers needing exactly-once must make statements idempotent.)
+func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
+	c, fromIdle, err := d.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.exec(ctx, sql)
+	if err != nil && fromIdle && c.broken && ctx.Err() == nil && !isRemote(err) {
+		c.nc.Close()
+		c2, derr := d.dial(ctx)
+		if derr != nil {
+			d.slots <- struct{}{}
+			return nil, derr
+		}
+		c = c2
+		res, err = c.exec(ctx, sql)
+	}
+	d.release(c, !c.broken)
+	return res, err
+}
+
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Ping checks server liveness over a pooled connection.
+func (d *DB) Ping(ctx context.Context) error {
+	c, _, err := d.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	err = c.ping(ctx)
+	d.release(c, !c.broken)
+	return err
+}
+
+// Close closes idle connections and fails future calls. In-flight calls
+// finish; their connections are discarded on release.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	idle := d.idle
+	d.idle = nil
+	d.mu.Unlock()
+	for _, c := range idle {
+		c.nc.Close()
+	}
+	return nil
+}
+
+// Session pins one connection for free-form statement sequences (the REPL's
+// remote mode). The caller must Close it to unpin the connection.
+type Session struct {
+	d    *DB
+	c    *wconn
+	done bool
+}
+
+// Session acquires a pinned connection.
+func (d *DB) Session(ctx context.Context) (*Session, error) {
+	c, _, err := d.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{d: d, c: c}, nil
+}
+
+// Exec runs one statement on the pinned connection.
+func (s *Session) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
+	if s.done {
+		return nil, ErrPoolClosed
+	}
+	return s.c.exec(ctx, sql)
+}
+
+// Close returns the pinned connection to the pool. An open server-side
+// transaction is left to the server to roll back when the connection is
+// reused — so Close discards the connection if a transaction may be open.
+func (s *Session) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	// The pool cannot know the server-side transaction state of a pinned
+	// session; recycling a connection with an open transaction would leak
+	// it into the next Exec. Discarding is always safe: the server rolls
+	// back on disconnect.
+	s.d.release(s.c, false)
+	return nil
+}
+
+// Tx is an explicit transaction pinned to one connection.
+type Tx struct {
+	s *Session
+}
+
+// Begin opens a serializable transaction.
+func (d *DB) Begin(ctx context.Context) (*Tx, error) {
+	return d.begin(ctx, "BEGIN TRAN")
+}
+
+// BeginSnapshot opens a snapshot-isolation transaction.
+func (d *DB) BeginSnapshot(ctx context.Context) (*Tx, error) {
+	return d.begin(ctx, "BEGIN TRAN ISOLATION SNAPSHOT")
+}
+
+// BeginAsOf opens a read-only transaction over the database as of the given
+// time literal (e.g. "2004-08-12 10:15:20").
+func (d *DB) BeginAsOf(ctx context.Context, at string) (*Tx, error) {
+	return d.begin(ctx, fmt.Sprintf("BEGIN TRAN AS OF %q", at))
+}
+
+func (d *DB) begin(ctx context.Context, stmt string) (*Tx, error) {
+	s, err := d.Session(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Exec(ctx, stmt); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &Tx{s: s}, nil
+}
+
+// Exec runs one statement inside the transaction.
+func (t *Tx) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
+	return t.s.Exec(ctx, sql)
+}
+
+// Commit commits the transaction and unpins its connection. A nil error
+// means the server acknowledged a durable commit.
+func (t *Tx) Commit(ctx context.Context) error {
+	_, err := t.s.Exec(ctx, "COMMIT")
+	t.end(err == nil)
+	return err
+}
+
+// Rollback aborts the transaction and unpins its connection.
+func (t *Tx) Rollback(ctx context.Context) error {
+	_, err := t.s.Exec(ctx, "ROLLBACK")
+	t.end(err == nil)
+	return err
+}
+
+// end releases the pinned connection. After a clean COMMIT/ROLLBACK the
+// connection provably has no transaction state, so it can be pooled.
+func (t *Tx) end(clean bool) {
+	if t.s.done {
+		return
+	}
+	t.s.done = true
+	t.s.d.release(t.s.c, clean && !t.s.c.broken)
+}
+
+// wconn is one wire connection.
+type wconn struct {
+	nc net.Conn
+	br *bufio.Reader
+	// broken marks the connection unusable (I/O error, protocol error).
+	broken bool
+}
+
+func (c *wconn) handshake(ctx context.Context, timeout time.Duration) error {
+	c.applyDeadline(ctx, timeout)
+	if err := wire.WriteFrame(c.nc, wire.MsgHello, wire.HelloPayload()); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return err
+	}
+	c.nc.SetDeadline(time.Time{})
+	switch typ {
+	case wire.MsgHelloOK:
+		return nil
+	case wire.MsgError:
+		return &RemoteError{Msg: string(payload)}
+	default:
+		return wire.ErrBadHandshake
+	}
+}
+
+// applyDeadline sets the connection deadline from ctx, with fallback when
+// ctx carries none.
+func (c *wconn) applyDeadline(ctx context.Context, fallback time.Duration) {
+	if d, ok := ctx.Deadline(); ok {
+		c.nc.SetDeadline(d)
+		return
+	}
+	if fallback > 0 {
+		c.nc.SetDeadline(time.Now().Add(fallback))
+	} else {
+		c.nc.SetDeadline(time.Time{})
+	}
+}
+
+// exec runs one round trip. Context deadlines map to connection deadlines;
+// a canceled/expired context surfaces as a timeout and marks the connection
+// broken (the response would otherwise arrive during someone else's turn).
+func (c *wconn) exec(ctx context.Context, sql string) (*sqlish.Result, error) {
+	payload, err := c.roundTrip(ctx, wire.MsgExec, []byte(sql), wire.MsgResult)
+	if err != nil {
+		return nil, err
+	}
+	return sqlish.DecodeResult(payload)
+}
+
+func (c *wconn) ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, wire.MsgPing, nil, wire.MsgPong)
+	return err
+}
+
+func (c *wconn) roundTrip(ctx context.Context, reqType byte, payload []byte, wantType byte) ([]byte, error) {
+	if c.broken {
+		return nil, errors.New("client: connection is broken")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.applyDeadline(ctx, 0)
+	if err := wire.WriteFrame(c.nc, reqType, payload); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	typ, resp, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.broken = true
+		return nil, err
+	}
+	if typ == wire.MsgError {
+		return nil, &RemoteError{Msg: string(resp)}
+	}
+	if typ != wantType {
+		c.broken = true
+		return nil, fmt.Errorf("client: unexpected response type %#x", typ)
+	}
+	return resp, nil
+}

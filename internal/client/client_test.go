@@ -1,0 +1,221 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	db, err := immortaldb.Open(t.TempDir(), &immortaldb.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, addr.String()
+}
+
+// TestDialRetryBackoff: the server comes up only after the client's first
+// dial attempts have failed; the retry loop must land once it is listening.
+func TestDialRetryBackoff(t *testing.T) {
+	// Reserve an address, then free it so the first dials are refused.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	type opened struct {
+		d   *DB
+		err error
+	}
+	ch := make(chan opened, 1)
+	go func() {
+		d, err := Open(addr, &Options{DialRetries: 20, RetryBackoff: 10 * time.Millisecond})
+		ch <- opened{d, err}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	db, err := immortaldb.Open(t.TempDir(), &immortaldb.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	if _, err := srv.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	got := <-ch
+	if got.err != nil {
+		t.Fatalf("Open with retry: %v", got.err)
+	}
+	if err := got.d.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got.d.Close()
+}
+
+func TestDialFailsAfterRetriesExhausted(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	if _, err := Open(addr, &Options{DialRetries: 2, RetryBackoff: time.Millisecond}); err == nil {
+		t.Fatal("Open against nothing succeeded")
+	}
+}
+
+func TestExecAfterClose(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	d, err := Open(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.Exec(context.Background(), "SELECT * FROM t"); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Exec after Close: %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolCapBlocks: with one slot held by a pinned session, Exec must block
+// until its context expires, then succeed once the session releases.
+func TestPoolCapBlocks(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	d, err := Open(addr, &Options{MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	if _, err := d.Exec(ctx, "CREATE TABLE t (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Session(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := d.Exec(short, "SELECT * FROM t"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Exec over cap: %v, want deadline exceeded", err)
+	}
+	s.Close()
+	if _, err := d.Exec(ctx, "SELECT * FROM t"); err != nil {
+		t.Fatalf("Exec after release: %v", err)
+	}
+}
+
+// TestStaleIdleConnRetry: the server reaps idle connections faster than the
+// pool forgets them; Exec on the stale pooled connection must transparently
+// retry on a fresh dial.
+func TestStaleIdleConnRetry(t *testing.T) {
+	_, addr := startServer(t, server.Config{IdleTimeout: 20 * time.Millisecond})
+	d, err := Open(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	if _, err := d.Exec(ctx, "CREATE TABLE t (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server close the pooled connection under us.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := d.Exec(ctx, "SELECT * FROM t"); err != nil {
+		t.Fatalf("Exec on stale pooled conn: %v", err)
+	}
+}
+
+// TestRemoteErrorKeepsConnection: a statement error is not a connection
+// error — the same connection keeps serving.
+func TestRemoteErrorKeepsConnection(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	d, err := Open(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	_, err = d.Exec(ctx, "SELEKT gibberish")
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if _, err := d.Exec(ctx, "CREATE TABLE t (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatalf("Exec after remote error: %v", err)
+	}
+	if got := srv.Stats().Accepted; got != 1 {
+		t.Fatalf("accepted %d connections, want 1 (conn should be reused)", got)
+	}
+}
+
+// TestTxCommitOverWire round-trips an explicit transaction.
+func TestTxCommitOverWire(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	d, err := Open(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	if _, err := d.Exec(ctx, "CREATE IMMORTAL TABLE t (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, "INSERT INTO t VALUES (1, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Exec(ctx, "SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != "2" {
+		t.Fatalf("rows after commit: %v", res.Rows)
+	}
+
+	// Rollback path: the write vanishes.
+	tx2, err := d.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(ctx, "INSERT INTO t VALUES (9, 9)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err = d.Exec(ctx, "SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows after rollback: %v", res.Rows)
+	}
+}

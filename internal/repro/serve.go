@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/client"
+	"immortaldb/internal/server"
+	"immortaldb/internal/sqlish"
+)
+
+// ---------------------------------------------- C2: wire vs embedded commits
+
+// ServeRow is one serving-layer throughput measurement: Clients concurrent
+// single-record auto-commit INSERTs, either over the wire protocol through
+// immortald's serving layer or through embedded sqlish sessions, both with
+// durable (fsynced, group-committed) commits.
+type ServeRow struct {
+	Mode          string  `json:"mode"` // "wire" or "embedded"
+	Clients       int     `json:"clients"`
+	Commits       int     `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// RunServerThroughput measures what the network serving layer costs relative
+// to embedded use. Both modes execute identical sqlish INSERT statements
+// with fsync on; the wire mode adds framing, a loopback round trip, and the
+// server's session dispatch per commit. Because commits are group-committed,
+// added per-request latency can be partially absorbed: more clients resident
+// in the commit pipeline means bigger shared-fsync batches.
+func RunServerThroughput(o Options, clientCounts []int) ([]ServeRow, error) {
+	o = o.withDefaults()
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 4, 16}
+	}
+	total := o.scaled(600)
+	var out []ServeRow
+	for _, mode := range []string{"embedded", "wire"} {
+		for _, clients := range clientCounts {
+			sec, commits, err := serveStorm(mode, clients, total)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ServeRow{
+				Mode:          mode,
+				Clients:       clients,
+				Commits:       commits,
+				Seconds:       sec,
+				CommitsPerSec: float64(commits) / sec,
+			})
+		}
+	}
+	return out, nil
+}
+
+// serveStorm runs about total INSERT auto-commits split across clients on
+// disjoint keys and returns wall-clock seconds and the exact commit count.
+func serveStorm(mode string, clients, total int) (float64, int, error) {
+	dir, err := os.MkdirTemp("", "immortaldb-serve")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := immortaldb.Open(dir, &immortaldb.Options{NoSync: false})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer db.Close()
+
+	setup := sqlish.NewSession(db)
+	if _, err := setup.Exec("CREATE IMMORTAL TABLE bench (k INT PRIMARY KEY, v INT)"); err != nil {
+		return 0, 0, err
+	}
+	setup.Close()
+
+	per := total / clients
+	if per == 0 {
+		per = 1
+	}
+
+	// exec returns one statement runner per client; wire mode routes it
+	// through an in-process server on a loopback socket.
+	var mkExec func(c int) (func(stmt string) error, func(), error)
+	switch mode {
+	case "embedded":
+		mkExec = func(int) (func(stmt string) error, func(), error) {
+			sess := sqlish.NewSession(db)
+			return func(stmt string) error {
+				_, err := sess.Exec(stmt)
+				return err
+			}, func() { sess.Close() }, nil
+		}
+	case "wire":
+		srv := server.New(db, server.Config{MaxConns: clients + 4})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return 0, 0, err
+		}
+		go srv.Serve()
+		defer srv.Close()
+		pool, err := client.Open(addr.String(), &client.Options{MaxConns: clients})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer pool.Close()
+		ctx := context.Background()
+		mkExec = func(int) (func(stmt string) error, func(), error) {
+			s, err := pool.Session(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func(stmt string) error {
+				_, err := s.Exec(ctx, stmt)
+				return err
+			}, func() { s.Close() }, nil
+		}
+	default:
+		return 0, 0, fmt.Errorf("repro: unknown serve mode %q", mode)
+	}
+
+	execs := make([]func(string) error, clients)
+	closers := make([]func(), clients)
+	for c := 0; c < clients; c++ {
+		exec, closeFn, err := mkExec(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		execs[c], closers[c] = exec, closeFn
+	}
+	defer func() {
+		for _, fn := range closers {
+			fn()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := c * per
+			for i := 0; i < per; i++ {
+				stmt := fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", base+i, i)
+				if err := execs[c](stmt); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return sec, per * clients, nil
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"runtime/debug"
+	"time"
+
+	"immortaldb/internal/sqlish"
+	"immortaldb/internal/wire"
+)
+
+// conn is one client connection: a wire-protocol stream plus the sqlish
+// session that owns its (at most one) open transaction.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	sess *sqlish.Session
+}
+
+// wakeForDrain pokes a connection blocked in its idle read so the handler
+// loop observes the drain. Safe concurrently with the handler: deadlines on
+// a net.Conn may be set from any goroutine.
+func (c *conn) wakeForDrain() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// serve runs the connection until EOF, error, idle timeout or shutdown. A
+// panic anywhere in the handler — a parser bug, an engine invariant — kills
+// only this connection: the session rolls back, the panic is logged, and
+// the server keeps serving everyone else.
+func (c *conn) serve() {
+	defer c.srv.removeConn(c)
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.panics.Add(1)
+			c.srv.logf("server: connection panic: %v\n%s", r, debug.Stack())
+		}
+		if c.sess != nil {
+			c.sess.Close() // rolls back any open transaction
+		}
+		c.nc.Close()
+	}()
+
+	br := bufio.NewReader(c.nc)
+	if !c.handshake(br) {
+		return
+	}
+	c.sess = sqlish.NewSession(c.srv.db)
+
+	for {
+		if !c.armReadDeadline() {
+			return
+		}
+		// Wait for the next request with Peek: it consumes nothing, so the
+		// shutdown wake-up (a deadline poke) can interrupt this wait without
+		// ever desynchronizing a frame that is mid-arrival.
+		if _, err := br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if c.drainContinue() {
+					continue
+				}
+			}
+			return // EOF, idle timeout, drain, or broken pipe
+		}
+		// A request has started: its frame must arrive, and its response be
+		// written, each within one request timeout. Execution in between is
+		// bounded by the engine's lock timeout rather than preempted.
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+		switch typ {
+		case wire.MsgPing:
+			if err := wire.WriteFrame(c.nc, wire.MsgPong, nil); err != nil {
+				return
+			}
+		case wire.MsgExec:
+			c.srv.requests.Add(1)
+			res, err := c.sess.Exec(string(payload))
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+			if err != nil {
+				c.srv.errCount.Add(1)
+				if werr := writeError(c.nc, err); werr != nil {
+					return
+				}
+				break
+			}
+			if err := wire.WriteFrame(c.nc, wire.MsgResult, res.AppendBinary(nil)); err != nil {
+				return
+			}
+		default:
+			c.srv.errCount.Add(1)
+			if err := writeError(c.nc, errors.New("server: unknown message type")); err != nil {
+				return
+			}
+		}
+		// A drained connection hangs up once it is between transactions;
+		// clients see a clean EOF instead of a mid-transaction abort.
+		if c.srv.isDraining() && !c.sess.InTransaction() {
+			return
+		}
+	}
+}
+
+// handshake validates the client hello within one request timeout.
+func (c *conn) handshake(br *bufio.Reader) bool {
+	c.nc.SetDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.MsgHello {
+		return false
+	}
+	if _, err := wire.CheckHello(payload); err != nil {
+		writeError(c.nc, err)
+		return false
+	}
+	if err := wire.WriteFrame(c.nc, wire.MsgHelloOK, []byte{wire.Version}); err != nil {
+		return false
+	}
+	c.nc.SetDeadline(time.Time{})
+	return true
+}
+
+// armReadDeadline sets the next request's read deadline: the idle timeout,
+// clipped during a drain to the shutdown deadline. It returns false when
+// the drain deadline has already passed and the connection must close.
+func (c *conn) armReadDeadline() bool {
+	deadline := time.Now().Add(c.srv.cfg.IdleTimeout)
+	if c.srv.isDraining() {
+		if !c.sess.InTransaction() {
+			return false
+		}
+		until := time.Unix(0, c.srv.drainUntil.Load())
+		if !until.After(time.Now()) {
+			return false
+		}
+		if until.Before(deadline) {
+			deadline = until
+		}
+	}
+	c.nc.SetReadDeadline(deadline)
+	return true
+}
+
+// drainContinue decides what a read timeout means: during a drain a
+// connection with an open transaction keeps going (until the drain
+// deadline); anything else — true idle timeout, drained and idle — closes.
+func (c *conn) drainContinue() bool {
+	if !c.srv.isDraining() || !c.sess.InTransaction() {
+		return false
+	}
+	return time.Unix(0, c.srv.drainUntil.Load()).After(time.Now())
+}
+
+// writeError sends an error frame.
+func writeError(w io.Writer, err error) error {
+	return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+}

@@ -1,0 +1,310 @@
+// Package server is immortald's network serving layer: a TCP server
+// speaking the wire protocol, with one sqlish session — and therefore at
+// most one open transaction — per connection.
+//
+// The server enforces a connection cap, idle timeouts, and per-request I/O
+// deadlines; isolates connection-handler panics; and shuts down gracefully:
+// draining connections finish their in-flight request, connections holding
+// an open transaction get until the shutdown deadline to commit or roll
+// back, and everything left is force-closed (sessions roll their
+// transactions back on the way out). An acknowledged commit is never lost:
+// the engine hardens the commit record before the session returns, which is
+// before the acknowledgement frame is written.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"immortaldb"
+)
+
+// Config tunes the server. The zero value serves with the defaults below.
+type Config struct {
+	// MaxConns caps concurrent connections (default 128). Connections over
+	// the cap are refused with an error frame.
+	MaxConns int
+	// IdleTimeout closes a connection that sends no request for this long
+	// (default 5m).
+	IdleTimeout time.Duration
+	// RequestTimeout bounds the network I/O of a single request/response
+	// exchange — reading the request body, writing the response (default
+	// 30s). Statement execution itself is bounded by the engine's lock
+	// timeout, not preempted mid-flight.
+	RequestTimeout time.Duration
+	// Logf, when set, receives server diagnostics (accept errors, panics).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 128
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of server counters for /metrics.
+type Stats struct {
+	// Accepted counts connections admitted; Refused those turned away over
+	// the connection cap.
+	Accepted, Refused uint64
+	// ActiveConns is the number of connections currently open.
+	ActiveConns int64
+	// Requests counts statements executed; Errors those answered with an
+	// error frame; Panics connection handlers killed by a panic.
+	Requests, Errors, Panics uint64
+	// Draining reports an in-progress graceful shutdown.
+	Draining bool
+}
+
+// Server serves one database over one listener.
+type Server struct {
+	db  *immortaldb.DB
+	cfg Config
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	closed   bool
+	// drainUntil is the graceful-shutdown deadline (UnixNano); connections
+	// holding an open transaction may keep serving requests until then.
+	drainUntil atomic.Int64
+
+	wg sync.WaitGroup // connection handlers
+
+	accepted, refused  atomic.Uint64
+	requests, errCount atomic.Uint64
+	panics             atomic.Uint64
+	active             atomic.Int64
+}
+
+// New returns a server over db.
+func New(db *immortaldb.DB, cfg Config) *Server {
+	return &Server{
+		db:    db,
+		cfg:   cfg.withDefaults(),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// errBusy is sent to connections refused over the cap.
+var errBusy = errors.New("server: connection limit reached")
+
+// Listen starts listening on addr (e.g. ":7707" or "127.0.0.1:0") and
+// returns the bound address. Serve must be called next.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return nil, ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	return lis.Addr(), nil
+}
+
+// Addr returns the listener's address, nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve accepts connections until Shutdown or Close. It always returns a
+// non-nil error; after a graceful shutdown that error is ErrServerClosed.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.draining || s.closed
+			s.mu.Unlock()
+			if stopping {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		if s.active.Load() >= int64(s.cfg.MaxConns) {
+			s.refused.Add(1)
+			refuse(nc, s.cfg.RequestTimeout)
+			continue
+		}
+		c := &conn{srv: s, nc: nc}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			refuse(nc, s.cfg.RequestTimeout)
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		s.wg.Add(1)
+		go c.serve()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// refuse best-effort sends an error frame and closes the connection.
+func refuse(nc net.Conn, timeout time.Duration) {
+	nc.SetDeadline(time.Now().Add(timeout))
+	writeError(nc, errBusy)
+	nc.Close()
+}
+
+// Shutdown gracefully stops the server: the listener closes, idle
+// connections without an open transaction close immediately, connections
+// mid-request finish and are answered, and connections holding an open
+// transaction may keep issuing statements until ctx expires — enough to
+// COMMIT or ROLLBACK. When ctx expires, survivors are force-closed and
+// their sessions roll back. Shutdown does not close the database.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	until := time.Now().Add(24 * time.Hour)
+	if d, ok := ctx.Deadline(); ok {
+		until = d
+	}
+	s.drainUntil.Store(until.UnixNano())
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	// Wake connections blocked in Read so they observe the drain. A
+	// connection mid-request is not disturbed: the deadline poke only
+	// affects the blocked idle read, and the handler re-arms deadlines
+	// before every exchange.
+	for _, c := range conns {
+		c.wakeForDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close() // handler sees the error, rolls back, exits
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
+// Close force-stops the server without draining.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		Accepted:    s.accepted.Load(),
+		Refused:     s.refused.Load(),
+		ActiveConns: s.active.Load(),
+		Requests:    s.requests.Load(),
+		Errors:      s.errCount.Load(),
+		Panics:      s.panics.Load(),
+		Draining:    draining,
+	}
+}
+
+// DB exposes the served database (metrics endpoints read its Stats).
+func (s *Server) DB() *immortaldb.DB { return s.db }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.active.Add(-1)
+	s.wg.Done()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,102 @@
+package sqlish
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"immortaldb/internal/wire"
+)
+
+// Result serialization for the network serving layer. The encoding is
+// self-describing enough to round-trip the three result shapes Exec
+// produces — a result set (Columns non-nil, possibly empty), a row count,
+// and a DDL/transaction-control message — across the wire.
+//
+// Layout:
+//
+//	byte    flags (bit0: has result set)
+//	uvarint Affected
+//	string  Msg
+//	if result set:
+//	  uvarint ncols, ncols strings
+//	  uvarint nrows, per row: uvarint ncells, ncells strings
+
+const resultHasRows = 1 << 0
+
+// maxResultCells bounds decoded result-set size against corrupt frames.
+const maxResultCells = 1 << 24
+
+// AppendBinary appends the encoded result to b.
+func (r *Result) AppendBinary(b []byte) []byte {
+	var flags byte
+	if r.Columns != nil {
+		flags |= resultHasRows
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(r.Affected))
+	b = wire.AppendString(b, r.Msg)
+	if r.Columns == nil {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Columns)))
+	for _, c := range r.Columns {
+		b = wire.AppendString(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		b = binary.AppendUvarint(b, uint64(len(row)))
+		for _, cell := range row {
+			b = wire.AppendString(b, cell)
+		}
+	}
+	return b
+}
+
+// DecodeResult decodes a result encoded by AppendBinary.
+func DecodeResult(b []byte) (*Result, error) {
+	if len(b) == 0 {
+		return nil, errors.New("sql: truncated result")
+	}
+	flags := b[0]
+	b = b[1:]
+	affected, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	msg, b, err := wire.ReadString(b)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Affected: int(affected), Msg: msg}
+	if flags&resultHasRows == 0 {
+		return r, nil
+	}
+	ncols, b, err := wire.ReadUvarint(b)
+	if err != nil || ncols > maxResultCells {
+		return nil, errors.New("sql: corrupt result columns")
+	}
+	r.Columns = make([]string, ncols)
+	for i := range r.Columns {
+		if r.Columns[i], b, err = wire.ReadString(b); err != nil {
+			return nil, err
+		}
+	}
+	nrows, b, err := wire.ReadUvarint(b)
+	if err != nil || nrows > maxResultCells {
+		return nil, errors.New("sql: corrupt result rows")
+	}
+	for i := uint64(0); i < nrows; i++ {
+		var ncells uint64
+		if ncells, b, err = wire.ReadUvarint(b); err != nil || ncells > maxResultCells {
+			return nil, errors.New("sql: corrupt result row")
+		}
+		row := make([]string, ncells)
+		for j := range row {
+			if row[j], b, err = wire.ReadString(b); err != nil {
+				return nil, err
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}

@@ -1,0 +1,54 @@
+package sqlish
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	cases := []*Result{
+		{Msg: "table created"},
+		{Affected: 3},
+		{Columns: []string{"Oid", "LocationX"}, Rows: [][]string{
+			{"1", "10"},
+			{"2", "-5"},
+		}},
+		// Empty result set: Columns non-nil distinguishes "zero rows" from
+		// "no result set".
+		{Columns: []string{"Oid"}, Rows: nil},
+		{},
+	}
+	for i, want := range cases {
+		b := want.AppendBinary(nil)
+		got, err := DecodeResult(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Msg != want.Msg || got.Affected != want.Affected {
+			t.Fatalf("case %d: got %+v, want %+v", i, got, want)
+		}
+		if (got.Columns != nil) != (want.Columns != nil) {
+			t.Fatalf("case %d: Columns nil-ness diverged", i)
+		}
+		if len(want.Columns) > 0 && !reflect.DeepEqual(got.Columns, want.Columns) {
+			t.Fatalf("case %d: columns %v, want %v", i, got.Columns, want.Columns)
+		}
+		if len(want.Rows) > 0 && !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Fatalf("case %d: rows %v, want %v", i, got.Rows, want.Rows)
+		}
+	}
+}
+
+func TestDecodeResultRejectsCorrupt(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		{},
+		{0x01},                            // has-rows flag, then truncated
+		{0x00, 200},                       // truncated affected uvarint
+		{0x01, 0, 0, 0xff, 0xff, 0xff, 7}, // absurd column count
+	} {
+		if _, err := DecodeResult(b); err == nil {
+			t.Fatalf("decode %v: want error", b)
+		}
+	}
+}

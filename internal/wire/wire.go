@@ -1,0 +1,139 @@
+// Package wire is the immortald client/server protocol: length-prefixed
+// frames over a TCP stream carrying sqlish statements one way and typed
+// result sets the other.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  length of what follows (type byte + payload)
+//	byte    message type
+//	[]byte  payload
+//
+// A connection opens with a handshake — the client sends MsgHello carrying
+// the protocol magic and version, the server answers MsgHelloOK — and then
+// carries strictly alternating request/response pairs: every MsgExec or
+// MsgPing from the client is answered by exactly one MsgResult, MsgError or
+// MsgPong. There is no pipelining; the session state machine (at most one
+// open transaction per connection) stays trivially unambiguous.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types. Requests flow client to server; responses have the high bit
+// set.
+const (
+	// MsgHello opens a connection: payload is Magic followed by the
+	// one-byte protocol version.
+	MsgHello = byte(0x01)
+	// MsgExec executes one sqlish statement: payload is the statement text.
+	MsgExec = byte(0x02)
+	// MsgPing checks liveness (and keeps a pooled connection warm).
+	MsgPing = byte(0x03)
+
+	// MsgHelloOK accepts a handshake: payload is the server's version byte.
+	MsgHelloOK = byte(0x81)
+	// MsgResult carries an encoded sqlish.Result (see EncodeResult).
+	MsgResult = byte(0x82)
+	// MsgError carries a server-side error string. The connection remains
+	// usable: statement errors do not poison the session.
+	MsgError = byte(0x83)
+	// MsgPong answers MsgPing.
+	MsgPong = byte(0x84)
+)
+
+// Magic opens every MsgHello payload.
+const Magic = "immw"
+
+// Version is the protocol version this package speaks.
+const Version = byte(1)
+
+// MaxFrame bounds a frame's length field — oversized frames indicate a
+// corrupt or hostile peer and kill the connection before any allocation.
+const MaxFrame = 16 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrBadHandshake  = errors.New("wire: bad handshake")
+)
+
+// WriteFrame writes one frame. The payload may be nil.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = typ
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame, rejecting empty and oversized ones.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, errors.New("wire: empty frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	typ = hdr[4]
+	if n == 1 {
+		return typ, nil, nil
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// HelloPayload builds the MsgHello payload.
+func HelloPayload() []byte {
+	return append([]byte(Magic), Version)
+}
+
+// CheckHello validates a MsgHello payload and returns the peer's version.
+func CheckHello(payload []byte) (byte, error) {
+	if len(payload) != len(Magic)+1 || string(payload[:len(Magic)]) != Magic {
+		return 0, ErrBadHandshake
+	}
+	v := payload[len(Magic)]
+	if v != Version {
+		return v, fmt.Errorf("%w: version %d, want %d", ErrBadHandshake, v, Version)
+	}
+	return v, nil
+}
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// ReadString consumes a uvarint-length-prefixed string.
+func ReadString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, errors.New("wire: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// ReadUvarint consumes one uvarint.
+func ReadUvarint(b []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, errors.New("wire: truncated uvarint")
+	}
+	return n, b[sz:], nil
+}

@@ -77,6 +77,10 @@ type Tx struct {
 	// transaction as active could get a committed transaction undone when
 	// the analysis scan starts past its commit record.
 	terminalLogged bool
+	// killed is set by DB.Close when shutdown force-aborts the transaction:
+	// every subsequent operation returns ErrAborted without touching engine
+	// state, so Close can roll the transaction back on the owner's behalf.
+	killed   atomic.Bool
 	writes   []writeRec
 	done     bool
 	hasTT    bool            // wrote a transaction-time (immortal) table
@@ -105,6 +109,9 @@ func (db *DB) Begin(level IsolationLevel) (*Tx, error) {
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil, ErrClosed
+	}
+	if db.draining {
+		return nil, ErrShuttingDown
 	}
 	tx := &Tx{db: db, id: db.tids.Next(), mode: level}
 	if level == SnapshotIsolation {
@@ -141,12 +148,18 @@ func (db *DB) BeginAsOfTS(ts Timestamp) (*Tx, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if db.draining {
+		return nil, ErrShuttingDown
+	}
 	tx := &Tx{db: db, id: db.tids.Next(), mode: asOf, snapTS: ts}
 	db.active[tx.id] = tx
 	return tx, nil
 }
 
 func (tx *Tx) check(write bool) error {
+	if tx.killed.Load() {
+		return ErrAborted
+	}
 	if tx.done {
 		return ErrTxDone
 	}
@@ -154,6 +167,36 @@ func (tx *Tx) check(write bool) error {
 		return ErrReadOnly
 	}
 	return nil
+}
+
+// opEnter registers a transaction operation in flight, failing if the
+// transaction cannot proceed. DB.Close drains registered operations before
+// tearing the engine down, and the killed re-check under db.mu linearizes
+// against Close's kill-then-drain sequence: an operation either enters
+// before the kill (and is waited out) or observes it and backs off.
+func (tx *Tx) opEnter(write bool) error {
+	if err := tx.check(write); err != nil {
+		return err
+	}
+	db := tx.db
+	db.mu.Lock()
+	if tx.killed.Load() {
+		db.mu.Unlock()
+		return ErrAborted
+	}
+	db.opCount++
+	db.mu.Unlock()
+	return nil
+}
+
+// opExit balances opEnter.
+func (db *DB) opExit() {
+	db.mu.Lock()
+	db.opCount--
+	if db.opCount == 0 && db.draining {
+		db.opDone.Broadcast()
+	}
+	db.mu.Unlock()
 }
 
 // Set writes key=value in t: an insert if the key is new, an update
@@ -171,9 +214,10 @@ func (tx *Tx) Delete(t *Table, key []byte) error {
 }
 
 func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
-	if err := tx.check(true); err != nil {
+	if err := tx.opEnter(true); err != nil {
 		return err
 	}
+	defer tx.db.opExit()
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
@@ -325,9 +369,10 @@ func (tx *Tx) writeNoTail(t *Table, key, value []byte, del bool) error {
 
 // Get returns the value of key visible to this transaction.
 func (tx *Tx) Get(t *Table, key []byte) ([]byte, bool, error) {
-	if err := tx.check(false); err != nil {
+	if err := tx.opEnter(false); err != nil {
 		return nil, false, err
 	}
+	defer tx.db.opExit()
 	if tx.mode == asOf && !t.meta.Immortal {
 		return nil, false, fmt.Errorf("%w: %s", ErrNotImmortal, t.meta.Name)
 	}
@@ -386,9 +431,10 @@ func (tx *Tx) wrote(t *Table, key []byte) bool {
 // Scan calls fn for every visible record with lo <= key < hi (nil bounds are
 // unbounded) in key order; fn returning false stops the scan.
 func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) error {
-	if err := tx.check(false); err != nil {
+	if err := tx.opEnter(false); err != nil {
 		return err
 	}
+	defer tx.db.opExit()
 	if tx.mode == asOf && !t.meta.Immortal {
 		return fmt.Errorf("%w: %s", ErrNotImmortal, t.meta.Name)
 	}
@@ -484,10 +530,11 @@ func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) err
 // serialization order (Section 2.1) — and recorded in one PTT update;
 // the transaction's record versions are NOT revisited (lazy timestamping).
 func (tx *Tx) Commit() error {
-	if tx.done {
-		return ErrTxDone
+	if err := tx.opEnter(false); err != nil {
+		return err
 	}
 	db := tx.db
+	defer db.opExit()
 	tx.done = true
 	defer db.finish(tx)
 
@@ -584,8 +631,8 @@ func (tx *Tx) Commit() error {
 		}
 	}
 
+	db.commits.Add(1)
 	db.mu.Lock()
-	db.commits++
 	db.txnsSinceCkpt++
 	doCkpt := db.opts.CheckpointEveryN > 0 && db.txnsSinceCkpt >= db.opts.CheckpointEveryN
 	if doCkpt {
@@ -635,17 +682,14 @@ func (tx *Tx) eagerStamp(ts itime.Timestamp) error {
 // Rollback undoes the transaction: every versioned insert is removed (the
 // logical undo of ARIES), compensation records are logged, and locks drop.
 func (tx *Tx) Rollback() error {
-	if tx.done {
-		return ErrTxDone
+	if err := tx.opEnter(false); err != nil {
+		return err
 	}
 	db := tx.db
+	defer db.opExit()
 	tx.done = true
 	defer db.finish(tx)
-	defer func() {
-		db.mu.Lock()
-		db.aborts++
-		db.mu.Unlock()
-	}()
+	defer db.aborts.Add(1)
 
 	// commitMu makes the whole compensation atomic with respect to a
 	// checkpoint's ATT snapshot: the snapshot sees this transaction either
@@ -737,7 +781,19 @@ func (db *DB) undoTx(tid itime.TID, from wal.LSN) error {
 func (db *DB) treeByID(id uint32) *tsb.Tree {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.trees[id]
+	if t, ok := db.trees[id]; ok {
+		return t
+	}
+	// Not yet instantiated: recovery undo can reach a table none of whose
+	// records fell inside the redo scan window (a loser checkpointed as
+	// in-flight that never wrote again). Open it from the catalog.
+	meta, ok := db.cat.ByID(id)
+	if !ok {
+		return nil
+	}
+	t := db.openTree(meta)
+	db.trees[id] = t
+	return t
 }
 
 // finish releases a transaction's locks and bookkeeping.
