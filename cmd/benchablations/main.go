@@ -9,6 +9,8 @@
 //	             also written as JSON rows to -commitout
 //	serve      — wire-protocol vs embedded durable-commit throughput (C2),
 //	             also written as JSON rows to -serveout
+//	obs        — observability instrumentation overhead on durable commits
+//	             (O1), also written as JSON rows to -obsout
 //	all        — everything
 //
 // Usage:
@@ -31,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload random seed")
 	commitOut := flag.String("commitout", "BENCH_commit.json", "JSON output path for the commit experiment (empty disables)")
 	serveOut := flag.String("serveout", "BENCH_server.json", "JSON output path for the serve experiment (empty disables)")
+	obsOut := flag.String("obsout", "BENCH_obs.json", "JSON output path for the obs-overhead experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -162,6 +165,34 @@ func main() {
 				fail(err)
 			}
 			fmt.Println("wrote", *serveOut)
+		}
+	}
+
+	if all || run["obs"] {
+		rows, err := repro.RunObsOverhead(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("O1 — Observability overhead on durable group commits (runtime-disabled baseline)")
+		fmt.Printf("%8s %8s %10s %10s %14s %10s\n", "mode", "clients", "commits", "total(s)", "commits/s", "overhead")
+		for _, r := range rows {
+			over := ""
+			if r.Mode == "obs-on" {
+				over = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+			}
+			fmt.Printf("%8s %8d %10d %10.3f %14.1f %10s\n",
+				r.Mode, r.Clients, r.Commits, r.Seconds, r.CommitsPerSec, over)
+		}
+		fmt.Println()
+		if *obsOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*obsOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *obsOut)
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Row is the benchmark cell shape shared by benchablations' JSON outputs.
+// Extra fields in the files are ignored.
+type Row struct {
+	Mode          string  `json:"mode"`
+	Clients       int     `json:"clients"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+type cell struct {
+	Mode    string
+	Clients int
+}
+
+// Report is the outcome of one baseline/current comparison.
+type Report struct {
+	Lines    []string // human-readable per-cell results, stable order
+	Failures []cell   // cells beyond the allowed regression
+	Compared int      // cells present on both sides
+}
+
+func loadRows(path string) ([]Row, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	if err := json.Unmarshal(blob, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// Compare checks every cell present in both row sets. A cell fails when the
+// current throughput is more than maxRegressPct percent below baseline.
+// Improvements never fail (the baseline is a floor, not a pin); cells only
+// one side has are noted but never fail, so changing the experiment grid
+// doesn't break the gate.
+func Compare(base, cur []Row, maxRegressPct float64) Report {
+	baseBy := make(map[cell]Row, len(base))
+	for _, r := range base {
+		baseBy[cell{r.Mode, r.Clients}] = r
+	}
+	curBy := make(map[cell]Row, len(cur))
+	cells := make([]cell, 0, len(cur))
+	for _, r := range cur {
+		k := cell{r.Mode, r.Clients}
+		curBy[k] = r
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Mode != cells[j].Mode {
+			return cells[i].Mode < cells[j].Mode
+		}
+		return cells[i].Clients < cells[j].Clients
+	})
+
+	var rep Report
+	for _, k := range cells {
+		c := curBy[k]
+		b, ok := baseBy[k]
+		if !ok {
+			rep.Lines = append(rep.Lines, fmt.Sprintf("  new   %-10s clients=%-3d %12.1f commits/s (no baseline)", k.Mode, k.Clients, c.CommitsPerSec))
+			continue
+		}
+		rep.Compared++
+		delta := 100 * (c.CommitsPerSec - b.CommitsPerSec) / b.CommitsPerSec
+		verdict := "ok"
+		if delta < -maxRegressPct {
+			verdict = "FAIL"
+			rep.Failures = append(rep.Failures, k)
+		}
+		rep.Lines = append(rep.Lines, fmt.Sprintf("  %-4s  %-10s clients=%-3d %12.1f -> %12.1f commits/s (%+.1f%%)",
+			verdict, k.Mode, k.Clients, b.CommitsPerSec, c.CommitsPerSec, delta))
+	}
+	for _, r := range base {
+		if _, ok := curBy[cell{r.Mode, r.Clients}]; !ok {
+			rep.Lines = append(rep.Lines, fmt.Sprintf("  gone  %-10s clients=%-3d (baseline cell not re-measured)", r.Mode, r.Clients))
+		}
+	}
+	return rep
+}

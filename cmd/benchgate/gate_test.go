@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rows(cps ...float64) []Row {
+	out := make([]Row, len(cps))
+	for i, v := range cps {
+		out[i] = Row{Mode: "group", Clients: 1 << i, CommitsPerSec: v}
+	}
+	return out
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	base := rows(1000, 2000, 4000)
+	cur := rows(900, 1600, 4400) // -10%, -20%, +10%
+	rep := Compare(base, cur, 25)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none", rep.Failures)
+	}
+	if rep.Compared != 3 {
+		t.Fatalf("compared = %d, want 3", rep.Compared)
+	}
+}
+
+// TestCompareSyntheticRegressionFails is the gate's own proof: an injected
+// 50% throughput collapse on one cell must fail the comparison.
+func TestCompareSyntheticRegressionFails(t *testing.T) {
+	base := rows(1000, 2000)
+	cur := rows(1000, 1000) // second cell: -50%
+	rep := Compare(base, cur, 25)
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the collapsed cell", rep.Failures)
+	}
+	if f := rep.Failures[0]; f.Mode != "group" || f.Clients != 2 {
+		t.Fatalf("failed cell = %+v, want group/2", f)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "FAIL") {
+		t.Fatalf("report lacks FAIL line:\n%s", joined)
+	}
+}
+
+func TestCompareBoundaryIsInclusive(t *testing.T) {
+	// Exactly -25% is allowed; the gate trips strictly beyond it.
+	rep := Compare(rows(1000), rows(750), 25)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("exact -25%% failed: %v", rep.Failures)
+	}
+	rep = Compare(rows(1000), rows(749), 25)
+	if len(rep.Failures) != 1 {
+		t.Fatal("-25.1% did not fail")
+	}
+}
+
+func TestCompareGridChangesDoNotFail(t *testing.T) {
+	base := []Row{{Mode: "group", Clients: 1, CommitsPerSec: 1000}}
+	cur := []Row{
+		{Mode: "group", Clients: 8, CommitsPerSec: 10}, // new cell, no baseline
+		{Mode: "serial", Clients: 1, CommitsPerSec: 5}, // new mode
+	}
+	rep := Compare(base, cur, 25)
+	if len(rep.Failures) != 0 || rep.Compared != 0 {
+		t.Fatalf("grid change failed the gate: %+v", rep)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	for _, want := range []string{"new", "gone"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q annotation:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command benchgate compares a freshly measured benchmark JSON against a
+// checked-in baseline and fails (exit 1) when throughput regressed beyond
+// the allowed percentage on any (mode, clients) cell present in both files.
+// It is the CI bench-gate: benchablations writes the current file, the
+// repository carries the baseline.
+//
+// The rows are the JSON shape benchablations emits for the commit, serve
+// and obs experiments: objects with "mode", "clients" and
+// "commits_per_sec". Cells only one side has are reported and skipped —
+// adding a client count must not break the gate.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_commit.json -current /tmp/commit.json [-max-regress 25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "checked-in baseline JSON")
+	current := flag.String("current", "", "freshly measured JSON")
+	maxRegress := flag.Float64("max-regress", 25, "fail when throughput drops more than this percentage below baseline")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := loadRows(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := loadRows(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	report := Compare(base, cur, *maxRegress)
+	for _, line := range report.Lines {
+		fmt.Println(line)
+	}
+	if len(report.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d cell(s) regressed more than %.0f%%\n", len(report.Failures), *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d cell(s) within %.0f%% of baseline\n", report.Compared, *maxRegress)
+}

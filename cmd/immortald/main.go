@@ -2,7 +2,8 @@
 //
 // It listens for wire-protocol clients (cmd/immortalsql -connect, or the
 // internal/client Go package), enforces a connection cap and per-request
-// deadlines, and exposes Prometheus-style /metrics plus /healthz over a
+// deadlines, and exposes Prometheus-style /metrics, /healthz, the slow
+// operation log (/debug/slowops) and net/http/pprof profiling over a
 // separate HTTP listener. SIGINT/SIGTERM triggers a graceful shutdown: the
 // listener closes, connections holding an open transaction get the drain
 // timeout to commit or roll back, and the database closes cleanly behind
@@ -15,17 +16,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/obs"
 	"immortaldb/internal/server"
 )
 
@@ -38,7 +42,10 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request I/O deadline")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window for open transactions")
 	index := flag.String("index", "chain", "historical access path: chain or tsb")
+	slowOp := flag.Duration("slowop-threshold", 100*time.Millisecond, "operations slower than this record their span tree in /debug/slowops (negative = off)")
 	flag.Parse()
+
+	obs.SetSlowOpThreshold(*slowOp)
 
 	logger := log.New(os.Stderr, "immortald: ", log.LstdFlags)
 
@@ -70,7 +77,22 @@ func main() {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			writeMetrics(w, db.Stats(), srv.Stats())
+			// Histograms and gauges recorded by the obs layer (latency
+			// summaries, table sizes, span-derived data) follow the legacy
+			// engine counters; the name sets are disjoint.
+			obs.WriteMetrics(w)
 		})
+		mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(obs.SlowOps())
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			if srv.Stats().Draining {
 				http.Error(w, "draining", http.StatusServiceUnavailable)

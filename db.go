@@ -34,12 +34,23 @@ import (
 	"immortaldb/internal/cow"
 	"immortaldb/internal/itime"
 	"immortaldb/internal/lock"
+	"immortaldb/internal/obs"
 	"immortaldb/internal/stamp"
 	"immortaldb/internal/storage/disk"
 	"immortaldb/internal/storage/page"
 	"immortaldb/internal/storage/vfs"
 	"immortaldb/internal/tsb"
 	"immortaldb/internal/wal"
+)
+
+// Observability: end-to-end commit and checkpoint latency, plus lazy
+// stamping split by trigger — the paper's two stamping opportunities (flush
+// of a dirty page vs. ordinary access to a page with unstamped versions).
+var (
+	obsCommitLat   = obs.NewHistogram("immortaldb_commit_seconds", "End-to-end latency of a writing transaction's Commit, including the durability fsync.", obs.LatencyBuckets)
+	obsCkptLat     = obs.NewHistogram("immortaldb_checkpoint_seconds", "Latency of one checkpoint (PTT sync, flush-all, checkpoint record, PTT GC).", obs.LatencyBuckets)
+	obsStampFlush  = obs.NewCounter("immortaldb_stamp_flush_triggered_total", "Record versions stamped because their dirty page was being flushed.")
+	obsStampAccess = obs.NewCounter("immortaldb_stamp_access_triggered_total", "Record versions stamped when a tree access visited their page.")
 )
 
 // Timestamp is the transaction timestamp type: an 8-byte wall-clock value
@@ -323,6 +334,11 @@ func Open(dir string, opts *Options) (*DB, error) {
 		if len(counts) == 0 {
 			return
 		}
+		if obs.Enabled() {
+			for _, n := range counts {
+				obsStampFlush.Add(uint64(n))
+			}
+		}
 		if lsn := uint64(db.stamp.MaxCommitLSN(counts)); lsn > dp.StampLSN {
 			dp.StampLSN = lsn
 		}
@@ -410,6 +426,11 @@ func (s *treeStamper) Resolve(tid itime.TID) (itime.Timestamp, bool) {
 }
 
 func (s *treeStamper) NoteStamped(counts map[itime.TID]int) {
+	if obs.Enabled() {
+		for _, n := range counts {
+			obsStampAccess.Add(uint64(n))
+		}
+	}
 	s.db.stamp.NoteStamped(counts, s.db.log.End)
 }
 
@@ -564,6 +585,9 @@ func (db *DB) saveCatalogMeta() error {
 // point has moved — completed PTT entries are garbage collected (Section
 // 2.2).
 func (db *DB) Checkpoint() error {
+	defer obsCkptLat.ObserveSince(obs.Now())
+	span := obs.NewRootSpan("db.checkpoint")
+	defer span.End()
 	// The ATT snapshot must be consistent with the log. Terminal records
 	// (commit records, rollback compensation) appear only under commitMu, so
 	// holding it here pins every listed transaction in a known state: its

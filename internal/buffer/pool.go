@@ -13,8 +13,19 @@ import (
 	"sort"
 	"sync"
 
+	"immortaldb/internal/obs"
 	"immortaldb/internal/storage/disk"
 	"immortaldb/internal/storage/page"
+)
+
+// Observability: cache effectiveness counters and the latency of writing a
+// dirty page out (pre-flush stamping + WAL force + physical write).
+var (
+	obsHits      = obs.NewCounter("immortaldb_buffer_hits_total", "Buffer-pool fetches served from cache.")
+	obsMisses    = obs.NewCounter("immortaldb_buffer_misses_total", "Buffer-pool fetches that read from disk.")
+	obsEvictions = obs.NewCounter("immortaldb_buffer_evictions_total", "Frames evicted to make room.")
+	obsFlushLat  = obs.NewHistogram("immortaldb_buffer_flush_seconds",
+		"Latency of flushing one dirty page (lazy stamping, write-ahead force, encode, write).", obs.LatencyBuckets)
 )
 
 // ErrAllPinned reports that the pool is full of pinned pages and cannot
@@ -120,11 +131,13 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		p.hits++
+		obsHits.Inc()
 		f.pins++
 		p.lru.MoveToFront(f.elem)
 		return f, nil
 	}
 	p.misses++
+	obsMisses.Inc()
 	buf, err := p.pager.ReadPage(id)
 	if err != nil {
 		return nil, err
@@ -182,6 +195,7 @@ func (p *Pool) evictIfFullLocked() error {
 		p.lru.Remove(victim.elem)
 		delete(p.frames, victim.id)
 		p.evictions++
+		obsEvictions.Inc()
 	}
 	return nil
 }
@@ -238,6 +252,7 @@ func (p *Pool) writeFrameLocked(f *Frame) error {
 	if !f.dirty || f.pins > 0 {
 		return nil
 	}
+	defer obsFlushLat.ObserveSince(obs.Now())
 	if p.PreFlush != nil {
 		p.PreFlush(f.pg)
 	}

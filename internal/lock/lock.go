@@ -15,6 +15,15 @@ import (
 	"time"
 
 	"immortaldb/internal/itime"
+	"immortaldb/internal/obs"
+)
+
+// Observability: blocked-wait latency (uncontended grants are not observed)
+// and the two abort causes the lock manager can inflict on a transaction.
+var (
+	obsWaitLat   = obs.NewHistogram("immortaldb_lock_wait_seconds", "Time a transaction spent blocked waiting for a record lock (granted waits only).", obs.LatencyBuckets)
+	obsTimeouts  = obs.NewCounter("immortaldb_lock_timeouts_total", "Lock waits abandoned by the timeout backstop.")
+	obsDeadlocks = obs.NewCounter("immortaldb_lock_deadlocks_total", "Lock requests refused because waiting would close a wait-for cycle.")
 )
 
 // Mode is a lock mode.
@@ -123,6 +132,7 @@ func (m *Manager) Acquire(tid itime.TID, key Key, mode Mode) error {
 	// Must wait. Deadlock check: would waiting close a cycle?
 	if m.wouldDeadlockLocked(tid, e) {
 		m.mu.Unlock()
+		obsDeadlocks.Inc()
 		return fmt.Errorf("%w: txn %d on %v", ErrDeadlock, tid, key)
 	}
 	w := &waiter{tid: tid, mode: mode, ch: make(chan error, 1)}
@@ -131,10 +141,12 @@ func (m *Manager) Acquire(tid itime.TID, key Key, mode Mode) error {
 	timeout := m.Timeout
 	m.mu.Unlock()
 
+	waitStart := obs.Now()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case err := <-w.ch:
+		obsWaitLat.ObserveSince(waitStart)
 		return err
 	case <-timer.C:
 		m.mu.Lock()
@@ -142,12 +154,14 @@ func (m *Manager) Acquire(tid itime.TID, key Key, mode Mode) error {
 		select {
 		case err := <-w.ch:
 			m.mu.Unlock()
+			obsWaitLat.ObserveSince(waitStart)
 			return err
 		default:
 		}
 		m.removeWaiterLocked(key, w)
 		delete(m.waitFor, tid)
 		m.mu.Unlock()
+		obsTimeouts.Inc()
 		return fmt.Errorf("%w: txn %d on %v", ErrTimeout, tid, key)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build obsoff
+
+package obs
+
+// compiledIn is false under the obsoff build tag: recording methods compile
+// to a dead branch and spans to nil.
+const compiledIn = false

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds for operation latencies,
+// in seconds: a 1-2-5 progression from 1 µs to 10 s. Fsyncs land mid-range,
+// cache hits in the first buckets, stuck operations in the overflow.
+var LatencyBuckets = []float64{
+	1e-6, 2e-6, 5e-6,
+	1e-5, 2e-5, 5e-5,
+	1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3,
+	1e-2, 2e-2, 5e-2,
+	1e-1, 2e-1, 5e-1,
+	1, 2, 5, 10,
+}
+
+// CountBuckets are histogram bounds for small cardinalities — group-commit
+// batch sizes, chain hops per read.
+var CountBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}
+
+// Histogram is a fixed-bucket histogram with atomic recording: one
+// bucket-count increment, one total-count increment, and one CAS-loop
+// float add for the sum. Quantiles are derived from the bucket counts with
+// linear interpolation inside the winning bucket.
+type Histogram struct {
+	name, help string
+	uppers     []float64 // ascending bucket upper bounds
+	counts     []atomic.Uint64
+	// overflow counts observations above the last upper bound.
+	overflow atomic.Uint64
+	count    atomic.Uint64
+	sumBits  atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(name, help string, uppers []float64) *Histogram {
+	if len(uppers) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	sorted := sortedCopy(uppers)
+	return &Histogram{
+		name:   name,
+		help:   help,
+		uppers: sorted,
+		counts: make([]atomic.Uint64, len(sorted)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !Enabled() {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds. The zero
+// start (the pattern `defer h.ObserveSince(obs.Now())` with recording
+// disabled) records nothing.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if !Enabled() || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Now returns the current time when recording is enabled, the zero time
+// otherwise — so a disabled build never calls the clock on the hot path.
+func Now() time.Time {
+	if !Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Count returns total observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly within the winning bucket. Observations beyond the
+// last bound report that bound (the histogram cannot see further). A
+// histogram with no observations reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.uppers[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + frac*(h.uppers[i]-lower)
+		}
+		cum += n
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
+// writePrometheus renders the histogram as a Prometheus summary: derived
+// quantiles plus _sum and _count. Summaries keep the scrape small; the raw
+// buckets stay queryable in-process via Quantile.
+func (h *Histogram) writePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", h.name, h.help, h.name)
+	for _, q := range [...]float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "%s{quantile=%q} %g\n", h.name, fmt.Sprintf("%g", q), h.Quantile(q))
+	}
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, h.Count())
+}

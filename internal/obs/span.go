@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of an operation. Spans form a tree: StartSpan
+// under a context carrying a parent attaches the child to it. When a root
+// span ends and its duration meets the slow-op threshold, the whole tree is
+// recorded in the slow-op ring.
+//
+// A nil *Span is valid and inert, which is how a disabled build costs
+// nothing: StartSpan returns nil and every method no-ops.
+type Span struct {
+	name   string
+	start  time.Time
+	parent *Span
+
+	pooled bool
+
+	mu       sync.Mutex
+	children []*Span
+	dur      time.Duration
+}
+
+type spanKey struct{}
+
+// spanPool recycles the span trees of the hot-path API (NewRootSpan/Child):
+// per-commit span allocation was a measurable share of the instrumentation
+// overhead, and those trees are strictly owned — the whole tree is released
+// when its root ends. Context-propagated spans (StartSpan) are NOT pooled;
+// a context can outlive the root's End.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// StartSpan begins a span named name. If ctx carries a span, the new span
+// becomes its child; otherwise it is a root. The returned context carries
+// the new span for further nesting.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !Enabled() {
+		return ctx, nil
+	}
+	sp := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp.parent = parent
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// NewRootSpan begins a pooled root span without context plumbing — the
+// cheap form for hot paths. The tree it roots is recycled when End runs, so
+// callers must not touch the root or any Child after the root's End.
+func NewRootSpan(name string) *Span {
+	if !Enabled() {
+		return nil
+	}
+	sp := spanPool.Get().(*Span)
+	sp.name, sp.start, sp.parent, sp.pooled, sp.dur = name, time.Now(), nil, true, 0
+	sp.children = sp.children[:0]
+	return sp
+}
+
+// Child begins a child span under s (nil-safe: a nil receiver returns nil).
+// Children of a pooled root are pooled with it.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := spanPool.Get().(*Span)
+	c.name, c.start, c.parent, c.pooled, c.dur = name, time.Now(), s, s.pooled, 0
+	c.children = c.children[:0]
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End finishes the span. Ending a root span whose duration meets the
+// slow-op threshold records its tree in the slow-op ring; ending a pooled
+// root releases the tree for reuse.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	s.dur = d
+	s.mu.Unlock()
+	if s.parent == nil {
+		if d >= SlowOpThreshold() {
+			recordSlowOp(s)
+		}
+		if s.pooled {
+			releaseTree(s)
+		}
+	}
+}
+
+// releaseTree returns a finished pooled span tree to the pool. The snapshot
+// (if any) copied everything out, so recycling is safe.
+func releaseTree(s *Span) {
+	for _, c := range s.children {
+		releaseTree(c)
+	}
+	s.children = s.children[:0]
+	s.parent = nil
+	spanPool.Put(s)
+}
+
+// Duration returns the span's duration, 0 before End.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// SpanNode is one node of a recorded slow-op span tree. Offsets are relative
+// to the root span's start.
+type SpanNode struct {
+	Name     string     `json:"name"`
+	StartUS  int64      `json:"start_us"`
+	DurUS    int64      `json:"dur_us"`
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// SlowOp is one entry of the slow-op log: a root operation that exceeded the
+// threshold, with its full span tree.
+type SlowOp struct {
+	Time  time.Time `json:"time"` // root span start, wall clock
+	DurUS int64     `json:"dur_us"`
+	Root  SpanNode  `json:"root"`
+}
+
+// slowOpThresholdNS is the root-span duration at or above which the span
+// tree is kept. Default 100 ms.
+var slowOpThresholdNS atomic.Int64
+
+func init() { slowOpThresholdNS.Store(int64(100 * time.Millisecond)) }
+
+// SlowOpThreshold returns the current slow-op threshold.
+func SlowOpThreshold() time.Duration { return time.Duration(slowOpThresholdNS.Load()) }
+
+// SetSlowOpThreshold sets the slow-op threshold. Zero records every root
+// span (tests); negative disables recording entirely.
+func SetSlowOpThreshold(d time.Duration) {
+	if d < 0 {
+		d = 1<<63 - 1
+	}
+	slowOpThresholdNS.Store(int64(d))
+}
+
+// slowRing is the fixed-capacity slow-op ring buffer: new entries evict the
+// oldest once full.
+var slowRing = struct {
+	sync.Mutex
+	buf  []SlowOp
+	next int // insertion index once len(buf) == cap
+	cap  int
+}{cap: 128}
+
+// SetSlowOpCapacity resizes the ring (dropping recorded entries).
+func SetSlowOpCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	slowRing.Lock()
+	defer slowRing.Unlock()
+	slowRing.cap = n
+	slowRing.buf = nil
+	slowRing.next = 0
+}
+
+// ResetSlowOps clears the ring (tests).
+func ResetSlowOps() {
+	slowRing.Lock()
+	defer slowRing.Unlock()
+	slowRing.buf = nil
+	slowRing.next = 0
+}
+
+// SlowOps returns the recorded slow operations, newest first.
+func SlowOps() []SlowOp {
+	slowRing.Lock()
+	defer slowRing.Unlock()
+	out := make([]SlowOp, 0, len(slowRing.buf))
+	// Entries sit oldest-first starting at next (the ring wraps there).
+	for i := len(slowRing.buf) - 1; i >= 0; i-- {
+		out = append(out, slowRing.buf[(slowRing.next+i)%len(slowRing.buf)])
+	}
+	return out
+}
+
+func recordSlowOp(root *Span) {
+	op := SlowOp{
+		Time:  root.start,
+		DurUS: root.Duration().Microseconds(),
+		Root:  snapshotSpan(root, root.start),
+	}
+	slowRing.Lock()
+	defer slowRing.Unlock()
+	if len(slowRing.buf) < slowRing.cap {
+		slowRing.buf = append(slowRing.buf, op)
+		return
+	}
+	slowRing.buf[slowRing.next] = op
+	slowRing.next = (slowRing.next + 1) % len(slowRing.buf)
+}
+
+func snapshotSpan(s *Span, rootStart time.Time) SpanNode {
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	dur := s.dur
+	s.mu.Unlock()
+	if dur == 0 {
+		// A child still running when the root ended: charge it through now.
+		dur = time.Since(s.start)
+	}
+	node := SpanNode{
+		Name:    s.name,
+		StartUS: s.start.Sub(rootStart).Microseconds(),
+		DurUS:   dur.Microseconds(),
+	}
+	for _, c := range children {
+		node.Children = append(node.Children, snapshotSpan(c, rootStart))
+	}
+	return node
+}

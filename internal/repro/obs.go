@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"immortaldb"
+	"immortaldb/internal/obs"
+)
+
+// ------------------------------------------------- O1: observability overhead
+
+// ObsRow is one observability-overhead measurement: durable group-commit
+// throughput with the obs layer recording ("obs-on") vs runtime-disabled
+// ("obs-off"). OverheadPct is filled on the obs-on rows: how much slower the
+// instrumented run was than the disabled baseline at the same client count
+// (negative values mean the instrumented run happened to win — the
+// difference is inside fsync noise).
+type ObsRow struct {
+	Mode          string  `json:"mode"` // "obs-on" or "obs-off"
+	Clients       int     `json:"clients"`
+	Commits       int     `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	OverheadPct   float64 `json:"overhead_pct,omitempty"`
+}
+
+// RunObsOverhead measures what the instrumentation costs on the hottest
+// path: durable commits through the group-commit pipeline, the workload of
+// RunCommitThroughput. Each (mode, clients) cell runs the storm three times
+// on a fresh database and keeps the best throughput — fsync timing noise is
+// one-sided, so best-of-N isolates the code-path cost under test. The obs
+// disable switch is runtime (obs.SetEnabled), not the obsoff build tag: one
+// binary measures both sides, which is what a CI gate can compare.
+func RunObsOverhead(o Options, clientCounts []int) ([]ObsRow, error) {
+	o = o.withDefaults()
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 8}
+	}
+	// Longer storms than C1: the effect under test is a few percent, so each
+	// run must be long enough that fsync scheduling noise averages out.
+	total := o.scaled(8000)
+	const repeats = 5
+	defer obs.SetEnabled(true)
+
+	one := func(enabled bool, clients int) (float64, int, error) {
+		e, err := NewEnv(o, true, func(op *immortaldb.Options) {
+			op.NoSync = false // durable: the instrumented fsync path is the target
+			op.GroupCommit = immortaldb.GroupCommitOn
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		obs.SetEnabled(enabled)
+		sec, commits, err := CommitStorm(e, clients, total)
+		obs.SetEnabled(true)
+		e.Close()
+		return sec, commits, err
+	}
+
+	var out []ObsRow
+	for _, clients := range clientCounts {
+		off := ObsRow{Mode: "obs-off", Clients: clients}
+		on := ObsRow{Mode: "obs-on", Clients: clients}
+		// Interleave the modes (off, on, off, on, ...): machine drift —
+		// filesystem cache state, thermal throttling, background I/O — moves
+		// slower than one repeat, so clustering all runs of one mode first
+		// would let it masquerade as instrumentation cost.
+		for r := 0; r < repeats; r++ {
+			for _, row := range []*ObsRow{&off, &on} {
+				sec, commits, err := one(row.Mode == "obs-on", clients)
+				if err != nil {
+					return nil, err
+				}
+				if cps := float64(commits) / sec; cps > row.CommitsPerSec {
+					row.CommitsPerSec = cps
+					row.Commits = commits
+					row.Seconds = sec
+				}
+			}
+		}
+		on.OverheadPct = 100 * (off.CommitsPerSec - on.CommitsPerSec) / off.CommitsPerSec
+		out = append(out, off, on)
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"immortaldb/internal/obs"
 	"immortaldb/internal/sqlish"
 	"immortaldb/internal/wire"
 )
@@ -77,21 +78,32 @@ func (c *conn) serve() {
 		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
 		switch typ {
 		case wire.MsgPing:
+			pingStart := obs.Now()
 			if err := wire.WriteFrame(c.nc, wire.MsgPong, nil); err != nil {
 				return
 			}
+			obsPingLat.ObserveSince(pingStart)
 		case wire.MsgExec:
 			c.srv.requests.Add(1)
+			obsInflight.Inc()
+			execStart := obs.Now()
+			span := obs.NewRootSpan("server.exec")
 			res, err := c.sess.Exec(string(payload))
+			span.End()
 			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
 			if err != nil {
 				c.srv.errCount.Add(1)
+				obsExecLat.ObserveSince(execStart)
+				obsInflight.Dec()
 				if werr := writeError(c.nc, err); werr != nil {
 					return
 				}
 				break
 			}
-			if err := wire.WriteFrame(c.nc, wire.MsgResult, res.AppendBinary(nil)); err != nil {
+			werr := wire.WriteFrame(c.nc, wire.MsgResult, res.AppendBinary(nil))
+			obsExecLat.ObserveSince(execStart)
+			obsInflight.Dec()
+			if werr != nil {
 				return
 			}
 		default:

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"immortaldb"
+	"immortaldb/internal/client"
+	"immortaldb/internal/obs"
+)
+
+// TestRequestPathObservability drives real requests through the wire and
+// checks the request-latency histogram accumulates and renders in the
+// Prometheus exposition the /metrics endpoint serves.
+func TestRequestPathObservability(t *testing.T) {
+	if !obs.Enabled() {
+		t.Skip("obs compiled out (obsoff)")
+	}
+	count0, _, _, ok := obs.HistogramSnapshot("immortald_exec_seconds", 0.5)
+	if !ok {
+		t.Fatal("immortald_exec_seconds not registered")
+	}
+
+	_, _, addr := startServer(t, t.TempDir(),
+		&immortaldb.Options{NoSync: true}, Config{MaxConns: 8})
+	ctx := context.Background()
+	pool, err := client.Open(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	if _, err := pool.Exec(ctx, "CREATE IMMORTAL TABLE kv (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		if _, err := pool.Exec(ctx, "INSERT INTO kv VALUES (1, 1) ON CONFLICT UPDATE"); err != nil {
+			// Statement dialect may not support upserts; plain updates serve
+			// the same purpose.
+			if _, err2 := pool.Exec(ctx, "UPDATE kv SET v = 2 WHERE k = 1"); err2 != nil {
+				t.Fatalf("exec: %v / %v", err, err2)
+			}
+		}
+	}
+
+	count1, sum, qs, _ := obs.HistogramSnapshot("immortald_exec_seconds", 0.5, 0.99)
+	if count1 < count0+n {
+		t.Fatalf("exec histogram count = %d, want >= %d", count1, count0+n)
+	}
+	if sum <= 0 || len(qs) != 2 {
+		t.Fatalf("exec histogram sum=%g quantiles=%v", sum, qs)
+	}
+
+	// The exposition the /metrics handler appends must carry the summary.
+	var b strings.Builder
+	obs.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE immortald_exec_seconds summary",
+		`immortald_exec_seconds{quantile="0.99"}`,
+		"immortald_exec_seconds_count",
+		"immortald_inflight_requests 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

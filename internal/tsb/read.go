@@ -151,6 +151,8 @@ func (t *Tree) readDirect(key []byte, ts itime.Timestamp, self itime.TID) (Resul
 // readViaChain finds the current page and walks its history chain back to
 // the page whose time range covers ts — the paper's prototype access path.
 func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID) (Result, error) {
+	hops := 0
+	defer func() { obsChainReadHops.Observe(float64(hops)) }()
 	path, lf, err := t.descend(key, itime.Max)
 	if err != nil {
 		return Result{}, err
@@ -172,6 +174,8 @@ func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID) (Res
 			return Result{}, err
 		}
 		t.chainHops.Add(1)
+		obsChainHopsAll.Inc()
+		hops++
 		dp = lf.Data()
 		if dp == nil {
 			t.cfg.Pool.Release(lf)
@@ -265,6 +269,7 @@ func (t *Tree) LatestInfo(key []byte, since itime.Timestamp) (ts itime.Timestamp
 			return itime.Timestamp{}, 0, false, false, err
 		}
 		t.chainHops.Add(1)
+		obsChainHopsAll.Inc()
 		dp = lf.Data()
 		if dp == nil {
 			t.cfg.Pool.Release(lf)
@@ -418,6 +423,7 @@ func (t *Tree) pagesForScan(lo, hi []byte, ts itime.Timestamp) ([]page.ID, error
 			next := dp.Hist
 			if !seen[id] && id != cid {
 				t.chainHops.Add(1)
+				obsChainHopsAll.Inc()
 			}
 			if covers {
 				add(id)

@@ -145,6 +145,7 @@ func (t *Tree) timeSplitLeaf(path []pathEntry, lf *buffer.Frame, splitTS itime.T
 		return err
 	}
 	t.timeSplits.Add(1)
+	obsTimeSplits.Inc()
 	hlsn, err := t.logImage(hist)
 	if err != nil {
 		return err
@@ -204,6 +205,7 @@ func (t *Tree) keySplitLeaf(path []pathEntry, lf *buffer.Frame) error {
 		return err
 	}
 	t.keySplits.Add(1)
+	obsKeySplits.Inc()
 	rlsn, err := t.logImage(right)
 	if err != nil {
 		return err

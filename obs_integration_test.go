@@ -1,0 +1,85 @@
+package immortaldb
+
+import (
+	"testing"
+	"time"
+
+	"immortaldb/internal/obs"
+)
+
+// TestCommitSlowOpSpanTree proves the acceptance criterion end to end: a
+// commit that exceeds the slow-op threshold records its span tree — the
+// tx.commit root with the publish (commitMu section) and fsync children —
+// in the slow-op ring. The commit is "artificially delayed" by dropping the
+// threshold to zero so even a fast test commit qualifies; the tree shape is
+// what matters.
+func TestCommitSlowOpSpanTree(t *testing.T) {
+	if !obs.Enabled() {
+		t.Skip("obs compiled out (obsoff)")
+	}
+	defer obs.SetSlowOpThreshold(100 * time.Millisecond)
+	obs.ResetSlowOps()
+	obs.SetSlowOpThreshold(0)
+
+	db, _ := openTestDB(t, nil)
+	tbl, err := db.CreateTable("t", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set(t, db, tbl, "k", "v")
+	obs.SetSlowOpThreshold(time.Hour) // freeze the ring before inspecting
+
+	var commit *obs.SlowOp
+	for _, op := range obs.SlowOps() {
+		if op.Root.Name == "tx.commit" {
+			commit = &op
+			break
+		}
+	}
+	if commit == nil {
+		t.Fatal("no tx.commit slow op recorded")
+	}
+	var names []string
+	for _, c := range commit.Root.Children {
+		names = append(names, c.Name)
+	}
+	want := map[string]bool{"commit.publish": false, "commit.fsync": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("span tree missing child %q (children: %v)", n, names)
+		}
+	}
+}
+
+// TestCommitLatencyHistogram checks the commit histogram accumulates and is
+// visible through the exposition snapshot API /metrics uses.
+func TestCommitLatencyHistogram(t *testing.T) {
+	if !obs.Enabled() {
+		t.Skip("obs compiled out (obsoff)")
+	}
+	count0, _, _, ok := obs.HistogramSnapshot("immortaldb_commit_seconds", 0.5)
+	if !ok {
+		t.Fatal("immortaldb_commit_seconds not registered")
+	}
+	db, _ := openTestDB(t, nil)
+	tbl, err := db.CreateTable("t", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		set(t, db, tbl, "k", "v")
+	}
+	count1, sum, qs, _ := obs.HistogramSnapshot("immortaldb_commit_seconds", 0.5)
+	if count1 < count0+n {
+		t.Fatalf("commit histogram count = %d, want >= %d", count1, count0+n)
+	}
+	if sum <= 0 || qs[0] < 0 {
+		t.Fatalf("commit histogram sum=%g p50=%g", sum, qs[0])
+	}
+}

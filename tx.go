@@ -11,6 +11,7 @@ import (
 
 	"immortaldb/internal/itime"
 	"immortaldb/internal/lock"
+	"immortaldb/internal/obs"
 	"immortaldb/internal/storage/page"
 	"immortaldb/internal/tsb"
 	"immortaldb/internal/wal"
@@ -543,11 +544,15 @@ func (tx *Tx) Commit() error {
 		db.stamp.Abort(tx.id) // drop the VTT entry
 		return nil
 	}
+	defer obsCommitLat.ObserveSince(obs.Now())
+	span := obs.NewRootSpan("tx.commit")
+	defer span.End()
 
 	// Phase 1, under commitMu: pick the timestamp, append the commit record,
 	// and publish the TID-to-timestamp mapping. commitMu makes timestamp
 	// order equal commit-record order within the log, so a group-commit
 	// fsync that covers a batch of commit records covers a timestamp prefix.
+	pubSpan := span.Child("commit.publish")
 	db.commitMu.Lock()
 	ts := tx.fixedTS
 	if ts.IsZero() {
@@ -560,6 +565,7 @@ func (tx *Tx) Commit() error {
 		// No TID-to-timestamp mapping needs to outlive the transaction.
 		if err := tx.eagerStamp(ts); err != nil {
 			db.commitMu.Unlock()
+			pubSpan.End()
 			return err
 		}
 		db.stamp.Abort(tx.id)
@@ -580,6 +586,7 @@ func (tx *Tx) Commit() error {
 		// Nothing was published: the VTT entry is still active, exactly as
 		// if Commit had not been called.
 		db.commitMu.Unlock()
+		pubSpan.End()
 		return err
 	}
 	// The transaction's fate is now in the log; a checkpoint taken from here
@@ -602,18 +609,23 @@ func (tx *Tx) Commit() error {
 			}
 			db.stamp.Abort(tx.id)
 			db.commitMu.Unlock()
+			pubSpan.End()
 			return serr
 		}
 	}
 	db.advanceVisible(ts)
 	db.commitMu.Unlock()
+	pubSpan.End()
 
 	// Phase 2, outside commitMu: harden the commit record. With group commit
 	// on, concurrent committers share one fsync here instead of queueing one
 	// fsync each behind commitMu. The transaction's locks are held until
 	// Commit returns, so conflicting writers cannot observe its effects
 	// before durability is settled either way.
-	if err := db.log.SyncTo(lsn); err != nil {
+	fsyncSpan := span.Child("commit.fsync")
+	err = db.log.SyncTo(lsn)
+	fsyncSpan.End()
+	if err != nil {
 		// Not durable, so not committed: withdraw the timestamp mapping, or
 		// the VTT/PTT would claim a commit the log cannot prove and lazy
 		// stamping would publish the transaction's versions.
