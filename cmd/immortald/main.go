@@ -94,6 +94,18 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if err := db.Degraded(); err != nil {
+				// 503 with a machine-readable reason: orchestrators stop
+				// routing writes here, operators see why. Reads still work,
+				// so this process stays up until replaced.
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(map[string]string{
+					"status": "degraded",
+					"reason": err.Error(),
+				})
+				return
+			}
 			if srv.Stats().Draining {
 				http.Error(w, "draining", http.StatusServiceUnavailable)
 				return
@@ -133,6 +145,16 @@ func main() {
 	if httpSrv != nil {
 		httpSrv.Close()
 	}
+	// A degraded engine skips the final checkpoint inside Close — writing one
+	// would claim durability the failed I/O disproved — so the error it
+	// returns is expected, not fatal: recovery at the next start settles
+	// everything from the last synced log prefix.
+	if derr := db.Degraded(); derr != nil {
+		logger.Printf("engine degraded, skipping final checkpoint: %v", derr)
+		db.Close()
+		logger.Printf("closed degraded; next start will run recovery")
+		return
+	}
 	if err := db.Close(); err != nil {
 		logger.Fatalf("close: %v", err)
 	}
@@ -162,6 +184,12 @@ func writeMetrics(w http.ResponseWriter, ds immortaldb.Stats, ss server.Stats) {
 	p("immortaldb_time_splits_total", "TSB time splits across all tables.", ds.TimeSplits)
 	p("immortaldb_key_splits_total", "TSB key splits across all tables.", ds.KeySplits)
 	p("immortaldb_chain_hops_total", "Version-chain hops during historical reads.", ds.ChainHops)
+	degraded := 0
+	if ds.Degraded {
+		degraded = 1
+	}
+	p("immortaldb_engine_degraded", "1 while the engine is read-only-degraded after an I/O failure.", degraded)
+	p("immortaldb_wal_segment_files", "Live WAL segment files.", ds.WALSegments)
 	p("immortald_conns_accepted_total", "Connections accepted.", ss.Accepted)
 	p("immortald_conns_refused_total", "Connections refused over the cap.", ss.Refused)
 	p("immortald_conns_active", "Connections currently open.", ss.ActiveConns)

@@ -47,10 +47,12 @@ import (
 // stamping split by trigger — the paper's two stamping opportunities (flush
 // of a dirty page vs. ordinary access to a page with unstamped versions).
 var (
-	obsCommitLat   = obs.NewHistogram("immortaldb_commit_seconds", "End-to-end latency of a writing transaction's Commit, including the durability fsync.", obs.LatencyBuckets)
-	obsCkptLat     = obs.NewHistogram("immortaldb_checkpoint_seconds", "Latency of one checkpoint (PTT sync, flush-all, checkpoint record, PTT GC).", obs.LatencyBuckets)
-	obsStampFlush  = obs.NewCounter("immortaldb_stamp_flush_triggered_total", "Record versions stamped because their dirty page was being flushed.")
-	obsStampAccess = obs.NewCounter("immortaldb_stamp_access_triggered_total", "Record versions stamped when a tree access visited their page.")
+	obsCommitLat    = obs.NewHistogram("immortaldb_commit_seconds", "End-to-end latency of a writing transaction's Commit, including the durability fsync.", obs.LatencyBuckets)
+	obsCkptLat      = obs.NewHistogram("immortaldb_checkpoint_seconds", "Latency of one checkpoint (PTT sync, flush-all, checkpoint record, PTT GC).", obs.LatencyBuckets)
+	obsStampFlush   = obs.NewCounter("immortaldb_stamp_flush_triggered_total", "Record versions stamped because their dirty page was being flushed.")
+	obsStampAccess  = obs.NewCounter("immortaldb_stamp_access_triggered_total", "Record versions stamped when a tree access visited their page.")
+	obsDegraded     = obs.NewGauge("immortaldb_degraded", "1 while the engine is read-only-degraded after an I/O failure, else 0.")
+	obsCkptTruncErr = obs.NewCounter("immortaldb_checkpoint_truncate_errors_total", "Failed attempts to delete dead WAL segments at a checkpoint (best-effort).")
 )
 
 // Timestamp is the transaction timestamp type: an 8-byte wall-clock value
@@ -131,6 +133,17 @@ type Options struct {
 	// still open once operations drain are rolled back on their owners'
 	// behalf; their next call returns ErrAborted.
 	DrainTimeout time.Duration
+	// WALSegmentSize caps each log segment file (default 16 MB). Rotation
+	// preallocates the next segment, so an out-of-space disk fails a commit
+	// cleanly at segment-extend time instead of tearing a half-written
+	// record. Small values are useful in tests to exercise rotation.
+	WALSegmentSize int64
+	// WALLowWater is extra free space (beyond the next segment itself) that
+	// must be available for rotation to proceed; below it the rotation fails
+	// with ENOSPC while the disk still has headroom for checkpoint writes
+	// and the PTT, letting the engine degrade cleanly rather than wedge.
+	// Effective only on filesystems that report free space (vfs.FreeSpacer).
+	WALLowWater int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -178,6 +191,13 @@ var (
 	ErrNotImmortal   = errors.New("immortaldb: table does not keep persistent versions")
 	ErrEmptyKey      = errors.New("immortaldb: empty key")
 	ErrNoHistory     = errors.New("immortaldb: time predates table history")
+	// ErrDegraded reports that a write-path I/O failure (ENOSPC, EIO, a
+	// failed fsync) moved the engine to read-only-degraded. Reads keep being
+	// served from clean state; every write entry point fails with this error,
+	// which is not retryable in-process — close and reopen the database so
+	// recovery can rebuild trustworthy state from the log. Inspect the cause
+	// with DB.Degraded.
+	ErrDegraded = errors.New("immortaldb: degraded to read-only by I/O failure, reopen required")
 )
 
 // Table is a handle to one table.
@@ -244,6 +264,13 @@ type DB struct {
 	commitMu      sync.Mutex
 	txnsSinceCkpt int
 
+	// degraded latches on the first unrecoverable write-path I/O failure;
+	// degCause (under degMu) keeps the first failure for DB.Degraded. The
+	// latch is one-way: only reopen-with-recovery clears it.
+	degraded atomic.Bool
+	degMu    sync.Mutex
+	degCause error
+
 	commits, aborts atomic.Uint64
 }
 
@@ -278,6 +305,12 @@ func Open(dir string, opts *Options) (*DB, error) {
 	log.NoSync = o.NoSync
 	log.GroupCommit = o.GroupCommit != GroupCommitOff
 	log.CommitEvery = o.CommitEvery
+	if o.WALSegmentSize > 0 {
+		log.SegmentSize = o.WALSegmentSize
+	}
+	// LowWater is armed only after recovery (see the end of Open): the gate
+	// exists to reserve headroom FOR recovery, so recovery itself — and the
+	// checkpoint that reclaims dead segments behind it — runs ungated.
 	ptt, err := cow.Open(filepath.Join(dir, pttFile), cow.Options{
 		ValSize: stamp.PTTValueLen,
 		NoSync:  o.NoSync,
@@ -316,6 +349,18 @@ func Open(dir string, opts *Options) (*DB, error) {
 	// The write-ahead rule: a page may be written only once the log covering
 	// its LSN is durable.
 	db.pool.FlushLSN = func(lsn uint64) error { return log.FlushTo(wal.LSN(lsn)) }
+	// A failed page write (including its write-ahead log force) may have left
+	// the page half on disk: degrade so nothing is trusted until recovery.
+	// Writes refused *because* the pool is already read-only, or failing
+	// against a closing log, are consequences of a state change, not disk
+	// faults.
+	db.pool.OnWriteError = func(err error) {
+		if errors.Is(err, buffer.ErrReadOnly) || errors.Is(err, wal.ErrClosed) {
+			return
+		}
+		obs.IOError("write", vfs.ErrClass(err))
+		db.degrade(err)
+	}
 	if o.FullPageWrites {
 		db.pool.PreWrite = func(id page.ID, buf []byte) (uint64, error) {
 			lsn, err := log.Append(&wal.Record{Type: wal.TypePageImage, Page: id, Img: buf})
@@ -367,6 +412,12 @@ func Open(dir string, opts *Options) (*DB, error) {
 		db.closeFiles()
 		return nil, err
 	}
+	// The open-time checkpoint just truncated every reclaimable segment, so
+	// free space is as good as it gets; from here on, rotations refuse below
+	// the low-water mark to keep the next recovery's headroom intact.
+	log.LowWater = o.WALLowWater
+	// A fresh open is healthy by construction: recovery re-read disk state.
+	obsDegraded.Set(0)
 	return db, nil
 }
 
@@ -376,36 +427,104 @@ func (db *DB) closeFiles() {
 	db.pager.Close()
 }
 
+// degrade latches the engine read-only after a write-path I/O failure. The
+// first cause wins; the buffer pool stops writing dirty pages (reads keep
+// being served from clean state), and every write entry point fails with
+// ErrDegraded until the database is reopened. Never cleared in-process: a
+// failed fsync may have silently dropped dirty kernel buffers (the
+// "fsyncgate" lesson), so only recovery — which re-reads disk — can
+// re-establish what is actually durable.
+func (db *DB) degrade(cause error) {
+	db.degMu.Lock()
+	if db.degCause == nil {
+		db.degCause = cause
+		db.degraded.Store(true)
+		db.pool.SetReadOnly(true)
+		obsDegraded.Set(1)
+	}
+	db.degMu.Unlock()
+}
+
+// degradeIf degrades the engine when err is a disk-level failure, and leaves
+// it healthy for logical errors (conflicts, bad arguments, shutdown).
+func (db *DB) degradeIf(err error) {
+	if ioFailure(err) {
+		db.degrade(err)
+	}
+}
+
+// ioFailure classifies err: true for failures of the storage stack itself —
+// a latched log, ENOSPC, injected or real EIO — whose side effects on disk
+// are unknown, false for logical errors that leave disk state trustworthy.
+func ioFailure(err error) bool {
+	if err == nil || errors.Is(err, wal.ErrClosed) || errors.Is(err, buffer.ErrReadOnly) {
+		return false
+	}
+	if errors.Is(err, wal.ErrFailed) {
+		return true
+	}
+	switch vfs.ErrClass(err) {
+	case vfs.ClassNoSpace, vfs.ClassIO, vfs.ClassCrash:
+		return true
+	}
+	return false
+}
+
+// Degraded returns nil while the engine is healthy, or the I/O failure that
+// moved it to read-only-degraded.
+func (db *DB) Degraded() error {
+	if !db.degraded.Load() {
+		return nil
+	}
+	db.degMu.Lock()
+	cause := db.degCause
+	db.degMu.Unlock()
+	return fmt.Errorf("%w: %v", ErrDegraded, cause)
+}
+
 // treeLogger adapts the WAL for one table's tree.
 type treeLogger struct {
 	db      *DB
 	tableID uint32
 }
 
-func (l *treeLogger) LogPageImage(pg any) (uint64, error) {
-	buf := make([]byte, l.db.pager.PageSize())
-	var id page.ID
-	var err error
-	switch v := pg.(type) {
-	case *page.DataPage:
-		id, err = v.ID, v.Marshal(buf)
-	case *page.IndexPage:
-		id, err = v.ID, v.Marshal(buf)
-	default:
-		return 0, fmt.Errorf("immortaldb: cannot log image of %T", pg)
+// LogSMO logs one structure modification as a single TypeSMO record: the
+// after-images of every touched page plus, on a root move, the full catalog
+// snapshot. One record means one checksum — a torn log tail keeps the whole
+// modification or none of it, so recovery never installs a post-split leaf
+// whose moved keys have no surviving route.
+func (l *treeLogger) LogSMO(pages []any, root *tsb.RootChange) (uint64, error) {
+	imgs := make([]wal.PageImg, len(pages))
+	for i, pg := range pages {
+		buf := make([]byte, l.db.pager.PageSize())
+		var id page.ID
+		var err error
+		switch v := pg.(type) {
+		case *page.DataPage:
+			id, err = v.ID, v.Marshal(buf)
+		case *page.IndexPage:
+			id, err = v.ID, v.Marshal(buf)
+		default:
+			return 0, fmt.Errorf("immortaldb: cannot log image of %T", pg)
+		}
+		if err != nil {
+			return 0, err
+		}
+		imgs[i] = wal.PageImg{Page: id, Img: buf}
 	}
-	if err != nil {
-		return 0, err
+	rec := &wal.Record{Type: wal.TypeSMO, Images: imgs}
+	if root != nil {
+		if err := l.db.cat.SetRoot(l.tableID, root.Root, root.IsLeaf); err != nil {
+			return 0, err
+		}
+		blob, err := l.db.cat.Marshal()
+		if err != nil {
+			return 0, err
+		}
+		rec.Blob = blob
 	}
-	lsn, err := l.db.log.Append(&wal.Record{Type: wal.TypePageImage, Page: id, Img: buf})
+	lsn, err := l.db.log.Append(rec)
 	return uint64(lsn), err
-}
-
-func (l *treeLogger) LogRootChange(root page.ID, rootIsLeaf bool) error {
-	if err := l.db.cat.SetRoot(l.tableID, root, rootIsLeaf); err != nil {
-		return err
-	}
-	return l.db.logCatalog()
 }
 
 // logCatalog appends a full catalog snapshot to the log.
@@ -514,6 +633,9 @@ func (db *DB) CreateTable(name string, topts TableOptions) (*Table, error) {
 	if db.draining {
 		return nil, ErrShuttingDown
 	}
+	if err := db.Degraded(); err != nil {
+		return nil, err
+	}
 	if topts.Immortal {
 		topts.Snapshot = true
 	}
@@ -535,12 +657,15 @@ func (db *DB) CreateTable(name string, topts TableOptions) (*Table, error) {
 	meta.Root, meta.RootIsLeaf = root, isLeaf
 	db.trees[meta.ID] = tree
 	if err := db.logCatalog(); err != nil {
+		db.degradeIf(err)
 		return nil, err
 	}
 	if err := db.log.Flush(); err != nil {
+		db.degradeIf(err)
 		return nil, err
 	}
 	if err := db.saveCatalogMeta(); err != nil {
+		db.degradeIf(err)
 		return nil, err
 	}
 	return &Table{meta: meta, tree: tree}, nil
@@ -605,16 +730,30 @@ func (db *DB) Checkpoint() error {
 		db.commitMu.Unlock()
 		return ErrClosed
 	}
+	if err := db.Degraded(); err != nil {
+		// A degraded engine must not checkpoint: flushing pages or moving the
+		// checkpoint pointer would claim durability the failed I/O disproved.
+		db.mu.Unlock()
+		db.commitMu.Unlock()
+		return err
+	}
 	beginLSN := db.log.End()
 	att := make([]wal.TxnState, 0, len(db.active))
+	// undoFloor is the oldest log record a live transaction may still need to
+	// read back for undo — segment truncation must never pass it.
+	undoFloor := wal.LSN(0)
 	for tid, tx := range db.active {
 		if tx.terminalLogged {
 			continue
 		}
 		tx.logMu.Lock()
 		last := wal.LSN(tx.lastLSN.Load())
+		first := wal.LSN(tx.firstLSN.Load())
 		tx.logMu.Unlock()
 		att = append(att, wal.TxnState{TID: tid, LastLSN: last})
+		if first != 0 && (undoFloor == 0 || first < undoFloor) {
+			undoFloor = first
+		}
 	}
 	db.mu.Unlock()
 	db.commitMu.Unlock()
@@ -623,12 +762,15 @@ func (db *DB) Checkpoint() error {
 	// PTT entries for commits already in the log must be durable before the
 	// checkpoint can move the redo scan start past those commit records.
 	if err := db.stamp.SyncPTT(); err != nil {
+		db.degradeIf(err)
 		return err
 	}
 	if err := db.saveCatalogMeta(); err != nil {
+		db.degradeIf(err)
 		return err
 	}
 	if err := db.pool.FlushAll(true); err != nil {
+		db.degradeIf(err)
 		return err
 	}
 	dpt := db.pool.DirtyPages() // pages re-dirtied during the flush, if any
@@ -644,16 +786,36 @@ func (db *DB) Checkpoint() error {
 	sort.Slice(ck.DirtyPages, func(i, j int) bool { return ck.DirtyPages[i].ID < ck.DirtyPages[j].ID })
 	lsn, err := db.log.Append(&wal.Record{Type: wal.TypeCheckpoint, Blob: ck.Marshal()})
 	if err != nil {
+		db.degradeIf(err)
 		return err
 	}
 	if err := db.log.SetCheckpoint(lsn); err != nil {
+		db.degradeIf(err)
 		return err
+	}
+	// Reclaim dead log segments: everything below the redo scan start is
+	// unreachable by recovery, but live transactions may still walk their
+	// PrevLSN chains back for undo, so the floor also covers their first
+	// records. This is how a full disk gets space back.
+	bound := ck.RedoScanStart(lsn)
+	if undoFloor != 0 && undoFloor < bound {
+		bound = undoFloor
+	}
+	if err := db.log.TruncateBefore(bound); err != nil {
+		// Reclamation is best-effort: the retained segments are merely dead
+		// weight, so a failed delete degrades nothing and fails nothing.
+		obsCkptTruncErr.Inc()
 	}
 	// GC with the new redo scan start point.
 	if _, err := db.stamp.RunGC(ck.RedoScanStart(lsn)); err != nil {
+		db.degradeIf(err)
 		return err
 	}
-	return db.stamp.SyncPTT()
+	if err := db.stamp.SyncPTT(); err != nil {
+		db.degradeIf(err)
+		return err
+	}
+	return nil
 }
 
 // Close shuts the database down cleanly: new Begin calls fail with
@@ -709,14 +871,27 @@ func (db *DB) Close() error {
 			db.abortForShutdown(tx)
 		}
 	}
-	err := db.Checkpoint()
+	// A degraded engine skips the final checkpoint and log flush: disk state
+	// after the failed I/O is untrustworthy, and writing more would risk
+	// claiming durability recovery cannot honor. Reopen recovers from the
+	// last successfully-synced log prefix instead.
+	err := db.Degraded()
+	if err == nil {
+		err = db.Checkpoint()
+	}
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
-	if err2 := db.log.Flush(); err == nil {
-		err = err2
+	if db.Degraded() == nil {
+		if err2 := db.log.Flush(); err == nil {
+			err = err2
+		}
 	}
-	if err2 := db.ptt.Close(); err == nil {
+	if db.Degraded() != nil {
+		// No PTT commit either: a mapping must never harden unless its commit
+		// record is known durable, and after a failed sync nothing is.
+		db.ptt.CloseNoCommit()
+	} else if err2 := db.ptt.Close(); err == nil {
 		err = err2
 	}
 	if err2 := db.log.Close(); err == nil {
@@ -744,6 +919,7 @@ func (db *DB) abortForShutdown(tx *Tx) {
 		// Compensation failed (I/O error): leave the transaction in the
 		// active map so the checkpoint's ATT lists it and recovery undoes
 		// its updates at the next open.
+		db.degradeIf(err)
 		db.commitMu.Unlock()
 		return
 	}
@@ -782,6 +958,10 @@ type Stats struct {
 	TimeSplits uint64
 	KeySplits  uint64
 	ChainHops  uint64
+	// Degraded reports that an I/O failure moved the engine read-only (see
+	// ErrDegraded); WALSegments counts live log segment files.
+	Degraded    bool
+	WALSegments int
 }
 
 // MeanCommitBatch estimates the mean group-commit batch size: every fsync
@@ -812,6 +992,8 @@ func (db *DB) Stats() Stats {
 		PagerWrites:    w,
 		CacheHits:      h,
 		CacheMisses:    m,
+		Degraded:       db.degraded.Load(),
+		WALSegments:    db.log.SegmentCount(),
 	}
 	db.mu.Lock()
 	st.OpenTxns = len(db.active)
@@ -855,6 +1037,9 @@ func (db *DB) EnableSnapshot(name string) error {
 	if db.draining {
 		return ErrShuttingDown
 	}
+	if err := db.Degraded(); err != nil {
+		return err
+	}
 	meta, err := db.cat.Get(name)
 	if err != nil {
 		return err
@@ -878,9 +1063,14 @@ func (db *DB) EnableSnapshot(name string) error {
 	// Reopen the tree with versioned semantics.
 	db.trees[meta.ID] = db.openTree(meta)
 	if err := db.logCatalog(); err != nil {
+		db.degradeIf(err)
 		return err
 	}
-	return db.saveCatalogMeta()
+	if err := db.saveCatalogMeta(); err != nil {
+		db.degradeIf(err)
+		return err
+	}
+	return nil
 }
 
 // BeginAsOfString parses a SQL AS OF time literal and begins a historical

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"immortaldb/internal/obs"
 	"immortaldb/internal/storage/disk"
@@ -31,6 +32,11 @@ var (
 // ErrAllPinned reports that the pool is full of pinned pages and cannot
 // evict. It indicates a pin leak or an undersized pool.
 var ErrAllPinned = errors.New("buffer: all frames pinned")
+
+// ErrReadOnly reports that the pool refused to write a dirty page because it
+// has been switched read-only (the engine degraded after an I/O failure).
+// Clean frames can still be evicted and reads keep being served.
+var ErrReadOnly = errors.New("buffer: pool is read-only (engine degraded)")
 
 // Frame is a cached page. Callers receive a pinned frame from Fetch or
 // NewPage and must Release it; the frame's decoded page must not be touched
@@ -104,6 +110,14 @@ type Pool struct {
 	// through first. It implements full-page-writes: the hook logs a page
 	// image so recovery can repair a write torn by a crash.
 	PreWrite func(id page.ID, buf []byte) (uint64, error)
+	// OnWriteError, when set, is told about every failed dirty-page write
+	// (encode, write-ahead force, or physical write). The engine uses it to
+	// degrade to read-only: a page whose write failed may be half on disk, so
+	// no later state may be trusted until recovery re-reads it. The hook runs
+	// with the pool mutex held and must not call back into the pool.
+	OnWriteError func(err error)
+
+	readOnly atomic.Bool
 
 	hits, misses, evictions, flushes uint64
 }
@@ -123,6 +137,15 @@ func New(pager *disk.Pager, capacity int) *Pool {
 
 // PageSize returns the underlying page size.
 func (p *Pool) PageSize() int { return p.pager.PageSize() }
+
+// SetReadOnly switches the pool into (or out of) read-only mode. While
+// read-only the pool never writes a dirty page: eviction only takes clean
+// victims and FlushAll/FlushPage return ErrReadOnly for dirty frames, so a
+// degraded engine keeps serving reads from clean pages without touching disk.
+func (p *Pool) SetReadOnly(ro bool) { p.readOnly.Store(ro) }
+
+// ReadOnly reports whether the pool is in read-only mode.
+func (p *Pool) ReadOnly() bool { return p.readOnly.Load() }
 
 // Fetch returns a pinned frame for page id, reading and decoding it if not
 // cached.
@@ -177,16 +200,31 @@ func (p *Pool) installLocked(id page.ID, pg any) (*Frame, error) {
 }
 
 func (p *Pool) evictIfFullLocked() error {
+	readOnly := p.readOnly.Load()
 	for len(p.frames) >= p.cap {
-		var victim *Frame
+		// Prefer a clean victim: evicting clean pages costs no write, and in
+		// read-only (degraded) mode clean victims are the only legal ones.
+		var victim, dirtyVictim *Frame
 		for e := p.lru.Back(); e != nil; e = e.Prev() {
 			f := e.Value.(*Frame)
-			if f.pins == 0 {
+			if f.pins != 0 {
+				continue
+			}
+			if !f.dirty {
 				victim = f
 				break
 			}
+			if dirtyVictim == nil {
+				dirtyVictim = f
+			}
+		}
+		if victim == nil && !readOnly {
+			victim = dirtyVictim
 		}
 		if victim == nil {
+			if readOnly && dirtyVictim != nil {
+				return fmt.Errorf("%w: no clean frame to evict", ErrReadOnly)
+			}
 			return ErrAllPinned
 		}
 		if err := p.writeFrameLocked(victim); err != nil {
@@ -248,16 +286,23 @@ func pageLSN(pg any) uint64 {
 // pre-flush hook and the write-ahead check first. Pinned frames are left
 // alone: their holder may be mutating the decoded page right now, and a
 // fuzzy checkpoint simply keeps them in the dirty-page table.
-func (p *Pool) writeFrameLocked(f *Frame) error {
+func (p *Pool) writeFrameLocked(f *Frame) (err error) {
 	if !f.dirty || f.pins > 0 {
 		return nil
 	}
+	if p.readOnly.Load() {
+		return fmt.Errorf("%w: dirty page %d", ErrReadOnly, f.id)
+	}
+	defer func() {
+		if err != nil && p.OnWriteError != nil {
+			p.OnWriteError(err)
+		}
+	}()
 	defer obsFlushLat.ObserveSince(obs.Now())
 	if p.PreFlush != nil {
 		p.PreFlush(f.pg)
 	}
 	buf := make([]byte, p.pager.PageSize())
-	var err error
 	switch v := f.pg.(type) {
 	case *page.DataPage:
 		err = v.Marshal(buf)

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -33,12 +34,19 @@ type Options struct {
 	MaxConns int
 	// DialTimeout bounds one dial attempt (default 5s).
 	DialTimeout time.Duration
-	// DialRetries is how many times a failed dial is retried with
+	// DialRetries is how many times a failed dial — or a statement refused
+	// with a retryable server condition — is retried with jittered
 	// exponential backoff (default 3; total attempts = DialRetries+1).
 	DialRetries int
-	// RetryBackoff is the first retry's delay, doubling per retry
-	// (default 50ms).
+	// RetryBackoff is the first retry's base delay; later retries double it
+	// (capped at 2s) and add jitter so a fleet of clients does not retry in
+	// lockstep (default 50ms).
 	RetryBackoff time.Duration
+	// RetryBudget caps the total wall-clock time one operation may spend
+	// across its attempt and all retries, enforced as a context deadline
+	// (default 10s; a tighter caller deadline wins). It bounds worst-case
+	// latency no matter how the retry schedule plays out.
+	RetryBudget time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -60,6 +68,9 @@ func (o *Options) withDefaults() Options {
 	if out.RetryBackoff <= 0 {
 		out.RetryBackoff = 50 * time.Millisecond
 	}
+	if out.RetryBudget <= 0 {
+		out.RetryBudget = 10 * time.Second
+	}
 	return out
 }
 
@@ -67,10 +78,23 @@ func (o *Options) withDefaults() Options {
 var ErrPoolClosed = errors.New("client: pool closed")
 
 // RemoteError is a statement error reported by the server. The connection
-// that carried it remains healthy and is returned to the pool.
-type RemoteError struct{ Msg string }
+// that carried it remains healthy and is returned to the pool. Code is the
+// wire error code classifying the failure.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// Degraded reports that the server's engine is read-only-degraded after an
+// I/O failure: writes will keep failing until an operator restarts it, so
+// the client never retries these.
+func (e *RemoteError) Degraded() bool { return e.Code == wire.CodeDegraded }
+
+// Retryable reports a transient server condition (a shutdown drain): the
+// statement may succeed after a backoff or on another connection.
+func (e *RemoteError) Retryable() bool { return e.Code == wire.CodeRetryable }
 
 // DB is a pooled client to one immortald server.
 type DB struct {
@@ -103,18 +127,14 @@ func Open(addr string, opts *Options) (*DB, error) {
 	return d, nil
 }
 
-// dial connects, with exponential-backoff retry, and shakes hands.
+// dial connects, with jittered exponential-backoff retry, and shakes hands.
 func (d *DB) dial(ctx context.Context) (*wconn, error) {
-	backoff := d.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= d.opts.DialRetries; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return nil, ctx.Err()
+			if err := sleepCtx(ctx, jitterBackoff(d.opts.RetryBackoff, attempt-1)); err != nil {
+				return nil, err
 			}
-			backoff *= 2
 		}
 		nc, err := (&net.Dialer{Timeout: d.opts.DialTimeout}).DialContext(ctx, "tcp", d.addr)
 		if err != nil {
@@ -130,6 +150,29 @@ func (d *DB) dial(ctx context.Context) (*wconn, error) {
 		return c, nil
 	}
 	return nil, fmt.Errorf("client: dial %s: %w", d.addr, lastErr)
+}
+
+// jitterBackoff is the delay before retry attempt (0-based): exponential,
+// capped at 2s, with full jitter over the upper half so a fleet of clients
+// kicked off a draining server does not retry in lockstep.
+func jitterBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if maxDelay := 2 * time.Second; d > maxDelay || d <= 0 {
+		d = 2 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx sleeps, honoring context cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // acquire takes a capacity slot and returns a connection: an idle one if
@@ -188,6 +231,8 @@ func (d *DB) release(c *wconn, healthy bool) {
 // principle re-execute a statement the server received just before dying;
 // callers needing exactly-once must make statements idempotent.)
 func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
+	ctx, cancel := d.withRetryBudget(ctx)
+	defer cancel()
 	c, fromIdle, err := d.acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -203,6 +248,26 @@ func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
 		c = c2
 		res, err = c.exec(ctx, sql)
 	}
+	// Only errors the server tagged retryable (a drain in progress) are
+	// retried, with jittered exponential backoff inside the retry budget.
+	// Degraded and plain statement errors are terminal: retrying a degraded
+	// server cannot succeed until an operator restarts it, and hammering it
+	// with retries would only mask the page.
+	for attempt := 0; err != nil && isRetryable(err) && attempt <= d.opts.DialRetries; attempt++ {
+		if sleepCtx(ctx, jitterBackoff(d.opts.RetryBackoff, attempt)) != nil {
+			break
+		}
+		if c.broken {
+			c.nc.Close()
+			c2, derr := d.dial(ctx)
+			if derr != nil {
+				d.slots <- struct{}{}
+				return nil, derr
+			}
+			c = c2
+		}
+		res, err = c.exec(ctx, sql)
+	}
 	d.release(c, !c.broken)
 	return res, err
 }
@@ -210,6 +275,20 @@ func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
 func isRemote(err error) bool {
 	var re *RemoteError
 	return errors.As(err, &re)
+}
+
+func isRetryable(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Retryable()
+}
+
+// withRetryBudget caps the total time an operation and its retries may take.
+// A caller deadline tighter than the budget wins.
+func (d *DB) withRetryBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d.opts.RetryBudget {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d.opts.RetryBudget)
 }
 
 // Ping checks server liveness over a pooled connection.
@@ -367,7 +446,8 @@ func (c *wconn) handshake(ctx context.Context, timeout time.Duration) error {
 	case wire.MsgHelloOK:
 		return nil
 	case wire.MsgError:
-		return &RemoteError{Msg: string(payload)}
+		code, msg := wire.ParseError(payload)
+		return &RemoteError{Code: code, Msg: msg}
 	default:
 		return wire.ErrBadHandshake
 	}
@@ -421,7 +501,8 @@ func (c *wconn) roundTrip(ctx context.Context, reqType byte, payload []byte, wan
 		return nil, err
 	}
 	if typ == wire.MsgError {
-		return nil, &RemoteError{Msg: string(resp)}
+		code, msg := wire.ParseError(resp)
+		return nil, &RemoteError{Code: code, Msg: msg}
 	}
 	if typ != wantType {
 		c.broken = true

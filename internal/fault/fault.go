@@ -93,6 +93,9 @@ func options(fs *vfs.SimFS) *immortaldb.Options {
 		Clock:          itime.NewSimClock(workloadStart),
 		FS:             fs,
 		FullPageWrites: true,
+		// Small segments force frequent WAL rotation, so crash points and
+		// sustained faults land inside segment creation and switch-over too.
+		WALSegmentSize: 4096,
 	}
 }
 

@@ -1,0 +1,322 @@
+package fault
+
+// The error-persistence chaos matrix: where the crash matrix kills the
+// machine at operation N, this harness keeps the machine RUNNING against a
+// disk that starts failing at operation N — with EIO, ENOSPC or failing
+// fsyncs that persist for a chosen number of operations and then clear (or
+// never do). The engine must contain the fault: no acknowledged commit may
+// be lost, no unacknowledged commit may half-apply, reads must keep working
+// while the engine is degraded, and every write after degradation must fail
+// with the typed ErrDegraded before any acknowledgement.
+//
+// A failing cell is a replayable coordinate:
+//
+//	go test -run TestPersistMatrix -pseed=<S> -pkind=<K> -ppoint=<N> -ppersist=<P>
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/vfs"
+	"immortaldb/internal/wal"
+)
+
+// PersistKind is one named sustained-fault shape. The File/Op selectors aim
+// the fault at a particular layer (WAL segments, page file, timestamp table)
+// or at everything.
+type PersistKind struct {
+	Name  string
+	Fault vfs.Fault
+}
+
+// PersistKinds enumerates the fault shapes the matrix sweeps. Names are the
+// -pkind replay coordinates.
+var PersistKinds = []PersistKind{
+	{"wal-write-eio", vfs.Fault{Op: vfs.OpWrite, File: walSegPrefix, Err: vfs.ErrInjectedIO}},
+	{"pages-write-eio", vfs.Fault{Op: vfs.OpWrite, File: "data.pages", Err: vfs.ErrInjectedIO}},
+	{"ptt-write-eio", vfs.Fault{Op: vfs.OpWrite, File: "ptt.cow", Err: vfs.ErrInjectedIO}},
+	{"any-write-enospc", vfs.Fault{Op: vfs.OpWrite, Err: vfs.ErrNoSpace}},
+	{"truncate-enospc", vfs.Fault{Op: vfs.OpTruncate, Err: vfs.ErrNoSpace}},
+	{"sync-eio", vfs.Fault{Op: vfs.OpSync, Err: vfs.ErrInjectedIO}},
+	{"sync-fsyncgate", vfs.Fault{Op: vfs.OpSync, Err: vfs.ErrInjectedIO, DropDirty: true}},
+	{"read-eio", vfs.Fault{Op: vfs.OpRead, Err: vfs.ErrInjectedIO}},
+}
+
+// walSegPrefix matches WAL segment files ("wal.log.00000001", ...) but not
+// the tiny control file, so the fault lands on record writes.
+const walSegPrefix = "wal.log."
+
+// KindByName resolves a -pkind replay coordinate.
+func KindByName(name string) (PersistKind, bool) {
+	for _, k := range PersistKinds {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return PersistKind{}, false
+}
+
+// PersistConfig selects a workload instance and one matrix cell.
+type PersistConfig struct {
+	// Seed drives the workload generator, as in Config.
+	Seed int64
+	// Fault is the sustained fault injected before Open; its StartOp and
+	// Count position the cell in the grid. A zero Op runs the baseline.
+	Fault vfs.Fault
+	// Txns is the number of transactions to attempt (default 24).
+	Txns int
+}
+
+// PersistResult is the observable outcome of one cell: what was acked, what
+// is in limbo, and how the engine behaved once the disk started failing.
+type PersistResult struct {
+	Config PersistConfig
+	FS     *vfs.SimFS
+
+	// Committed lists acknowledged transactions; recovery must preserve all
+	// of them no matter how long the fault persisted.
+	Committed []CommitRecord
+	// Pending holds the events of the (at most one) transaction whose Commit
+	// returned an error: all-or-nothing after reopen.
+	Pending []Event
+	// OpenCompleted is false when the fault prevented Open/CreateTable.
+	OpenCompleted bool
+	// Degraded records DB.Degraded() != nil at end of the writing phase.
+	Degraded bool
+	// DegradedScan and DegradedScanErr capture a live read taken WHILE the
+	// engine was degraded (reads must keep working from clean state).
+	DegradedScan    map[string]string
+	DegradedScanErr error
+	// DegradedWriteErr is the error a probing write observed while degraded;
+	// it must be ErrDegraded, delivered before any acknowledgement.
+	DegradedWriteErr error
+	// Clean is true when every transaction committed and Close succeeded
+	// (the fault cleared early, or never matched an operation).
+	Clean bool
+	// Err is the first error that cannot be explained by the injected fault
+	// — an engine bug the verifier reports verbatim.
+	Err error
+}
+
+// injected reports whether err traces back to the injected fault (directly,
+// through the WAL's failure latch, or through the engine's degradation).
+func injected(err error) bool {
+	return errors.Is(err, vfs.ErrInjectedIO) ||
+		errors.Is(err, vfs.ErrNoSpace) ||
+		errors.Is(err, vfs.ErrInjectedSync) ||
+		errors.Is(err, wal.ErrFailed) ||
+		errors.Is(err, immortaldb.ErrDegraded)
+}
+
+// RunPersist executes the deterministic workload for cfg with the cell's
+// sustained fault armed. It never calls t.Fatal itself: everything the
+// verifier needs is in the result.
+func RunPersist(cfg PersistConfig) *PersistResult {
+	if cfg.Txns == 0 {
+		cfg.Txns = 24
+	}
+	fs := vfs.NewSim(cfg.Seed)
+	if cfg.Fault.Op != "" {
+		fs.InjectFault(cfg.Fault)
+	}
+	res := &PersistResult{Config: cfg, FS: fs}
+
+	opts := options(fs)
+	clock := opts.Clock.(*itime.SimClock)
+	db, err := immortaldb.Open(dirName, opts)
+	if err != nil {
+		if !injected(err) {
+			res.Err = fmt.Errorf("open: %w", err)
+		}
+		return res
+	}
+	tbl, err := db.CreateTable(tableName, immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		if !injected(err) {
+			res.Err = fmt.Errorf("create table: %w", err)
+		}
+		db.Close()
+		return res
+	}
+	res.OpenCompleted = true
+
+	rng := rand.New(rand.NewSource(cfg.Seed*104729 + 71))
+	degraded := func() bool { return db.Degraded() != nil }
+loop:
+	for i := 0; i < cfg.Txns && !degraded(); i++ {
+		if adv := rng.Intn(3); adv > 0 {
+			clock.Advance(time.Duration(adv) * itime.TickDuration)
+		}
+		if i%6 == 5 {
+			if err := db.Checkpoint(); err != nil && !injected(err) {
+				res.Err = fmt.Errorf("checkpoint: %w", err)
+				break
+			}
+		}
+		tx, err := db.Begin(immortaldb.Serializable)
+		if err != nil {
+			res.Err = fmt.Errorf("begin: %w", err) // Begin does no I/O
+			break
+		}
+		n := 1 + rng.Intn(4)
+		var evs []Event
+		for j := 0; j < n; j++ {
+			key := fmt.Sprintf("k%02d", rng.Intn(numKeys))
+			var werr error
+			if rng.Intn(5) == 0 {
+				werr = tx.Delete(tbl, []byte(key))
+				evs = append(evs, Event{Key: key, Del: true})
+			} else {
+				val := fmt.Sprintf("v%03d.%d.%s", i, j, strings.Repeat("y", 20+rng.Intn(80)))
+				werr = tx.Set(tbl, []byte(key), []byte(val))
+				evs = append(evs, Event{Key: key, Val: val})
+			}
+			if werr != nil {
+				// The transaction never reached Commit: its events are
+				// definitely absent after reopen, whatever the fault did.
+				tx.Rollback()
+				if !injected(werr) {
+					res.Err = fmt.Errorf("txn %d write: %w", i, werr)
+					break loop
+				}
+				continue loop
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			// Not acknowledged: all-or-nothing after reopen.
+			res.Pending = evs
+			if !injected(err) {
+				res.Err = fmt.Errorf("txn %d commit: %w", i, err)
+			}
+			break
+		}
+		res.Committed = append(res.Committed, CommitRecord{TS: db.Now(), Events: evs})
+	}
+
+	res.Degraded = degraded()
+	if res.Degraded {
+		// The containment contract, probed live: reads still work, writes
+		// fail typed before any ack.
+		res.DegradedScan, res.DegradedScanErr = scanCurrent(db, tbl)
+		res.DegradedWriteErr = db.Update(func(tx *immortaldb.Tx) error {
+			return tx.Set(tbl, []byte("probe"), []byte("boom"))
+		})
+		// Close skips the final checkpoint/flush for a degraded engine; the
+		// reboot below then models the operator restart.
+		db.Close()
+		return res
+	}
+	if res.Err != nil {
+		db.Close()
+		return res
+	}
+	if err := db.Close(); err != nil && !injected(err) {
+		res.Err = fmt.Errorf("close: %w", err)
+		return res
+	}
+	res.Clean = res.Err == nil && res.Pending == nil && len(res.Committed) == cfg.Txns
+	return res
+}
+
+// VerifyPersist checks a cell's outcome: the live degraded-mode probes, then
+// — after a reboot that clears the fault, tearing unsynced sectors exactly
+// like a crash — recovery, durability of every acked commit, all-or-nothing
+// resolution of the pending one, AS OF history, and forward life.
+func VerifyPersist(res *PersistResult) error {
+	if res.Err != nil {
+		return fmt.Errorf("engine error not explained by the injected fault: %w", res.Err)
+	}
+
+	base := map[string]string{}
+	for _, c := range res.Committed {
+		apply(base, c.Events)
+	}
+	if res.Degraded {
+		if res.DegradedScanErr != nil {
+			return fmt.Errorf("reads unavailable while degraded: %w", res.DegradedScanErr)
+		}
+		if !equal(res.DegradedScan, base) {
+			return fmt.Errorf("degraded-mode read diverges from acked commits:\n%s", diff(res.DegradedScan, base))
+		}
+		if !errors.Is(res.DegradedWriteErr, immortaldb.ErrDegraded) {
+			return fmt.Errorf("write on degraded engine returned %v, want ErrDegraded", res.DegradedWriteErr)
+		}
+	}
+
+	fs := res.FS
+	fs.Crash() // whatever was never synced is now at the mercy of the reboot
+	fs.Reboot()
+
+	db, err := immortaldb.Open(dirName, options(fs))
+	if err != nil {
+		if !res.OpenCompleted && len(res.Committed) == 0 && res.Pending == nil {
+			return nil // the database never finished coming into existence
+		}
+		return fmt.Errorf("reopen after fault failed: %w", err)
+	}
+	defer db.Close()
+	tbl, err := db.Table(tableName)
+	if err != nil {
+		if len(res.Committed) == 0 {
+			return nil // CreateTable never became durable; nothing was acked
+		}
+		return fmt.Errorf("table lost despite %d acked commits: %w", len(res.Committed), err)
+	}
+
+	withPending := clone(base)
+	apply(withPending, res.Pending)
+	cur, err := scanCurrent(db, tbl)
+	if err != nil {
+		return fmt.Errorf("post-reopen scan: %w", err)
+	}
+	switch {
+	case equal(cur, base):
+	case res.Pending != nil && equal(cur, withPending):
+	default:
+		return fmt.Errorf("state after reopen matches neither acked model nor acked+pending\nvs acked:\n%svs acked+pending:\n%s",
+			diff(cur, base), diff(cur, withPending))
+	}
+
+	// History: AS OF every acked commit must replay exactly — a fault must
+	// never corrupt or lose an already-durable version chain.
+	state := map[string]string{}
+	for i, c := range res.Committed {
+		apply(state, c.Events)
+		got, err := scanAt(db, tbl, c.TS)
+		if err != nil {
+			return fmt.Errorf("AS OF commit %d (ts %v): %w", i, c.TS, err)
+		}
+		if !equal(got, state) {
+			return fmt.Errorf("AS OF commit %d (ts %v) diverges:\n%s", i, c.TS, diff(got, state))
+		}
+	}
+
+	// Forward life: the fault cleared with the reboot, so the reopened
+	// engine must accept writes and checkpoint again.
+	err = db.Update(func(tx *immortaldb.Tx) error {
+		return tx.Set(tbl, []byte("sentinel"), []byte("alive"))
+	})
+	if err != nil {
+		return fmt.Errorf("post-reopen commit: %w", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("post-reopen checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DescribePersist renders a cell with its replay command.
+func DescribePersist(res *PersistResult, kind string) string {
+	var b strings.Builder
+	f := res.Config.Fault
+	fmt.Fprintf(&b, "seed=%d kind=%s start-op=%d persist=%d acked=%d pending=%v degraded=%v clean=%v\n",
+		res.Config.Seed, kind, f.StartOp, f.Count, len(res.Committed), res.Pending != nil, res.Degraded, res.Clean)
+	fmt.Fprintf(&b, "replay: go test -run TestPersistMatrix -pseed=%d -pkind=%s -ppoint=%d -ppersist=%d\n",
+		res.Config.Seed, kind, f.StartOp, f.Count)
+	return b.String()
+}

@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"immortaldb"
 	"immortaldb/internal/obs"
 	"immortaldb/internal/sqlish"
 	"immortaldb/internal/wire"
@@ -169,7 +170,18 @@ func (c *conn) drainContinue() bool {
 	return time.Unix(0, c.srv.drainUntil.Load()).After(time.Now())
 }
 
-// writeError sends an error frame.
+// writeError sends an error frame, classified so the client knows what a
+// retry is worth: degradation is terminal until an operator intervenes,
+// shutdown conditions are transient, everything else is a statement error.
 func writeError(w io.Writer, err error) error {
-	return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+	code := wire.CodeGeneric
+	switch {
+	case errors.Is(err, immortaldb.ErrDegraded):
+		code = wire.CodeDegraded
+	case errors.Is(err, immortaldb.ErrShuttingDown),
+		errors.Is(err, immortaldb.ErrClosed),
+		errors.Is(err, immortaldb.ErrAborted):
+		code = wire.CodeRetryable
+	}
+	return wire.WriteFrame(w, wire.MsgError, wire.ErrorPayload(code, err.Error()))
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -23,7 +24,65 @@ var (
 	// ErrInjectedSync is returned by a Sync chosen for transient failure
 	// injection; durability does NOT advance.
 	ErrInjectedSync = errors.New("vfs: injected sync failure")
+	// ErrInjectedIO is the EIO-class error of a sustained fault: the
+	// operation fails and does nothing.
+	ErrInjectedIO = errors.New("vfs: injected I/O error")
+	// ErrNoSpace is the ENOSPC-class error: a write or truncate that would
+	// grow a file fails atomically, either injected or because the simulated
+	// disk's capacity is exhausted.
+	ErrNoSpace = errors.New("vfs: no space left on device")
 )
+
+// Fault operation kinds for sustained fault injection.
+const (
+	OpRead     = "read"
+	OpWrite    = "write"
+	OpSync     = "sync"
+	OpTruncate = "truncate"
+	OpRemove   = "remove"
+	OpAny      = "any"
+)
+
+// Fault is one sustained fault: starting at the StartOp-th I/O operation
+// (counting reads, writes, syncs, truncates and removes across all files),
+// every matching operation fails with Err until Count failures have been
+// delivered (Count < 0: the fault never clears). Unlike SetCrashAt, a fault
+// does not stop the machine — the engine keeps running against a disk that
+// keeps erroring, which is what the degradation policy must contain.
+type Fault struct {
+	// Op selects the operation kind ("read", "write", "sync", "truncate",
+	// "remove", or "any").
+	Op string
+	// File, when non-empty, restricts the fault to files whose name contains
+	// it as a substring.
+	File string
+	// Err is the error delivered; nil defaults to ErrInjectedIO.
+	Err error
+	// StartOp is the 1-based global I/O operation index at which the fault
+	// becomes active (0: immediately).
+	StartOp int64
+	// Count is how many matching operations fail before the fault clears
+	// (transient-then-clearing); negative means it never clears (permanent).
+	Count int64
+	// DropDirty models the "fsyncgate" kernel behaviour on a failed Sync:
+	// the dirty pages are silently dropped and marked clean, so a LATER Sync
+	// succeeds without ever persisting them. Reads still see the data (it is
+	// in the page cache); a crash loses it.
+	DropDirty bool
+}
+
+func (f *Fault) matches(op, file string) bool {
+	if f.Count == 0 {
+		return false // exhausted
+	}
+	if f.Op != OpAny && f.Op != op {
+		return false
+	}
+	if f.File != "" && !strings.Contains(file, f.File) {
+		return false
+	}
+	return true
+}
 
 // Op is one recorded mutation on the simulated disk.
 type Op struct {
@@ -61,6 +120,13 @@ type SimFS struct {
 	crashed bool
 	syncErr map[int64]bool // sync ops that fail transiently (no crash)
 
+	// Sustained fault state. ioOps counts EVERY operation (reads included),
+	// separately from the mutation counter that numbers crash points, so
+	// arming a fault never shifts the crash matrix's coordinates.
+	ioOps    int64
+	faults   []*Fault
+	capacity int64 // total bytes the disk can hold; 0 = unlimited
+
 	trace    []Op // ring buffer of recent mutations
 	traceCap int
 	traceLen int
@@ -95,11 +161,91 @@ func (fs *SimFS) InjectSyncError(n int64) {
 	fs.syncErr[n] = true
 }
 
+// InjectFault arms one sustained fault. Multiple faults may be armed; the
+// first match (in injection order) delivers its error.
+func (fs *SimFS) InjectFault(f Fault) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cp := f
+	if cp.Err == nil {
+		cp.Err = ErrInjectedIO
+	}
+	fs.faults = append(fs.faults, &cp)
+}
+
+// ClearFaults disarms all sustained faults (the fault "clears": an operator
+// replaced the disk, the full volume was expanded). Crash arming and
+// capacity are untouched.
+func (fs *SimFS) ClearFaults() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = nil
+}
+
+// SetCapacity bounds the disk's total size in bytes: any write or truncate
+// that would grow the files past it fails with ErrNoSpace, atomically.
+// Removing files (or truncating down) frees space. Zero removes the bound.
+func (fs *SimFS) SetCapacity(bytes int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.capacity = bytes
+}
+
+// FreeBytes implements FreeSpacer against the capacity model.
+func (fs *SimFS) FreeBytes() (int64, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.capacity == 0 {
+		return 0, false
+	}
+	free := fs.capacity - fs.usedLocked()
+	if free < 0 {
+		free = 0
+	}
+	return free, true
+}
+
+// usedLocked sums the volatile size of every file. Caller holds fs.mu.
+func (fs *SimFS) usedLocked() int64 {
+	var used int64
+	for _, f := range fs.files {
+		used += int64(len(f.data))
+	}
+	return used
+}
+
+// faultFor numbers one I/O operation and returns the injected error for it,
+// if a fault matches. Caller holds fs.mu.
+func (fs *SimFS) faultFor(op, file string) (*Fault, error) {
+	fs.ioOps++
+	for _, f := range fs.faults {
+		if !f.matches(op, file) {
+			continue
+		}
+		if f.StartOp > 0 && fs.ioOps < f.StartOp {
+			continue
+		}
+		if f.Count > 0 {
+			f.Count--
+		}
+		return f, f.Err
+	}
+	return nil, nil
+}
+
 // OpCount returns how many mutations have executed.
 func (fs *SimFS) OpCount() int64 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.ops
+}
+
+// IOOpCount returns how many I/O operations (reads included) have executed —
+// the coordinate system sustained faults are scheduled on.
+func (fs *SimFS) IOOpCount() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ioOps
 }
 
 // Crashed reports whether the simulated machine is down.
@@ -181,6 +327,7 @@ func (fs *SimFS) Reboot() {
 	fs.crashed = false
 	fs.crashAt = 0
 	fs.syncErr = make(map[int64]bool)
+	fs.faults = nil // the replacement hardware is healthy; capacity persists
 }
 
 // OpenFile implements FS. Opening is not a mutation and never crashes the
@@ -197,6 +344,47 @@ func (fs *SimFS) OpenFile(name string) (File, error) {
 		fs.files[name] = f
 	}
 	return f, nil
+}
+
+// List implements FS: names of existing files with the given prefix, sorted.
+func (fs *SimFS) List(prefix string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	var out []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove implements FS. Like a real unlink followed by a directory fsync,
+// removal is durable immediately; it is a numbered mutation so the crash
+// matrix can land on it.
+func (fs *SimFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if _, err := fs.faultFor(OpRemove, name); err != nil {
+		return err
+	}
+	if _, ok := fs.files[name]; !ok {
+		return nil
+	}
+	_, crash := fs.record(name, "remove", 0, 0)
+	if crash {
+		fs.crashed = true
+		return ErrCrashed
+	}
+	delete(fs.files, name)
+	return nil
 }
 
 // record numbers one mutation, traces it, and reports whether it is the
@@ -230,6 +418,9 @@ func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
 	if f.fs.crashed {
 		return 0, ErrCrashed
 	}
+	if _, err := f.fs.faultFor(OpRead, f.name); err != nil {
+		return 0, err
+	}
 	if off < 0 {
 		return 0, fmt.Errorf("vfs: negative offset %d", off)
 	}
@@ -252,8 +443,19 @@ func (f *simFile) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("vfs: negative offset %d", off)
 	}
-	_, crash := f.fs.record(f.name, "write", off, int64(len(p)))
+	// Injected and capacity failures are atomic: nothing is written, no
+	// sector goes dirty. The op is not a crash-matrix mutation (it did not
+	// mutate), so arming faults never shifts crash coordinates.
+	if _, err := f.fs.faultFor(OpWrite, f.name); err != nil {
+		return 0, err
+	}
 	end := off + int64(len(p))
+	if grow := end - int64(len(f.data)); grow > 0 && f.fs.capacity > 0 {
+		if f.fs.usedLocked()+grow > f.fs.capacity {
+			return 0, ErrNoSpace
+		}
+	}
+	_, crash := f.fs.record(f.name, "write", off, int64(len(p)))
 	if end > int64(len(f.data)) {
 		grown := make([]byte, end)
 		copy(grown, f.data)
@@ -278,6 +480,18 @@ func (f *simFile) Sync() error {
 	if f.fs.crashed {
 		return ErrCrashed
 	}
+	if flt, err := f.fs.faultFor(OpSync, f.name); err != nil {
+		if flt.DropDirty {
+			// fsyncgate: the kernel reports the failure once, drops the dirty
+			// pages, and marks them clean — the data stays readable in the
+			// page cache but will NEVER reach the platter. A later Sync
+			// "succeeds" vacuously.
+			f.dirty = make(map[int64]struct{})
+		}
+		// Without DropDirty the sectors stay dirty: durability simply did
+		// not advance.
+		return err
+	}
 	op, crash := f.fs.record(f.name, "sync", 0, 0)
 	if crash {
 		f.fs.crashed = true
@@ -299,6 +513,14 @@ func (f *simFile) Truncate(size int64) error {
 	}
 	if size < 0 {
 		return fmt.Errorf("vfs: negative size %d", size)
+	}
+	if _, err := f.fs.faultFor(OpTruncate, f.name); err != nil {
+		return err
+	}
+	if grow := size - int64(len(f.data)); grow > 0 && f.fs.capacity > 0 {
+		if f.fs.usedLocked()+grow > f.fs.capacity {
+			return ErrNoSpace
+		}
 	}
 	_, crash := f.fs.record(f.name, "truncate", size, 0)
 	if crash {

@@ -130,9 +130,13 @@ func maxKeyLen(dp *page.DataPage) int {
 	return m
 }
 
-// timeSplitLeaf performs the time split of a current data page, logging
-// after-images and (in ModeTSB) posting the history page's index entry.
-// The parent is guaranteed to have room.
+// timeSplitLeaf performs the time split of a current data page, (in ModeTSB)
+// posting the history page's index entry. The parent is guaranteed to have
+// room. Every in-memory change is applied first, then the whole set of
+// touched pages is logged as ONE structure-modification record: a torn log
+// tail keeps all of it or none of it, so recovery never sees the current
+// page shrunk without the history page (and the entry routing to it) that
+// absorbed its versions.
 func (t *Tree) timeSplitLeaf(path []pathEntry, lf *buffer.Frame, splitTS itime.Timestamp) error {
 	dp := lf.Data()
 	oldStart := dp.StartTS
@@ -146,54 +150,71 @@ func (t *Tree) timeSplitLeaf(path []pathEntry, lf *buffer.Frame, splitTS itime.T
 	}
 	t.timeSplits.Add(1)
 	obsTimeSplits.Inc()
-	hlsn, err := t.logImage(hist)
+
+	pages := []any{hist, dp}
+	var parent *buffer.Frame
+	var newRoot *page.IndexPage
+	var rc *RootChange
+	if t.cfg.Mode == ModeTSB {
+		histEntry := page.IndexEntry{
+			R: page.Rect{
+				LowKey: cloneKey(dp.LowKey), HighKey: cloneKey(dp.HighKey),
+				LowTS: oldStart, HighTS: splitTS,
+			},
+			Child: histID,
+			Leaf:  true,
+		}
+		curEntry := page.IndexEntry{
+			R: page.Rect{
+				LowKey: cloneKey(dp.LowKey), HighKey: cloneKey(dp.HighKey),
+				LowTS: splitTS, HighTS: itime.Max,
+			},
+			Child: dp.ID,
+			Leaf:  true,
+		}
+		if len(path) == 0 {
+			// Root was a leaf: grow an index root holding both regions.
+			if newRoot, err = t.buildRoot(histEntry, curEntry); err != nil {
+				return err
+			}
+			pages = append(pages, newRoot)
+			rc = &RootChange{Root: newRoot.ID}
+		} else {
+			parent = path[len(path)-1].frame
+			ip := parent.Index()
+			if !ip.ReplaceChild(dp.ID, curEntry) {
+				return fmt.Errorf("tsb: parent %d lost entry for page %d", ip.ID, dp.ID)
+			}
+			ip.Add(histEntry)
+			pages = append(pages, ip)
+		}
+	}
+	lsn, err := t.logSMO(pages, rc)
 	if err != nil {
 		return err
 	}
-	hist.LSN = hlsn
-	hf, err := t.cfg.Pool.NewPage(histID, hist, hlsn)
+	hist.LSN = lsn
+	hf, err := t.cfg.Pool.NewPage(histID, hist, lsn)
 	if err != nil {
 		return err
 	}
 	t.cfg.Pool.Release(hf)
-	clsn, err := t.logImage(dp)
-	if err != nil {
-		return err
+	dp.LSN = lsn
+	t.cfg.Pool.MarkDirty(lf, lsn)
+	switch {
+	case newRoot != nil:
+		return t.installRoot(newRoot, lsn)
+	case parent != nil:
+		parent.Index().LSN = lsn
+		t.cfg.Pool.MarkDirty(parent, lsn)
 	}
-	dp.LSN = clsn
-	t.cfg.Pool.MarkDirty(lf, clsn)
-
-	if t.cfg.Mode != ModeTSB {
-		return nil
-	}
-	histEntry := page.IndexEntry{
-		R: page.Rect{
-			LowKey: cloneKey(dp.LowKey), HighKey: cloneKey(dp.HighKey),
-			LowTS: oldStart, HighTS: splitTS,
-		},
-		Child: histID,
-		Leaf:  true,
-	}
-	curRect := page.Rect{
-		LowKey: cloneKey(dp.LowKey), HighKey: cloneKey(dp.HighKey),
-		LowTS: splitTS, HighTS: itime.Max,
-	}
-	if len(path) == 0 {
-		// Root was a leaf: grow an index root holding both regions.
-		return t.growRoot(histEntry, page.IndexEntry{R: curRect, Child: dp.ID, Leaf: true})
-	}
-	parent := path[len(path)-1]
-	ip := parent.frame.Index()
-	if !ip.ReplaceChild(dp.ID, page.IndexEntry{R: curRect, Child: dp.ID, Leaf: true}) {
-		return fmt.Errorf("tsb: parent %d lost entry for page %d", ip.ID, dp.ID)
-	}
-	ip.Add(histEntry)
-	return t.logIndex(parent.frame)
+	return nil
 }
 
-// keySplitLeaf performs the key split of a current data page, logging
-// after-images and updating the index. The parent is guaranteed to have
-// room.
+// keySplitLeaf performs the key split of a current data page and updates the
+// index. The parent is guaranteed to have room. Like timeSplitLeaf, all
+// in-memory changes happen first and the touched pages are logged as ONE
+// atomic structure-modification record.
 func (t *Tree) keySplitLeaf(path []pathEntry, lf *buffer.Frame) error {
 	dp := lf.Data()
 	rightID, err := t.cfg.Pager.Allocate()
@@ -206,35 +227,48 @@ func (t *Tree) keySplitLeaf(path []pathEntry, lf *buffer.Frame) error {
 	}
 	t.keySplits.Add(1)
 	obsKeySplits.Inc()
-	rlsn, err := t.logImage(right)
+
+	leftE := page.IndexEntry{R: t.currentRect(dp), Child: dp.ID, Leaf: true}
+	rightE := page.IndexEntry{R: t.currentRect(right), Child: rightID, Leaf: true}
+	pages := []any{right, dp}
+	var parent *buffer.Frame
+	var newRoot *page.IndexPage
+	var rc *RootChange
+	if len(path) == 0 {
+		if newRoot, err = t.buildRoot(leftE, rightE); err != nil {
+			return err
+		}
+		pages = append(pages, newRoot)
+		rc = &RootChange{Root: newRoot.ID}
+	} else {
+		parent = path[len(path)-1].frame
+		ip := parent.Index()
+		if !ip.ReplaceChild(dp.ID, leftE) {
+			return fmt.Errorf("tsb: parent %d lost entry for page %d", ip.ID, dp.ID)
+		}
+		ip.Add(rightE)
+		pages = append(pages, ip)
+	}
+	lsn, err := t.logSMO(pages, rc)
 	if err != nil {
 		return err
 	}
-	right.LSN = rlsn
-	rf, err := t.cfg.Pool.NewPage(rightID, right, rlsn)
+	right.LSN = lsn
+	rf, err := t.cfg.Pool.NewPage(rightID, right, lsn)
 	if err != nil {
 		return err
 	}
 	t.cfg.Pool.Release(rf)
-	llsn, err := t.logImage(dp)
-	if err != nil {
-		return err
+	dp.LSN = lsn
+	t.cfg.Pool.MarkDirty(lf, lsn)
+	switch {
+	case newRoot != nil:
+		return t.installRoot(newRoot, lsn)
+	case parent != nil:
+		parent.Index().LSN = lsn
+		t.cfg.Pool.MarkDirty(parent, lsn)
 	}
-	dp.LSN = llsn
-	t.cfg.Pool.MarkDirty(lf, llsn)
-
-	leftE := page.IndexEntry{R: t.currentRect(dp), Child: dp.ID, Leaf: true}
-	rightE := page.IndexEntry{R: t.currentRect(right), Child: rightID, Leaf: true}
-	if len(path) == 0 {
-		return t.growRoot(leftE, rightE)
-	}
-	parent := path[len(path)-1]
-	ip := parent.frame.Index()
-	if !ip.ReplaceChild(dp.ID, leftE) {
-		return fmt.Errorf("tsb: parent %d lost entry for page %d", ip.ID, dp.ID)
-	}
-	ip.Add(rightE)
-	return t.logIndex(parent.frame)
+	return nil
 }
 
 // currentRect is the index rectangle for a current data page. In ModeTSB the
@@ -252,12 +286,14 @@ func (t *Tree) currentRect(dp *page.DataPage) page.Rect {
 	return r
 }
 
-// growRoot replaces a root leaf (or follows a root index split) with a new
-// index root containing the two entries.
-func (t *Tree) growRoot(a, b page.IndexEntry) error {
+// buildRoot constructs (but does not install) a new index root holding the
+// two entries. The caller logs it inside its structure-modification record
+// and then installs it with installRoot — the root image, the root change,
+// and the sibling images all travel in the same atomic record.
+func (t *Tree) buildRoot(a, b page.IndexEntry) (*page.IndexPage, error) {
 	id, err := t.cfg.Pager.Allocate()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	level := uint16(1)
 	if !a.Leaf {
@@ -268,32 +304,20 @@ func (t *Tree) growRoot(a, b page.IndexEntry) error {
 	root := page.NewIndex(id, t.cfg.Pool.PageSize(), level)
 	root.Add(a)
 	root.Add(b)
-	lsn, err := t.logImage(root)
-	if err != nil {
-		return err
-	}
+	return root, nil
+}
+
+// installRoot registers a freshly logged root page with the pool and points
+// the tree at it.
+func (t *Tree) installRoot(root *page.IndexPage, lsn uint64) error {
 	root.LSN = lsn
-	f, err := t.cfg.Pool.NewPage(id, root, lsn)
+	f, err := t.cfg.Pool.NewPage(root.ID, root, lsn)
 	if err != nil {
 		return err
 	}
 	t.cfg.Pool.Release(f)
-	t.root = id
+	t.root = root.ID
 	t.rootIsLeaf = false
-	if t.cfg.Logger != nil {
-		return t.cfg.Logger.LogRootChange(id, false)
-	}
-	return nil
-}
-
-func (t *Tree) logIndex(f *buffer.Frame) error {
-	ip := f.Index()
-	lsn, err := t.logImage(ip)
-	if err != nil {
-		return err
-	}
-	ip.LSN = lsn
-	t.cfg.Pool.MarkDirty(f, lsn)
 	return nil
 }
 
@@ -434,29 +458,45 @@ func (t *Tree) splitIndex(path []pathEntry, i int) error {
 		return err
 	}
 
-	rlsn, err := t.logImage(right)
+	pages := []any{right, ip}
+	var grand *buffer.Frame
+	var newRoot *page.IndexPage
+	var rc *RootChange
+	if i == 0 {
+		if newRoot, err = t.buildRoot(leftE, rightE); err != nil {
+			return err
+		}
+		pages = append(pages, newRoot)
+		rc = &RootChange{Root: newRoot.ID}
+	} else {
+		grand = path[i-1].frame
+		gp := grand.Index()
+		if !gp.ReplaceChild(ip.ID, pickEntryFor(ip.ID, leftE, rightE)) {
+			return fmt.Errorf("tsb: grandparent %d lost entry for index page %d", gp.ID, ip.ID)
+		}
+		gp.Add(pickEntryNotFor(ip.ID, leftE, rightE))
+		pages = append(pages, gp)
+	}
+	lsn, err := t.logSMO(pages, rc)
 	if err != nil {
 		return err
 	}
-	right.LSN = rlsn
-	rf, err := t.cfg.Pool.NewPage(right.ID, right, rlsn)
+	right.LSN = lsn
+	rf, err := t.cfg.Pool.NewPage(right.ID, right, lsn)
 	if err != nil {
 		return err
 	}
 	t.cfg.Pool.Release(rf)
-	if err := t.logIndex(pe.frame); err != nil {
-		return err
+	ip.LSN = lsn
+	t.cfg.Pool.MarkDirty(pe.frame, lsn)
+	switch {
+	case newRoot != nil:
+		return t.installRoot(newRoot, lsn)
+	case grand != nil:
+		grand.Index().LSN = lsn
+		t.cfg.Pool.MarkDirty(grand, lsn)
 	}
-
-	if i == 0 {
-		return t.growRoot(leftE, rightE)
-	}
-	parent := path[i-1].frame.Index()
-	if !parent.ReplaceChild(ip.ID, pickEntryFor(ip.ID, leftE, rightE)) {
-		return fmt.Errorf("tsb: grandparent %d lost entry for index page %d", parent.ID, ip.ID)
-	}
-	parent.Add(pickEntryNotFor(ip.ID, leftE, rightE))
-	return t.logIndex(path[i-1].frame)
+	return nil
 }
 
 func pickEntryFor(id page.ID, a, b page.IndexEntry) page.IndexEntry {

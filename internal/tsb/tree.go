@@ -61,15 +61,24 @@ const DefaultThreshold = 0.70
 // ErrNoSpace reports a record too large for any page.
 var ErrNoSpace = errors.New("tsb: record larger than a page")
 
-// Logger receives structure-modification after-images for the WAL. The
-// returned LSN becomes the page's LSN. A nil Logger disables logging (unit
+// RootChange describes a tree-root move carried inside a structure-
+// modification record, made durable so recovery can find the tree.
+type RootChange struct {
+	Root   page.ID
+	IsLeaf bool
+}
+
+// Logger receives structure modifications for the WAL. The returned LSN
+// becomes every touched page's LSN. A nil Logger disables logging (unit
 // tests).
 type Logger interface {
-	// LogPageImage logs a full after-image of a modified page.
-	LogPageImage(pg any) (lsn uint64, err error)
-	// LogRootChange records that the tree root moved (made durable so
-	// recovery can find the tree).
-	LogRootChange(root page.ID, rootIsLeaf bool) error
+	// LogSMO atomically logs one structure modification: full after-images
+	// of every page it touched and, when root is non-nil, the root move.
+	// Everything must land in ONE log record — a torn log tail has to keep
+	// the whole modification or none of it, or recovery could rebuild a
+	// child page without the parent entry (or root change) that routes to
+	// the keys it absorbed.
+	LogSMO(pages []any, root *RootChange) (lsn uint64, err error)
 }
 
 // Stamper resolves transaction IDs to commit timestamps and is told how many
@@ -151,7 +160,7 @@ func Create(cfg Config) (*Tree, error) {
 	leaf := page.NewData(id, cfg.Pool.PageSize())
 	leaf.NoTail = cfg.NoTail
 	t := &Tree{cfg: cfg, root: id, rootIsLeaf: true}
-	lsn, err := t.logImage(leaf)
+	lsn, err := t.logSMO([]any{leaf}, &RootChange{Root: id, IsLeaf: true})
 	if err != nil {
 		return nil, err
 	}
@@ -161,11 +170,6 @@ func Create(cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	cfg.Pool.Release(f)
-	if cfg.Logger != nil {
-		if err := cfg.Logger.LogRootChange(id, true); err != nil {
-			return nil, err
-		}
-	}
 	return t, nil
 }
 
@@ -200,11 +204,11 @@ func (t *Tree) Snapshot() Stats {
 	}
 }
 
-func (t *Tree) logImage(pg any) (uint64, error) {
+func (t *Tree) logSMO(pages []any, root *RootChange) (uint64, error) {
 	if t.cfg.Logger == nil {
 		return 0, nil
 	}
-	return t.cfg.Logger.LogPageImage(pg)
+	return t.cfg.Logger.LogSMO(pages, root)
 }
 
 // resolve adapts the Stamper to page.Resolver.

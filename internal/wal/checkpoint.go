@@ -32,12 +32,14 @@ type Checkpoint struct {
 	LastTS  itime.Timestamp
 	// BeginLSN is the end-of-log position at the instant ActiveTxns was
 	// snapshotted — the moral equivalent of ARIES's begin_checkpoint record.
-	// The checkpoint is fuzzy: transactions keep committing, aborting, and
-	// writing between the snapshot and the checkpoint record itself, so a
-	// listed transaction's later records (its commit, its CLRs, updates past
-	// the snapshotted LastLSN) land in [BeginLSN, ckptLSN). The analysis
-	// scan must start no later than BeginLSN or it would miss them and undo
-	// a committed transaction.
+	// The checkpoint is fuzzy: transactions keep beginning, committing,
+	// aborting, and writing between the snapshot and the checkpoint record
+	// itself, so records of both listed transactions (their commits, CLRs,
+	// updates past the snapshotted LastLSN) and transactions born inside the
+	// window land in [BeginLSN, ckptLSN). The analysis scan must start no
+	// later than BeginLSN — even when ActiveTxns is empty — or it would miss
+	// them: undoing a committed transaction, losing a window-born one's
+	// updates to redo, or never undoing it at all.
 	BeginLSN LSN
 }
 
@@ -48,9 +50,14 @@ type Checkpoint struct {
 // a transaction's timestamping completed, the stamped pages are on disk.
 func (c *Checkpoint) RedoScanStart(ckptLSN LSN) LSN {
 	start := ckptLSN
-	// With active transactions in the snapshot, analysis must cover
-	// everything they logged after the snapshot was taken (see BeginLSN).
-	if len(c.ActiveTxns) > 0 && c.BeginLSN != 0 && c.BeginLSN < start {
+	// The scan must reach back to BeginLSN even when the ATT snapshot is
+	// empty: a transaction that BEGINS inside the fuzzy window appends
+	// records in [BeginLSN, ckptLSN) without being listed, and a page it
+	// dirties after the DPT snapshot appears in no DirtyPages entry either.
+	// Only the scan window covers such a transaction — starting at the
+	// checkpoint record would lose its updates to redo and hide it from
+	// analysis entirely.
+	if c.BeginLSN != 0 && c.BeginLSN < start {
 		start = c.BeginLSN
 	}
 	for _, dp := range c.DirtyPages {

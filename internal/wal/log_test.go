@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 
 	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
 )
 
 func openTemp(t *testing.T) (*Log, string) {
@@ -35,6 +36,10 @@ func sampleRecords() []*Record {
 		{Type: TypeCheckpoint, Blob: (&Checkpoint{NextTID: 5}).Marshal()},
 		{Type: TypeCatalog, Blob: []byte(`{"tables":[]}`)},
 		{Type: TypeFreePage, Page: 44},
+		{Type: TypeSMO, Images: []PageImg{
+			{Page: 7, Img: []byte{9, 8, 7}},
+			{Page: 8, Img: []byte{6, 5}},
+		}, Blob: []byte("root-move")},
 	}
 }
 
@@ -86,6 +91,9 @@ func canon(r *Record) {
 	}
 	if len(r.Blob) == 0 {
 		r.Blob = nil
+	}
+	if len(r.Images) == 0 {
+		r.Images = nil
 	}
 }
 
@@ -170,12 +178,16 @@ func TestTornTailTruncated(t *testing.T) {
 	l.NoSync = true
 	l.Append(&Record{Type: TypeAbort, TID: 1})
 	lsn2, _ := l.Append(&Record{Type: TypeCommit, TID: 2, TS: itime.Timestamp{Wall: 5}})
+	end := l.End()
 	l.Flush()
 	l.Close()
 
-	// Simulate a torn write: chop the last record in half.
-	st, _ := os.Stat(path)
-	if err := os.Truncate(path, st.Size()-5); err != nil {
+	// Simulate a torn write: chop the last record in half. Records live in
+	// the first segment file (path itself is the control file), at physical
+	// offset segHeaderLen + (lsn - start); the file extends past the data
+	// with preallocated zeros, so cut relative to the record end.
+	seg := segPath(path, 1)
+	if err := os.Truncate(seg, segHeaderLen+int64(end-FirstLSN)-5); err != nil {
 		t.Fatal(err)
 	}
 	l2, err := Open(path)
@@ -287,10 +299,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if active.RedoScanStart(500) != 90 {
 		t.Fatalf("active ATT must clamp the scan to BeginLSN, got %d", active.RedoScanStart(500))
 	}
-	// With an empty ATT the clamp is pointless and would only retard PTT GC.
+	// Even with an empty ATT the scan must reach back to the snapshot
+	// point: a transaction born inside the fuzzy window is listed in
+	// neither table, and only the scan window covers its records.
 	idle := &Checkpoint{BeginLSN: 90}
-	if idle.RedoScanStart(500) != 500 {
-		t.Fatalf("idle checkpoint must not clamp to BeginLSN, got %d", idle.RedoScanStart(500))
+	if idle.RedoScanStart(500) != 90 {
+		t.Fatalf("empty-ATT checkpoint must still clamp to BeginLSN, got %d", idle.RedoScanStart(500))
 	}
 	if _, err := UnmarshalCheckpoint([]byte{1, 2}); err == nil {
 		t.Fatal("short blob accepted")
@@ -301,7 +315,7 @@ func TestRecordEncodePropertyRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r := &Record{
-			Type:    RecType(1 + rng.Intn(8)),
+			Type:    RecType(1 + rng.Intn(9)),
 			TID:     itime.TID(rng.Uint64()),
 			PrevLSN: LSN(rng.Uint64() % 1000),
 			Table:   rng.Uint32(),
@@ -314,6 +328,10 @@ func TestRecordEncodePropertyRoundTrip(t *testing.T) {
 			Img:     randBytes(rng, rng.Intn(200)),
 			Undo:    LSN(rng.Uint64() % 1000),
 			Blob:    randBytes(rng, rng.Intn(50)),
+			Images: []PageImg{
+				{Page: page.ID(rng.Intn(100)), Img: randBytes(rng, rng.Intn(80))},
+				{Page: page.ID(rng.Intn(100)), Img: randBytes(rng, rng.Intn(80))},
+			},
 		}
 		enc := r.encode(nil)
 		got, n, err := decodeRecord(enc)

@@ -60,6 +60,14 @@ const (
 	// to be logged as well, because recovery needs to redo the timestamping
 	// should the system crash" (Section 2.2).
 	TypeStamp
+	// TypeSMO is one atomic structure modification: the full after-images of
+	// every page a split (time split, key split, index split, root growth)
+	// touched, plus the catalog snapshot when the modification moved the
+	// tree root. Packing the whole SMO into one checksummed record makes it
+	// atomic across a torn log tail: recovery either sees the complete new
+	// structure or none of it — never a leaf rewritten without the parent
+	// entry (or root change) that routes to its sibling.
+	TypeSMO
 )
 
 func (t RecType) String() string {
@@ -82,9 +90,17 @@ func (t RecType) String() string {
 		return "free-page"
 	case TypeStamp:
 		return "stamp"
+	case TypeSMO:
+		return "smo"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(t))
 	}
+}
+
+// PageImg is one page after-image inside a TypeSMO record.
+type PageImg struct {
+	Page page.ID
+	Img  []byte
 }
 
 // Record is a decoded log record. It is a flat union: which fields are
@@ -108,7 +124,8 @@ type Record struct {
 	HasTT   bool            // Commit: transaction wrote a transaction-time table
 	Img     []byte          // PageImage
 	Undo    LSN             // CLR: next record of the transaction to undo
-	Blob    []byte          // Checkpoint, Catalog
+	Blob    []byte          // Checkpoint, Catalog; SMO: catalog snapshot on root change
+	Images  []PageImg       // SMO: after-images of every touched page
 }
 
 // recHeaderLen is the fixed record prefix: totalLen(4) crc(4) type(1)
@@ -142,6 +159,12 @@ func (r *Record) payloadLen() int {
 		return 8
 	case TypeStamp:
 		return 4 + 8 + 2 + len(r.Key) + itime.EncodedLen
+	case TypeSMO:
+		n := 4 + len(r.Blob) + 4
+		for i := range r.Images {
+			n += 12 + len(r.Images[i].Img)
+		}
+		return n
 	default:
 		return 0
 	}
@@ -219,6 +242,18 @@ func (r *Record) encode(dst []byte) []byte {
 		binary.BigEndian.PutUint16(p[12:], uint16(len(r.Key)))
 		copy(p[14:], r.Key)
 		r.TS.Encode(p[14+len(r.Key):])
+	case TypeSMO:
+		binary.BigEndian.PutUint32(p[0:], uint32(len(r.Blob)))
+		copy(p[4:], r.Blob)
+		q := p[4+len(r.Blob):]
+		binary.BigEndian.PutUint32(q[0:], uint32(len(r.Images)))
+		q = q[4:]
+		for i := range r.Images {
+			binary.BigEndian.PutUint64(q[0:], uint64(r.Images[i].Page))
+			binary.BigEndian.PutUint32(q[8:], uint32(len(r.Images[i].Img)))
+			copy(q[12:], r.Images[i].Img)
+			q = q[12+len(r.Images[i].Img):]
+		}
 	}
 	binary.BigEndian.PutUint32(b[4:], crc32.Checksum(b[8:], crcTable))
 	return dst
@@ -344,6 +379,36 @@ func decodeRecord(b []byte) (*Record, int, error) {
 		}
 		r.Key = append([]byte(nil), p[14:14+klen]...)
 		r.TS = itime.DecodeTimestamp(p[14+klen:])
+	case TypeSMO:
+		if len(p) < 4 {
+			return bad()
+		}
+		bn := int(binary.BigEndian.Uint32(p[0:]))
+		if bn < 0 || len(p) < 4+bn+4 {
+			return bad()
+		}
+		if bn > 0 {
+			r.Blob = append([]byte(nil), p[4:4+bn]...)
+		}
+		q := p[4+bn:]
+		ni := int(binary.BigEndian.Uint32(q[0:]))
+		q = q[4:]
+		if ni < 0 || ni*12 > len(q) {
+			return bad()
+		}
+		r.Images = make([]PageImg, 0, ni)
+		for i := 0; i < ni; i++ {
+			if len(q) < 12 {
+				return bad()
+			}
+			id := page.ID(binary.BigEndian.Uint64(q[0:]))
+			n := int(binary.BigEndian.Uint32(q[8:]))
+			if n < 0 || len(q) < 12+n {
+				return bad()
+			}
+			r.Images = append(r.Images, PageImg{Page: id, Img: append([]byte(nil), q[12:12+n]...)})
+			q = q[12+n:]
+		}
 	default:
 		return nil, 0, fmt.Errorf("%w: unknown type %d", ErrCorruptRecord, b[8])
 	}

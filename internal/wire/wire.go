@@ -38,18 +38,36 @@ const (
 	MsgHelloOK = byte(0x81)
 	// MsgResult carries an encoded sqlish.Result (see EncodeResult).
 	MsgResult = byte(0x82)
-	// MsgError carries a server-side error string. The connection remains
-	// usable: statement errors do not poison the session.
+	// MsgError carries a one-byte error code followed by the error string
+	// (see ErrorPayload). The connection remains usable: statement errors do
+	// not poison the session.
 	MsgError = byte(0x83)
 	// MsgPong answers MsgPing.
 	MsgPong = byte(0x84)
 )
 
+// Error codes: the first byte of a MsgError payload. They tell the client
+// what a retry is worth without it having to parse error strings.
+const (
+	// CodeGeneric is a statement error (parse error, conflict, constraint):
+	// retrying the same statement would fail the same way.
+	CodeGeneric = byte(0)
+	// CodeDegraded reports the server's engine is read-only-degraded after an
+	// I/O failure. Not retryable anywhere: writes fail until an operator
+	// restarts the server (reads still work).
+	CodeDegraded = byte(1)
+	// CodeRetryable is a transient server condition — a graceful shutdown
+	// drain, a full connection table. The statement may succeed on another
+	// connection or after a backoff.
+	CodeRetryable = byte(2)
+)
+
 // Magic opens every MsgHello payload.
 const Magic = "immw"
 
-// Version is the protocol version this package speaks.
-const Version = byte(1)
+// Version is the protocol version this package speaks. Version 2 added the
+// error-code byte leading every MsgError payload.
+const Version = byte(2)
 
 // MaxFrame bounds a frame's length field — oversized frames indicate a
 // corrupt or hostile peer and kill the connection before any allocation.
@@ -112,6 +130,20 @@ func CheckHello(payload []byte) (byte, error) {
 		return v, fmt.Errorf("%w: version %d, want %d", ErrBadHandshake, v, Version)
 	}
 	return v, nil
+}
+
+// ErrorPayload builds a MsgError payload: code byte, then the message.
+func ErrorPayload(code byte, msg string) []byte {
+	return append([]byte{code}, msg...)
+}
+
+// ParseError splits a MsgError payload. An empty payload — which a v1 peer
+// could produce for an empty error string — reads as a generic error.
+func ParseError(payload []byte) (code byte, msg string) {
+	if len(payload) == 0 {
+		return CodeGeneric, "unknown server error"
+	}
+	return payload[0], string(payload[1:])
 }
 
 // AppendString appends a uvarint-length-prefixed string.

@@ -1,0 +1,307 @@
+package immortaldb_test
+
+// The error-persistence matrix: the crash matrix's sibling for disks that
+// fail WITHOUT stopping the machine. Each cell arms one sustained fault —
+// EIO on WAL segments, the page file or the timestamp table, ENOSPC on
+// writes or preallocation, failing (and lying, fsyncgate-style) fsyncs,
+// read errors — at a chosen I/O operation index, persisting for a chosen
+// number of operations or forever. The engine must contain every cell:
+// no acked commit lost, the unacked one all-or-nothing, reads served while
+// degraded, writes refused with ErrDegraded before any acknowledgement.
+//
+// A failing cell is a replayable coordinate:
+//
+//	go test -run TestPersistMatrix -pseed=<S> -pkind=<K> -ppoint=<N> -ppersist=<P>
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"immortaldb"
+	"immortaldb/internal/fault"
+	"immortaldb/internal/storage/vfs"
+)
+
+var (
+	persistSeed  = flag.Int64("pseed", 1, "persistence-matrix workload seed")
+	persistKind  = flag.String("pkind", "", "replay a single cell: fault kind name (empty = full matrix)")
+	persistPoint = flag.Int64("ppoint", 0, "replay: I/O operation index at which the fault starts")
+	persistLen   = flag.Int64("ppersist", 1, "replay: failing operations before the fault clears (-1 = never)")
+)
+
+// minPersistCells is the floor for the full grid: the matrix is only an
+// error-persistence sweep if fault kinds × start points × persistence
+// lengths actually multiply out.
+const minPersistCells = 200
+
+func runPersistCell(t *testing.T, seed int64, kind fault.PersistKind, startOp, persist int64) *fault.PersistResult {
+	t.Helper()
+	f := kind.Fault
+	f.StartOp = startOp
+	f.Count = persist
+	res := fault.RunPersist(fault.PersistConfig{Seed: seed, Fault: f})
+	if err := fault.VerifyPersist(res); err != nil {
+		t.Fatalf("%v\n%s", err, fault.DescribePersist(res, kind.Name))
+	}
+	return res
+}
+
+func TestPersistMatrix(t *testing.T) {
+	if *persistKind != "" {
+		kind, ok := fault.KindByName(*persistKind)
+		if !ok {
+			t.Fatalf("unknown -pkind %q", *persistKind)
+		}
+		runPersistCell(t, *persistSeed, kind, *persistPoint, *persistLen)
+		return
+	}
+
+	// Baseline without a fault: must run clean, and its I/O operation count
+	// calibrates where the matrix places fault start points.
+	base := fault.RunPersist(fault.PersistConfig{Seed: *persistSeed})
+	if err := fault.VerifyPersist(base); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if !base.Clean {
+		t.Fatalf("baseline workload did not finish clean: %+v", base)
+	}
+	total := base.FS.IOOpCount()
+	if total < 100 {
+		t.Fatalf("baseline generated only %d I/O ops; matrix would be vacuous", total)
+	}
+
+	starts := int64(9)
+	persists := []int64{1, 4, -1}
+	if testing.Short() {
+		starts = 3
+		persists = []int64{1, -1}
+	}
+	cells := 0
+	var degraded, clean atomic.Int64
+	for _, kind := range fault.PersistKinds {
+		kind := kind
+		for s := int64(0); s < starts; s++ {
+			// Start points sample the whole workload, open included.
+			startOp := s*total/starts + 1
+			for _, p := range persists {
+				p := p
+				cells++
+				name := fmt.Sprintf("%s/op%d/n%d", kind.Name, startOp, p)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					res := runPersistCell(t, *persistSeed, kind, startOp, p)
+					if res.Degraded {
+						degraded.Add(1)
+					}
+					if res.Clean {
+						clean.Add(1)
+					}
+				})
+			}
+		}
+	}
+	if !testing.Short() && cells < minPersistCells {
+		t.Errorf("matrix swept only %d cells, want >= %d", cells, minPersistCells)
+	}
+	// Runs after every parallel cell: the grid must actually bite. Every
+	// permanent fault that starts inside the workload should degrade the
+	// engine, and some transient ones should be survived outright.
+	t.Cleanup(func() {
+		t.Logf("persistence matrix: %d cells, %d degraded, %d clean", cells, degraded.Load(), clean.Load())
+		if d := degraded.Load(); d < int64(cells)/4 {
+			t.Errorf("only %d/%d cells degraded the engine; the faults are not biting", d, cells)
+		}
+		if clean.Load() == 0 {
+			t.Errorf("no cell survived its transient fault cleanly; persistence clearing is not exercised")
+		}
+	})
+}
+
+// openSim opens a database on fs with the small-geometry test options.
+func openSim(t *testing.T, fs *vfs.SimFS) *immortaldb.DB {
+	t.Helper()
+	db, err := immortaldb.Open("faultdb", &immortaldb.Options{
+		PageSize:       1024,
+		CacheFrames:    8,
+		FS:             fs,
+		FullPageWrites: true,
+		WALSegmentSize: 4096,
+		WALLowWater:    8192,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return db
+}
+
+func set(db *immortaldb.DB, tbl *immortaldb.Table, k, v string) error {
+	return db.Update(func(tx *immortaldb.Tx) error {
+		return tx.Set(tbl, []byte(k), []byte(v))
+	})
+}
+
+func get(t *testing.T, db *immortaldb.DB, tbl *immortaldb.Table, k string) (string, bool) {
+	t.Helper()
+	var val string
+	var ok bool
+	err := db.View(func(tx *immortaldb.Tx) error {
+		v, found, err := tx.Get(tbl, []byte(k))
+		val, ok = string(v), found
+		return err
+	})
+	if err != nil {
+		t.Fatalf("get %q: %v", k, err)
+	}
+	return val, ok
+}
+
+// TestFsyncGateNeverRetry pins the fsyncgate policy end to end: after a
+// failed WAL fsync silently drops the dirty pages (as several kernels do),
+// the engine must NOT retry the fsync, must not acknowledge the commit, must
+// degrade so every later write fails typed before any ack, and after a crash
+// and reopen the un-acked commit must be fully absent while everything acked
+// before the fault survives.
+func TestFsyncGateNeverRetry(t *testing.T) {
+	fs := vfs.NewSim(7)
+	db := openSim(t, fs)
+	tbl, err := db.CreateTable("t", immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+	if err := set(db, tbl, "a", "acked"); err != nil {
+		t.Fatalf("baseline commit: %v", err)
+	}
+
+	fs.InjectFault(vfs.Fault{
+		Op: vfs.OpSync, File: "wal.log.", Count: 1, DropDirty: true,
+	})
+	err = set(db, tbl, "b", "dropped")
+	if err == nil {
+		t.Fatal("commit acknowledged over a failed fsync")
+	}
+	if db.Degraded() == nil {
+		t.Fatal("engine not degraded after a failed WAL fsync")
+	}
+
+	// The fault has cleared (Count: 1): a retried fsync would now "succeed"
+	// without the dropped pages ever reaching disk. The engine must refuse
+	// instead of retrying and trusting it.
+	if err := set(db, tbl, "c", "after"); !errors.Is(err, immortaldb.ErrDegraded) {
+		t.Fatalf("write after failed fsync returned %v, want ErrDegraded", err)
+	}
+	if v, ok := get(t, db, tbl, "a"); !ok || v != "acked" {
+		t.Fatalf("read while degraded: a=%q,%v, want acked,true", v, ok)
+	}
+	db.Close()
+
+	fs.Crash()
+	fs.Reboot()
+	db2 := openSim(t, fs)
+	defer db2.Close()
+	tbl2, err := db2.Table("t")
+	if err != nil {
+		t.Fatalf("table after recovery: %v", err)
+	}
+	if v, ok := get(t, db2, tbl2, "a"); !ok || v != "acked" {
+		t.Fatalf("acked commit lost: a=%q,%v", v, ok)
+	}
+	if _, ok := get(t, db2, tbl2, "b"); ok {
+		t.Fatal("un-acked commit surfaced after recovery despite dropped fsync")
+	}
+	if _, ok := get(t, db2, tbl2, "c"); ok {
+		t.Fatal("write refused with ErrDegraded still reached disk")
+	}
+	if err := set(db2, tbl2, "sentinel", "alive"); err != nil {
+		t.Fatalf("recovered engine refused a commit: %v", err)
+	}
+}
+
+// TestENOSPCEscape fills a small disk with WAL until the engine degrades
+// with ENOSPC, then proves the escape hatch: reopening runs recovery plus a
+// checkpoint whose record is exempt from the low-water gate, which moves the
+// reclamation bound, truncates the dead segments, and leaves the engine
+// committing again on the very same (still small) disk.
+func TestENOSPCEscape(t *testing.T) {
+	fs := vfs.NewSim(11)
+	// The low-water mark is the escape's enabler: degradation fires while
+	// there is still headroom for reopen-time recovery (which re-stamps and
+	// so grows the PTT) plus the exempted checkpoint record.
+	openSmall := func() *immortaldb.DB {
+		db, err := immortaldb.Open("faultdb", &immortaldb.Options{
+			PageSize:       1024,
+			CacheFrames:    8,
+			FS:             fs,
+			FullPageWrites: true,
+			WALSegmentSize: 4096,
+			WALLowWater:    96 << 10,
+		})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return db
+	}
+	fs.SetCapacity(256 << 10)
+	db := openSmall()
+	tbl, err := db.CreateTable("t", immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+
+	// Overwrite a small key set so the page file stays put while the WAL
+	// grows without bound (no checkpoints here, so nothing is reclaimed).
+	acked := map[string]string{}
+	var commitErr error
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("k%02d", i%12)
+		v := fmt.Sprintf("v%06d", i)
+		if commitErr = set(db, tbl, k, v); commitErr != nil {
+			break
+		}
+		acked[k] = v
+	}
+	if commitErr == nil {
+		t.Fatal("disk never filled; capacity too large for the workload")
+	}
+	if !errors.Is(commitErr, vfs.ErrNoSpace) {
+		t.Fatalf("fill-phase commit failed with %v, want ENOSPC", commitErr)
+	}
+	if db.Degraded() == nil {
+		t.Fatal("engine not degraded after ENOSPC")
+	}
+	if err := set(db, tbl, "probe", "x"); !errors.Is(err, immortaldb.ErrDegraded) {
+		t.Fatalf("write on full disk returned %v, want ErrDegraded", err)
+	}
+	segsBefore := db.Stats().WALSegments
+	db.Close()
+
+	// Same disk, same capacity: reopening must recover, checkpoint, truncate
+	// the dead segments, and accept new commits.
+	db2 := openSmall()
+	defer db2.Close()
+	if err := db2.Degraded(); err != nil {
+		t.Fatalf("reopened engine still degraded: %v", err)
+	}
+	if segsAfter := db2.Stats().WALSegments; segsAfter >= segsBefore {
+		t.Fatalf("truncation freed nothing: %d segments before close, %d after reopen", segsBefore, segsAfter)
+	}
+	tbl2, err := db2.Table("t")
+	if err != nil {
+		t.Fatalf("table after recovery: %v", err)
+	}
+	for k, v := range acked {
+		if got, ok := get(t, db2, tbl2, k); !ok || got != v {
+			t.Fatalf("acked commit lost across ENOSPC: %s=%q,%v want %q", k, got, ok, v)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := set(db2, tbl2, fmt.Sprintf("k%02d", i%12), fmt.Sprintf("post%03d", i)); err != nil {
+			t.Fatalf("commit %d after escape failed: %v", i, err)
+		}
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after escape: %v", err)
+	}
+}

@@ -86,6 +86,19 @@ func (db *DB) recover() error {
 		return t, nil
 	}
 
+	reloadCatalog := func(blob []byte) error {
+		if err := db.cat.Load(blob); err != nil {
+			return err
+		}
+		// Root pointers may have moved; reposition already-open trees.
+		for id, t := range redoTrees {
+			if meta, ok := db.cat.ByID(id); ok {
+				t.SetRoot(meta.Root, meta.RootIsLeaf)
+			}
+		}
+		return nil
+	}
+
 	err := db.log.Scan(redoStart, func(rec *wal.Record) error {
 		if rec.TID != 0 {
 			att[rec.TID] = rec.LSN
@@ -93,18 +106,27 @@ func (db *DB) recover() error {
 		}
 		switch rec.Type {
 		case wal.TypePageImage:
-			if err := db.redoPageImage(rec); err != nil {
+			if err := db.redoImage(rec.Page, rec.Img, rec.LSN); err != nil {
 				return err
+			}
+		case wal.TypeSMO:
+			// Every image of one structure modification shares this record —
+			// and its LSN — so a torn tail replays the whole split or none
+			// of it, never a shrunk leaf without the sibling and parent (or
+			// root change) that route to its moved keys.
+			for i := range rec.Images {
+				if err := db.redoImage(rec.Images[i].Page, rec.Images[i].Img, rec.LSN); err != nil {
+					return err
+				}
+			}
+			if len(rec.Blob) > 0 {
+				if err := reloadCatalog(rec.Blob); err != nil {
+					return err
+				}
 			}
 		case wal.TypeCatalog:
-			if err := db.cat.Load(rec.Blob); err != nil {
+			if err := reloadCatalog(rec.Blob); err != nil {
 				return err
-			}
-			// Root pointers may have moved; reposition already-open trees.
-			for id, t := range redoTrees {
-				if meta, ok := db.cat.ByID(id); ok {
-					t.SetRoot(meta.Root, meta.RootIsLeaf)
-				}
 			}
 		case wal.TypeInsertVersion:
 			meta, ok := db.cat.ByID(rec.Table)
@@ -188,34 +210,34 @@ func (db *DB) recover() error {
 	return db.log.Flush()
 }
 
-// redoPageImage installs a logged page after-image if the on-disk page has
-// not yet seen it. Pages allocated after the last durable allocator state
-// are re-extended first.
-func (db *DB) redoPageImage(rec *wal.Record) error {
+// redoImage installs a logged page after-image if the on-disk page has not
+// yet seen it. Pages allocated after the last durable allocator state are
+// re-extended first.
+func (db *DB) redoImage(id page.ID, image []byte, lsn wal.LSN) error {
 	// Make the page addressable: allocations lost in the crash re-extend the
 	// file here.
-	for page.ID(db.pager.NumPages()) <= rec.Page {
+	for page.ID(db.pager.NumPages()) <= id {
 		if _, err := db.pager.Allocate(); err != nil {
 			return err
 		}
 	}
 	// Compare LSNs. A page that never reached disk (or is torn) just takes
 	// the image.
-	cur, err := db.pager.ReadPage(rec.Page)
+	cur, err := db.pager.ReadPage(id)
 	if err == nil {
-		if lsn, ok := imageLSN(cur); ok && lsn >= uint64(rec.LSN) {
+		if cl, ok := imageLSN(cur); ok && cl >= uint64(lsn) {
 			return nil
 		}
 	} else if !errors.Is(err, disk.ErrChecksum) && !errors.Is(err, disk.ErrOutOfFile) {
 		return err
 	}
 	// Drop any stale cached copy, then write the image through.
-	if err := db.pool.Drop(rec.Page); err != nil {
+	if err := db.pool.Drop(id); err != nil {
 		return err
 	}
 	img := make([]byte, db.pager.PageSize())
-	copy(img, rec.Img)
-	return db.pager.WritePage(rec.Page, img)
+	copy(img, image)
+	return db.pager.WritePage(id, img)
 }
 
 // imageLSN extracts the page LSN from a raw page image.

@@ -65,6 +65,10 @@ type Tx struct {
 	// lastLSN is the transaction's most recent log record (head of its undo
 	// chain); atomic because checkpoints read it from another goroutine.
 	lastLSN atomic.Uint64
+	// firstLSN is the transaction's oldest log record — the end of its undo
+	// chain, and therefore the oldest record WAL segment truncation must
+	// retain while the transaction is live. Zero until the first append.
+	firstLSN atomic.Uint64
 	// logMu makes a log append and the lastLSN advance one step as seen by a
 	// checkpoint's ATT snapshot: a record the snapshot's LastLSN does not
 	// cover is guaranteed an LSN at or past the checkpoint's BeginLSN, so
@@ -219,6 +223,9 @@ func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
 		return err
 	}
 	defer tx.db.opExit()
+	if err := tx.db.Degraded(); err != nil {
+		return err
+	}
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
@@ -290,6 +297,7 @@ func (tx *Tx) write(t *Table, key, value []byte, del bool) error {
 		return tx.appendChained(rec)
 	})
 	if err != nil {
+		db.degradeIf(err)
 		return err
 	}
 	// Stage II: count the version against the transaction — overwrites did
@@ -314,7 +322,11 @@ func (tx *Tx) appendChained(rec *wal.Record) (uint64, error) {
 	defer tx.logMu.Unlock()
 	lsn, err := tx.db.log.Append(rec)
 	if err != nil {
+		tx.db.degradeIf(err)
 		return 0, err
+	}
+	if tx.firstLSN.Load() == 0 {
+		tx.firstLSN.Store(uint64(lsn))
 	}
 	tx.lastLSN.Store(uint64(lsn))
 	return uint64(lsn), nil
@@ -544,6 +556,13 @@ func (tx *Tx) Commit() error {
 		db.stamp.Abort(tx.id) // drop the VTT entry
 		return nil
 	}
+	if err := db.Degraded(); err != nil {
+		// Fail before any timestamp or log work: a degraded engine must never
+		// acknowledge a commit. The updates already logged have no terminal
+		// record, so recovery at the next open undoes them.
+		db.stamp.Abort(tx.id)
+		return err
+	}
 	defer obsCommitLat.ObserveSince(obs.Now())
 	span := obs.NewRootSpan("tx.commit")
 	defer span.End()
@@ -564,6 +583,7 @@ func (tx *Tx) Commit() error {
 		// Eager mode: revisit and stamp everything before commit completes.
 		// No TID-to-timestamp mapping needs to outlive the transaction.
 		if err := tx.eagerStamp(ts); err != nil {
+			db.degradeIf(err)
 			db.commitMu.Unlock()
 			pubSpan.End()
 			return err
@@ -584,7 +604,9 @@ func (tx *Tx) Commit() error {
 	})
 	if err != nil {
 		// Nothing was published: the VTT entry is still active, exactly as
-		// if Commit had not been called.
+		// if Commit had not been called. An append can only fail on an I/O
+		// fault (segment rotation out of space, a latched log) — degrade.
+		db.degradeIf(err)
 		db.commitMu.Unlock()
 		pubSpan.End()
 		return err
@@ -606,8 +628,15 @@ func (tx *Tx) Commit() error {
 			last := wal.LSN(tx.lastLSN.Load())
 			if uerr := db.undoTx(tx.id, last); uerr == nil {
 				db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tx.id, PrevLSN: last})
+			} else {
+				// The commit record is in the log and its neutralization
+				// failed: if it reaches disk, recovery will replay a commit
+				// the engine never acknowledged. Nothing written from here on
+				// may be trusted.
+				db.degrade(uerr)
 			}
 			db.stamp.Abort(tx.id)
+			db.degradeIf(serr)
 			db.commitMu.Unlock()
 			pubSpan.End()
 			return serr
@@ -634,11 +663,18 @@ func (tx *Tx) Commit() error {
 				err = fmt.Errorf("%w (timestamp withdraw: %v)", err, uerr)
 			}
 		}
+		// The fsyncgate rule: a failed sync may have silently dropped dirty
+		// kernel buffers, so the commit record's fate is unknowable in-process
+		// — the log has latched itself failed, and the engine degrades. The
+		// commit is settled (present or absent, never half) by reopening.
+		db.degradeIf(err)
 		return err
 	}
 	tx.commitTS = ts
 	if db.opts.PTTSyncEveryCommit {
 		if err := db.stamp.SyncPTT(); err != nil {
+			// The commit itself is durable; only the PTT hardening failed.
+			db.degradeIf(err)
 			return err
 		}
 	}
@@ -713,6 +749,12 @@ func (tx *Tx) Rollback() error {
 	defer db.commitMu.Unlock()
 	last := wal.LSN(tx.lastLSN.Load())
 	if err := db.undoTx(tx.id, last); err != nil {
+		// Compensation hit an I/O fault mid-chain: the log holds a partial
+		// rollback and the transaction has no terminal record. Degrade; the
+		// locks still release (finish above), the uncommitted versions stay
+		// invisible, and recovery finishes the undo at the next open.
+		db.degradeIf(err)
+		db.stamp.Abort(tx.id)
 		return err
 	}
 	// Every update is compensated in the log; even if the abort record below
