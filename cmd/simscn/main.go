@@ -1,0 +1,99 @@
+// Command simscn runs the deterministic simulation scenario suite: whole
+// client/server clusters in one process, over a seeded in-memory network on
+// a virtual timeline, with scripted partitions, drops and mid-frame kills.
+// A run is reproduced bit-for-bit by its (scenario, seed) pair.
+//
+// Usage:
+//
+//	simscn -list
+//	simscn [-scenario all] [-seed 1] [-verify] [-out report.json]
+//
+// With -verify each run executes twice and the trace hashes must match
+// (the determinism contract). Exit status 1 on any oracle violation or
+// hash mismatch; the failing run's repro command is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"immortaldb/internal/repro"
+	"immortaldb/internal/sim"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "all", "scenario name, or 'all' for the suite")
+		seeds    = flag.String("seed", "1", "comma-separated list of seeds")
+		verify   = flag.Bool("verify", false, "run each scenario twice and compare trace hashes")
+		out      = flag.String("out", "", "write a JSON report (the CI artifact) to this file")
+		list     = flag.Bool("list", false, "list predefined scenarios")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range sim.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var seedList []int64
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simscn: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		seedList = append(seedList, v)
+	}
+
+	var (
+		reports []*repro.ScenarioReport
+		pass    = true
+		err     error
+	)
+	if *scenario == "all" {
+		reports, pass, err = repro.ScenarioSuite(seedList, *verify, os.Stdout)
+	} else {
+		for _, seed := range seedList {
+			var rep *repro.ScenarioReport
+			rep, err = repro.RunScenario(*scenario, seed, *verify)
+			if err != nil {
+				break
+			}
+			reports = append(reports, rep)
+			fmt.Printf("%s seed=%d ops=%d errs=%d events=%d hash=%s\n",
+				rep.Scenario, rep.Seed, rep.Ops, rep.Errors, rep.Events, rep.Hash)
+			for _, v := range rep.Violations {
+				fmt.Printf("  violation: %s\n", v)
+			}
+			if rep.Failed() {
+				pass = false
+				fmt.Printf("  repro: %s\n", rep.ReproLine())
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simscn: %v\n", err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "simscn: %v\n", ferr)
+			os.Exit(2)
+		}
+		if werr := repro.WriteScenarioReports(f, reports); werr != nil {
+			fmt.Fprintf(os.Stderr, "simscn: %v\n", werr)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+	if !pass {
+		os.Exit(1)
+	}
+}

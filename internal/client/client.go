@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"immortaldb/internal/itime"
 	"immortaldb/internal/sqlish"
 	"immortaldb/internal/wire"
 )
@@ -45,8 +46,22 @@ type Options struct {
 	// RetryBudget caps the total wall-clock time one operation may spend
 	// across its attempt and all retries, enforced as a context deadline
 	// (default 10s; a tighter caller deadline wins). It bounds worst-case
-	// latency no matter how the retry schedule plays out.
+	// latency no matter how the retry schedule plays out. Always real time:
+	// it is the caller's patience, not the network's.
 	RetryBudget time.Duration
+	// Dialer overrides how connections are made (default: TCP to the pool
+	// address). The simulation harness injects its in-memory network here.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Timeline supplies the clock for connection deadlines and retry
+	// backoff (default: the real clock). Under a virtual timeline, backoffs
+	// and timeouts elapse in virtual time, so seeded scenarios replay the
+	// same schedule wall-clock-fast.
+	Timeline itime.Timeline
+	// OpTimeout bounds one request/response round trip (default: none —
+	// only the caller's context deadline applies). The tighter of it and
+	// the context deadline wins. Measured on Timeline; it is what turns a
+	// black-holed connection into a timely error in simulation.
+	OpTimeout time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -70,6 +85,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.RetryBudget <= 0 {
 		out.RetryBudget = 10 * time.Second
+	}
+	if out.Timeline == nil {
+		out.Timeline = itime.Real()
 	}
 	return out
 }
@@ -100,6 +118,7 @@ func (e *RemoteError) Retryable() bool { return e.Code == wire.CodeRetryable }
 type DB struct {
 	addr string
 	opts Options
+	tl   itime.Timeline
 
 	// slots is a counting semaphore over connection capacity; holders may
 	// take an idle connection or dial a fresh one.
@@ -113,6 +132,7 @@ type DB struct {
 // Open validates the address by dialing (with retry) and returns a pool.
 func Open(addr string, opts *Options) (*DB, error) {
 	d := &DB{addr: addr, opts: opts.withDefaults()}
+	d.tl = d.opts.Timeline
 	d.slots = make(chan struct{}, d.opts.MaxConns)
 	for i := 0; i < d.opts.MaxConns; i++ {
 		d.slots <- struct{}{}
@@ -132,16 +152,16 @@ func (d *DB) dial(ctx context.Context) (*wconn, error) {
 	var lastErr error
 	for attempt := 0; attempt <= d.opts.DialRetries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, jitterBackoff(d.opts.RetryBackoff, attempt-1)); err != nil {
+			if err := d.tl.Sleep(ctx, jitterBackoff(d.opts.RetryBackoff, attempt-1)); err != nil {
 				return nil, err
 			}
 		}
-		nc, err := (&net.Dialer{Timeout: d.opts.DialTimeout}).DialContext(ctx, "tcp", d.addr)
+		nc, err := d.dialConn(ctx)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		c := &wconn{nc: nc, br: bufio.NewReader(nc)}
+		c := &wconn{nc: nc, br: bufio.NewReader(nc), tl: d.tl, opTimeout: d.opts.OpTimeout}
 		if err := c.handshake(ctx, d.opts.DialTimeout); err != nil {
 			nc.Close()
 			lastErr = err
@@ -150,6 +170,14 @@ func (d *DB) dial(ctx context.Context) (*wconn, error) {
 		return c, nil
 	}
 	return nil, fmt.Errorf("client: dial %s: %w", d.addr, lastErr)
+}
+
+// dialConn makes one raw connection via the configured dialer.
+func (d *DB) dialConn(ctx context.Context) (net.Conn, error) {
+	if d.opts.Dialer != nil {
+		return d.opts.Dialer(ctx, d.addr)
+	}
+	return (&net.Dialer{Timeout: d.opts.DialTimeout}).DialContext(ctx, "tcp", d.addr)
 }
 
 // jitterBackoff is the delay before retry attempt (0-based): exponential,
@@ -161,18 +189,6 @@ func jitterBackoff(base time.Duration, attempt int) time.Duration {
 		d = 2 * time.Second
 	}
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-}
-
-// sleepCtx sleeps, honoring context cancellation.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // acquire takes a capacity slot and returns a connection: an idle one if
@@ -254,7 +270,7 @@ func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
 	// server cannot succeed until an operator restarts it, and hammering it
 	// with retries would only mask the page.
 	for attempt := 0; err != nil && isRetryable(err) && attempt <= d.opts.DialRetries; attempt++ {
-		if sleepCtx(ctx, jitterBackoff(d.opts.RetryBackoff, attempt)) != nil {
+		if d.tl.Sleep(ctx, jitterBackoff(d.opts.RetryBackoff, attempt)) != nil {
 			break
 		}
 		if c.broken {
@@ -426,8 +442,10 @@ func (t *Tx) end(clean bool) {
 
 // wconn is one wire connection.
 type wconn struct {
-	nc net.Conn
-	br *bufio.Reader
+	nc        net.Conn
+	br        *bufio.Reader
+	tl        itime.Timeline
+	opTimeout time.Duration
 	// broken marks the connection unusable (I/O error, protocol error).
 	broken bool
 }
@@ -453,18 +471,22 @@ func (c *wconn) handshake(ctx context.Context, timeout time.Duration) error {
 	}
 }
 
-// applyDeadline sets the connection deadline from ctx, with fallback when
-// ctx carries none.
-func (c *wconn) applyDeadline(ctx context.Context, fallback time.Duration) {
+// applyDeadline sets the connection deadline to the tighter of the context
+// deadline and opTimeout (zero opTimeout: context only; neither: none). A
+// context deadline (real time) is translated onto the connection's timeline
+// by its remaining duration, so it works unchanged over a virtual-time
+// network.
+func (c *wconn) applyDeadline(ctx context.Context, opTimeout time.Duration) {
+	var dl time.Time
 	if d, ok := ctx.Deadline(); ok {
-		c.nc.SetDeadline(d)
-		return
+		dl = c.tl.Now().Add(time.Until(d))
 	}
-	if fallback > 0 {
-		c.nc.SetDeadline(time.Now().Add(fallback))
-	} else {
-		c.nc.SetDeadline(time.Time{})
+	if opTimeout > 0 {
+		if op := c.tl.Now().Add(opTimeout); dl.IsZero() || op.Before(dl) {
+			dl = op
+		}
 	}
+	c.nc.SetDeadline(dl) // the zero time clears the deadline
 }
 
 // exec runs one round trip. Context deadlines map to connection deadlines;
@@ -490,7 +512,7 @@ func (c *wconn) roundTrip(ctx context.Context, reqType byte, payload []byte, wan
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.applyDeadline(ctx, 0)
+	c.applyDeadline(ctx, c.opTimeout)
 	if err := wire.WriteFrame(c.nc, reqType, payload); err != nil {
 		c.broken = true
 		return nil, err

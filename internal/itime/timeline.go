@@ -1,0 +1,246 @@
+package itime
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+)
+
+// Timeline is the engine's notion of flowing time: it extends Clock (wall
+// ticks for commit timestamps) with the operations the serving layer needs —
+// reading a time.Time for deadlines, sleeping, and scheduling callbacks. The
+// real implementation delegates to the time package; SimTimeline is a virtual
+// timeline that advances only when told to, so whole client/server clusters
+// can run wall-clock-fast under the deterministic simulation harness while
+// commit timestamps, idle deadlines and retry backoffs all draw from the
+// same clock.
+type Timeline interface {
+	Clock
+	// Now returns the current time. On a simulated timeline this is virtual
+	// time; values from Now are only comparable to other values from the
+	// same timeline.
+	Now() time.Time
+	// Sleep blocks for d, honoring ctx cancellation.
+	Sleep(ctx context.Context, d time.Duration) error
+	// AfterFunc schedules f to run once d has elapsed, in its own goroutine.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle to a scheduled AfterFunc callback.
+type Timer interface {
+	// Stop cancels the callback, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Real returns the process-wide real timeline, backed by the OS clock.
+func Real() Timeline { return realSingleton }
+
+var realSingleton = &realTimeline{}
+
+type realTimeline struct{ wall WallClock }
+
+func (r *realTimeline) NowTick() int64 { return r.wall.NowTick() }
+func (r *realTimeline) Now() time.Time { return time.Now() }
+
+func (r *realTimeline) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *realTimeline) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+// SimTimeline is a deterministic virtual timeline. Time stands still except
+// when Advance moves it (or the pump started by StartPump does); callbacks
+// scheduled with AfterFunc fire, in deadline order, as the clock passes
+// them. It implements Clock, so one SimTimeline can drive the engine's
+// commit timestamps, the server's idle and request deadlines, the client's
+// retry backoff, and the simulated network's latency all at once.
+type SimTimeline struct {
+	mu      sync.Mutex
+	now     int64 // virtual nanoseconds since the Unix epoch
+	seq     int64 // tiebreak so same-deadline waiters fire in creation order
+	waiters waiterHeap
+}
+
+// NewSimTimeline returns a timeline positioned at start.
+func NewSimTimeline(start time.Time) *SimTimeline {
+	return &SimTimeline{now: start.UnixNano()}
+}
+
+// NowTick implements Clock: virtual time in TickDuration units.
+func (s *SimTimeline) NowTick() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now / int64(TickDuration)
+}
+
+// Now returns the current virtual time.
+func (s *SimTimeline) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Unix(0, s.now).UTC()
+}
+
+// Sleep blocks until the virtual clock has advanced by d (or ctx is done).
+// Something else must advance the clock — Advance or the pump — or Sleep
+// waits forever.
+func (s *SimTimeline) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	ch := make(chan struct{})
+	t := s.AfterFunc(d, func() { close(ch) })
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
+}
+
+// AfterFunc schedules f once the virtual clock passes now+d. Non-positive d
+// runs f immediately in its own goroutine, like time.AfterFunc.
+func (s *SimTimeline) AfterFunc(d time.Duration, f func()) Timer {
+	if d <= 0 {
+		go f()
+		return (*simWaiter)(nil)
+	}
+	s.mu.Lock()
+	s.seq++
+	w := &simWaiter{tl: s, at: s.now + int64(d), seq: s.seq, f: f}
+	heap.Push(&s.waiters, w)
+	s.mu.Unlock()
+	return w
+}
+
+// Advance moves virtual time forward by d, firing every callback whose
+// deadline it passes, in deadline order. Callbacks run on the calling
+// goroutine with the timeline unlocked, so they may schedule further
+// callbacks (which fire in this same Advance if they land within it).
+func (s *SimTimeline) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	target := s.now + int64(d)
+	for {
+		w := s.waiters.peek()
+		if w == nil || w.at > target {
+			break
+		}
+		heap.Pop(&s.waiters)
+		if w.stopped {
+			continue
+		}
+		if w.at > s.now {
+			s.now = w.at
+		}
+		w.fired = true
+		s.mu.Unlock()
+		w.f()
+		s.mu.Lock()
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// StartPump starts a goroutine that advances virtual time by step every poll
+// of real time, turning the timeline into a fast-forwarded clock (speedup =
+// step/poll). The returned function stops it. The pump's real-time cadence
+// is not deterministic — simulations must therefore keep their semantics
+// insensitive to how far virtual time drifts between events (deadlines far
+// larger than any virtual interval a single operation spans), which the
+// scenario harness does.
+func (s *SimTimeline) StartPump(poll, step time.Duration) (stop func()) {
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	if step <= 0 {
+		step = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			time.Sleep(poll)
+			s.Advance(step)
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// simWaiter is one scheduled callback on a SimTimeline's heap. Its fields
+// are guarded by tl.mu.
+type simWaiter struct {
+	tl      *SimTimeline
+	at      int64
+	seq     int64
+	f       func()
+	stopped bool
+	fired   bool
+}
+
+// Stop implements Timer. A nil receiver (the immediate-fire case) reports
+// not-pending. A Stop racing the fire may lose, as with time.Timer.
+func (w *simWaiter) Stop() bool {
+	if w == nil {
+		return false
+	}
+	w.tl.mu.Lock()
+	defer w.tl.mu.Unlock()
+	if w.fired || w.stopped {
+		return false
+	}
+	w.stopped = true
+	return true
+}
+
+// waiterHeap is a min-heap on (at, seq).
+type waiterHeap []*simWaiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(*simWaiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+func (h waiterHeap) peek() *simWaiter {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}

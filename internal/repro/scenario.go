@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"immortaldb/internal/sim"
+)
+
+// ScenarioReport is one simulation-scenario run plus everything needed to
+// replay it: the scenario name and seed are the complete repro parameters —
+// the harness is deterministic, so they reproduce the run bit-for-bit.
+type ScenarioReport struct {
+	Scenario   string   `json:"scenario"`
+	Seed       int64    `json:"seed"`
+	Hash       string   `json:"hash"`
+	Hash2      string   `json:"hash2,omitempty"`
+	Events     int      `json:"events"`
+	Ops        int      `json:"ops"`
+	Errors     int      `json:"errors"`
+	Violations []string `json:"violations,omitempty"`
+	// Deterministic is set when the run was executed twice and the trace
+	// hashes compared.
+	Deterministic *bool `json:"deterministic,omitempty"`
+}
+
+// Failed reports whether the run violated an oracle or the determinism
+// contract.
+func (r *ScenarioReport) Failed() bool {
+	return len(r.Violations) > 0 || (r.Deterministic != nil && !*r.Deterministic)
+}
+
+// ReproLine is the command that replays this run.
+func (r *ScenarioReport) ReproLine() string {
+	return fmt.Sprintf("go run ./cmd/simscn -scenario %s -seed %d", r.Scenario, r.Seed)
+}
+
+// RunScenario executes one predefined scenario under one seed. With verify
+// set, it runs twice and records whether the trace hashes matched.
+func RunScenario(name string, seed int64, verify bool) (*ScenarioReport, error) {
+	sc, ok := sim.Predefined(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown scenario %q (have %v)", name, sim.ScenarioNames())
+	}
+	res, err := sim.Run(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ScenarioReport{
+		Scenario:   name,
+		Seed:       seed,
+		Hash:       res.Hash,
+		Events:     res.Events,
+		Ops:        res.Ops,
+		Errors:     res.Errors,
+		Violations: res.Violations,
+	}
+	if verify {
+		res2, err := sim.Run(sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Hash2 = res2.Hash
+		det := res2.Hash == res.Hash
+		rep.Deterministic = &det
+	}
+	return rep, nil
+}
+
+// ScenarioSuite runs every predefined scenario under every seed, streaming
+// one report line per run to w. It returns the reports and whether all runs
+// passed.
+func ScenarioSuite(seeds []int64, verify bool, w io.Writer) ([]*ScenarioReport, bool, error) {
+	var reports []*ScenarioReport
+	pass := true
+	for _, seed := range seeds {
+		for _, name := range sim.ScenarioNames() {
+			rep, err := RunScenario(name, seed, verify)
+			if err != nil {
+				return reports, false, err
+			}
+			reports = append(reports, rep)
+			status := "ok"
+			if rep.Failed() {
+				status = "FAIL"
+				pass = false
+			}
+			fmt.Fprintf(w, "%-10s seed=%-12d %s  ops=%d errs=%d events=%d hash=%s\n",
+				rep.Scenario, rep.Seed, status, rep.Ops, rep.Errors, rep.Events, rep.Hash[:16])
+			for _, v := range rep.Violations {
+				fmt.Fprintf(w, "  violation: %s\n", v)
+			}
+			if rep.Deterministic != nil && !*rep.Deterministic {
+				fmt.Fprintf(w, "  nondeterministic: %s vs %s\n", rep.Hash, rep.Hash2)
+			}
+			if rep.Failed() {
+				fmt.Fprintf(w, "  repro: %s\n", rep.ReproLine())
+			}
+		}
+	}
+	return reports, pass, nil
+}
+
+// WriteScenarioReports writes reports as JSON (the CI artifact format).
+func WriteScenarioReports(w io.Writer, reports []*ScenarioReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

@@ -26,7 +26,7 @@ type conn struct {
 // loop observes the drain. Safe concurrently with the handler: deadlines on
 // a net.Conn may be set from any goroutine.
 func (c *conn) wakeForDrain() {
-	c.nc.SetReadDeadline(time.Now())
+	c.nc.SetReadDeadline(c.srv.now())
 }
 
 // serve runs the connection until EOF, error, idle timeout or shutdown. A
@@ -71,12 +71,12 @@ func (c *conn) serve() {
 		// A request has started: its frame must arrive, and its response be
 		// written, each within one request timeout. Execution in between is
 		// bounded by the engine's lock timeout rather than preempted.
-		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+		c.nc.SetReadDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {
 			return
 		}
-		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+		c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
 		switch typ {
 		case wire.MsgPing:
 			pingStart := obs.Now()
@@ -91,7 +91,7 @@ func (c *conn) serve() {
 			span := obs.NewRootSpan("server.exec")
 			res, err := c.sess.Exec(string(payload))
 			span.End()
-			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+			c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
 			if err != nil {
 				c.srv.errCount.Add(1)
 				obsExecLat.ObserveSince(execStart)
@@ -123,7 +123,7 @@ func (c *conn) serve() {
 
 // handshake validates the client hello within one request timeout.
 func (c *conn) handshake(br *bufio.Reader) bool {
-	c.nc.SetDeadline(time.Now().Add(c.srv.cfg.RequestTimeout))
+	c.nc.SetDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
 	typ, payload, err := wire.ReadFrame(br)
 	if err != nil || typ != wire.MsgHello {
 		return false
@@ -143,13 +143,13 @@ func (c *conn) handshake(br *bufio.Reader) bool {
 // clipped during a drain to the shutdown deadline. It returns false when
 // the drain deadline has already passed and the connection must close.
 func (c *conn) armReadDeadline() bool {
-	deadline := time.Now().Add(c.srv.cfg.IdleTimeout)
+	deadline := c.srv.now().Add(c.srv.cfg.IdleTimeout)
 	if c.srv.isDraining() {
 		if !c.sess.InTransaction() {
 			return false
 		}
 		until := time.Unix(0, c.srv.drainUntil.Load())
-		if !until.After(time.Now()) {
+		if !until.After(c.srv.now()) {
 			return false
 		}
 		if until.Before(deadline) {
@@ -167,7 +167,7 @@ func (c *conn) drainContinue() bool {
 	if !c.srv.isDraining() || !c.sess.InTransaction() {
 		return false
 	}
-	return time.Unix(0, c.srv.drainUntil.Load()).After(time.Now())
+	return time.Unix(0, c.srv.drainUntil.Load()).After(c.srv.now())
 }
 
 // writeError sends an error frame, classified so the client knows what a

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/itime"
 	"immortaldb/internal/obs"
 )
 
@@ -49,6 +50,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logf, when set, receives server diagnostics (accept errors, panics).
 	Logf func(format string, args ...any)
+	// Clock is the timeline idle and request deadlines and the drain window
+	// are measured on (default: the real clock). The simulation harness
+	// injects a virtual timeline here so whole scenarios run
+	// wall-clock-fast. With a non-real Clock, Shutdown contexts should
+	// carry no deadline (a real-time context deadline cannot be compared
+	// against virtual time); bound the drain with the context's cancel.
+	Clock itime.Timeline
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = itime.Real()
 	}
 	return c
 }
@@ -133,6 +144,25 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return lis.Addr(), nil
 }
 
+// ListenOn serves on an already-created listener — the simulation harness's
+// in-memory network, or a caller-managed socket. Serve must be called next.
+func (s *Server) ListenOn(lis net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		lis.Close()
+		return ErrServerClosed
+	}
+	if s.lis != nil {
+		return errors.New("server: already listening")
+	}
+	s.lis = lis
+	return nil
+}
+
+// now reads the server's clock.
+func (s *Server) now() time.Time { return s.cfg.Clock.Now() }
+
 // Addr returns the listener's address, nil before Listen.
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()
@@ -169,14 +199,14 @@ func (s *Server) Serve() error {
 		}
 		if s.active.Load() >= int64(s.cfg.MaxConns) {
 			s.refused.Add(1)
-			refuse(nc, s.cfg.RequestTimeout)
+			s.refuse(nc)
 			continue
 		}
 		c := &conn{srv: s, nc: nc}
 		s.mu.Lock()
 		if s.draining || s.closed {
 			s.mu.Unlock()
-			refuse(nc, s.cfg.RequestTimeout)
+			s.refuse(nc)
 			return ErrServerClosed
 		}
 		s.conns[c] = struct{}{}
@@ -198,8 +228,8 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // refuse best-effort sends an error frame and closes the connection.
-func refuse(nc net.Conn, timeout time.Duration) {
-	nc.SetDeadline(time.Now().Add(timeout))
+func (s *Server) refuse(nc net.Conn) {
+	nc.SetDeadline(s.now().Add(s.cfg.RequestTimeout))
 	writeError(nc, errBusy)
 	nc.Close()
 }
@@ -217,7 +247,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
-	until := time.Now().Add(24 * time.Hour)
+	until := s.now().Add(24 * time.Hour)
 	if d, ok := ctx.Deadline(); ok {
 		until = d
 	}

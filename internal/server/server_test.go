@@ -12,6 +12,7 @@ import (
 
 	"immortaldb"
 	"immortaldb/internal/client"
+	"immortaldb/internal/itime"
 	"immortaldb/internal/sqlish"
 	"immortaldb/internal/storage/vfs"
 )
@@ -60,8 +61,12 @@ func retryDeadlock(fn func() error) error {
 // of serializable writers, snapshot-isolation readers, and AS OF historical
 // readers — against one server. Run under -race in CI.
 func TestServerConcurrentMixedClients(t *testing.T) {
+	// The engine commits on a simulated clock, so the AS OF cut between the
+	// seed state and the writers is a deterministic tick boundary instead
+	// of a wall-clock sleep race.
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
 	_, srv, addr := startServer(t, t.TempDir(),
-		&immortaldb.Options{NoSync: true}, Config{MaxConns: 80})
+		&immortaldb.Options{NoSync: true, Clock: clock}, Config{MaxConns: 80})
 
 	ctx := context.Background()
 	pool, err := client.Open(addr, &client.Options{MaxConns: 64})
@@ -79,12 +84,12 @@ func TestServerConcurrentMixedClients(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Let at least one 20ms clock tick elapse so the AS OF cut strictly
-	// follows the seed commits, then another before any writer commits so
-	// nothing after the cut shares its tick.
-	time.Sleep(60 * time.Millisecond)
-	asOf := time.Now().UTC().Format("2006-01-02T15:04:05.999999999Z07:00")
-	time.Sleep(60 * time.Millisecond)
+	// Advance past the seed commits, cut the AS OF instant, then advance
+	// again so no writer commit can share the cut's tick.
+	clock.Advance(2 * itime.TickDuration)
+	asOf := time.Unix(0, clock.NowTick()*int64(itime.TickDuration)).UTC().
+		Format("2006-01-02T15:04:05.999999999Z07:00")
+	clock.Advance(2 * itime.TickDuration)
 
 	const clients = 64
 	const iters = 4

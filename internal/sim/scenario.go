@@ -1,0 +1,609 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/client"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/server"
+	"immortaldb/internal/workload"
+)
+
+// Scenario timing constants. All virtual. They are sized so that no
+// deadline can fire across the virtual-time drift one healthy operation
+// spans (the pump advances time between events at a nondeterministic
+// real-time cadence, so semantics must not hinge on how much virtual time a
+// microsecond of real work consumes) — while still resolving a black-holed
+// connection in a couple of real seconds.
+const (
+	scnOpTimeout   = 5 * time.Minute
+	scnIdleTimeout = 24 * time.Hour
+	scnReqTimeout  = 30 * time.Minute
+	scnBackoff     = 5 * time.Millisecond
+	pumpPoll       = 200 * time.Microsecond
+	pumpStep       = 100 * time.Millisecond
+)
+
+// Step is one entry of a scenario script. Exactly one field should be set;
+// fault-schedule changes happen at phase barriers — between Ops steps, with
+// no requests in flight — so a schedule change can never race an operation.
+type Step struct {
+	// Ops runs a phase: every client executes this many workload ops.
+	Ops int
+	// Partition isolates a server address (connections killed, dials
+	// refused); Heal reconnects it.
+	Partition, Heal string
+	// Faults arms scripted faults; ClearFaults disarms all.
+	Faults      []Fault
+	ClearFaults bool
+}
+
+// Scenario describes one simulation: a cluster shape, a workload, a chaos
+// profile, and a scripted fault schedule.
+type Scenario struct {
+	Name string
+	// Servers and Clients set the cluster shape; client i talks to server
+	// i mod Servers. Each server owns an independent database.
+	Servers, Clients int
+	// Workload is "metering" (default) or "moving".
+	Workload string
+	// Profile is the probabilistic chaos profile for connections dialed
+	// during op phases.
+	Profile Profile
+	Script  []Step
+}
+
+// Result is one scenario run's outcome.
+type Result struct {
+	Scenario string
+	Seed     int64
+	// Hash is the canonical trace hash; runs of the same scenario and seed
+	// must produce byte-identical hashes.
+	Hash   string
+	Events int
+	// Ops counts workload operations attempted; Errors those that failed
+	// (network or server error).
+	Ops, Errors int
+	// Violations are oracle failures: an acked commit missing after heal,
+	// or an AS OF invoice audit that does not match its recorded total.
+	Violations []string
+	Trace      *Trace
+}
+
+// Predefined returns a named scenario from the suite.
+func Predefined(name string) (Scenario, bool) {
+	switch name {
+	case "smoke":
+		return Scenario{
+			Name: "smoke", Servers: 1, Clients: 2,
+			Profile: Profile{Latency: time.Millisecond, Jitter: time.Millisecond},
+			Script:  []Step{{Ops: 25}},
+		}, true
+	case "partition":
+		return Scenario{
+			Name: "partition", Servers: 2, Clients: 3,
+			Profile: Profile{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
+			Script: []Step{
+				{Ops: 20},
+				// Cut a request frame mid-write, black-hole a response, then
+				// partition one server outright.
+				{Faults: []Fault{
+					{Dialer: "cli0", Op: "write", StartOp: 4, Count: 1, Mode: Kill, KeepBytes: 3},
+					{Dialer: "cli1", Op: "write", StartOp: 5, Count: 1, Mode: Drop},
+				}},
+				{Ops: 12},
+				{ClearFaults: true},
+				{Partition: "srv1:7707"},
+				{Ops: 10},
+				{Heal: "srv1:7707"},
+				{Ops: 20},
+			},
+		}, true
+	case "churn":
+		return Scenario{
+			Name: "churn", Servers: 1, Clients: 4,
+			Profile: Profile{
+				Latency: 500 * time.Microsecond, Jitter: 2 * time.Millisecond,
+				RefuseProb: 0.05, KillProb: 0.02, DropProb: 0.004,
+			},
+			Script: []Step{{Ops: 20}, {Ops: 20}},
+		}, true
+	case "moving":
+		return Scenario{
+			Name: "moving", Servers: 1, Clients: 2, Workload: "moving",
+			Profile: Profile{Latency: time.Millisecond, Jitter: time.Millisecond},
+			Script: []Step{
+				{Ops: 20},
+				{Faults: []Fault{
+					{Dialer: "cli1", Op: "write", StartOp: 6, Count: 1, Mode: Kill, KeepBytes: 5},
+				}},
+				{Ops: 20},
+			},
+		}, true
+	}
+	return Scenario{}, false
+}
+
+// ScenarioNames lists the predefined suite.
+func ScenarioNames() []string { return []string{"smoke", "partition", "churn", "moving"} }
+
+// Run executes one scenario under one seed: boots the cluster on a virtual
+// timeline over a seeded simnet, drives the workload through the script,
+// then heals the network and verifies the oracles — every acknowledged
+// commit is present, and every AS OF invoice audit matched its recorded
+// total during the run.
+func Run(sc Scenario, seed int64) (*Result, error) {
+	if sc.Servers <= 0 || sc.Clients <= 0 {
+		return nil, errors.New("sim: scenario needs at least one server and one client")
+	}
+	tl := itime.NewSimTimeline(time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC))
+	stopPump := tl.StartPump(pumpPoll, pumpStep)
+	defer stopPump()
+
+	n := NewNet(tl, seed)
+	trace := NewTrace()
+	n.SetRecorder(trace.Add)
+
+	// Boot servers, each over its own database in a throwaway directory.
+	type srvRec struct {
+		addr string
+		db   *immortaldb.DB
+		srv  *server.Server
+		dir  string
+	}
+	servers := make([]*srvRec, sc.Servers)
+	defer func() {
+		for _, r := range servers {
+			if r == nil {
+				continue
+			}
+			r.srv.Close()
+			r.db.Close()
+			os.RemoveAll(r.dir)
+		}
+	}()
+	for i := range servers {
+		dir, err := os.MkdirTemp("", "simscn")
+		if err != nil {
+			return nil, err
+		}
+		db, err := immortaldb.Open(dir, &immortaldb.Options{NoSync: true, Clock: tl})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		srv := server.New(db, server.Config{
+			Clock:          tl,
+			IdleTimeout:    scnIdleTimeout,
+			RequestTimeout: scnReqTimeout,
+		})
+		addr := fmt.Sprintf("srv%d:7707", i)
+		lis, err := n.Listen(addr)
+		if err != nil {
+			db.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if err := srv.ListenOn(lis); err != nil {
+			db.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		go srv.Serve()
+		servers[i] = &srvRec{addr: addr, db: db, srv: srv, dir: dir}
+	}
+
+	// Schema setup over a clean network (the chaos profile is installed
+	// after), so every worker starts from the same deterministic state.
+	ctx := context.Background()
+	for i, r := range servers {
+		adb, err := client.Open(r.addr, &client.Options{
+			MaxConns: 1, Dialer: n.Dialer(fmt.Sprintf("admin%d", i)),
+			Timeline: tl, OpTimeout: scnOpTimeout, RetryBackoff: scnBackoff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: admin dial %s: %w", r.addr, err)
+		}
+		var stmts []string
+		if sc.Workload == "moving" {
+			for w := 0; w < sc.Clients; w++ {
+				if w%sc.Servers == i {
+					stmts = append(stmts, fmt.Sprintf(
+						"CREATE IMMORTAL TABLE mo%d (Oid smallint PRIMARY KEY, LocationX int, LocationY int)", w))
+				}
+			}
+		} else {
+			stmts = append(stmts, workload.MeterCreate())
+		}
+		for _, s := range stmts {
+			if _, err := adb.Exec(ctx, s); err != nil {
+				adb.Close()
+				return nil, fmt.Errorf("sim: setup %q: %w", s, err)
+			}
+		}
+		adb.Close()
+	}
+
+	n.SetProfile(sc.Profile)
+
+	// Workers.
+	workers := make([]*scnWorker, sc.Clients)
+	totalOps := 0
+	for _, st := range sc.Script {
+		totalOps += st.Ops
+	}
+	for i := range workers {
+		workers[i] = newScnWorker(i, sc, servers[i%sc.Servers].addr, n, tl, trace, seed, totalOps)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.close()
+		}
+	}()
+
+	// Script.
+	for si, st := range sc.Script {
+		switch {
+		case st.Ops > 0:
+			trace.Add("run", fmt.Sprintf("phase %d ops=%d", si, st.Ops))
+			var wg sync.WaitGroup
+			for _, w := range workers {
+				wg.Add(1)
+				go func(w *scnWorker) {
+					defer wg.Done()
+					for k := 0; k < st.Ops; k++ {
+						w.runOp(ctx)
+					}
+				}(w)
+			}
+			wg.Wait()
+		case st.Partition != "":
+			n.Partition(st.Partition)
+		case st.Heal != "":
+			n.Heal(st.Heal)
+		case st.ClearFaults:
+			n.ClearFaults()
+			trace.Add("run", "clear faults")
+		case len(st.Faults) > 0:
+			for _, f := range st.Faults {
+				n.InjectFault(f)
+			}
+			trace.Add("run", fmt.Sprintf("arm %d faults", len(st.Faults)))
+		}
+	}
+
+	// Heal everything and verify over a clean network.
+	n.ClearFaults()
+	n.SetProfile(Profile{})
+	for _, r := range servers {
+		n.Heal(r.addr)
+	}
+
+	res := &Result{Scenario: sc.Name, Seed: seed, Trace: trace}
+	for i, r := range servers {
+		vdb, err := client.Open(r.addr, &client.Options{
+			MaxConns: 1, Dialer: n.Dialer(fmt.Sprintf("verify%d", i)),
+			Timeline: tl, OpTimeout: scnOpTimeout, RetryBackoff: scnBackoff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: verify dial %s: %w", r.addr, err)
+		}
+		for _, w := range workers {
+			if w.addr == r.addr {
+				res.Violations = append(res.Violations, w.verify(ctx, vdb)...)
+			}
+		}
+		vdb.Close()
+	}
+	for _, w := range workers {
+		res.Ops += w.ops
+		res.Errors += w.errs
+		res.Violations = append(res.Violations, w.violations...)
+	}
+	res.Hash = trace.Hash()
+	res.Events = trace.Len()
+	return res, nil
+}
+
+// invoice is a closed billing period's recorded total and the AS OF instant
+// audits replay it at.
+type invoice struct {
+	total int64
+	asOf  string
+}
+
+// scnWorker is one simulated client: a pooled connection, a deterministic
+// workload stream, and the bookkeeping the oracles check.
+type scnWorker struct {
+	id    int
+	actor string
+	addr  string
+	tl    itime.Timeline
+	trace *Trace
+	db    *client.DB
+
+	// Metering state.
+	gen      *workload.MeterGen
+	invoices map[uint32]invoice
+
+	// Moving-objects state.
+	stream []workload.Op
+	next   int
+	table  string
+
+	// acked maps key (stringified) to the last value the server definitely
+	// acknowledged; uncertain marks keys whose last write got a network
+	// error (it may or may not have applied).
+	acked     map[int64]int64
+	ackedMO   map[uint16]bool
+	uncertain map[int64]bool
+
+	ops, errs  int
+	violations []string
+}
+
+func newScnWorker(id int, sc Scenario, addr string, n *Net, tl itime.Timeline, trace *Trace, seed int64, totalOps int) *scnWorker {
+	w := &scnWorker{
+		id:        id,
+		actor:     fmt.Sprintf("cli%d", id),
+		addr:      addr,
+		tl:        tl,
+		trace:     trace,
+		invoices:  make(map[uint32]invoice),
+		acked:     make(map[int64]int64),
+		ackedMO:   make(map[uint16]bool),
+		uncertain: make(map[int64]bool),
+	}
+	if sc.Workload == "moving" {
+		w.table = fmt.Sprintf("mo%d", id)
+		gen := workload.New(workload.Config{Seed: seed ^ int64(id)<<21})
+		inserts := totalOps/10 + 1
+		w.stream, _ = gen.Stream(inserts, totalOps)
+	} else {
+		w.gen = workload.NewMeterGen(uint32(id), seed)
+	}
+	db, err := client.Open(addr, &client.Options{
+		MaxConns:     1,
+		Dialer:       n.Dialer(w.actor),
+		Timeline:     tl,
+		OpTimeout:    scnOpTimeout,
+		RetryBackoff: scnBackoff,
+		RetryBudget:  2 * time.Minute, // real time: the harness's patience
+	})
+	if err != nil {
+		// A chaos profile can deterministically refuse every dial attempt;
+		// the worker then sits the scenario out (recorded, so it hashes).
+		trace.Add(w.actor, "open "+classify(err))
+		return w
+	}
+	w.db = db
+	return w
+}
+
+func (w *scnWorker) close() {
+	if w.db != nil {
+		w.db.Close()
+	}
+}
+
+// classify folds an operation error into a per-plan-deterministic outcome
+// class. Error strings and timestamps stay out of the trace.
+func classify(err error) string {
+	var re *client.RemoteError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &re) && strings.Contains(re.Msg, "duplicate primary key"):
+		return "dup"
+	case errors.As(err, &re):
+		return "remote"
+	default:
+		return "neterr"
+	}
+}
+
+func (w *scnWorker) event(detail string) { w.trace.Add(w.actor, detail) }
+
+func (w *scnWorker) runOp(ctx context.Context) {
+	if w.db == nil {
+		return
+	}
+	w.ops++
+	if w.stream != nil {
+		w.runMovingOp(ctx)
+		return
+	}
+	op := w.gen.Next()
+	switch op.Kind {
+	case workload.MeterAppend:
+		_, err := w.db.Exec(ctx, op.Statement())
+		class := classify(err)
+		key := workload.MeterKey(op.Tenant, op.Period, op.Seq)
+		switch class {
+		case "ok", "dup":
+			// "dup" after a network hiccup means the first attempt did
+			// execute: the pool's transparent retry re-ran the INSERT and
+			// the engine reported the row already present. Either way the
+			// commit is acknowledged.
+			w.acked[key] = op.Amount
+		case "neterr":
+			w.errs++
+			w.uncertain[key] = true
+		default:
+			w.errs++
+		}
+		w.event(fmt.Sprintf("append p%d r%d %s", op.Period, op.Seq, class))
+	case workload.MeterClose:
+		total, ok := w.sumCurrent(ctx, op.Period)
+		if !ok {
+			w.errs++
+			w.event(fmt.Sprintf("close p%d neterr", op.Period))
+			return
+		}
+		// Quarantine the AS OF capture by two ticks on each side, so every
+		// prior commit's tick is strictly before it and every later
+		// correction's strictly after — the timestamps themselves never
+		// appear in the trace, only the totals.
+		w.tl.Sleep(ctx, 2*itime.TickDuration)
+		asOf := w.tl.Now().UTC().Format(time.RFC3339Nano)
+		w.tl.Sleep(ctx, 2*itime.TickDuration)
+		w.invoices[op.Period] = invoice{total: total, asOf: asOf}
+		w.event(fmt.Sprintf("close p%d total=%d", op.Period, total))
+	case workload.MeterCorrect:
+		_, err := w.db.Exec(ctx, op.Statement())
+		class := classify(err)
+		key := workload.MeterKey(op.Tenant, op.Period, op.Seq)
+		switch class {
+		case "ok":
+			if _, was := w.acked[key]; was {
+				w.acked[key] = op.Amount
+			}
+		case "neterr":
+			w.errs++
+			w.uncertain[key] = true
+		default:
+			w.errs++
+		}
+		w.event(fmt.Sprintf("correct p%d r%d %s", op.Period, op.Seq, class))
+	case workload.MeterAudit:
+		inv, ok := w.invoices[op.Period]
+		if !ok {
+			w.event(fmt.Sprintf("audit p%d unrecorded", op.Period))
+			return
+		}
+		got, ok := w.sumAsOf(ctx, op.Period, inv.asOf)
+		if !ok {
+			w.errs++
+			w.event(fmt.Sprintf("audit p%d neterr", op.Period))
+			return
+		}
+		if got != inv.total {
+			w.violations = append(w.violations, fmt.Sprintf(
+				"cli%d: AS OF audit of period %d read %d, invoice recorded %d",
+				w.id, op.Period, got, inv.total))
+			w.event(fmt.Sprintf("audit p%d MISMATCH got=%d want=%d", op.Period, got, inv.total))
+			return
+		}
+		w.event(fmt.Sprintf("audit p%d match total=%d", op.Period, got))
+	}
+}
+
+// sumCurrent totals a period's rows with current-state point reads.
+func (w *scnWorker) sumCurrent(ctx context.Context, period uint32) (int64, bool) {
+	var total int64
+	for _, seq := range w.gen.RowSeqs(period) {
+		res, err := w.db.Exec(ctx, workload.MeterSelect(uint32(w.id), period, seq))
+		if err != nil {
+			return 0, false
+		}
+		if len(res.Rows) == 0 {
+			continue // that append never landed
+		}
+		v, err := strconv.ParseInt(res.Rows[0][0], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		total += v
+	}
+	return total, true
+}
+
+// sumAsOf totals a period's rows as of the recorded close instant, inside
+// one AS OF transaction.
+func (w *scnWorker) sumAsOf(ctx context.Context, period uint32, asOf string) (int64, bool) {
+	tx, err := w.db.BeginAsOf(ctx, asOf)
+	if err != nil {
+		return 0, false
+	}
+	var total int64
+	for _, seq := range w.gen.RowSeqs(period) {
+		res, err := tx.Exec(ctx, workload.MeterSelect(uint32(w.id), period, seq))
+		if err != nil {
+			tx.Rollback(ctx)
+			return 0, false
+		}
+		if len(res.Rows) == 0 {
+			continue
+		}
+		v, perr := strconv.ParseInt(res.Rows[0][0], 10, 64)
+		if perr != nil {
+			tx.Rollback(ctx)
+			return 0, false
+		}
+		total += v
+	}
+	if err := tx.Commit(ctx); err != nil {
+		return 0, false
+	}
+	return total, true
+}
+
+// runMovingOp executes the next moving-objects stream op.
+func (w *scnWorker) runMovingOp(ctx context.Context) {
+	if w.next >= len(w.stream) {
+		return
+	}
+	op := w.stream[w.next]
+	w.next++
+	var sql string
+	if op.Kind == workload.OpInsert {
+		sql = fmt.Sprintf("INSERT INTO %s VALUES (%d, %d, %d)", w.table, op.OID, op.Pos.X, op.Pos.Y)
+	} else {
+		sql = fmt.Sprintf("UPDATE %s SET LocationX = %d WHERE Oid = %d", w.table, op.Pos.X, op.OID)
+	}
+	_, err := w.db.Exec(ctx, sql)
+	class := classify(err)
+	if op.Kind == workload.OpInsert && (class == "ok" || class == "dup") {
+		w.ackedMO[op.OID] = true
+	}
+	if class != "ok" && class != "dup" {
+		w.errs++
+	}
+	w.event(fmt.Sprintf("%s o%d %s", op.Kind, op.OID, class))
+}
+
+// verify checks the no-acked-commit-loss oracle over a healed network: every
+// key the server acknowledged must be present, with the acknowledged value
+// unless a later write on it was network-uncertain.
+func (w *scnWorker) verify(ctx context.Context, vdb *client.DB) []string {
+	var out []string
+	if w.stream != nil {
+		for oid := range w.ackedMO {
+			res, err := vdb.Exec(ctx, fmt.Sprintf("SELECT Oid FROM %s WHERE Oid = %d", w.table, oid))
+			if err != nil {
+				out = append(out, fmt.Sprintf("cli%d: verify read of object %d failed", w.id, oid))
+				continue
+			}
+			if len(res.Rows) == 0 {
+				out = append(out, fmt.Sprintf("cli%d: acked insert of object %d lost", w.id, oid))
+			}
+		}
+		return out
+	}
+	for key, want := range w.acked {
+		res, err := vdb.Exec(ctx, fmt.Sprintf("SELECT amount FROM meter WHERE k = %d", key))
+		if err != nil {
+			out = append(out, fmt.Sprintf("cli%d: verify read of key %d failed", w.id, key))
+			continue
+		}
+		if len(res.Rows) == 0 {
+			out = append(out, fmt.Sprintf("cli%d: acked commit on key %d lost", w.id, key))
+			continue
+		}
+		if w.uncertain[key] {
+			continue
+		}
+		if got, _ := strconv.ParseInt(res.Rows[0][0], 10, 64); got != want {
+			out = append(out, fmt.Sprintf("cli%d: key %d holds %d, acked %d", w.id, key, got, want))
+		}
+	}
+	return out
+}

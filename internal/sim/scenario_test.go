@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// runScenario runs a predefined scenario under one seed and fails the test
+// on harness errors or oracle violations.
+func runScenario(t *testing.T, name string, seed int64) *Result {
+	t.Helper()
+	sc, ok := Predefined(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	res, err := Run(sc, seed)
+	if err != nil {
+		t.Fatalf("run %s seed %d: %v", name, seed, err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s seed %d violation: %s", name, seed, v)
+	}
+	return res
+}
+
+// TestScenarioSmokeDeterminism is the determinism proof: two runs of the
+// same scenario with the same seed must produce byte-identical trace hashes.
+func TestScenarioSmokeDeterminism(t *testing.T) {
+	a := runScenario(t, "smoke", 7)
+	b := runScenario(t, "smoke", 7)
+	if a.Hash != b.Hash {
+		diffTraces(t, a, b)
+	}
+	if a.Events == 0 || a.Ops == 0 {
+		t.Fatalf("empty run: %d events, %d ops", a.Events, a.Ops)
+	}
+}
+
+// TestScenarioPartitionKillNoAckedLoss runs the partition/kill scenario
+// twice: identical hashes, chaos demonstrably happened (errors observed,
+// connections faulted), no acked commit was lost (runScenario fails on
+// violations), and AS OF invoice audits matched their recorded totals.
+func TestScenarioPartitionKillNoAckedLoss(t *testing.T) {
+	a := runScenario(t, "partition", 11)
+	b := runScenario(t, "partition", 11)
+	if a.Hash != b.Hash {
+		diffTraces(t, a, b)
+	}
+	if a.Errors == 0 {
+		t.Error("partition scenario saw no errors; faults did not bite")
+	}
+	var audits, faults int
+	for _, l := range a.Trace.Lines() {
+		if strings.Contains(l, "audit p") && strings.Contains(l, " match ") {
+			audits++
+		}
+		if strings.Contains(l, "|kill w") || strings.Contains(l, "|drop w") ||
+			strings.Contains(l, "partition ") {
+			faults++
+		}
+	}
+	if audits == 0 {
+		t.Error("no successful AS OF audits; the oracle never ran")
+	}
+	if faults == 0 {
+		t.Error("no fault events in trace")
+	}
+}
+
+func TestScenarioChurnDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn scenario is slow under -short")
+	}
+	a := runScenario(t, "churn", 3)
+	b := runScenario(t, "churn", 3)
+	if a.Hash != b.Hash {
+		diffTraces(t, a, b)
+	}
+}
+
+func TestScenarioMovingWorkload(t *testing.T) {
+	res := runScenario(t, "moving", 5)
+	if res.Ops == 0 || res.Events == 0 {
+		t.Fatalf("empty moving run: %+v", res)
+	}
+}
+
+// diffTraces reports the first few differing canonical trace lines.
+func diffTraces(t *testing.T, a, b *Result) {
+	t.Helper()
+	la, lb := a.Trace.Lines(), b.Trace.Lines()
+	t.Errorf("hashes differ: %s vs %s (%d vs %d events)", a.Hash, b.Hash, len(la), len(lb))
+	shown := 0
+	for i := 0; i < len(la) || i < len(lb); i++ {
+		var x, y string
+		if i < len(la) {
+			x = la[i]
+		}
+		if i < len(lb) {
+			y = lb[i]
+		}
+		if x != y {
+			t.Errorf("line %d:\n  run1: %s\n  run2: %s", i, x, y)
+			if shown++; shown >= 8 {
+				break
+			}
+		}
+	}
+	t.FailNow()
+}

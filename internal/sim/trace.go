@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Trace is the scenario event log. Determinism across concurrent actors is
+// achieved by canonical ordering, not arrival ordering: every event is keyed
+// (actor, per-actor sequence), and the hash is computed over the sorted
+// lines — so however the goroutines interleave, the same per-actor histories
+// hash identically. Details must therefore be per-actor deterministic:
+// outcome classes rather than error strings, operation indices rather than
+// timestamps.
+type Trace struct {
+	mu    sync.Mutex
+	seqs  map[string]int
+	lines []string
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{seqs: make(map[string]int)}
+}
+
+// Add appends one event to actor's history.
+func (t *Trace) Add(actor, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seqs[actor]++
+	t.lines = append(t.lines, fmt.Sprintf("%s|%06d|%s", actor, t.seqs[actor], detail))
+}
+
+// Len is the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.lines)
+}
+
+// Lines returns the events in canonical (actor, sequence) order.
+func (t *Trace) Lines() []string {
+	t.mu.Lock()
+	out := append([]string(nil), t.lines...)
+	t.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Hash is the canonical SHA-256 of the trace, hex-encoded. Two runs of the
+// same scenario with the same seed must produce byte-identical hashes.
+func (t *Trace) Hash() string {
+	h := sha256.New()
+	for _, l := range t.Lines() {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The metering workload models a usage-metering/billing tenant — the second
+// tenant archetype after moving-objects, and the one that leans hardest on
+// transaction time: usage events append at a high rate into billing periods;
+// closing a period computes its invoice total; later corrections may rewrite
+// history — but an invoice audit re-reads the period AS OF the moment it was
+// closed and must match the recorded total exactly. Transaction-time
+// semantics are the test oracle: if the engine's versioning is right, no
+// amount of later activity can change what a closed period summed to.
+
+// MeterKind classifies one metering operation.
+type MeterKind uint8
+
+// Metering operation kinds.
+const (
+	// MeterAppend inserts one usage row into the tenant's open period.
+	MeterAppend MeterKind = iota
+	// MeterClose closes the open period: the runner sums its rows with
+	// current reads, records the invoice total, and captures an AS OF
+	// timestamp for later audits.
+	MeterClose
+	// MeterCorrect rewrites one usage row in an earlier, closed period (a
+	// billing correction). It must not affect that period's AS OF audit.
+	MeterCorrect
+	// MeterAudit re-reads a closed period AS OF its close timestamp and
+	// compares against the recorded invoice total.
+	MeterAudit
+)
+
+func (k MeterKind) String() string {
+	switch k {
+	case MeterAppend:
+		return "append"
+	case MeterClose:
+		return "close"
+	case MeterCorrect:
+		return "correct"
+	default:
+		return "audit"
+	}
+}
+
+// MeterOp is one metering operation.
+type MeterOp struct {
+	Kind   MeterKind
+	Tenant uint32
+	// Period is the billing period the operation addresses: the open one
+	// for Append/Close, a closed one for Correct/Audit.
+	Period uint32
+	// Seq is the row within the period (Append/Correct).
+	Seq uint32
+	// Amount is the usage amount (Append) or the corrected value (Correct).
+	Amount int64
+}
+
+// MeterKey packs (tenant, period, seq) into the meter table's BIGINT
+// primary key, ordering rows tenant-major then period then sequence.
+func MeterKey(tenant, period, seq uint32) int64 {
+	return int64(tenant)<<32 | int64(period&0xFFFF)<<16 | int64(seq&0xFFFF)
+}
+
+// MeterCreate is the DDL for the shared meter table. IMMORTAL, because
+// audits are AS OF queries.
+func MeterCreate() string {
+	return "CREATE IMMORTAL TABLE meter (k bigint PRIMARY KEY, amount bigint)"
+}
+
+// Statement renders an Append or Correct as SQL. Close and Audit are
+// multi-statement protocols driven by the runner (see MeterSelect).
+func (op MeterOp) Statement() string {
+	key := MeterKey(op.Tenant, op.Period, op.Seq)
+	switch op.Kind {
+	case MeterAppend:
+		return fmt.Sprintf("INSERT INTO meter VALUES (%d, %d)", key, op.Amount)
+	case MeterCorrect:
+		return fmt.Sprintf("UPDATE meter SET amount = %d WHERE k = %d", op.Amount, key)
+	default:
+		return ""
+	}
+}
+
+// MeterSelect is the point read for one usage row.
+func MeterSelect(tenant, period, seq uint32) string {
+	return fmt.Sprintf("SELECT amount FROM meter WHERE k = %d", MeterKey(tenant, period, seq))
+}
+
+// MeterGen produces one tenant's deterministic metering operation stream:
+// a handful of appends per period, a close, and occasional corrections and
+// audits against earlier periods. Two generators with the same (tenant,
+// seed) produce identical streams.
+type MeterGen struct {
+	tenant uint32
+	rng    *rand.Rand
+
+	period    uint32
+	seq       uint32
+	perPeriod uint32
+	rows      map[uint32]uint32 // closed period -> row count
+	closed    []uint32
+	queue     []MeterOp
+}
+
+// NewMeterGen returns a generator for one tenant.
+func NewMeterGen(tenant uint32, seed int64) *MeterGen {
+	g := &MeterGen{
+		tenant: tenant,
+		rng:    rand.New(rand.NewSource(seed ^ int64(tenant)<<17)),
+		rows:   make(map[uint32]uint32),
+	}
+	g.perPeriod = 3 + uint32(g.rng.Intn(4))
+	return g
+}
+
+// Next returns the tenant's next operation.
+func (g *MeterGen) Next() MeterOp {
+	if len(g.queue) > 0 {
+		op := g.queue[0]
+		g.queue = g.queue[1:]
+		return op
+	}
+	if g.seq < g.perPeriod {
+		op := MeterOp{
+			Kind:   MeterAppend,
+			Tenant: g.tenant,
+			Period: g.period,
+			Seq:    g.seq,
+			Amount: 1 + g.rng.Int63n(1000),
+		}
+		g.seq++
+		return op
+	}
+	// Period full: close it, then queue follow-on history operations.
+	op := MeterOp{Kind: MeterClose, Tenant: g.tenant, Period: g.period}
+	g.rows[g.period] = g.perPeriod
+	g.closed = append(g.closed, g.period)
+	// Corrections rewrite a closed period; audits check one. Both pick
+	// their targets from the generator's rng, so the stream stays a pure
+	// function of (tenant, seed).
+	if len(g.closed) > 1 && g.rng.Intn(2) == 0 {
+		p := g.closed[g.rng.Intn(len(g.closed)-1)] // never the just-closed one
+		g.queue = append(g.queue, MeterOp{
+			Kind:   MeterCorrect,
+			Tenant: g.tenant,
+			Period: p,
+			Seq:    uint32(g.rng.Intn(int(g.rows[p]))),
+			Amount: 1 + g.rng.Int63n(1000),
+		})
+	}
+	if g.rng.Intn(2) == 0 {
+		p := g.closed[g.rng.Intn(len(g.closed))]
+		g.queue = append(g.queue, MeterOp{Kind: MeterAudit, Tenant: g.tenant, Period: p})
+	}
+	g.period++
+	g.seq = 0
+	g.perPeriod = 3 + uint32(g.rng.Intn(4))
+	return op
+}
+
+// RowSeqs returns the row sequence numbers of a period: 0..n-1 for closed
+// periods, the rows appended so far for the open one.
+func (g *MeterGen) RowSeqs(period uint32) []uint32 {
+	n, ok := g.rows[period]
+	if !ok && period == g.period {
+		n = g.seq
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestMeterGenDeterministicStream(t *testing.T) {
+	a := NewMeterGen(3, 42)
+	b := NewMeterGen(3, 42)
+	var appends, closes, corrects, audits int
+	for i := 0; i < 500; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, x, y)
+		}
+		switch x.Kind {
+		case MeterAppend:
+			appends++
+		case MeterClose:
+			closes++
+		case MeterCorrect:
+			corrects++
+		case MeterAudit:
+			audits++
+		}
+	}
+	if appends == 0 || closes == 0 || corrects == 0 || audits == 0 {
+		t.Fatalf("unbalanced stream: %d appends, %d closes, %d corrects, %d audits",
+			appends, closes, corrects, audits)
+	}
+	// A different tenant must get a different stream.
+	c := NewMeterGen(4, 42)
+	diverged := false
+	a2 := NewMeterGen(3, 42)
+	for i := 0; i < 50; i++ {
+		if a2.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("tenants 3 and 4 produced identical streams")
+	}
+}
+
+func TestMeterOpInvariants(t *testing.T) {
+	g := NewMeterGen(1, 7)
+	seen := make(map[int64]bool)
+	closed := make(map[uint32]bool)
+	open := uint32(0)
+	for i := 0; i < 300; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case MeterAppend:
+			if op.Period != open {
+				t.Fatalf("append into period %d while %d is open", op.Period, open)
+			}
+			key := MeterKey(op.Tenant, op.Period, op.Seq)
+			if seen[key] {
+				t.Fatalf("duplicate append key %d", key)
+			}
+			seen[key] = true
+			if op.Amount <= 0 {
+				t.Fatalf("non-positive amount %d", op.Amount)
+			}
+		case MeterClose:
+			if op.Period != open {
+				t.Fatalf("close of period %d while %d is open", op.Period, open)
+			}
+			closed[op.Period] = true
+			open++
+		case MeterCorrect:
+			if !closed[op.Period] {
+				t.Fatalf("correction targets unclosed period %d", op.Period)
+			}
+			key := MeterKey(op.Tenant, op.Period, op.Seq)
+			if !seen[key] {
+				t.Fatalf("correction targets never-appended key %d", key)
+			}
+		case MeterAudit:
+			if !closed[op.Period] {
+				t.Fatalf("audit targets unclosed period %d", op.Period)
+			}
+		}
+	}
+	if rows := g.RowSeqs(0); len(rows) == 0 {
+		t.Fatal("closed period 0 reports no rows")
+	}
+}
+
+func TestMeterKeyPacking(t *testing.T) {
+	k := MeterKey(7, 300, 12)
+	if k != 7<<32|300<<16|12 {
+		t.Fatalf("key = %d", k)
+	}
+	// Keys order tenant-major, then period, then row.
+	if !(MeterKey(1, 0, 0) > MeterKey(0, 65535, 65535)) {
+		t.Fatal("tenant ordering broken")
+	}
+	if !(MeterKey(1, 2, 0) > MeterKey(1, 1, 65535)) {
+		t.Fatal("period ordering broken")
+	}
+	// And fit in a positive BIGINT for any 31-bit tenant.
+	if MeterKey(1<<31-1, 65535, 65535) < 0 {
+		t.Fatal("key overflows int64")
+	}
+}
+
+func TestMeterStatements(t *testing.T) {
+	app := MeterOp{Kind: MeterAppend, Tenant: 2, Period: 1, Seq: 3, Amount: 50}
+	wantKey := strconv.FormatInt(MeterKey(2, 1, 3), 10)
+	if s := app.Statement(); s != "INSERT INTO meter VALUES ("+wantKey+", 50)" {
+		t.Fatalf("append sql %q", s)
+	}
+	cor := MeterOp{Kind: MeterCorrect, Tenant: 2, Period: 1, Seq: 3, Amount: 9}
+	if s := cor.Statement(); s != "UPDATE meter SET amount = 9 WHERE k = "+wantKey {
+		t.Fatalf("correct sql %q", s)
+	}
+	if s := MeterSelect(2, 1, 3); s != "SELECT amount FROM meter WHERE k = "+wantKey {
+		t.Fatalf("select sql %q", s)
+	}
+}
