@@ -11,6 +11,8 @@
 //	             also written as JSON rows to -serveout
 //	obs        — observability instrumentation overhead on durable commits
 //	             (O1), also written as JSON rows to -obsout
+//	repl       — primary-only vs primary+follower durable-commit throughput
+//	             and follower lag (R1), also written as JSON rows to -replout
 //	all        — everything
 //
 // Usage:
@@ -34,6 +36,7 @@ func main() {
 	commitOut := flag.String("commitout", "BENCH_commit.json", "JSON output path for the commit experiment (empty disables)")
 	serveOut := flag.String("serveout", "BENCH_server.json", "JSON output path for the serve experiment (empty disables)")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "JSON output path for the obs-overhead experiment (empty disables)")
+	replOut := flag.String("replout", "BENCH_repl.json", "JSON output path for the replication experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -193,6 +196,34 @@ func main() {
 				fail(err)
 			}
 			fmt.Println("wrote", *obsOut)
+		}
+	}
+
+	if all || run["repl"] {
+		rows, err := repro.RunReplThroughput(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("R1 — Durable commit throughput with a follower continuously shipping the log")
+		fmt.Printf("%14s %8s %10s %10s %14s %12s\n", "mode", "clients", "commits", "total(s)", "commits/s", "lag p95(KB)")
+		for _, r := range rows {
+			lag := ""
+			if r.Mode == "with-follower" {
+				lag = fmt.Sprintf("%12.1f", r.LagP95KB)
+			}
+			fmt.Printf("%14s %8d %10d %10.3f %14.1f %12s\n",
+				r.Mode, r.Clients, r.Commits, r.Seconds, r.CommitsPerSec, lag)
+		}
+		fmt.Println()
+		if *replOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*replOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *replOut)
 		}
 	}
 }

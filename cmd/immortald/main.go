@@ -9,9 +9,23 @@
 // timeout to commit or roll back, and the database closes cleanly behind
 // them.
 //
+// A replica follows a primary with -follow: the local directory is seeded
+// (from a base snapshot when the primary has truncated history) and kept
+// current by continuous WAL segment shipping, and the same listener serves
+// read-only snapshot and AS OF transactions against the replication horizon.
+// Writes are answered with a typed redirect. If the replica falls so far
+// behind that the primary must re-seed it mid-flight, the process exits so a
+// supervisor restarts it onto the fresh copy.
+//
+// -restore-from together with -restore-asof runs a one-shot point-in-time
+// restore into -db and exits: the source's retained log chain is cut at the
+// last commit at or before the given time and replayed from genesis.
+//
 // Usage:
 //
 //	immortald -db ./mydb -listen :7707 -http :7708
+//	immortald -db ./replica -listen :7717 -follow primary:7707
+//	immortald -db ./clone -restore-from ./mydb -restore-asof "2004-08-12 10:15:20"
 package main
 
 import (
@@ -30,6 +44,7 @@ import (
 
 	"immortaldb"
 	"immortaldb/internal/obs"
+	"immortaldb/internal/repl"
 	"immortaldb/internal/server"
 )
 
@@ -43,6 +58,9 @@ func main() {
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window for open transactions")
 	index := flag.String("index", "chain", "historical access path: chain or tsb")
 	slowOp := flag.Duration("slowop-threshold", 100*time.Millisecond, "operations slower than this record their span tree in /debug/slowops (negative = off)")
+	follow := flag.String("follow", "", "primary address to replicate from; serves read-only")
+	restoreFrom := flag.String("restore-from", "", "source directory for a point-in-time restore into -db")
+	restoreAsOf := flag.String("restore-asof", "", `restore cut time, e.g. "2004-08-12 10:15:20" (with -restore-from)`)
 	flag.Parse()
 
 	obs.SetSlowOpThreshold(*slowOp)
@@ -53,9 +71,65 @@ func main() {
 	if *index == "tsb" {
 		opts.HistoricalIndex = immortaldb.IndexTSB
 	}
-	db, err := immortaldb.Open(*dir, opts)
-	if err != nil {
-		logger.Fatalf("open %s: %v", *dir, err)
+
+	if *restoreFrom != "" || *restoreAsOf != "" {
+		if *restoreFrom == "" || *restoreAsOf == "" {
+			logger.Fatalf("-restore-from and -restore-asof must be given together")
+		}
+		ts, err := immortaldb.ParseAsOf(*restoreAsOf)
+		if err != nil {
+			logger.Fatalf("restore: %v", err)
+		}
+		if err := immortaldb.RestoreAsOf(*restoreFrom, *dir, ts, opts); err != nil {
+			logger.Fatalf("restore: %v", err)
+		}
+		logger.Printf("restored %s as of %s into %s", *restoreFrom, *restoreAsOf, *dir)
+		return
+	}
+
+	// replaced fires when the follower's local engine is swapped for a fresh
+	// base copy mid-flight; the process exits so a supervisor restarts it.
+	var replaced chan struct{}
+	var follower *repl.Follower
+	var followerDone chan error
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	defer stopFollow()
+
+	var db *immortaldb.DB
+	var err error
+	if *follow != "" {
+		follower = repl.NewFollower(repl.Config{
+			Dir:       *dir,
+			Addr:      *follow,
+			DBOptions: opts,
+			Logf:      logger.Printf,
+		})
+		logger.Printf("syncing from %s", *follow)
+		if err := follower.Sync(followCtx); err != nil {
+			logger.Fatalf("follow %s: %v", *follow, err)
+		}
+		db = follower.DB()
+		_, reseeds := follower.Stats()
+		h := follower.Horizon()
+		logger.Printf("caught up to %s (applied LSN %d, base reseeds %d)", h.MaxVisible, h.AppliedLSN, reseeds)
+		followerDone = make(chan error, 1)
+		replaced = make(chan struct{})
+		go func() { followerDone <- follower.Run(followCtx) }()
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for range t.C {
+				if cur := follower.DB(); cur != nil && cur != db {
+					close(replaced)
+					return
+				}
+			}
+		}()
+	} else {
+		db, err = immortaldb.Open(*dir, opts)
+		if err != nil {
+			logger.Fatalf("open %s: %v", *dir, err)
+		}
 	}
 
 	srv := server.New(db, server.Config{
@@ -135,6 +209,10 @@ func main() {
 		logger.Printf("signal %v: draining (up to %v)", s, *drain)
 	case err := <-serveErr:
 		logger.Printf("serve: %v", err)
+	case <-replaced:
+		logger.Printf("local copy re-seeded from base snapshot; restarting to serve the fresh copy")
+	case err := <-followerDone:
+		logger.Printf("replication stream ended: %v", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -144,6 +222,17 @@ func main() {
 	}
 	if httpSrv != nil {
 		httpSrv.Close()
+	}
+	if follower != nil {
+		stopFollow()
+		if followerDone != nil {
+			<-followerDone
+		}
+		if err := follower.Close(); err != nil {
+			logger.Fatalf("close follower: %v", err)
+		}
+		logger.Printf("closed cleanly")
+		return
 	}
 	// A degraded engine skips the final checkpoint inside Close — writing one
 	// would claim durability the failed I/O disproved — so the error it

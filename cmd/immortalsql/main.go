@@ -15,6 +15,7 @@
 //
 //	immortalsql -db ./mydb [-f script.sql]
 //	immortalsql -connect localhost:7707   # drive a running immortald
+//	immortalsql -db ./clone -restore-from ./mydb -restore-asof "2004-08-12 10:15:20"
 package main
 
 import (
@@ -86,7 +87,30 @@ func main() {
 	connect := flag.String("connect", "", "immortald address (host:port); overrides -db")
 	script := flag.String("f", "", "execute statements from a file instead of stdin")
 	index := flag.String("index", "chain", "historical access path: chain or tsb")
+	restoreFrom := flag.String("restore-from", "", "point-in-time restore source; clones into -db before opening it")
+	restoreAsOf := flag.String("restore-asof", "", `restore cut time, e.g. "2004-08-12 10:15:20" (with -restore-from)`)
 	flag.Parse()
+
+	if *restoreFrom != "" || *restoreAsOf != "" {
+		if *restoreFrom == "" || *restoreAsOf == "" {
+			fmt.Fprintln(os.Stderr, "immortalsql: -restore-from and -restore-asof must be given together")
+			os.Exit(1)
+		}
+		if *connect != "" {
+			fmt.Fprintln(os.Stderr, "immortalsql: restore works on local directories, not -connect")
+			os.Exit(1)
+		}
+		ts, err := immortaldb.ParseAsOf(*restoreAsOf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "immortalsql:", err)
+			os.Exit(1)
+		}
+		if err := immortaldb.RestoreAsOf(*restoreFrom, *dir, ts, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "immortalsql:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "immortalsql: restored %s as of %s into %s\n", *restoreFrom, *restoreAsOf, *dir)
+	}
 
 	var sess executor
 	if *connect != "" {

@@ -144,6 +144,11 @@ type Options struct {
 	// and the PTT, letting the engine degrade cleanly rather than wedge.
 	// Effective only on filesystems that report free space (vfs.FreeSpacer).
 	WALLowWater int64
+	// RetainWAL keeps every log segment forever: checkpoints stop reclaiming
+	// dead segments, so the chain reaches back to the database's creation
+	// and RestoreAsOf can rebuild the state at any past timestamp. The cost
+	// is unbounded log growth.
+	RetainWAL bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -198,6 +203,15 @@ var (
 	// recovery can rebuild trustworthy state from the log. Inspect the cause
 	// with DB.Degraded.
 	ErrDegraded = errors.New("immortaldb: degraded to read-only by I/O failure, reopen required")
+	// ErrReplica reports a write attempted on a read replica. Replicas apply
+	// the primary's shipped log and serve reads at the replication horizon;
+	// every mutation must go to the primary.
+	ErrReplica = errors.New("immortaldb: read-only replica, writes must go to the primary")
+	// ErrBeyondHorizon reports an AS OF time later than a replica's
+	// replication horizon: the state at that time is not yet fully applied,
+	// so serving the read could expose a torn view. Retry once the horizon
+	// advances past the requested time, or read on the primary.
+	ErrBeyondHorizon = errors.New("immortaldb: AS OF time beyond replication horizon")
 )
 
 // Table is a handle to one table.
@@ -264,6 +278,26 @@ type DB struct {
 	commitMu      sync.Mutex
 	txnsSinceCkpt int
 
+	// Replica state. replica is set for databases opened with OpenReplica:
+	// the engine applies the primary's shipped log (ReplicaApply) and serves
+	// reads at the replication horizon; every write path fails with
+	// ErrReplica. appliedLSN is the horizon's log coordinate — the end of the
+	// last fully applied record; replayMu serializes continuous redo;
+	// readTIDs issues local read-transaction IDs from a namespace disjoint
+	// from the primary's TIDs arriving in the stream.
+	replica    bool
+	appliedLSN atomic.Uint64
+	replayMu   sync.Mutex
+	replayer   *redoApplier
+	readTIDs   atomic.Uint64
+
+	// retainFloors holds WAL positions pinned against checkpoint truncation
+	// — one per open base snapshot, so a follower seeded from it can still
+	// pull the log suffix its page copy needs.
+	retainMu     sync.Mutex
+	retainFloors map[uint64]wal.LSN
+	retainNext   uint64
+
 	// degraded latches on the first unrecoverable write-path I/O failure;
 	// degCause (under degMu) keeps the first failure for DB.Degraded. The
 	// latch is one-way: only reopen-with-recovery clears it.
@@ -283,6 +317,10 @@ const (
 
 // Open opens or creates a database in dir.
 func Open(dir string, opts *Options) (*DB, error) {
+	return openDB(dir, opts, false)
+}
+
+func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 	o := opts.withDefaults()
 	fsys := o.FS
 	if fsys == nil {
@@ -323,19 +361,21 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 
 	db := &DB{
-		opts:   o,
-		dir:    dir,
-		pager:  pager,
-		pool:   buffer.New(pager, o.CacheFrames),
-		log:    log,
-		ptt:    ptt,
-		stamp:  stamp.NewManager(ptt),
-		locks:  lock.New(),
-		cat:    catalog.New(),
-		seq:    itime.NewSequencer(o.Clock),
-		tids:   itime.NewTIDSource(1),
-		trees:  make(map[uint32]*tsb.Tree),
-		active: make(map[itime.TID]*Tx),
+		opts:         o,
+		dir:          dir,
+		pager:        pager,
+		pool:         buffer.New(pager, o.CacheFrames),
+		log:          log,
+		ptt:          ptt,
+		stamp:        stamp.NewManager(ptt),
+		locks:        lock.New(),
+		cat:          catalog.New(),
+		seq:          itime.NewSequencer(o.Clock),
+		tids:         itime.NewTIDSource(1),
+		trees:        make(map[uint32]*tsb.Tree),
+		active:       make(map[itime.TID]*Tx),
+		replica:      replica,
+		retainFloors: make(map[uint64]wal.LSN),
 	}
 	db.opDone = sync.NewCond(&db.mu)
 	db.stamp.GCEnabled = !o.DisablePTTGC
@@ -361,7 +401,11 @@ func Open(dir string, opts *Options) (*DB, error) {
 		obs.IOError("write", vfs.ErrClass(err))
 		db.degrade(err)
 	}
-	if o.FullPageWrites {
+	// A replica never appends to its log copy, so no full-page images are
+	// logged even when the option is set — it is still honored by recovery's
+	// torn-page tolerance, which must match the primary that wrote the
+	// shipped stream.
+	if o.FullPageWrites && !replica {
 		db.pool.PreWrite = func(id page.ID, buf []byte) (uint64, error) {
 			lsn, err := log.Append(&wal.Record{Type: wal.TypePageImage, Page: id, Img: buf})
 			return uint64(lsn), err
@@ -407,6 +451,15 @@ func Open(dir string, opts *Options) (*DB, error) {
 	// Open a tree per table.
 	for _, t := range db.cat.List() {
 		db.trees[t.ID] = db.openTree(t)
+	}
+	if replica {
+		// A replica never writes its log: no open-time checkpoint (the
+		// primary's checkpoint records drive local ones instead), no
+		// low-water arming. Continuous redo starts at the recovery scan's
+		// end.
+		db.replayer = newLiveApplier(db)
+		obsDegraded.Set(0)
+		return db, nil
 	}
 	if err := db.Checkpoint(); err != nil {
 		db.closeFiles()
@@ -512,7 +565,7 @@ func (l *treeLogger) LogSMO(pages []any, root *tsb.RootChange) (uint64, error) {
 		}
 		imgs[i] = wal.PageImg{Page: id, Img: buf}
 	}
-	rec := &wal.Record{Type: wal.TypeSMO, Images: imgs}
+	rec := &wal.Record{Type: wal.TypeSMO, Table: l.tableID, Images: imgs}
 	if root != nil {
 		if err := l.db.cat.SetRoot(l.tableID, root.Root, root.IsLeaf); err != nil {
 			return 0, err
@@ -625,6 +678,9 @@ func (db *DB) snapshotHorizon() itime.Timestamp {
 // snapshot isolation; plain tables store bare records with no versioning
 // overhead at all.
 func (db *DB) CreateTable(name string, topts TableOptions) (*Table, error) {
+	if db.replica {
+		return nil, ErrReplica
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -710,6 +766,12 @@ func (db *DB) saveCatalogMeta() error {
 // point has moved — completed PTT entries are garbage collected (Section
 // 2.2).
 func (db *DB) Checkpoint() error {
+	if db.replica {
+		// Replica checkpoints are driven by the primary's checkpoint records
+		// in the shipped stream (see replicaCheckpoint); a locally-initiated
+		// one would append to the log copy.
+		return ErrReplica
+	}
 	defer obsCkptLat.ObserveSince(obs.Now())
 	span := obs.NewRootSpan("db.checkpoint")
 	defer span.End()
@@ -801,10 +863,24 @@ func (db *DB) Checkpoint() error {
 	if undoFloor != 0 && undoFloor < bound {
 		bound = undoFloor
 	}
-	if err := db.log.TruncateBefore(bound); err != nil {
-		// Reclamation is best-effort: the retained segments are merely dead
-		// weight, so a failed delete degrades nothing and fails nothing.
-		obsCkptTruncErr.Inc()
+	if !db.opts.RetainWAL {
+		// Open base snapshots pin the chain too: a follower seeded from one
+		// still needs the log suffix from its LogStart. Holding retainMu
+		// across the truncation closes the race against a snapshot
+		// registering its floor concurrently.
+		db.retainMu.Lock()
+		for _, f := range db.retainFloors {
+			if f < bound {
+				bound = f
+			}
+		}
+		if err := db.log.TruncateBefore(bound); err != nil {
+			// Reclamation is best-effort: the retained segments are merely
+			// dead weight, so a failed delete degrades nothing and fails
+			// nothing.
+			obsCkptTruncErr.Inc()
+		}
+		db.retainMu.Unlock()
 	}
 	// GC with the new redo scan start point.
 	if _, err := db.stamp.RunGC(ck.RedoScanStart(lsn)); err != nil {
@@ -874,10 +950,16 @@ func (db *DB) Close() error {
 	// A degraded engine skips the final checkpoint and log flush: disk state
 	// after the failed I/O is untrustworthy, and writing more would risk
 	// claiming durability recovery cannot honor. Reopen recovers from the
-	// last successfully-synced log prefix instead.
+	// last successfully-synced log prefix instead. A replica has no
+	// checkpoint to take — it just hardens what it has ingested so the next
+	// open's recovery scan starts from durable bytes.
 	err := db.Degraded()
 	if err == nil {
-		err = db.Checkpoint()
+		if db.replica {
+			err = db.log.SyncIngested()
+		} else {
+			err = db.Checkpoint()
+		}
 	}
 	db.mu.Lock()
 	db.closed = true
@@ -1029,6 +1111,9 @@ func (t *Table) Meta() *catalog.Table { return t.meta }
 // EnableSnapshot turns on snapshot versioning for an empty conventional
 // table — the engine-level ALTER TABLE ... ENABLE SNAPSHOT of Section 4.1.
 func (db *DB) EnableSnapshot(name string) error {
+	if db.replica {
+		return ErrReplica
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

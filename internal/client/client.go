@@ -114,6 +114,16 @@ func (e *RemoteError) Degraded() bool { return e.Code == wire.CodeDegraded }
 // statement may succeed after a backoff or on another connection.
 func (e *RemoteError) Retryable() bool { return e.Code == wire.CodeRetryable }
 
+// ReadOnlyReplica reports that the server is a read replica: the statement
+// was a write and must be redirected to the primary. Retrying on the same
+// server will fail the same way.
+func (e *RemoteError) ReadOnlyReplica() bool { return e.Code == wire.CodeReadOnlyReplica }
+
+// BeyondHorizon reports that an AS OF read asked a replica for a timestamp
+// beyond its replication horizon: retryable on the same replica once it
+// catches up, or immediately against the primary.
+func (e *RemoteError) BeyondHorizon() bool { return e.Code == wire.CodeBeyondHorizon }
+
 // DB is a pooled client to one immortald server.
 type DB struct {
 	addr string

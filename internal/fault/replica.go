@@ -1,0 +1,389 @@
+package fault
+
+// The replica crash matrix: a primary runs the deterministic workload on a
+// healthy simulated disk while a follower — on its own simulated disk, armed
+// with a crash point — ingests the primary's WAL in small shipped chunks and
+// applies them through bounded ReplicaApply steps. The crash lands inside
+// chunk ingestion, the fsync of ingested segments, continuous redo, or the
+// replica checkpoints the primary's checkpoint records drive. The follower
+// then reboots with torn/lost sectors, reopens (ordinary recovery over the
+// byte-identical log copy), resumes shipping from its own log end, and must
+// end byte-exact with the primary: no durably acknowledged position ever
+// regresses, and every primary commit is present — current state and AS OF
+// every commit timestamp.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/vfs"
+)
+
+// ReplicaConfig selects a replica crash-matrix cell.
+type ReplicaConfig struct {
+	// Seed drives the primary workload and the follower disk's torn-write
+	// coin flips.
+	Seed int64
+	// CrashAt crashes the follower's simulated disk at the CrashAt-th I/O
+	// operation (1-based). 0 runs the replication to a clean close, which is
+	// how callers learn the total operation count.
+	CrashAt int64
+	// Txns is the number of primary transactions to attempt (default 40).
+	Txns int
+}
+
+// ReplicaRunResult captures one replica crash-matrix run.
+type ReplicaRunResult struct {
+	Config ReplicaConfig
+
+	// PrimaryDB stays open for VerifyReplica, which resyncs the rebooted
+	// follower from it and closes it.
+	PrimaryDB *immortaldb.DB
+	// FollowerFS is the follower's crashed (or cleanly closed) disk.
+	FollowerFS *vfs.SimFS
+
+	// Committed is the primary's commit history — the reference model. All
+	// of it was acknowledged on the primary, so none of it may be missing
+	// from a fully resynced follower.
+	Committed []CommitRecord
+
+	// SyncedLSN/SyncedVisible form the follower's last durably acknowledged
+	// horizon: every byte below SyncedLSN was fsynced to the follower's
+	// disk and applied before the crash. Recovery must come back at or
+	// above this point — the horizon never regresses.
+	SyncedLSN     uint64
+	SyncedVisible immortaldb.Timestamp
+
+	// Clean is true when replication ran to a clean follower close.
+	Clean bool
+	// Err is the first follower error (the injected crash, on a healthy
+	// engine).
+	Err error
+	// Trace is the tail of the follower disk-operation log at crash time.
+	Trace []vfs.Op
+}
+
+const (
+	replPrimaryDir  = "replsim-p"
+	replFollowerDir = "replsim-f"
+	// replChunkMax keeps shipped chunks small so a sweep crosses many
+	// ingest/sync/apply boundaries.
+	replChunkMax = 1536
+	// replApplyStep bounds each ReplicaApply call, pausing redo between
+	// records so crash points land mid-redo, not only at chunk boundaries.
+	replApplyStep = 3
+)
+
+// runReplicaPrimary executes the deterministic workload on a healthy disk
+// and leaves the database open for shipping. It mirrors Run's generator —
+// same rng stream shape, same clock advances — minus crash handling.
+func runReplicaPrimary(cfg ReplicaConfig) (*immortaldb.DB, []CommitRecord, error) {
+	fs := vfs.NewSim(cfg.Seed ^ 0x1ead)
+	opts := options(fs)
+	// The follower syncs from genesis: keep every segment.
+	opts.RetainWAL = true
+	clock := opts.Clock.(*itime.SimClock)
+	db, err := immortaldb.Open(replPrimaryDir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := db.CreateTable(tableName, immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	var committed []CommitRecord
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + 17))
+	for i := 0; i < cfg.Txns; i++ {
+		if adv := rng.Intn(3); adv > 0 {
+			clock.Advance(time.Duration(adv) * itime.TickDuration)
+		}
+		if i%8 == 7 {
+			if err := db.Checkpoint(); err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+		}
+		tx, err := db.Begin(immortaldb.Serializable)
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		rollback := rng.Intn(7) == 0
+		n := 1 + rng.Intn(4)
+		var evs []Event
+		for j := 0; j < n; j++ {
+			key := fmt.Sprintf("k%02d", rng.Intn(numKeys))
+			if rng.Intn(5) == 0 {
+				if err := tx.Delete(tbl, []byte(key)); err != nil {
+					tx.Rollback()
+					db.Close()
+					return nil, nil, err
+				}
+				evs = append(evs, Event{Key: key, Del: true})
+			} else {
+				val := fmt.Sprintf("v%03d.%d.%s", i, j, strings.Repeat("x", 20+rng.Intn(80)))
+				if err := tx.Set(tbl, []byte(key), []byte(val)); err != nil {
+					tx.Rollback()
+					db.Close()
+					return nil, nil, err
+				}
+				evs = append(evs, Event{Key: key, Val: val})
+			}
+		}
+		if rollback {
+			if err := tx.Rollback(); err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		committed = append(committed, CommitRecord{TS: db.Now(), Events: evs})
+	}
+	return db, committed, nil
+}
+
+// shipAll streams the primary's durable log into the follower from the
+// follower's current end: ingest a chunk, fsync it, apply it in bounded redo
+// steps. After each fully applied chunk the follower's horizon is durably
+// backed, so the caller may record it as acknowledged.
+func shipAll(pdb, fdb *immortaldb.DB, acked func(immortaldb.ReplicaHorizon)) error {
+	plog, flog := pdb.Log(), fdb.Log()
+	for {
+		ch, err := plog.ShipRead(flog.End(), replChunkMax)
+		if err != nil {
+			return err
+		}
+		if len(ch.Data) == 0 {
+			return nil
+		}
+		if err := flog.IngestChunk(ch); err != nil {
+			return err
+		}
+		if err := flog.SyncIngested(); err != nil {
+			return err
+		}
+		for {
+			n, err := fdb.ReplicaApply(replApplyStep)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+		}
+		if acked != nil {
+			acked(fdb.Horizon())
+		}
+	}
+}
+
+// RunReplica executes one replica crash-matrix cell: primary workload on a
+// healthy disk, follower replication on a disk that crashes at cfg.CrashAt.
+func RunReplica(cfg ReplicaConfig) *ReplicaRunResult {
+	if cfg.Txns == 0 {
+		cfg.Txns = 40
+	}
+	res := &ReplicaRunResult{Config: cfg}
+
+	pdb, committed, err := runReplicaPrimary(cfg)
+	if err != nil {
+		res.Err = fmt.Errorf("primary workload: %w", err)
+		return res
+	}
+	res.PrimaryDB = pdb
+	res.Committed = committed
+
+	ffs := vfs.NewSim(cfg.Seed)
+	if cfg.CrashAt > 0 {
+		ffs.SetCrashAt(cfg.CrashAt)
+	}
+	res.FollowerFS = ffs
+	abandon := func(fdb *immortaldb.DB, err error) *ReplicaRunResult {
+		res.Err = err
+		res.Trace = ffs.Trace()
+		if fdb != nil {
+			fdb.Close() // best effort; the disk has usually crashed under it
+		}
+		return res
+	}
+
+	fdb, err := immortaldb.OpenReplica(replFollowerDir, options(ffs))
+	if err != nil {
+		return abandon(nil, err)
+	}
+	err = shipAll(pdb, fdb, func(h immortaldb.ReplicaHorizon) {
+		res.SyncedLSN, res.SyncedVisible = h.AppliedLSN, h.MaxVisible
+	})
+	if err != nil {
+		return abandon(fdb, err)
+	}
+	if err := fdb.Close(); err != nil {
+		return abandon(nil, err)
+	}
+	res.Clean = true
+	return res
+}
+
+// wipeSim removes every follower file, mirroring the real follower's
+// wipe-and-reseed reaction to a directory recovery cannot open.
+func wipeSim(fs *vfs.SimFS) error {
+	names, err := fs.List(replFollowerDir + string(filepath.Separator))
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyReplica reboots the crashed follower disk, reopens the replica
+// (running ordinary recovery over the byte-identical log copy), and checks:
+//
+//  1. The horizon never regresses: the reopened replica is at or above the
+//     last durably acknowledged position. (A follower whose directory was
+//     torn before anything was acknowledged may instead wipe and reseed,
+//     exactly as the live follower does.)
+//  2. Resync completes from the follower's own log end — no acknowledged
+//     byte is shipped twice, no gap is left.
+//  3. No acked-on-primary commit is missing: the resynced current state
+//     equals the model, and AS OF every primary commit timestamp reproduces
+//     the model's state at that commit.
+//  4. Forward life: the replica survives a clean close and reopen with the
+//     same answers.
+func VerifyReplica(res *ReplicaRunResult) error {
+	defer func() {
+		if res.PrimaryDB != nil {
+			res.PrimaryDB.Close()
+		}
+	}()
+	fs := res.FollowerFS
+	fs.Reboot()
+
+	fdb, err := immortaldb.OpenReplica(replFollowerDir, options(fs))
+	if err != nil {
+		if res.SyncedLSN != 0 {
+			return fmt.Errorf("reopen after crash failed despite acked position %d: %w", res.SyncedLSN, err)
+		}
+		// Nothing was ever acknowledged: wipe and reseed from genesis, as
+		// the live follower would.
+		if werr := wipeSim(fs); werr != nil {
+			return fmt.Errorf("wipe after failed reopen: %w (reopen error: %v)", werr, err)
+		}
+		fdb, err = immortaldb.OpenReplica(replFollowerDir, options(fs))
+		if err != nil {
+			return fmt.Errorf("reopen after wipe failed: %w", err)
+		}
+	}
+	defer fdb.Close()
+
+	h0 := fdb.Horizon()
+	if h0.AppliedLSN < res.SyncedLSN {
+		return fmt.Errorf("horizon regressed across crash: applied %d < acked %d", h0.AppliedLSN, res.SyncedLSN)
+	}
+	if h0.MaxVisible.Less(res.SyncedVisible) {
+		return fmt.Errorf("visibility regressed across crash: %v < acked %v", h0.MaxVisible, res.SyncedVisible)
+	}
+
+	if err := shipAll(res.PrimaryDB, fdb, nil); err != nil {
+		return fmt.Errorf("resync after crash: %w", err)
+	}
+
+	check := func(fdb *immortaldb.DB) error {
+		tbl, err := fdb.Table(tableName)
+		if err != nil {
+			return fmt.Errorf("table missing after resync: %w", err)
+		}
+		model := map[string]string{}
+		for _, c := range res.Committed {
+			apply(model, c.Events)
+		}
+		cur, err := scanReplica(fdb, tbl)
+		if err != nil {
+			return fmt.Errorf("current-state scan: %w", err)
+		}
+		if !equal(cur, model) {
+			return fmt.Errorf("resynced state diverges from primary model:\n%s", diff(cur, model))
+		}
+		state := map[string]string{}
+		for i, c := range res.Committed {
+			apply(state, c.Events)
+			got, err := scanAt(fdb, tbl, c.TS)
+			if err != nil {
+				return fmt.Errorf("AS OF commit %d (ts %v): %w", i, c.TS, err)
+			}
+			if !equal(got, state) {
+				return fmt.Errorf("AS OF commit %d (ts %v) diverges:\n%s", i, c.TS, diff(got, state))
+			}
+		}
+		return nil
+	}
+	if err := check(fdb); err != nil {
+		return err
+	}
+
+	// Forward life: a clean close and reopen must preserve every answer.
+	if err := fdb.Close(); err != nil {
+		return fmt.Errorf("post-resync close: %w", err)
+	}
+	fdb, err = immortaldb.OpenReplica(replFollowerDir, options(fs))
+	if err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	if err := check(fdb); err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	return nil
+}
+
+// scanReplica reads the replica's current state through a snapshot read at
+// the replication horizon.
+func scanReplica(db *immortaldb.DB, tbl *immortaldb.Table) (map[string]string, error) {
+	tx, err := db.Begin(immortaldb.SnapshotIsolation)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Commit()
+	state := map[string]string{}
+	err = tx.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		state[string(k)] = string(v)
+		return true
+	})
+	return state, err
+}
+
+// DescribeReplica renders a failure coordinate with enough context to replay.
+func DescribeReplica(res *ReplicaRunResult) string {
+	var b strings.Builder
+	ops := int64(0)
+	if res.FollowerFS != nil {
+		ops = res.FollowerFS.OpCount()
+	}
+	fmt.Fprintf(&b, "seed=%d crash-point=%d follower-ops=%d committed=%d acked-lsn=%d\n",
+		res.Config.Seed, res.Config.CrashAt, ops, len(res.Committed), res.SyncedLSN)
+	fmt.Fprintf(&b, "replay: go test -run TestReplicaCrashMatrix -rseed=%d -rpoint=%d\n",
+		res.Config.Seed, res.Config.CrashAt)
+	fmt.Fprintf(&b, "last follower disk ops before crash:\n")
+	for _, op := range res.Trace {
+		fmt.Fprintf(&b, "  %s\n", op.String())
+	}
+	return b.String()
+}
+
+// ReplicaCrashed reports whether the follower actually hit the injected
+// crash, as opposed to finishing (or failing) without it.
+func ReplicaCrashed(res *ReplicaRunResult) bool {
+	return res.FollowerFS != nil && res.FollowerFS.Crashed()
+}

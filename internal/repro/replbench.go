@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+)
+
+// ------------------------------------------- R1: replication overhead/lag
+
+// ReplRow is one replication-ablation measurement: durable commit throughput
+// on a primary running alone versus the same primary with one follower
+// continuously shipping and applying its log, plus the follower's lag.
+type ReplRow struct {
+	Mode          string  `json:"mode"` // "primary-only" or "with-follower"
+	Clients       int     `json:"clients"`
+	Commits       int     `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// LagP95KB is the 95th-percentile follower lag in KB of unapplied log,
+	// sampled once per pump round. Zero for primary-only rows.
+	LagP95KB float64 `json:"lag_p95_kb"`
+}
+
+// RunReplThroughput measures what segment shipping costs the primary. The
+// shipper's reads ride the same WAL the committers are appending to, so the
+// interesting contention is log-internal; the follower applies on its own
+// engine and only its pull cadence touches the primary. Lag is the distance
+// between the primary's durable end and the follower's applied horizon.
+func RunReplThroughput(o Options, clientCounts []int) ([]ReplRow, error) {
+	o = o.withDefaults()
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 4, 8}
+	}
+	total := o.scaled(800)
+	var out []ReplRow
+	for _, follower := range []bool{false, true} {
+		mode := "primary-only"
+		if follower {
+			mode = "with-follower"
+		}
+		for _, clients := range clientCounts {
+			e, err := NewEnv(o, true, func(op *immortaldb.Options) {
+				op.NoSync = false // durable commits: same regime as the commit ablation
+			})
+			if err != nil {
+				return nil, err
+			}
+			var lagP95 float64
+			var pumpErr error
+			var stormDone atomic.Bool
+			pumpDone := make(chan struct{})
+			if follower {
+				fdir, err := os.MkdirTemp("", "immortaldb-replbench")
+				if err != nil {
+					e.Close()
+					return nil, err
+				}
+				fdb, err := immortaldb.OpenReplica(fdir, &immortaldb.Options{
+					PageSize:    o.PageSize,
+					CacheFrames: o.CacheFrames,
+					NoSync:      true,
+					Clock:       itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC)),
+				})
+				if err != nil {
+					os.RemoveAll(fdir)
+					e.Close()
+					return nil, err
+				}
+				go func() {
+					defer close(pumpDone)
+					defer fdb.Close()
+					defer os.RemoveAll(fdir)
+					var lags []float64
+					defer func() {
+						lagP95 = percentile(lags, 0.95)
+					}()
+					plog, flog := e.DB.Log(), fdb.Log()
+					for {
+						ch, err := plog.ShipRead(flog.End(), 64<<10)
+						if err != nil {
+							pumpErr = err
+							return
+						}
+						if len(ch.Data) > 0 {
+							if err := flog.IngestChunk(ch); err != nil {
+								pumpErr = err
+								return
+							}
+							if _, err := fdb.ReplicaApply(0); err != nil {
+								pumpErr = err
+								return
+							}
+						}
+						lag := uint64(plog.FlushedLSN()) - fdb.Horizon().AppliedLSN
+						lags = append(lags, float64(lag)/1024)
+						if len(ch.Data) == 0 {
+							// Caught up. Keep pumping until the storm ends,
+							// then exit fully drained (zero final lag).
+							if stormDone.Load() {
+								return
+							}
+							time.Sleep(200 * time.Microsecond)
+						}
+					}
+				}()
+			} else {
+				close(pumpDone)
+			}
+			sec, commits, err := CommitStorm(e, clients, total)
+			stormDone.Store(true)
+			<-pumpDone
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if pumpErr != nil {
+				return nil, pumpErr
+			}
+			out = append(out, ReplRow{
+				Mode:          mode,
+				Clients:       clients,
+				Commits:       commits,
+				Seconds:       sec,
+				CommitsPerSec: float64(commits) / sec,
+				LagP95KB:      lagP95,
+			})
+		}
+	}
+	return out, nil
+}
+
+// percentile returns the p-quantile of xs (nearest-rank), 0 for no samples.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -10,6 +10,7 @@ import (
 
 	"immortaldb"
 	"immortaldb/internal/obs"
+	"immortaldb/internal/repl"
 	"immortaldb/internal/sqlish"
 	"immortaldb/internal/wire"
 )
@@ -47,7 +48,21 @@ func (c *conn) serve() {
 	}()
 
 	br := bufio.NewReader(c.nc)
-	if !c.handshake(br) {
+	replHello, ok := c.handshake(br)
+	if !ok {
+		return
+	}
+	if replHello != nil {
+		// A replication handshake turns the connection over to the segment
+		// shipper for its whole life; it never carries statements.
+		if err := c.srv.shipper().ServeConn(c.nc, br, replHello, repl.ConnOpts{
+			Now:            c.srv.now,
+			IdleTimeout:    c.srv.cfg.IdleTimeout,
+			RequestTimeout: c.srv.cfg.RequestTimeout,
+			Draining:       c.srv.isDraining,
+		}); err != nil && !errors.Is(err, io.EOF) {
+			c.srv.logf("server: replication connection: %v", err)
+		}
 		return
 	}
 	c.sess = sqlish.NewSession(c.srv.db)
@@ -121,22 +136,31 @@ func (c *conn) serve() {
 	}
 }
 
-// handshake validates the client hello within one request timeout.
-func (c *conn) handshake(br *bufio.Reader) bool {
+// handshake validates the opening frame within one request timeout. A query
+// hello is answered here and returns (nil, true); a replication hello is
+// returned raw for the shipper to answer as (payload, true).
+func (c *conn) handshake(br *bufio.Reader) ([]byte, bool) {
 	c.nc.SetDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
 	typ, payload, err := wire.ReadFrame(br)
-	if err != nil || typ != wire.MsgHello {
-		return false
+	if err != nil {
+		return nil, false
+	}
+	if typ == wire.MsgReplHello {
+		c.nc.SetDeadline(time.Time{})
+		return payload, true
+	}
+	if typ != wire.MsgHello {
+		return nil, false
 	}
 	if _, err := wire.CheckHello(payload); err != nil {
 		writeError(c.nc, err)
-		return false
+		return nil, false
 	}
 	if err := wire.WriteFrame(c.nc, wire.MsgHelloOK, []byte{wire.Version}); err != nil {
-		return false
+		return nil, false
 	}
 	c.nc.SetDeadline(time.Time{})
-	return true
+	return nil, true
 }
 
 // armReadDeadline sets the next request's read deadline: the idle timeout,
@@ -172,7 +196,10 @@ func (c *conn) drainContinue() bool {
 
 // writeError sends an error frame, classified so the client knows what a
 // retry is worth: degradation is terminal until an operator intervenes,
-// shutdown conditions are transient, everything else is a statement error.
+// shutdown conditions are transient, a write refused by a replica must be
+// redirected to the primary, an AS OF read past the replication horizon is
+// retryable here once the horizon advances, and everything else is a
+// statement error.
 func writeError(w io.Writer, err error) error {
 	code := wire.CodeGeneric
 	switch {
@@ -182,6 +209,10 @@ func writeError(w io.Writer, err error) error {
 		errors.Is(err, immortaldb.ErrClosed),
 		errors.Is(err, immortaldb.ErrAborted):
 		code = wire.CodeRetryable
+	case errors.Is(err, immortaldb.ErrReplica):
+		code = wire.CodeReadOnlyReplica
+	case errors.Is(err, immortaldb.ErrBeyondHorizon):
+		code = wire.CodeBeyondHorizon
 	}
 	return wire.WriteFrame(w, wire.MsgError, wire.ErrorPayload(code, err.Error()))
 }

@@ -23,6 +23,7 @@ import (
 	"immortaldb"
 	"immortaldb/internal/itime"
 	"immortaldb/internal/obs"
+	"immortaldb/internal/repl"
 )
 
 // Observability: request-path latency per verb, the in-flight gauge, and
@@ -104,6 +105,11 @@ type Server struct {
 	drainUntil atomic.Int64
 
 	wg sync.WaitGroup // connection handlers
+
+	// ship serves replication connections (created on first use; one per
+	// server so follower horizon acks aggregate into one lag gauge).
+	shipOnce sync.Once
+	ship     *repl.Shipper
 
 	accepted, refused  atomic.Uint64
 	requests, errCount atomic.Uint64
@@ -330,6 +336,15 @@ func (s *Server) Stats() Stats {
 
 // DB exposes the served database (metrics endpoints read its Stats).
 func (s *Server) DB() *immortaldb.DB { return s.db }
+
+// shipper lazily creates the replication shipper.
+func (s *Server) shipper() *repl.Shipper {
+	s.shipOnce.Do(func() { s.ship = repl.NewShipper(s.db) })
+	return s.ship
+}
+
+// Shipper exposes the replication shipper's stats (nil-safe: creates it).
+func (s *Server) Shipper() *repl.Shipper { return s.shipper() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {

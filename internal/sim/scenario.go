@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,7 +14,9 @@ import (
 	"immortaldb"
 	"immortaldb/internal/client"
 	"immortaldb/internal/itime"
+	"immortaldb/internal/repl"
 	"immortaldb/internal/server"
+	"immortaldb/internal/sqlish"
 	"immortaldb/internal/workload"
 )
 
@@ -44,6 +47,12 @@ type Step struct {
 	// Faults arms scripted faults; ClearFaults disarms all.
 	Faults      []Fault
 	ClearFaults bool
+	// SyncReplicas runs one replication sync on every follower, in index
+	// order, recording each outcome class in the trace. A follower whose
+	// sync dies under a scripted fault simply stays behind until the next
+	// sync step — the final verification syncs everyone over a clean
+	// network first.
+	SyncReplicas bool
 }
 
 // Scenario describes one simulation: a cluster shape, a workload, a chaos
@@ -53,6 +62,11 @@ type Scenario struct {
 	// Servers and Clients set the cluster shape; client i talks to server
 	// i mod Servers. Each server owns an independent database.
 	Servers, Clients int
+	// Followers boots this many WAL-shipping read replicas of server 0.
+	// They sync at SyncReplicas script barriers (so fault coordinates stay
+	// deterministic), and the post-run oracle replays every worker's AS OF
+	// invoice audit against each replica: the totals must match exactly.
+	Followers int
 	// Workload is "metering" (default) or "moving".
 	Workload string
 	// Profile is the probabilistic chaos profile for connections dialed
@@ -116,6 +130,38 @@ func Predefined(name string) (Scenario, bool) {
 			},
 			Script: []Step{{Ops: 20}, {Ops: 20}},
 		}, true
+	case "replica-kill":
+		return Scenario{
+			Name: "replica-kill", Servers: 1, Clients: 2, Followers: 2,
+			Profile: Profile{Latency: time.Millisecond, Jitter: time.Millisecond},
+			Script: []Step{
+				{Ops: 15},
+				{SyncReplicas: true},
+				// Cut follower 0's next sync mid-chunk: the 5th operation on
+				// its next connection is the first shipped frame, and only 9
+				// bytes of it — a frame header plus a sliver — arrive.
+				{Faults: []Fault{{Dialer: "repl0", Op: "write", StartOp: 5, Count: 1, Mode: Kill, KeepBytes: 9}}},
+				{Ops: 15},
+				{SyncReplicas: true}, // repl0 dies mid-chunk, repl1 catches up
+				{ClearFaults: true},
+				{SyncReplicas: true}, // repl0 reconnects and resumes from its log end
+				{Ops: 10},
+			},
+		}, true
+	case "replica-partition":
+		return Scenario{
+			Name: "replica-partition", Servers: 1, Clients: 2, Followers: 2,
+			Profile: Profile{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
+			Script: []Step{
+				{Ops: 12},
+				{SyncReplicas: true},
+				{Partition: "srv0:7707"},
+				{SyncReplicas: true}, // both followers refused at dial
+				{Heal: "srv0:7707"},
+				{Ops: 12},
+				{SyncReplicas: true},
+			},
+		}, true
 	case "moving":
 		return Scenario{
 			Name: "moving", Servers: 1, Clients: 2, Workload: "moving",
@@ -133,7 +179,9 @@ func Predefined(name string) (Scenario, bool) {
 }
 
 // ScenarioNames lists the predefined suite.
-func ScenarioNames() []string { return []string{"smoke", "partition", "churn", "moving"} }
+func ScenarioNames() []string {
+	return []string{"smoke", "partition", "churn", "moving", "replica-kill", "replica-partition"}
+}
 
 // Run executes one scenario under one seed: boots the cluster on a virtual
 // timeline over a seeded simnet, drives the workload through the script,
@@ -232,6 +280,69 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		adb.Close()
 	}
 
+	// Followers of server 0, each replicating into its own directory. They
+	// are paced by SyncReplicas script barriers rather than free-running, so
+	// every replication connection's operation sequence — and therefore
+	// every scripted fault coordinate on it — is deterministic.
+	type folRec struct {
+		f       *repl.Follower
+		dir     string
+		lastLSN uint64
+	}
+	followers := make([]*folRec, sc.Followers)
+	defer func() {
+		for _, fr := range followers {
+			if fr == nil {
+				continue
+			}
+			fr.f.Close()
+			os.RemoveAll(fr.dir)
+		}
+	}()
+	for i := range followers {
+		dir, err := os.MkdirTemp("", "simrepl")
+		if err != nil {
+			return nil, err
+		}
+		f := repl.NewFollower(repl.Config{
+			Dir:          dir,
+			Addr:         servers[0].addr,
+			DBOptions:    &immortaldb.Options{NoSync: true, Clock: tl},
+			Dialer:       n.Dialer(fmt.Sprintf("repl%d", i)),
+			Timeline:     tl,
+			OpTimeout:    scnOpTimeout,
+			DialTimeout:  scnOpTimeout,
+			RetryBackoff: scnBackoff,
+			MaxPull:      512, // small pulls: several frames per sync to fault
+		})
+		followers[i] = &folRec{f: f, dir: dir}
+	}
+	var folViolations []string
+	syncReplicas := func() {
+		for i, fr := range followers {
+			err := fr.f.Sync(ctx)
+			class := "ok"
+			var rerr *repl.ReplError
+			switch {
+			case err == nil:
+			case errors.As(err, &rerr) && rerr.Retryable():
+				class = "gap"
+			default:
+				class = "neterr"
+			}
+			trace.Add(fmt.Sprintf("repl%d", i), "sync "+class)
+			// The horizon oracle: a replica's applied position never moves
+			// backwards, however its syncs die — even across a base re-seed,
+			// which lands it further ahead, never behind.
+			if h := fr.f.Horizon(); h.AppliedLSN < fr.lastLSN {
+				folViolations = append(folViolations, fmt.Sprintf(
+					"repl%d: horizon regressed %d -> %d", i, fr.lastLSN, h.AppliedLSN))
+			} else {
+				fr.lastLSN = h.AppliedLSN
+			}
+		}
+	}
+
 	n.SetProfile(sc.Profile)
 
 	// Workers.
@@ -269,6 +380,9 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 			n.Partition(st.Partition)
 		case st.Heal != "":
 			n.Heal(st.Heal)
+		case st.SyncReplicas:
+			trace.Add("run", fmt.Sprintf("phase %d sync replicas", si))
+			syncReplicas()
 		case st.ClearFaults:
 			n.ClearFaults()
 			trace.Add("run", "clear faults")
@@ -308,9 +422,117 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		res.Errors += w.errs
 		res.Violations = append(res.Violations, w.violations...)
 	}
+
+	// Replica oracle. A replica only serves AS OF instants at or below its
+	// horizon — the newest commit timestamp it has applied — and the last
+	// invoice close instant lies after the last workload commit. One fence
+	// commit on the primary pushes the replicated horizon past every
+	// recorded close instant, exactly as any later primary activity would.
+	if len(followers) > 0 {
+		fcli, err := client.Open(servers[0].addr, &client.Options{
+			MaxConns: 1, Dialer: n.Dialer("fence"),
+			Timeline: tl, OpTimeout: scnOpTimeout, RetryBackoff: scnBackoff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: fence dial: %w", err)
+		}
+		for _, stmt := range []string{
+			"CREATE IMMORTAL TABLE repl_fence (id int PRIMARY KEY, v int)",
+			"INSERT INTO repl_fence VALUES (1, 1)",
+		} {
+			if _, err := fcli.Exec(ctx, stmt); err != nil {
+				fcli.Close()
+				return nil, fmt.Errorf("sim: fence %q: %w", stmt, err)
+			}
+		}
+		fcli.Close()
+	}
+
+	// One clean-network sync brings every follower to the primary's flushed
+	// end (nothing writes anymore), then every worker's AS OF invoice audit
+	// replays against every replica — the replication horizon covers each
+	// recorded close instant, and the copied history must produce the exact
+	// recorded totals.
+	for fi, fr := range followers {
+		if err := fr.f.Sync(ctx); err != nil {
+			return nil, fmt.Errorf("sim: final replica %d sync: %w", fi, err)
+		}
+		trace.Add(fmt.Sprintf("repl%d", fi), "sync ok")
+		fdb := fr.f.DB()
+		if fdb == nil {
+			return nil, fmt.Errorf("sim: replica %d has no engine after final sync", fi)
+		}
+		sess := sqlish.NewSession(fdb)
+		for _, w := range workers {
+			for _, period := range w.invoicePeriods() {
+				inv := w.invoices[period]
+				got, err := replicaSumAsOf(sess, uint32(w.id), period, inv.asOf, w.gen.RowSeqs(period))
+				if err != nil {
+					sess.Close()
+					return nil, fmt.Errorf("sim: replica %d audit cli%d p%d: %w", fi, w.id, period, err)
+				}
+				if got != inv.total {
+					res.Violations = append(res.Violations, fmt.Sprintf(
+						"repl%d: AS OF audit of cli%d period %d read %d, invoice recorded %d",
+						fi, w.id, period, got, inv.total))
+					trace.Add(fmt.Sprintf("repl%d", fi), fmt.Sprintf(
+						"audit cli%d p%d MISMATCH got=%d want=%d", w.id, period, got, inv.total))
+					continue
+				}
+				trace.Add(fmt.Sprintf("repl%d", fi), fmt.Sprintf(
+					"audit cli%d p%d match total=%d", w.id, period, got))
+			}
+		}
+		sess.Close()
+	}
+	res.Violations = append(res.Violations, folViolations...)
+
 	res.Hash = trace.Hash()
 	res.Events = trace.Len()
 	return res, nil
+}
+
+// invoicePeriods lists a metering worker's closed periods in ascending
+// order (empty for moving-objects workers).
+func (w *scnWorker) invoicePeriods() []uint32 {
+	if w.gen == nil {
+		return nil
+	}
+	periods := make([]uint32, 0, len(w.invoices))
+	for p := range w.invoices {
+		periods = append(periods, p)
+	}
+	sort.Slice(periods, func(i, j int) bool { return periods[i] < periods[j] })
+	return periods
+}
+
+// replicaSumAsOf totals one period's meter rows on a replica inside one AS
+// OF transaction, through the same SQL surface clients use.
+func replicaSumAsOf(sess *sqlish.Session, tenant, period uint32, asOf string, seqs []uint32) (int64, error) {
+	if _, err := sess.Exec(fmt.Sprintf("BEGIN TRAN AS OF %q", asOf)); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, seq := range seqs {
+		res, err := sess.Exec(workload.MeterSelect(tenant, period, seq))
+		if err != nil {
+			sess.Exec("ROLLBACK")
+			return 0, err
+		}
+		if len(res.Rows) == 0 {
+			continue
+		}
+		v, err := strconv.ParseInt(res.Rows[0][0], 10, 64)
+		if err != nil {
+			sess.Exec("ROLLBACK")
+			return 0, err
+		}
+		total += v
+	}
+	if _, err := sess.Exec("COMMIT"); err != nil {
+		return 0, err
+	}
+	return total, nil
 }
 
 // invoice is a closed billing period's recorded total and the AS OF instant

@@ -67,6 +67,67 @@ func TestScenarioPartitionKillNoAckedLoss(t *testing.T) {
 	}
 }
 
+// TestScenarioReplicaKill cuts a follower's sync mid-chunk and proves the
+// replica suite's contract: identical hashes across runs, the scripted kill
+// visibly bit a replication connection, the follower recovered by resuming
+// from its own log end, and every AS OF invoice audit replayed on both
+// replicas matches the primary's recorded totals exactly (runScenario fails
+// on violations).
+func TestScenarioReplicaKill(t *testing.T) {
+	a := runScenario(t, "replica-kill", 13)
+	b := runScenario(t, "replica-kill", 13)
+	if a.Hash != b.Hash {
+		diffTraces(t, a, b)
+	}
+	var replKills, replAudits, syncErrs int
+	for _, l := range a.Trace.Lines() {
+		if strings.HasPrefix(l, "repl0#") && strings.Contains(l, "kill w") {
+			replKills++
+		}
+		if strings.HasPrefix(l, "repl") && strings.Contains(l, " match ") {
+			replAudits++
+		}
+		if strings.Contains(l, "sync neterr") {
+			syncErrs++
+		}
+	}
+	if replKills == 0 {
+		t.Error("no kill fault landed on a replication connection")
+	}
+	if syncErrs == 0 {
+		t.Error("no follower sync died; the mid-chunk kill did not bite")
+	}
+	if replAudits == 0 {
+		t.Error("no AS OF audits replayed on the replicas")
+	}
+}
+
+// TestScenarioReplicaPartition isolates the primary while followers try to
+// sync: refused dials are recorded deterministically, and after heal the
+// replicas catch up and pass every AS OF audit.
+func TestScenarioReplicaPartition(t *testing.T) {
+	a := runScenario(t, "replica-partition", 17)
+	b := runScenario(t, "replica-partition", 17)
+	if a.Hash != b.Hash {
+		diffTraces(t, a, b)
+	}
+	var refused, replAudits int
+	for _, l := range a.Trace.Lines() {
+		if strings.HasPrefix(l, "repl") && strings.Contains(l, "refuse dial") {
+			refused++
+		}
+		if strings.HasPrefix(l, "repl") && strings.Contains(l, " match ") {
+			replAudits++
+		}
+	}
+	if refused == 0 {
+		t.Error("no follower dial was refused during the partition")
+	}
+	if replAudits == 0 {
+		t.Error("no AS OF audits replayed on the replicas")
+	}
+}
+
 func TestScenarioChurnDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("churn scenario is slow under -short")

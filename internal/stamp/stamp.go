@@ -380,6 +380,19 @@ func (m *Manager) RestoreCommitted(tid itime.TID, ts itime.Timestamp, persistent
 // PTTLen returns the number of entries in the persistent timestamp table.
 func (m *Manager) PTTLen() uint64 { return m.ptt.Len() }
 
+// ExportPTT streams every persistent timestamp entry, in TID order, to fn —
+// the PTT half of a base snapshot for replica seeding. fn returning false
+// stops the walk. Entries are read from the PTT's committed+buffered state
+// under the manager's lock, so no commit can interleave a half-published
+// mapping into the export.
+func (m *Manager) ExportPTT(fn func(tid itime.TID, ts itime.Timestamp) bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ptt.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		return fn(itime.TID(k), itime.DecodeTimestamp(v))
+	})
+}
+
 // VTTLen returns the number of entries in the volatile timestamp table.
 func (m *Manager) VTTLen() int {
 	m.mu.Lock()

@@ -38,6 +38,10 @@ const (
 	metaPages = 2
 )
 
+// FirstDataPage is the ID of the first non-meta page — where a base-snapshot
+// page copy starts.
+const FirstDataPage = page.ID(metaPages)
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Pager manages a single page file. It is safe for concurrent use.

@@ -181,6 +181,30 @@ func (t *Tree) Root() (page.ID, bool) {
 	return t.root, t.rootIsLeaf
 }
 
+// Exclusive runs fn holding the tree's writer lock, excluding every reader
+// and writer. Live replica redo uses it to install multi-page structure
+// modifications atomically with respect to the AS OF reads it serves
+// concurrently — a reader never observes a split half-applied.
+func (t *Tree) Exclusive(fn func() error) error {
+	return t.ApplyExclusive(fn, nil)
+}
+
+// ApplyExclusive runs fn under the tree's writer lock and, if fn succeeds
+// and rc is non-nil, repositions the root in the same critical section —
+// the page installs and the root move of one replicated structure
+// modification become a single atomic step for concurrent readers.
+func (t *Tree) ApplyExclusive(fn func() error, rc *RootChange) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := fn(); err != nil {
+		return err
+	}
+	if rc != nil {
+		t.root, t.rootIsLeaf = rc.Root, rc.IsLeaf
+	}
+	return nil
+}
+
 // SetRoot repositions the tree (recovery applying a root-change record).
 func (t *Tree) SetRoot(root page.ID, isLeaf bool) {
 	t.mu.Lock()

@@ -75,6 +75,10 @@ type Log struct {
 	ckpt     LSN    // last checkpoint record, 0 if none
 	fail     error  // sticky first write-path failure; nil while healthy
 	closed   bool
+	// ingest marks a replica's log copy (set by the first IngestChunk).
+	// Ordinary appends are refused: the copy must stay byte-identical to a
+	// prefix of the primary's stream.
+	ingest bool
 	// NoSync skips fsync on Flush; used by benchmarks where the paper's
 	// workload measures CPU and buffer behaviour rather than disk latency.
 	NoSync bool
@@ -433,6 +437,9 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	}
 	if l.fail != nil {
 		return 0, l.failedErrLocked()
+	}
+	if l.ingest {
+		return 0, fmt.Errorf("wal: append to a replica log copy")
 	}
 	// Exact-fit rotation: a record that would overflow the active segment's
 	// preallocated capacity goes into a fresh one instead (unless the

@@ -111,7 +111,7 @@ type Record struct {
 	TID     itime.TID
 	PrevLSN LSN // previous record of the same transaction
 
-	Table uint32  // InsertVersion, CLR
+	Table uint32  // InsertVersion, CLR, SMO
 	Page  page.ID // InsertVersion, CLR, PageImage, FreePage
 	Key   []byte  // InsertVersion, CLR
 	Value []byte  // InsertVersion
@@ -160,7 +160,7 @@ func (r *Record) payloadLen() int {
 	case TypeStamp:
 		return 4 + 8 + 2 + len(r.Key) + itime.EncodedLen
 	case TypeSMO:
-		n := 4 + len(r.Blob) + 4
+		n := 4 + 4 + len(r.Blob) + 4
 		for i := range r.Images {
 			n += 12 + len(r.Images[i].Img)
 		}
@@ -172,6 +172,11 @@ func (r *Record) payloadLen() int {
 
 // encodedLen returns the full on-disk size of the record.
 func (r *Record) encodedLen() int { return recHeaderLen + r.payloadLen() }
+
+// EndLSN returns the LSN one past this record — where the next record
+// starts. Replica redo uses it to track the applied horizon record by
+// record; it is only meaningful on records whose LSN has been assigned.
+func (r *Record) EndLSN() LSN { return r.LSN + LSN(r.encodedLen()) }
 
 // encode appends the record to dst and returns the extended slice.
 func (r *Record) encode(dst []byte) []byte {
@@ -243,9 +248,10 @@ func (r *Record) encode(dst []byte) []byte {
 		copy(p[14:], r.Key)
 		r.TS.Encode(p[14+len(r.Key):])
 	case TypeSMO:
-		binary.BigEndian.PutUint32(p[0:], uint32(len(r.Blob)))
-		copy(p[4:], r.Blob)
-		q := p[4+len(r.Blob):]
+		binary.BigEndian.PutUint32(p[0:], r.Table)
+		binary.BigEndian.PutUint32(p[4:], uint32(len(r.Blob)))
+		copy(p[8:], r.Blob)
+		q := p[8+len(r.Blob):]
 		binary.BigEndian.PutUint32(q[0:], uint32(len(r.Images)))
 		q = q[4:]
 		for i := range r.Images {
@@ -380,17 +386,18 @@ func decodeRecord(b []byte) (*Record, int, error) {
 		r.Key = append([]byte(nil), p[14:14+klen]...)
 		r.TS = itime.DecodeTimestamp(p[14+klen:])
 	case TypeSMO:
-		if len(p) < 4 {
+		if len(p) < 8 {
 			return bad()
 		}
-		bn := int(binary.BigEndian.Uint32(p[0:]))
-		if bn < 0 || len(p) < 4+bn+4 {
+		r.Table = binary.BigEndian.Uint32(p[0:])
+		bn := int(binary.BigEndian.Uint32(p[4:]))
+		if bn < 0 || len(p) < 8+bn+4 {
 			return bad()
 		}
 		if bn > 0 {
-			r.Blob = append([]byte(nil), p[4:4+bn]...)
+			r.Blob = append([]byte(nil), p[8:8+bn]...)
 		}
-		q := p[4+bn:]
+		q := p[8+bn:]
 		ni := int(binary.BigEndian.Uint32(q[0:]))
 		q = q[4:]
 		if ni < 0 || ni*12 > len(q) {

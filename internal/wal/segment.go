@@ -65,6 +65,9 @@ type segment struct {
 	// prealloc records that the file has been extended to full capacity, so
 	// record writes within it cannot hit ENOSPC.
 	prealloc bool
+	// dirty marks bytes ingested by a replica copy (IngestChunk) that have
+	// not yet been fsynced by SyncIngested.
+	dirty bool
 }
 
 func encodeSegHeader(seq uint64, start LSN) []byte {

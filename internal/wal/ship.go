@@ -1,0 +1,438 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"immortaldb/internal/storage/vfs"
+)
+
+// This file is the log's replication surface. A primary ships its durable
+// byte prefix to followers chunk by chunk (ShipRead); a follower writes the
+// same bytes into an identical local segment chain (IngestChunk), so its
+// copy of the log is byte-for-byte a prefix of the primary's. Follower crash
+// recovery therefore needs no new machinery: reopening the copied chain runs
+// the ordinary torn-tail scan, and resync resumes from wherever it ends.
+
+// ErrShipGap reports a ship request below the primary's first retained
+// record: checkpoint truncation reclaimed the segments the follower still
+// needs, so it must re-seed from a base snapshot instead of the log.
+var ErrShipGap = errors.New("wal: requested LSN below first retained segment")
+
+// ShipChunk is one shipped span of the log. The bytes lie entirely inside
+// one segment of the primary's chain, identified by (Seq, SegStart) so the
+// follower can reproduce the same rotation points. At is the logical offset
+// of Data[0]; a chunk with empty Data means the follower is caught up with
+// the primary's durable prefix.
+type ShipChunk struct {
+	Seq      uint64 // segment sequence number
+	SegStart LSN    // first LSN of that segment
+	At       LSN    // logical offset of Data[0]
+	Data     []byte
+}
+
+// ShipRead reads up to max bytes of the durable log starting at from. The
+// returned chunk never crosses a segment boundary and never includes bytes
+// past FlushedLSN, so every byte shipped is already crash-durable on the
+// primary — a follower can never get ahead of what the primary would itself
+// recover. At the durable end it returns an empty chunk positioned at from.
+func (l *Log) ShipRead(from LSN, max int) (ShipChunk, error) {
+	if max <= 0 {
+		return ShipChunk{}, fmt.Errorf("wal: ship read of %d bytes", max)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ShipChunk{}, ErrClosed
+	}
+	if from < FirstLSN {
+		from = FirstLSN
+	}
+	if from < l.segs[0].start {
+		return ShipChunk{}, fmt.Errorf("%w: %d < %d", ErrShipGap, from, l.segs[0].start)
+	}
+	if from > l.flushed {
+		return ShipChunk{}, fmt.Errorf("wal: ship read at %d past durable end %d", from, l.flushed)
+	}
+	i := segIndex(l.segs, from)
+	seg := l.segs[i]
+	if from == l.flushed {
+		// Caught up. If the durable end sits exactly on a rotation point the
+		// next byte belongs to the next segment; report that segment's
+		// coordinates so the follower rotates in lockstep.
+		if i+1 < len(l.segs) && l.segs[i+1].start == from {
+			seg = l.segs[i+1]
+		}
+		return ShipChunk{Seq: seg.seq, SegStart: seg.start, At: from}, nil
+	}
+	hi := l.flushed
+	if i+1 < len(l.segs) && l.segs[i+1].start < hi {
+		hi = l.segs[i+1].start
+	}
+	if hi <= from {
+		// from sits exactly at this segment's end; the next segment holds the
+		// byte. (Only reachable when rotation happened at from < flushed.)
+		seg = l.segs[i+1]
+		hi = l.flushed
+		if i+2 < len(l.segs) && l.segs[i+2].start < hi {
+			hi = l.segs[i+2].start
+		}
+	}
+	n := int(hi - from)
+	if n > max {
+		n = max
+	}
+	buf := make([]byte, n)
+	if _, err := seg.f.ReadAt(buf, segHeaderLen+int64(from-seg.start)); err != nil {
+		return ShipChunk{}, fmt.Errorf("wal: ship read %s at %d: %w", seg.path, from, err)
+	}
+	return ShipChunk{Seq: seg.seq, SegStart: seg.start, At: from, Data: buf}, nil
+}
+
+// IngestChunk appends one shipped chunk to a follower's log copy. Chunks
+// must arrive contiguously (ch.At == End()); when the chunk belongs to the
+// next segment of the primary's chain, the local chain rotates at the same
+// point before writing. Ingested bytes are readable immediately (Scan,
+// ReadAt) but only crash-durable after SyncIngested; a crash in between is
+// healed by the ordinary torn-tail scan on reopen.
+//
+// A log that has ingested is a replica copy: ordinary Append is refused, so
+// the copy can never diverge from the primary's byte stream.
+func (l *Log) IngestChunk(ch ShipChunk) error {
+	if len(ch.Data) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fail != nil {
+		return l.failedErrLocked()
+	}
+	if len(l.buf) > 0 {
+		return fmt.Errorf("wal: ingest into a log with buffered appends")
+	}
+	if ch.At != l.end {
+		return fmt.Errorf("wal: ingest at %d, log ends at %d", ch.At, l.end)
+	}
+	l.ingest = true
+	active := l.segs[len(l.segs)-1]
+	if ch.Seq != active.seq {
+		// Primary rotated: mirror it. A fresh empty local segment whose
+		// header was never matched by shipped bytes (the empty seg 1 of a
+		// brand-new copy receiving a post-truncation chain) is replaced.
+		if active.start == l.end && len(l.segs) == 1 && ch.SegStart == l.end {
+			if ch.Seq != active.seq {
+				if err := l.fsys.Remove(active.path); err == nil {
+					active.f.Close()
+					l.segs = l.segs[:0]
+				} else {
+					return fmt.Errorf("wal: replace placeholder segment: %v", err)
+				}
+			}
+		} else if ch.Seq != active.seq+1 || ch.SegStart != l.end {
+			return fmt.Errorf("wal: ingest segment %d@%d does not follow %d@%d (end %d)",
+				ch.Seq, ch.SegStart, active.seq, active.start, l.end)
+		}
+		if err := l.addSegment(ch.Seq, ch.SegStart, false); err != nil {
+			return err
+		}
+		active = l.segs[len(l.segs)-1]
+	} else if ch.SegStart != active.start {
+		return fmt.Errorf("wal: ingest segment %d start %d, local start %d", ch.Seq, ch.SegStart, active.start)
+	}
+	off := segHeaderLen + int64(ch.At-active.start)
+	if _, err := active.f.WriteAt(ch.Data, off); err != nil {
+		err = fmt.Errorf("wal: ingest write %s: %w", active.path, err)
+		l.fail = err
+		return err
+	}
+	active.dirty = true
+	l.end += LSN(len(ch.Data))
+	// Readable-but-unsynced bytes count as flushed on a replica: flushed
+	// gates the pool's write-ahead check, and the replica's authority on
+	// durability is the primary, which only ships its own durable prefix.
+	l.flushed = l.end
+	l.bufStart = l.end
+	l.appends++
+	return nil
+}
+
+// ResetIngest re-roots an empty log copy at (seq, start): the placeholder
+// first segment of a freshly-created log is replaced by one matching the
+// primary's chain, so a base-seeded follower can ingest a log suffix that
+// begins mid-history (the primary truncated everything before its base
+// checkpoint). Only an empty log — no record ever appended or ingested —
+// can be re-rooted.
+func (l *Log) ResetIngest(seq uint64, start LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.segs) != 1 || l.end != l.segs[0].start || len(l.buf) > 0 {
+		return fmt.Errorf("wal: reset of a non-empty log (end %d)", l.end)
+	}
+	if start < FirstLSN || seq == 0 {
+		return fmt.Errorf("wal: reset to segment %d@%d", seq, start)
+	}
+	old := l.segs[0]
+	old.f.Close()
+	if err := l.fsys.Remove(old.path); err != nil {
+		return fmt.Errorf("wal: reset remove %s: %w", old.path, err)
+	}
+	l.segs = l.segs[:0]
+	if err := l.addSegment(seq, start, false); err != nil {
+		return err
+	}
+	l.ingest = true
+	l.end, l.flushed, l.bufStart = start, start, start
+	return nil
+}
+
+// SyncIngested fsyncs every segment written by IngestChunk since the last
+// call. A replica calls it before moving its checkpoint pointer, mirroring
+// the primary's flush-before-checkpoint ordering.
+func (l *Log) SyncIngested() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fail != nil {
+		return l.failedErrLocked()
+	}
+	for _, seg := range l.segs {
+		if !seg.dirty {
+			continue
+		}
+		if !l.NoSync {
+			if err := seg.f.Sync(); err != nil {
+				err = fmt.Errorf("wal: sync ingested %s: %w", seg.path, err)
+				l.fail = err
+				return err
+			}
+			l.syncs++
+		}
+		seg.dirty = false
+	}
+	return nil
+}
+
+// SegmentStart returns the (seq, start) coordinates of the segment that
+// contains lsn — or, when lsn is the current end of an exactly-full chain,
+// of the segment that will contain the next byte.
+func (l *Log) SegmentStart(lsn LSN) (seq uint64, start LSN, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, ErrClosed
+	}
+	if lsn < l.segs[0].start {
+		return 0, 0, fmt.Errorf("%w: %d < %d", ErrShipGap, lsn, l.segs[0].start)
+	}
+	seg := l.segs[segIndex(l.segs, lsn)]
+	return seg.seq, seg.start, nil
+}
+
+// ScanComplete is Scan for a replica's log copy. Shipped chunks can split a
+// record, so the readable end of an ingesting log may sit mid-record; the
+// scan stops silently at the first incomplete record instead of failing —
+// the rest of it is simply still in flight.
+func (l *Log) ScanComplete(from LSN, fn func(*Record) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	end := l.end
+	segs := l.segs
+	l.mu.Unlock()
+	if from == 0 || from < FirstLSN {
+		from = FirstLSN
+	}
+	if first := segs[0].start; from < first {
+		from = first
+	}
+	if from >= end {
+		return nil
+	}
+	for i := segIndex(segs, from); i < len(segs); i++ {
+		seg := segs[i]
+		lo := from
+		if seg.start > lo {
+			lo = seg.start
+		}
+		hi := end
+		if i+1 < len(segs) && segs[i+1].start < hi {
+			hi = segs[i+1].start
+		}
+		if lo >= hi {
+			continue
+		}
+		data, err := io.ReadAll(io.NewSectionReader(seg.f, segHeaderLen+int64(lo-seg.start), int64(hi-lo)))
+		if err != nil {
+			return fmt.Errorf("wal: scan read %s: %w", seg.path, err)
+		}
+		off := 0
+		for off < len(data) {
+			r, n, err := decodeRecord(data[off:])
+			if err != nil {
+				return nil // incomplete trailing record: stop here
+			}
+			r.LSN = lo + LSN(off)
+			if err := fn(r); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
+// CopyRetained copies the raw retained chain at path into dst — a fresh,
+// empty log — stopping at upto (an exclusive bound on a record boundary).
+// The copy reproduces the source's exact segment geometry via IngestChunk,
+// so the destination is byte-for-byte a prefix of the source. Point-in-time
+// restore uses it to cut a database's history at a chosen commit.
+func CopyRetained(fsys vfs.FS, path string, upto LSN, dst *Log) error {
+	const copyChunk = 1 << 20
+	stop := errors.New("stop")
+	_, err := walkRetained(fsys, path, nil, func(seq uint64, start LSN, valid []byte) error {
+		if start >= upto {
+			return stop
+		}
+		if end := start + LSN(len(valid)); end > upto {
+			valid = valid[:upto-start]
+		}
+		at := start
+		for len(valid) > 0 {
+			n := len(valid)
+			if n > copyChunk {
+				n = copyChunk
+			}
+			if err := dst.IngestChunk(ShipChunk{Seq: seq, SegStart: start, At: at, Data: valid[:n]}); err != nil {
+				return err
+			}
+			at += LSN(n)
+			valid = valid[n:]
+		}
+		if at >= upto {
+			return stop
+		}
+		return nil
+	})
+	if err == stop {
+		err = nil
+	}
+	return err
+}
+
+// ScanRetained reads the log rooted at path without opening (and therefore
+// without mutating) it: segment files are discovered, header-validated and
+// stream-decoded in place, and the scan simply stops at the first undecodable
+// byte — a torn tail is the end of history, not an error. fn receives every
+// record with its LSN; returning an error stops the scan.
+//
+// It is the read-only substrate for point-in-time restore, which must walk a
+// source database's chain without truncating its torn tail or touching its
+// control file.
+func ScanRetained(fsys vfs.FS, path string, fn func(*Record) error) error {
+	_, err := scanRetained(fsys, path, fn)
+	return err
+}
+
+// RetainedStart returns the first LSN of the oldest segment at path, again
+// without mutating anything. It lets restore verify the chain reaches back
+// to the beginning of history before replaying it.
+func RetainedStart(fsys vfs.FS, path string) (LSN, error) {
+	start, err := scanRetained(fsys, path, nil)
+	return start, err
+}
+
+func scanRetained(fsys vfs.FS, path string, fn func(*Record) error) (LSN, error) {
+	return walkRetained(fsys, path, fn, nil)
+}
+
+// walkRetained is the shared chain walk behind ScanRetained and CopyRetained:
+// recFn (if non-nil) gets every decodable record, segFn (if non-nil) gets
+// each segment's coordinates and decodable byte extent once it is known.
+func walkRetained(fsys vfs.FS, path string, recFn func(*Record) error, segFn func(seq uint64, start LSN, valid []byte) error) (LSN, error) {
+	names, err := fsys.List(path + ".")
+	if err != nil {
+		return 0, fmt.Errorf("wal: list segments: %w", err)
+	}
+	type cand struct {
+		seq  uint64
+		name string
+	}
+	var cands []cand
+	for _, name := range names {
+		if seq, ok := parseSegPath(path, name); ok {
+			cands = append(cands, cand{seq, name})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("wal: no segments at %s", path)
+	}
+	first := LSN(0)
+	var prevSeq uint64
+	var next LSN
+	for i, c := range cands {
+		f, err := fsys.OpenFile(c.name)
+		if err != nil {
+			return first, fmt.Errorf("wal: open segment %s: %w", c.name, err)
+		}
+		hdr := make([]byte, segHeaderLen)
+		_, rerr := f.ReadAt(hdr, 0)
+		seq, start, derr := decodeSegHeader(hdr)
+		if (rerr != nil && rerr != io.EOF) || derr != nil || seq != c.seq {
+			f.Close()
+			break // chain ends at the first bad header
+		}
+		if i == 0 {
+			first = start
+		} else if seq != prevSeq+1 || start != next {
+			f.Close()
+			break // discontinuity: everything from here was never acked
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return first, fmt.Errorf("wal: size %s: %w", c.name, err)
+		}
+		data, err := io.ReadAll(io.NewSectionReader(f, segHeaderLen, size-segHeaderLen))
+		f.Close()
+		if err != nil {
+			return first, fmt.Errorf("wal: read %s: %w", c.name, err)
+		}
+		off := 0
+		torn := false
+		for off < len(data) {
+			r, n, derr := decodeRecord(data[off:])
+			if derr != nil {
+				torn = true // torn tail: end of recoverable history
+				break
+			}
+			r.LSN = start + LSN(off)
+			if recFn != nil {
+				if err := recFn(r); err != nil {
+					return first, err
+				}
+			}
+			off += n
+		}
+		if segFn != nil {
+			if err := segFn(seq, start, data[:off]); err != nil {
+				return first, err
+			}
+		}
+		if torn {
+			return first, nil
+		}
+		prevSeq, next = seq, start+LSN(off)
+	}
+	return first, nil
+}

@@ -1,0 +1,396 @@
+// Replication messages: the segment-shipping protocol a follower speaks to
+// its primary, layered on the same frame format as the query protocol.
+//
+// The stream is pull-based and strictly request/response, like the query
+// side: the follower opens with MsgReplHello (carrying the LSN it wants to
+// resume from), then drives the transfer with MsgReplPull requests. The
+// primary answers each pull with either one MsgSegChunk — a checksummed span
+// of the durable log that never crosses a segment boundary — or, while the
+// follower is re-seeding, one MsgBasePart of a base snapshot. A pull's
+// applied-LSN field doubles as the horizon acknowledgement the primary's lag
+// gauge reads; no separate ack message exists, so the protocol stays free of
+// unsolicited frames and works unchanged over the simulated network.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication message types. Requests flow follower to primary; responses
+// have the high bit set.
+const (
+	// MsgReplHello opens a replication connection: ReplMagic, a version
+	// byte, and the resume LSN (0 for "from the beginning").
+	MsgReplHello = byte(0x10)
+	// MsgReplPull requests the next chunk (or base part): the LSN to read
+	// from, a byte budget, and the follower's applied LSN as the horizon ack.
+	MsgReplPull = byte(0x11)
+
+	// MsgReplHelloOK accepts: flags byte (ReplFlagBase when a base snapshot
+	// precedes the log stream), the LSN the stream will start at, and the
+	// primary's first-retained and durable-end LSNs.
+	MsgReplHelloOK = byte(0x90)
+	// MsgSegChunk carries one shipped log span: segment seq, segment start
+	// LSN, chunk LSN, CRC-32C of the data, and the data itself. Empty data
+	// means "caught up".
+	MsgSegChunk = byte(0x91)
+	// MsgBasePart carries one part of a base snapshot (see BasePart).
+	MsgBasePart = byte(0x92)
+)
+
+// Replication error codes, continuing the wire code space. They ride
+// MsgError frames on the query protocol too: a write sent to a replica is
+// answered with CodeReadOnlyReplica rather than a generic statement error.
+const (
+	// CodeReadOnlyReplica: the server is a replica; writes must be
+	// redirected to the primary. Retrying here will fail the same way.
+	CodeReadOnlyReplica = byte(3)
+	// CodeBeyondHorizon: an AS OF read asked for a timestamp the replica has
+	// not fully applied yet. Retryable against the same replica after it
+	// catches up, or immediately against the primary.
+	CodeBeyondHorizon = byte(4)
+)
+
+// ReplMagic opens every MsgReplHello payload, distinct from the query
+// protocol's Magic so a misdirected client fails the handshake loudly.
+const ReplMagic = "immr"
+
+// ReplVersion is the replication protocol version.
+const ReplVersion = byte(1)
+
+// ReplFlagBase in a MsgReplHelloOK flags byte announces that base-snapshot
+// parts precede the log stream.
+const ReplFlagBase = byte(1)
+
+// Base part kinds (first byte of a MsgBasePart payload).
+const (
+	// BaseMeta: page size, page count, checkpoint LSN, catalog/meta blob.
+	BaseMeta = byte(0)
+	// BasePages: a batch of (pageID, image) pairs.
+	BasePages = byte(1)
+	// BasePTT: a batch of (TID, timestamp) persistent-timestamp entries.
+	BasePTT = byte(2)
+	// BaseDone: end of snapshot; payload carries the log stream's start LSN.
+	BaseDone = byte(3)
+)
+
+// ErrReplProto reports a malformed replication payload.
+var ErrReplProto = errors.New("wire: bad replication payload")
+
+// ErrChunkChecksum reports a MsgSegChunk whose data does not match its CRC —
+// corruption in transit; the follower drops the connection and re-pulls.
+var ErrChunkChecksum = errors.New("wire: segment chunk checksum mismatch")
+
+var chunkCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ReplHello is the replication handshake request.
+type ReplHello struct {
+	From uint64 // resume LSN; 0 = from the beginning of retained history
+}
+
+// AppendReplHello builds a MsgReplHello payload.
+func AppendReplHello(b []byte, h ReplHello) []byte {
+	b = append(b, ReplMagic...)
+	b = append(b, ReplVersion)
+	return binary.AppendUvarint(b, h.From)
+}
+
+// ParseReplHello validates and decodes a MsgReplHello payload.
+func ParseReplHello(p []byte) (ReplHello, error) {
+	if len(p) < len(ReplMagic)+1 || string(p[:len(ReplMagic)]) != ReplMagic {
+		return ReplHello{}, fmt.Errorf("%w: handshake magic", ErrReplProto)
+	}
+	if v := p[len(ReplMagic)]; v != ReplVersion {
+		return ReplHello{}, fmt.Errorf("%w: version %d, want %d", ErrReplProto, v, ReplVersion)
+	}
+	rest := p[len(ReplMagic)+1:]
+	from, rest, err := ReadUvarint(rest)
+	if err != nil || len(rest) != 0 {
+		return ReplHello{}, fmt.Errorf("%w: hello resume LSN", ErrReplProto)
+	}
+	return ReplHello{From: from}, nil
+}
+
+// ReplHelloOK is the handshake response.
+type ReplHelloOK struct {
+	Flags         byte   // ReplFlagBase when a base snapshot comes first
+	Start         uint64 // LSN the log stream will start at
+	FirstRetained uint64 // oldest LSN still on the primary's disk
+	Flushed       uint64 // primary's durable end at handshake time
+}
+
+// AppendReplHelloOK builds a MsgReplHelloOK payload.
+func AppendReplHelloOK(b []byte, h ReplHelloOK) []byte {
+	b = append(b, h.Flags)
+	b = binary.AppendUvarint(b, h.Start)
+	b = binary.AppendUvarint(b, h.FirstRetained)
+	return binary.AppendUvarint(b, h.Flushed)
+}
+
+// ParseReplHelloOK decodes a MsgReplHelloOK payload.
+func ParseReplHelloOK(p []byte) (ReplHelloOK, error) {
+	if len(p) < 1 {
+		return ReplHelloOK{}, fmt.Errorf("%w: empty hello-ok", ErrReplProto)
+	}
+	h := ReplHelloOK{Flags: p[0]}
+	rest := p[1:]
+	var err error
+	if h.Start, rest, err = ReadUvarint(rest); err != nil {
+		return ReplHelloOK{}, fmt.Errorf("%w: hello-ok start", ErrReplProto)
+	}
+	if h.FirstRetained, rest, err = ReadUvarint(rest); err != nil {
+		return ReplHelloOK{}, fmt.Errorf("%w: hello-ok first-retained", ErrReplProto)
+	}
+	if h.Flushed, rest, err = ReadUvarint(rest); err != nil || len(rest) != 0 {
+		return ReplHelloOK{}, fmt.Errorf("%w: hello-ok flushed", ErrReplProto)
+	}
+	return h, nil
+}
+
+// ReplPull requests the next transfer unit. Applied is the follower's
+// replication horizon (its applied LSN): the primary records it for its lag
+// gauge, and — because a follower only ever pulls what it has durably
+// positioned for — From is also an implicit ack of everything before it.
+type ReplPull struct {
+	From    uint64 // LSN to read from
+	Max     uint32 // response byte budget
+	Applied uint64 // follower's applied LSN (horizon ack)
+}
+
+// AppendReplPull builds a MsgReplPull payload.
+func AppendReplPull(b []byte, r ReplPull) []byte {
+	b = binary.AppendUvarint(b, r.From)
+	b = binary.AppendUvarint(b, uint64(r.Max))
+	return binary.AppendUvarint(b, r.Applied)
+}
+
+// ParseReplPull decodes a MsgReplPull payload.
+func ParseReplPull(p []byte) (ReplPull, error) {
+	var r ReplPull
+	var maxb uint64
+	var err error
+	rest := p
+	if r.From, rest, err = ReadUvarint(rest); err != nil {
+		return ReplPull{}, fmt.Errorf("%w: pull from", ErrReplProto)
+	}
+	if maxb, rest, err = ReadUvarint(rest); err != nil || maxb > 1<<32-1 {
+		return ReplPull{}, fmt.Errorf("%w: pull max", ErrReplProto)
+	}
+	r.Max = uint32(maxb)
+	if r.Applied, rest, err = ReadUvarint(rest); err != nil || len(rest) != 0 {
+		return ReplPull{}, fmt.Errorf("%w: pull applied", ErrReplProto)
+	}
+	return r, nil
+}
+
+// SegChunk is one shipped log span (mirrors wal.ShipChunk). Empty Data means
+// the follower has caught up with the primary's durable prefix.
+type SegChunk struct {
+	Seq      uint64
+	SegStart uint64
+	At       uint64
+	Data     []byte
+}
+
+// AppendSegChunk builds a MsgSegChunk payload. The CRC covers Data only;
+// record-level CRCs inside the data protect everything else end to end.
+func AppendSegChunk(b []byte, c SegChunk) []byte {
+	b = binary.AppendUvarint(b, c.Seq)
+	b = binary.AppendUvarint(b, c.SegStart)
+	b = binary.AppendUvarint(b, c.At)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(c.Data, chunkCRC))
+	b = append(b, crc[:]...)
+	b = binary.AppendUvarint(b, uint64(len(c.Data)))
+	return append(b, c.Data...)
+}
+
+// ParseSegChunk decodes and checksum-verifies a MsgSegChunk payload.
+func ParseSegChunk(p []byte) (SegChunk, error) {
+	var c SegChunk
+	var err error
+	rest := p
+	if c.Seq, rest, err = ReadUvarint(rest); err != nil {
+		return SegChunk{}, fmt.Errorf("%w: chunk seq", ErrReplProto)
+	}
+	if c.SegStart, rest, err = ReadUvarint(rest); err != nil {
+		return SegChunk{}, fmt.Errorf("%w: chunk segment start", ErrReplProto)
+	}
+	if c.At, rest, err = ReadUvarint(rest); err != nil {
+		return SegChunk{}, fmt.Errorf("%w: chunk LSN", ErrReplProto)
+	}
+	if len(rest) < 4 {
+		return SegChunk{}, fmt.Errorf("%w: chunk checksum", ErrReplProto)
+	}
+	want := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	n, rest, err := ReadUvarint(rest)
+	if err != nil || n > uint64(len(rest)) {
+		return SegChunk{}, fmt.Errorf("%w: truncated chunk data", ErrReplProto)
+	}
+	if uint64(len(rest)) != n {
+		return SegChunk{}, fmt.Errorf("%w: trailing bytes after chunk", ErrReplProto)
+	}
+	if n > 0 {
+		c.Data = append([]byte(nil), rest[:n]...)
+	}
+	if crc32.Checksum(c.Data, chunkCRC) != want {
+		return SegChunk{}, ErrChunkChecksum
+	}
+	return c, nil
+}
+
+// BaseMetaPart is the first part of a base snapshot.
+type BaseMetaPart struct {
+	PageSize uint32
+	NumPages uint64
+	CkptLSN  uint64 // primary checkpoint the snapshot is consistent with
+	Meta     []byte // pager meta blob (the catalog)
+}
+
+// AppendBaseMeta builds a BaseMeta MsgBasePart payload.
+func AppendBaseMeta(b []byte, m BaseMetaPart) []byte {
+	b = append(b, BaseMeta)
+	b = binary.AppendUvarint(b, uint64(m.PageSize))
+	b = binary.AppendUvarint(b, m.NumPages)
+	b = binary.AppendUvarint(b, m.CkptLSN)
+	b = binary.AppendUvarint(b, uint64(len(m.Meta)))
+	return append(b, m.Meta...)
+}
+
+// BasePage is one page image in a BasePages part.
+type BasePage struct {
+	ID  uint64
+	Img []byte
+}
+
+// AppendBasePages builds a BasePages MsgBasePart payload.
+func AppendBasePages(b []byte, pages []BasePage) []byte {
+	b = append(b, BasePages)
+	b = binary.AppendUvarint(b, uint64(len(pages)))
+	for _, pg := range pages {
+		b = binary.AppendUvarint(b, pg.ID)
+		b = binary.AppendUvarint(b, uint64(len(pg.Img)))
+		b = append(b, pg.Img...)
+	}
+	return b
+}
+
+// BasePTTEntry is one persistent-timestamp-table entry in a BasePTT part.
+type BasePTTEntry struct {
+	TID uint64
+	TS  [12]byte // itime.Timestamp, encoded
+}
+
+// AppendBasePTT builds a BasePTT MsgBasePart payload.
+func AppendBasePTT(b []byte, entries []BasePTTEntry) []byte {
+	b = append(b, BasePTT)
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = binary.AppendUvarint(b, e.TID)
+		b = append(b, e.TS[:]...)
+	}
+	return b
+}
+
+// AppendBaseDone builds a BaseDone MsgBasePart payload; start is the LSN the
+// log stream will begin at.
+func AppendBaseDone(b []byte, start uint64) []byte {
+	b = append(b, BaseDone)
+	return binary.AppendUvarint(b, start)
+}
+
+// BasePart is a decoded MsgBasePart. Exactly one of the kind-specific fields
+// is meaningful, selected by Kind.
+type BasePart struct {
+	Kind    byte
+	Meta    BaseMetaPart   // BaseMeta
+	Pages   []BasePage     // BasePages
+	Entries []BasePTTEntry // BasePTT
+	Start   uint64         // BaseDone
+}
+
+// ParseBasePart decodes any MsgBasePart payload.
+func ParseBasePart(p []byte) (BasePart, error) {
+	if len(p) < 1 {
+		return BasePart{}, fmt.Errorf("%w: empty base part", ErrReplProto)
+	}
+	out := BasePart{Kind: p[0]}
+	rest := p[1:]
+	var err error
+	switch out.Kind {
+	case BaseMeta:
+		var ps uint64
+		if ps, rest, err = ReadUvarint(rest); err != nil || ps > 1<<31 {
+			return BasePart{}, fmt.Errorf("%w: base page size", ErrReplProto)
+		}
+		out.Meta.PageSize = uint32(ps)
+		if out.Meta.NumPages, rest, err = ReadUvarint(rest); err != nil {
+			return BasePart{}, fmt.Errorf("%w: base page count", ErrReplProto)
+		}
+		if out.Meta.CkptLSN, rest, err = ReadUvarint(rest); err != nil {
+			return BasePart{}, fmt.Errorf("%w: base checkpoint", ErrReplProto)
+		}
+		var n uint64
+		if n, rest, err = ReadUvarint(rest); err != nil || n > uint64(len(rest)) {
+			return BasePart{}, fmt.Errorf("%w: base meta blob", ErrReplProto)
+		}
+		if uint64(len(rest)) != n {
+			return BasePart{}, fmt.Errorf("%w: trailing bytes after meta", ErrReplProto)
+		}
+		out.Meta.Meta = append([]byte(nil), rest[:n]...)
+	case BasePages:
+		var count uint64
+		if count, rest, err = ReadUvarint(rest); err != nil || count > uint64(len(rest)) {
+			return BasePart{}, fmt.Errorf("%w: base page batch count", ErrReplProto)
+		}
+		out.Pages = make([]BasePage, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var pg BasePage
+			if pg.ID, rest, err = ReadUvarint(rest); err != nil {
+				return BasePart{}, fmt.Errorf("%w: base page id", ErrReplProto)
+			}
+			var n uint64
+			if n, rest, err = ReadUvarint(rest); err != nil || n > uint64(len(rest)) {
+				return BasePart{}, fmt.Errorf("%w: base page image", ErrReplProto)
+			}
+			pg.Img = append([]byte(nil), rest[:n]...)
+			rest = rest[n:]
+			out.Pages = append(out.Pages, pg)
+		}
+		if len(rest) != 0 {
+			return BasePart{}, fmt.Errorf("%w: trailing bytes after pages", ErrReplProto)
+		}
+	case BasePTT:
+		var count uint64
+		if count, rest, err = ReadUvarint(rest); err != nil || count > uint64(len(rest)) {
+			return BasePart{}, fmt.Errorf("%w: base PTT count", ErrReplProto)
+		}
+		out.Entries = make([]BasePTTEntry, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var e BasePTTEntry
+			if e.TID, rest, err = ReadUvarint(rest); err != nil {
+				return BasePart{}, fmt.Errorf("%w: base PTT tid", ErrReplProto)
+			}
+			if len(rest) < len(e.TS) {
+				return BasePart{}, fmt.Errorf("%w: base PTT timestamp", ErrReplProto)
+			}
+			copy(e.TS[:], rest)
+			rest = rest[len(e.TS):]
+			out.Entries = append(out.Entries, e)
+		}
+		if len(rest) != 0 {
+			return BasePart{}, fmt.Errorf("%w: trailing bytes after PTT", ErrReplProto)
+		}
+	case BaseDone:
+		if out.Start, rest, err = ReadUvarint(rest); err != nil || len(rest) != 0 {
+			return BasePart{}, fmt.Errorf("%w: base done", ErrReplProto)
+		}
+	default:
+		return BasePart{}, fmt.Errorf("%w: unknown base part kind %d", ErrReplProto, out.Kind)
+	}
+	return out, nil
+}

@@ -12,6 +12,241 @@ import (
 	"immortaldb/internal/wal"
 )
 
+// redoApplier applies the tree-level redo record types — page images,
+// structure modifications, catalog snapshots, version inserts, CLRs, eager
+// stamps. Crash recovery and a replica's continuous redo share it; the
+// difference is concurrency. Recovery runs single-threaded against a closed
+// engine, so installs need no locks. Live replica redo runs while the engine
+// serves snapshot and AS OF reads, so every multi-page install (an SMO, a
+// full-page image) happens under the affected tree's writer lock — a reader
+// sees a split fully applied or not at all, never half.
+type redoApplier struct {
+	db   *DB
+	live bool
+	// trees is the recovery-mode lazy cache, adopted into db.trees once the
+	// scan finishes. Live mode uses db.trees directly (via db.treeByID).
+	trees map[uint32]*tsb.Tree
+}
+
+func newRecoveryApplier(db *DB) *redoApplier {
+	return &redoApplier{db: db, trees: make(map[uint32]*tsb.Tree)}
+}
+
+func newLiveApplier(db *DB) *redoApplier {
+	return &redoApplier{db: db, live: true}
+}
+
+// tornOK filters page-damage errors during redo. With full-page-writes on, a
+// logical redo record can land on a page whose last in-place write was torn
+// by the crash (checksum failure) or never became durable at all (short
+// file). The write that damaged the page logged a later image of it first —
+// an image whose LSN covers this record and which, because the damaged write
+// was never followed by an fsync (and hence no checkpoint completed after
+// it), lies at or after the redo scan start. Skipping the record is
+// therefore safe: the image record later in this same scan rebuilds the page
+// with the record's effect already applied. Without full-page-writes no such
+// image exists and a damaged page is a real recovery failure, reported
+// loudly.
+func (a *redoApplier) tornOK(err error) error {
+	if err == nil {
+		return nil
+	}
+	if a.db.opts.FullPageWrites &&
+		(errors.Is(err, disk.ErrChecksum) || errors.Is(err, disk.ErrOutOfFile)) {
+		return nil
+	}
+	return err
+}
+
+func (a *redoApplier) treeFor(tableID uint32) (*tsb.Tree, error) {
+	if a.live {
+		if t := a.db.treeByID(tableID); t != nil {
+			return t, nil
+		}
+		return nil, fmt.Errorf("redo references unknown table %d", tableID)
+	}
+	if t, ok := a.trees[tableID]; ok {
+		return t, nil
+	}
+	meta, ok := a.db.cat.ByID(tableID)
+	if !ok {
+		return nil, fmt.Errorf("redo references unknown table %d", tableID)
+	}
+	t := a.db.openTree(meta)
+	a.trees[tableID] = t
+	return t, nil
+}
+
+// reloadCatalog installs a logged catalog snapshot and repositions the roots
+// of already-open trees, except the one with ID skip (0: none) — a live SMO
+// install applies that tree's root move inside its exclusive section instead.
+func (a *redoApplier) reloadCatalog(blob []byte, skip uint32) error {
+	db := a.db
+	if err := db.cat.Load(blob); err != nil {
+		return err
+	}
+	reposition := func(id uint32, t *tsb.Tree) {
+		if id == skip {
+			return
+		}
+		if meta, ok := db.cat.ByID(id); ok {
+			t.SetRoot(meta.Root, meta.RootIsLeaf)
+		}
+	}
+	if a.live {
+		db.mu.Lock()
+		open := make(map[uint32]*tsb.Tree, len(db.trees))
+		for id, t := range db.trees {
+			open[id] = t
+		}
+		db.mu.Unlock()
+		for id, t := range open {
+			reposition(id, t)
+		}
+		return nil
+	}
+	for id, t := range a.trees {
+		reposition(id, t)
+	}
+	return nil
+}
+
+// applySMO installs one structure modification: every page image of the
+// record and, when it carries a catalog snapshot, the root move. In live
+// mode the affected tree's writer lock spans all of it.
+func (a *redoApplier) applySMO(rec *wal.Record) error {
+	db := a.db
+	install := func() error {
+		for i := range rec.Images {
+			if err := db.redoImage(rec.Images[i].Page, rec.Images[i].Img, rec.LSN); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if !a.live {
+		// Recovery: no concurrent readers, install directly.
+		if err := install(); err != nil {
+			return err
+		}
+		if len(rec.Blob) > 0 {
+			return a.reloadCatalog(rec.Blob, 0)
+		}
+		return nil
+	}
+	var rc *tsb.RootChange
+	if len(rec.Blob) > 0 {
+		// Load the catalog first so a brand-new table (a create's initial
+		// SMO precedes its catalog record) is resolvable, but defer this
+		// table's root move into the exclusive section below.
+		if err := a.reloadCatalog(rec.Blob, rec.Table); err != nil {
+			return err
+		}
+		if meta, ok := db.cat.ByID(rec.Table); ok {
+			rc = &tsb.RootChange{Root: meta.Root, IsLeaf: meta.RootIsLeaf}
+		}
+	}
+	t, err := a.treeFor(rec.Table)
+	if err != nil {
+		return err
+	}
+	return t.ApplyExclusive(install, rc)
+}
+
+// applyImage installs a full-page image (FullPageWrites on the primary).
+// The record carries no table, so live mode excludes readers of every tree.
+func (a *redoApplier) applyImage(rec *wal.Record) error {
+	if !a.live {
+		return a.db.redoImage(rec.Page, rec.Img, rec.LSN)
+	}
+	return a.db.withAllTreesExclusive(func() error {
+		return a.db.redoImage(rec.Page, rec.Img, rec.LSN)
+	})
+}
+
+// apply dispatches one tree-level redo record. Transaction bookkeeping
+// (commit, abort, checkpoint records) stays with the caller: recovery and
+// replica redo differ exactly there.
+func (a *redoApplier) apply(rec *wal.Record) error {
+	db := a.db
+	switch rec.Type {
+	case wal.TypePageImage:
+		return a.applyImage(rec)
+	case wal.TypeSMO:
+		// Every image of one structure modification shares this record —
+		// and its LSN — so a torn tail replays the whole split or none
+		// of it, never a shrunk leaf without the sibling and parent (or
+		// root change) that route to its moved keys.
+		return a.applySMO(rec)
+	case wal.TypeCatalog:
+		return a.reloadCatalog(rec.Blob, 0)
+	case wal.TypeInsertVersion:
+		meta, ok := db.cat.ByID(rec.Table)
+		if !ok {
+			return fmt.Errorf("redo references unknown table %d", rec.Table)
+		}
+		t, err := a.treeFor(rec.Table)
+		if err != nil {
+			return err
+		}
+		if meta.Versioned() {
+			return a.tornOK(t.ApplyInsertRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+		}
+		return a.tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+	case wal.TypeCLR:
+		meta, ok := db.cat.ByID(rec.Table)
+		if !ok {
+			return fmt.Errorf("redo references unknown table %d", rec.Table)
+		}
+		t, err := a.treeFor(rec.Table)
+		if err != nil {
+			return err
+		}
+		if meta.Versioned() {
+			if rec.Restore {
+				return a.tornOK(t.ApplyRestoreOwnRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
+			}
+			return a.tornOK(t.ApplyUndoRedo(rec.Page, rec.TID, rec.Key, uint64(rec.LSN)))
+		}
+		// Conventional-table compensation: restore or remove.
+		if rec.Stub {
+			return a.tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, nil, true, uint64(rec.LSN)))
+		}
+		return a.tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, false, uint64(rec.LSN)))
+	case wal.TypeStamp:
+		t, err := a.treeFor(rec.Table)
+		if err != nil {
+			return err
+		}
+		return a.tornOK(t.ApplyStampRedo(rec.Page, rec.Key, rec.TID, rec.TS, uint64(rec.LSN)))
+	}
+	return nil
+}
+
+// withAllTreesExclusive runs fn holding every open tree's writer lock, in
+// table-ID order — live apply of a record that names no table.
+func (db *DB) withAllTreesExclusive(fn func() error) error {
+	db.mu.Lock()
+	ids := make([]uint32, 0, len(db.trees))
+	for id := range db.trees {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	trees := make([]*tsb.Tree, len(ids))
+	for i, id := range ids {
+		trees[i] = db.trees[id]
+	}
+	db.mu.Unlock()
+	var run func(i int) error
+	run = func(i int) error {
+		if i == len(trees) {
+			return fn()
+		}
+		return trees[i].Exclusive(func() error { return run(i + 1) })
+	}
+	return run(0)
+}
+
 // recover brings the database to a consistent state after open: ARIES-style
 // analysis, redo, and undo over the write-ahead log.
 //
@@ -23,6 +258,11 @@ import (
 //   - Volatile reference counts are gone; restored entries get an undefined
 //     count and are never garbage collected ("we simply end up with certain
 //     PTT entries that cannot be deleted" — the accepted cost).
+//
+// On a replica (db.replica) the undo pass is skipped entirely: transactions
+// still open at the scan's end are the primary's in-flight writers, whose
+// fates arrive with the rest of the shipped stream — and a replica never
+// appends to its log copy.
 func (db *DB) recover() error {
 	ckptLSN := db.log.Checkpoint()
 	var ck *wal.Checkpoint
@@ -49,134 +289,25 @@ func (db *DB) recover() error {
 		}
 	}
 
-	// With full-page-writes on, a logical redo record can land on a page
-	// whose last in-place write was torn by the crash (checksum failure) or
-	// never became durable at all (short file). The write that damaged the
-	// page logged a later image of it first — an image whose LSN covers this
-	// record and which, because the damaged write was never followed by an
-	// fsync (and hence no checkpoint completed after it), lies at or after
-	// the redo scan start. Skipping the record is therefore safe: the image
-	// record later in this same scan rebuilds the page with the record's
-	// effect already applied. Without full-page-writes no such image exists
-	// and a damaged page is a real recovery failure, reported loudly.
-	tornOK := func(err error) error {
-		if err == nil {
-			return nil
-		}
-		if db.opts.FullPageWrites &&
-			(errors.Is(err, disk.ErrChecksum) || errors.Is(err, disk.ErrOutOfFile)) {
-			return nil
-		}
-		return err
-	}
-
-	// Trees open lazily during redo as catalog records appear; start from
-	// the catalog already loaded from the pager meta.
-	redoTrees := make(map[uint32]*tsb.Tree)
-	treeFor := func(tableID uint32) (*tsb.Tree, error) {
-		if t, ok := redoTrees[tableID]; ok {
-			return t, nil
-		}
-		meta, ok := db.cat.ByID(tableID)
-		if !ok {
-			return nil, fmt.Errorf("redo references unknown table %d", tableID)
-		}
-		t := db.openTree(meta)
-		redoTrees[tableID] = t
-		return t, nil
-	}
-
-	reloadCatalog := func(blob []byte) error {
-		if err := db.cat.Load(blob); err != nil {
-			return err
-		}
-		// Root pointers may have moved; reposition already-open trees.
-		for id, t := range redoTrees {
-			if meta, ok := db.cat.ByID(id); ok {
-				t.SetRoot(meta.Root, meta.RootIsLeaf)
-			}
-		}
-		return nil
-	}
-
+	a := newRecoveryApplier(db)
 	err := db.log.Scan(redoStart, func(rec *wal.Record) error {
 		if rec.TID != 0 {
 			att[rec.TID] = rec.LSN
 			db.tids.Bump(rec.TID)
 		}
 		switch rec.Type {
-		case wal.TypePageImage:
-			if err := db.redoImage(rec.Page, rec.Img, rec.LSN); err != nil {
-				return err
-			}
-		case wal.TypeSMO:
-			// Every image of one structure modification shares this record —
-			// and its LSN — so a torn tail replays the whole split or none
-			// of it, never a shrunk leaf without the sibling and parent (or
-			// root change) that route to its moved keys.
-			for i := range rec.Images {
-				if err := db.redoImage(rec.Images[i].Page, rec.Images[i].Img, rec.LSN); err != nil {
-					return err
-				}
-			}
-			if len(rec.Blob) > 0 {
-				if err := reloadCatalog(rec.Blob); err != nil {
-					return err
-				}
-			}
-		case wal.TypeCatalog:
-			if err := reloadCatalog(rec.Blob); err != nil {
-				return err
-			}
-		case wal.TypeInsertVersion:
-			meta, ok := db.cat.ByID(rec.Table)
-			if !ok {
-				return fmt.Errorf("redo references unknown table %d", rec.Table)
-			}
-			t, err := treeFor(rec.Table)
-			if err != nil {
-				return err
-			}
-			if meta.Versioned() {
-				return tornOK(t.ApplyInsertRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
-			}
-			return tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
-		case wal.TypeCLR:
-			meta, ok := db.cat.ByID(rec.Table)
-			if !ok {
-				return fmt.Errorf("redo references unknown table %d", rec.Table)
-			}
-			t, err := treeFor(rec.Table)
-			if err != nil {
-				return err
-			}
-			if meta.Versioned() {
-				if rec.Restore {
-					return tornOK(t.ApplyRestoreOwnRedo(rec.Page, rec.TID, rec.Key, rec.Value, rec.Stub, uint64(rec.LSN)))
-				}
-				return tornOK(t.ApplyUndoRedo(rec.Page, rec.TID, rec.Key, uint64(rec.LSN)))
-			}
-			// Conventional-table compensation: restore or remove.
-			if rec.Stub {
-				return tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, nil, true, uint64(rec.LSN)))
-			}
-			return tornOK(t.ApplyNoTailRedo(rec.Page, rec.Key, rec.Value, false, uint64(rec.LSN)))
-		case wal.TypeStamp:
-			t, err := treeFor(rec.Table)
-			if err != nil {
-				return err
-			}
-			return tornOK(t.ApplyStampRedo(rec.Page, rec.Key, rec.TID, rec.TS, uint64(rec.LSN)))
 		case wal.TypeCommit:
 			delete(att, rec.TID)
 			db.seq.Reset(rec.TS)
-			if err := db.stamp.RestoreCommitted(rec.TID, rec.TS, rec.HasTT); err != nil {
-				return err
-			}
+			return db.stamp.RestoreCommitted(rec.TID, rec.TS, rec.HasTT)
 		case wal.TypeAbort:
 			delete(att, rec.TID)
+			return nil
+		case wal.TypeCheckpoint:
+			return nil
+		default:
+			return a.apply(rec)
 		}
-		return nil
 	})
 	if err != nil {
 		return err
@@ -184,10 +315,16 @@ func (db *DB) recover() error {
 
 	// Adopt the redo trees so undo (and later opens) share them.
 	db.mu.Lock()
-	for id, t := range redoTrees {
+	for id, t := range a.trees {
 		db.trees[id] = t
 	}
 	db.mu.Unlock()
+
+	if db.replica {
+		// Replica: continuous redo resumes where this scan ended.
+		db.appliedLSN.Store(uint64(db.log.End()))
+		return nil
+	}
 
 	// --- Undo losers ---
 	// Undo in TID order: rollback appends CLRs and may evict pages, so the

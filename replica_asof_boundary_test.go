@@ -1,0 +1,233 @@
+package immortaldb
+
+// Follower-side AS OF boundary semantics, mirroring asof_boundary_test.go on
+// a replica fed through the shipping path:
+//
+//   - a query exactly AT the replication horizon (MaxVisible) succeeds and is
+//     inclusive of the newest applied commit;
+//   - one sequence number or one wall tick past the horizon is a typed
+//     ErrBeyondHorizon refusal — never a torn view of half-applied commits;
+//   - same-tick commits keep their sequence-number ordering on the replica;
+//   - a time split (an SMO) arrives in the shipped log and applies
+//     atomically: a replica stepping redo one record at a time always serves
+//     a consistent prefix of the primary's history, even mid-split.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"immortaldb/internal/itime"
+)
+
+func TestReplicaAsOfBoundaries(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	// No AutoStep: the clock moves only when the test says so, making every
+	// commit timestamp — wall tick AND sequence number — predictable.
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
+	opts := testOpts(func(o *Options) { o.Clock = clock })
+
+	p, err := Open(pdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tbl, err := p.CreateTable("t", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a and b commit inside one wall tick; c lands on a later tick.
+	tsA := commitKV(t, p, tbl, "k", "a")
+	tsB := commitKV(t, p, tbl, "k", "b")
+	clock.Advance(5 * itime.TickDuration)
+	tsC := commitKV(t, p, tbl, "k", "c")
+	if tsA.Wall != tsB.Wall || tsB.Seq != tsA.Seq+1 {
+		t.Fatalf("setup: a (%v) and b (%v) were meant to be same-tick neighbors", tsA, tsB)
+	}
+
+	ropts := testOpts(func(o *Options) { o.Clock = clock })
+	r, err := OpenReplica(rdir, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	shipAll(t, p, r)
+
+	rtbl, err := r.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica's horizon is exactly the newest applied commit.
+	h := r.Horizon()
+	if h.MaxVisible != tsC {
+		t.Fatalf("horizon %v, want newest commit %v", h.MaxVisible, tsC)
+	}
+
+	check := func(r *DB, rtbl *Table, atHorizon map[string]string) {
+		// The primary's boundary matrix, replayed on the follower.
+		wantState(t, r, rtbl, tsA, "replica at first commit", map[string]string{"k": "a"})
+		wantState(t, r, rtbl, tsB, "replica at same-tick successor", map[string]string{"k": "b"})
+		wantState(t, r, rtbl, tsC, "replica at later-tick commit", map[string]string{"k": "c"})
+		wantState(t, r, rtbl, Timestamp{Wall: tsC.Wall - 1, Seq: 0}, "replica tick before c", map[string]string{"k": "b"})
+		wantState(t, r, rtbl, Timestamp{Wall: tsA.Wall - 1, Seq: 0}, "replica before first commit", map[string]string{})
+
+		// Exactly at the horizon: inclusive, succeeds.
+		wantState(t, r, rtbl, r.Horizon().MaxVisible, "replica at horizon", atHorizon)
+
+		// One sequence number past the horizon, and one wall tick past it:
+		// typed refusals, not torn views.
+		v := r.Horizon().MaxVisible
+		for _, past := range []Timestamp{
+			{Wall: v.Wall, Seq: v.Seq + 1},
+			{Wall: v.Wall + 1, Seq: 0},
+		} {
+			tx, err := r.BeginAsOfTS(past)
+			if !errors.Is(err, ErrBeyondHorizon) {
+				if tx != nil {
+					tx.Rollback()
+				}
+				t.Fatalf("AS OF %v past horizon %v: err = %v, want ErrBeyondHorizon", past, v, err)
+			}
+		}
+	}
+	check(r, rtbl, map[string]string{"k": "c"})
+
+	// The refusal is a refusal, not a wound: the replica still serves reads
+	// at and below the horizon afterwards, and after more commits ship, the
+	// once-refused instant becomes servable.
+	clock.Advance(itime.TickDuration)
+	tsD := commitKV(t, p, tbl, "k", "d")
+	shipAll(t, p, r)
+	if got := r.Horizon().MaxVisible; got != tsD {
+		t.Fatalf("horizon after catch-up %v, want %v", got, tsD)
+	}
+	wantState(t, r, rtbl, tsD, "replica at new horizon", map[string]string{"k": "d"})
+	wantState(t, r, rtbl, tsC, "replica history intact", map[string]string{"k": "c"})
+
+	// And the whole matrix survives a replica close/reopen (recovery over the
+	// byte-identical log copy rebuilds the same history).
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = OpenReplica(rdir, testOpts(func(o *Options) { o.Clock = clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rtbl, err = r.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(r, rtbl, map[string]string{"k": "d"})
+}
+
+// TestReplicaTimeSplitAtomic forces time splits (SMOs) on the primary, then
+// feeds the replica one redo record at a time. After every single applied
+// record the replica's view at its own horizon must equal the primary model
+// at that horizon — so an in-flight time split is never visible half-done.
+func TestReplicaTimeSplitAtomic(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
+	opts := testOpts(func(o *Options) { o.Clock = clock })
+
+	p, err := Open(pdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tbl, err := p.CreateTable("t", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Version churn over few keys on 1 KB pages overflows current pages with
+	// history, forcing time splits; occasional checkpoints exercise the
+	// replica-checkpoint records in the same stream.
+	type commitState struct {
+		ts    Timestamp
+		state map[string]string
+	}
+	model := map[string]string{}
+	var commits []commitState
+	for i := 0; i < 80; i++ {
+		clock.Advance(itime.TickDuration)
+		key := fmt.Sprintf("k%d", i%4)
+		val := fmt.Sprintf("v%03d.%060d", i, i)
+		ts := commitKV(t, p, tbl, key, val)
+		model[key] = val
+		snap := make(map[string]string, len(model))
+		for k, v := range model {
+			snap[k] = v
+		}
+		commits = append(commits, commitState{ts: ts, state: snap})
+		if i%20 == 19 {
+			if err := p.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if splits := p.TreeStats(tbl).TimeSplits; splits == 0 {
+		t.Fatal("setup: workload forced no time splits; the SMO path is not exercised")
+	}
+
+	r, err := OpenReplica(rdir, testOpts(func(o *Options) { o.Clock = clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Ship everything, then apply ONE record per step, checking consistency
+	// at the horizon after each.
+	for {
+		ch, err := p.Log().ShipRead(r.Log().End(), 4096)
+		if err != nil {
+			t.Fatalf("ShipRead: %v", err)
+		}
+		if len(ch.Data) == 0 {
+			break
+		}
+		if err := r.Log().IngestChunk(ch); err != nil {
+			t.Fatalf("IngestChunk at %d: %v", ch.At, err)
+		}
+	}
+	rtbl := (*Table)(nil)
+	steps := 0
+	for {
+		n, err := r.ReplicaApply(1)
+		if err != nil {
+			t.Fatalf("ReplicaApply step %d: %v", steps, err)
+		}
+		if n == 0 {
+			break
+		}
+		steps++
+		if rtbl == nil {
+			rtbl, _ = r.Table("t") // nil until the catalog record applies
+		}
+		if rtbl == nil {
+			continue
+		}
+		// The newest commit at or below the horizon defines the only legal
+		// answer; a torn SMO would break the scan or change the state.
+		h := r.Horizon().MaxVisible
+		want := map[string]string{}
+		for _, c := range commits {
+			if c.ts.After(h) {
+				break
+			}
+			want = c.state
+		}
+		wantState(t, r, rtbl, h, fmt.Sprintf("replica mid-redo step %d", steps), want)
+	}
+	if rtbl == nil {
+		t.Fatal("replica never saw the table")
+	}
+
+	// Fully caught up: every commit's AS OF matches the model exactly.
+	for i, c := range commits {
+		wantState(t, r, rtbl, c.ts, fmt.Sprintf("replica final commit %d", i), c.state)
+	}
+}

@@ -1,0 +1,367 @@
+package immortaldb
+
+// Engine-level replication: a follower's log copy is grown byte-for-byte
+// from the primary's via ShipRead/IngestChunk, continuous redo advances the
+// replication horizon, reads are served at it, and every write path is
+// refused. Crash/catch-up, base-snapshot seeding, and point-in-time restore
+// ride the same machinery.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"immortaldb/internal/wal"
+)
+
+// shipAll pumps the primary's durable log into the replica's copy until the
+// replica is caught up, then applies everything.
+func shipAll(t *testing.T, p, r *DB) {
+	t.Helper()
+	for {
+		ch, err := p.Log().ShipRead(r.Log().End(), 4096)
+		if err != nil {
+			t.Fatalf("ShipRead: %v", err)
+		}
+		if len(ch.Data) == 0 {
+			break
+		}
+		if err := r.Log().IngestChunk(ch); err != nil {
+			t.Fatalf("IngestChunk at %d: %v", ch.At, err)
+		}
+	}
+	if _, err := r.ReplicaApply(0); err != nil {
+		t.Fatalf("ReplicaApply: %v", err)
+	}
+}
+
+func TestReplicaServesReadsAtHorizon(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	opts := &Options{Clock: testClock(), PageSize: 1024, CacheFrames: 16}
+	p, err := Open(pdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tbl, err := p.CreateTable("acct", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := commitKV(t, p, tbl, "alice", "100")
+	commitKV(t, p, tbl, "alice", "150")
+	commitKV(t, p, tbl, "bob", "50")
+
+	r, err := OpenReplica(rdir, &Options{Clock: testClock(), PageSize: 1024, CacheFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	shipAll(t, p, r)
+
+	h := r.Horizon()
+	if h.MaxVisible != p.Now() {
+		t.Fatalf("horizon %v, primary visible %v", h.MaxVisible, p.Now())
+	}
+
+	// Current reads through the ordinary Begin path.
+	tx, err := r.Begin(Serializable) // downgrades to snapshot-at-horizon
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtbl, err := r.Table("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tx.Get(rtbl, []byte("alice"))
+	if err != nil || !ok || string(v) != "150" {
+		t.Fatalf("replica read alice = %q %v %v, want 150", v, ok, err)
+	}
+	// Writes are refused with the typed error.
+	if err := tx.Set(rtbl, []byte("alice"), []byte("0")); !errors.Is(err, ErrReplica) {
+		t.Fatalf("replica write: %v, want ErrReplica", err)
+	}
+	tx.Commit()
+
+	// AS OF at a past commit sees that state.
+	wantState(t, r, rtbl, ts1, "replica AS OF first commit", map[string]string{"alice": "100"})
+	// AS OF exactly at the horizon is allowed.
+	if tx, err := r.BeginAsOfTS(r.Horizon().MaxVisible); err != nil {
+		t.Fatalf("AS OF at horizon: %v", err)
+	} else {
+		tx.Commit()
+	}
+	// One tick past the horizon is the typed horizon error, not a torn view.
+	if _, err := r.BeginAsOfTS(r.Horizon().MaxVisible.Next()); !errors.Is(err, ErrBeyondHorizon) {
+		t.Fatalf("AS OF past horizon: %v, want ErrBeyondHorizon", err)
+	}
+	// DDL is refused too.
+	if _, err := r.CreateTable("x", TableOptions{}); !errors.Is(err, ErrReplica) {
+		t.Fatalf("replica CreateTable: %v, want ErrReplica", err)
+	}
+	if err := r.Checkpoint(); !errors.Is(err, ErrReplica) {
+		t.Fatalf("replica Checkpoint: %v, want ErrReplica", err)
+	}
+}
+
+func TestReplicaCrashResyncAndCheckpoint(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	opts := &Options{Clock: testClock(), PageSize: 1024, CacheFrames: 16}
+	p, err := Open(pdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tbl, err := p.CreateTable("acct", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		commitKV(t, p, tbl, "k", string(rune('a'+i)))
+	}
+
+	r, err := OpenReplica(rdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, p, r)
+	h1 := r.Horizon()
+	r.crash() // no checkpoint, no flush of ingested state beyond what redo wrote
+
+	// More primary commits while the follower is down, plus a checkpoint so
+	// the shipped stream carries a checkpoint record.
+	for i := 0; i < 5; i++ {
+		commitKV(t, p, tbl, "k2", string(rune('a'+i)))
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitKV(t, p, tbl, "k3", "z")
+
+	// Reopen: ordinary recovery over the log copy, then resync from its end.
+	r, err = OpenReplica(rdir, opts)
+	if err != nil {
+		t.Fatalf("reopen replica: %v", err)
+	}
+	defer r.Close()
+	if h := r.Horizon(); h.AppliedLSN < h1.AppliedLSN {
+		t.Fatalf("horizon regressed across crash: %d < %d", h.AppliedLSN, h1.AppliedLSN)
+	}
+	shipAll(t, p, r)
+	if got, want := r.Horizon().MaxVisible, p.Now(); got != want {
+		t.Fatalf("post-resync horizon %v, want %v", got, want)
+	}
+	// The primary checkpoint record drove a local one.
+	if r.Log().Checkpoint() == 0 {
+		t.Fatal("replica checkpoint pointer not set by shipped checkpoint record")
+	}
+	rtbl, err := r.Table("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.View(func(tx *Tx) error {
+		v, ok, err := tx.Get(rtbl, []byte("k3"))
+		if err != nil || !ok || string(v) != "z" {
+			t.Fatalf("post-resync read k3 = %q %v %v", v, ok, err)
+		}
+		return nil
+	})
+
+	// Crash again after the local checkpoint: recovery must start from it.
+	r.crash()
+	r, err = OpenReplica(rdir, opts)
+	if err != nil {
+		t.Fatalf("reopen after checkpointed crash: %v", err)
+	}
+	defer r.Close()
+	shipAll(t, p, r)
+	rtbl, _ = r.Table("acct")
+	wantState(t, r, rtbl, r.Horizon().MaxVisible, "replica after second crash",
+		map[string]string{"k": "t", "k2": "e", "k3": "z"})
+}
+
+func TestReplicaBaseSnapshotSeeding(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	// Small segments so checkpoint truncation actually reclaims the chain
+	// head and a fresh follower cannot catch up from the log alone.
+	opts := &Options{Clock: testClock(), PageSize: 1024, CacheFrames: 16, WALSegmentSize: 4096}
+	p, err := Open(pdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tbl, err := p.CreateTable("acct", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asOfMid := Timestamp{}
+	for i := 0; i < 60; i++ {
+		commitKV(t, p, tbl, "key"+string(rune('A'+i%7)), string(rune('a'+i%26)))
+		if i%10 == 9 {
+			if err := p.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 30 {
+			asOfMid = p.Now()
+		}
+	}
+	if p.Log().FirstRetained() == wal.FirstLSN {
+		t.Fatal("test premise: truncation should have reclaimed the chain head")
+	}
+
+	// A fresh follower's pull from genesis reports the gap.
+	if _, err := p.Log().ShipRead(wal.FirstLSN, 4096); !errors.Is(err, wal.ErrShipGap) {
+		t.Fatalf("ship from genesis: %v, want ErrShipGap", err)
+	}
+
+	// Seed from a base snapshot instead.
+	base, err := p.NewBaseSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := InstallBase(rdir, opts, base.PageSize, base.NumPages, base.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Pages(func(id uint64, img []byte) error { return bi.WritePage(id, img) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range base.PTT {
+		if err := bi.PutPTT(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bi.StartLog(base.StartSeq, base.LogStart); err != nil {
+		t.Fatal(err)
+	}
+	for bi.End() <= base.CkptLSN {
+		ch, err := p.Log().ShipRead(wal.LSN(bi.End()), 4096)
+		if err != nil {
+			t.Fatalf("base suffix ShipRead: %v", err)
+		}
+		if len(ch.Data) == 0 {
+			t.Fatal("caught up before covering the checkpoint record")
+		}
+		if err := bi.Ingest(ch); err != nil {
+			t.Fatalf("base suffix ingest: %v", err)
+		}
+	}
+	if err := bi.Finish(base.CkptLSN); err != nil {
+		t.Fatal(err)
+	}
+	base.Close()
+
+	r, err := OpenReplica(rdir, opts)
+	if err != nil {
+		t.Fatalf("open base-seeded replica: %v", err)
+	}
+	defer r.Close()
+	shipAll(t, p, r)
+	if got, want := r.Horizon().MaxVisible, p.Now(); got != want {
+		t.Fatalf("seeded horizon %v, want %v", got, want)
+	}
+	rtbl, err := r.Table("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptbl, _ := p.Table("acct")
+	// Full current state matches the primary exactly.
+	if got, want := stateAsOf(t, r, rtbl, r.Horizon().MaxVisible), stateAsOf(t, p, ptbl, p.Now()); len(got) != len(want) {
+		t.Fatalf("seeded replica state %v, want %v", got, want)
+	} else {
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("seeded replica %s = %q, want %q", k, got[k], v)
+			}
+		}
+	}
+	// Historical reads predating the base snapshot still work: versions live
+	// in the copied tree pages, not the truncated log.
+	wantMid := stateAsOf(t, p, ptbl, asOfMid)
+	gotMid := stateAsOf(t, r, rtbl, asOfMid)
+	for k, v := range wantMid {
+		if gotMid[k] != v {
+			t.Fatalf("seeded replica AS OF mid %s = %q, want %q", k, gotMid[k], v)
+		}
+	}
+}
+
+func TestRestoreAsOf(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	opts := &Options{Clock: testClock(), PageSize: 1024, CacheFrames: 16, RetainWAL: true, WALSegmentSize: 4096}
+	p, err := Open(srcDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := p.CreateTable("acct", TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marks []Timestamp
+	for i := 0; i < 40; i++ {
+		commitKV(t, p, tbl, "key"+string(rune('A'+i%5)), string(rune('a'+i%26)))
+		marks = append(marks, p.Now())
+		if i%13 == 12 {
+			if err := p.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Record the expected state at a mid-history mark from the live engine.
+	mark := marks[17]
+	want := stateAsOf(t, p, tbl, mark)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := RestoreAsOf(srcDir, dstDir, mark, opts); err != nil {
+		t.Fatalf("RestoreAsOf: %v", err)
+	}
+	clone, err := Open(dstDir, opts)
+	if err != nil {
+		t.Fatalf("open restored clone: %v", err)
+	}
+	defer clone.Close()
+	ctbl, err := clone.Table("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stateAsOf(t, clone, ctbl, clone.Now())
+	if len(got) != len(want) {
+		t.Fatalf("restored state %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("restored %s = %q, want %q", k, got[k], v)
+		}
+	}
+	// The clone is a normal writable database.
+	if err := clone.Update(func(tx *Tx) error { return tx.Set(ctbl, []byte("new"), []byte("1")) }); err != nil {
+		t.Fatalf("write on restored clone: %v", err)
+	}
+
+	// Restoring into a non-empty directory is refused.
+	if err := RestoreAsOf(srcDir, dstDir, mark, opts); err == nil {
+		t.Fatal("restore into non-empty destination should fail")
+	}
+	// A truncation-managed source is refused with a pointer at RetainWAL.
+	trunc := t.TempDir()
+	p2, err := Open(trunc, &Options{Clock: testClock(), PageSize: 1024, CacheFrames: 16, WALSegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := p2.CreateTable("t", TableOptions{Immortal: true})
+	for i := 0; i < 60; i++ {
+		commitKV(t, p2, tbl2, "k", "v")
+		if i%10 == 9 {
+			p2.Checkpoint()
+		}
+	}
+	truncated := p2.Log().FirstRetained() != wal.FirstLSN
+	p2.Close()
+	if truncated {
+		if err := RestoreAsOf(trunc, filepath.Join(t.TempDir(), "d"), marks[0], opts); err == nil {
+			t.Fatal("restore from truncated chain should fail")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package immortaldb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/vfs"
+	"immortaldb/internal/wal"
+)
+
+// ParseAsOf parses a SQL AS OF time literal ("2004-08-12 10:15:20", a bare
+// date, or m/d/y forms) into a Timestamp that sees every transaction
+// committed during that tick — the same parse BEGIN TRAN AS OF uses.
+func ParseAsOf(s string) (Timestamp, error) { return itime.ParseAsOf(s) }
+
+// RestoreAsOf clones the database at srcDir into dstDir as it stood at
+// timestamp ts: the source's log chain is cut just after the last commit
+// record at or before ts, the prefix is copied byte-for-byte into a fresh
+// destination log, and an ordinary open replays it from the beginning of
+// history — rebuilding every page from logged images and version records,
+// and undoing the transactions the cut left without a commit. The source is
+// only read (via the never-mutating retained-chain scan), so a live or
+// crashed database can be restored from without touching it.
+//
+// The chain must reach back to the database's creation: run the source with
+// Options.RetainWAL, or restore from a follower that retains its copy.
+// Commit records appear in timestamp order (timestamps are chosen under the
+// same lock that orders commit records), so a single cut point captures
+// exactly the committed state at ts.
+func RestoreAsOf(srcDir, dstDir string, ts Timestamp, opts *Options) error {
+	o := opts.withDefaults()
+	fsys := o.FS
+	if fsys == nil {
+		if err := os.MkdirAll(dstDir, 0o755); err != nil {
+			return fmt.Errorf("immortaldb: create %s: %w", dstDir, err)
+		}
+		fsys = vfs.OS()
+	}
+	srcLog := filepath.Join(srcDir, walFile)
+	start, err := wal.RetainedStart(fsys, srcLog)
+	if err != nil {
+		return fmt.Errorf("immortaldb: restore source %s: %w", srcDir, err)
+	}
+	if start != wal.FirstLSN {
+		return fmt.Errorf("immortaldb: restore needs the full log chain, but %s starts at %d — run the source with Options.RetainWAL", srcDir, start)
+	}
+	if existing, err := fsys.List(dstDir + string(filepath.Separator)); err == nil && len(existing) > 0 {
+		return fmt.Errorf("immortaldb: restore destination %s is not empty", dstDir)
+	}
+
+	// Find the cut: the end of the last commit at or before ts. Update
+	// records of still-uncommitted transactions before the cut are fine —
+	// recovery undoes them, exactly as it would after a crash at that
+	// moment.
+	cut := wal.FirstLSN
+	if err := wal.ScanRetained(fsys, srcLog, func(rec *wal.Record) error {
+		if rec.Type == wal.TypeCommit && !rec.TS.After(ts) {
+			cut = rec.EndLSN()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if cut == wal.FirstLSN {
+		return fmt.Errorf("%w: no commit at or before %v in %s", ErrNoHistory, ts, srcDir)
+	}
+
+	dst, err := wal.OpenFS(fsys, filepath.Join(dstDir, walFile))
+	if err != nil {
+		return err
+	}
+	if err := wal.CopyRetained(fsys, srcLog, cut, dst); err != nil {
+		dst.Close()
+		return fmt.Errorf("immortaldb: restore log copy: %w", err)
+	}
+	if err := dst.SyncIngested(); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+
+	// An ordinary open finishes the job: full redo from genesis, undo of the
+	// cut's losers, and a checkpoint that makes the clone self-sufficient.
+	db, err := openDB(dstDir, opts, false)
+	if err != nil {
+		return fmt.Errorf("immortaldb: restore replay: %w", err)
+	}
+	return db.Close()
+}

@@ -118,6 +118,18 @@ func (db *DB) Begin(level IsolationLevel) (*Tx, error) {
 	if db.draining {
 		return nil, ErrShuttingDown
 	}
+	if db.replica {
+		// Any requested level downgrades to a snapshot read at the
+		// replication horizon: serializable 2PL would interleave with
+		// continuous redo, which takes no transaction locks, so the locks
+		// could not actually order anything. The snapshot view is immune —
+		// commits become visible atomically when the watermark advances, and
+		// structural installs exclude readers per tree. Writes fail with
+		// ErrReplica at the first Set/Delete.
+		tx := &Tx{db: db, id: db.nextReadTID(), mode: SnapshotIsolation, snapTS: db.visibleTS()}
+		db.active[tx.id] = tx
+		return tx, nil
+	}
 	tx := &Tx{db: db, id: db.tids.Next(), mode: level}
 	if level == SnapshotIsolation {
 		// The snapshot read point is the visibility watermark — the newest
@@ -156,9 +168,29 @@ func (db *DB) BeginAsOfTS(ts Timestamp) (*Tx, error) {
 	if db.draining {
 		return nil, ErrShuttingDown
 	}
-	tx := &Tx{db: db, id: db.tids.Next(), mode: asOf, snapTS: ts}
+	id := db.tids.Next()
+	if db.replica {
+		// Serving a time past the horizon could expose a torn view: some of
+		// that moment's commits are applied, others still in flight on the
+		// wire. Reads exactly at the horizon are fine — the watermark is the
+		// newest fully-applied commit.
+		if v := db.visibleTS(); ts.After(v) {
+			return nil, fmt.Errorf("%w: requested %v, horizon %v", ErrBeyondHorizon, ts, v)
+		}
+		id = db.nextReadTID()
+	}
+	tx := &Tx{db: db, id: id, mode: asOf, snapTS: ts}
 	db.active[tx.id] = tx
 	return tx, nil
+}
+
+// replicaTIDBit marks locally-issued read-transaction IDs on a replica,
+// keeping them disjoint from the primary's TID space arriving in the shipped
+// log — a replicated record's TID must never collide with a local reader's.
+const replicaTIDBit = itime.TID(1) << 63
+
+func (db *DB) nextReadTID() itime.TID {
+	return replicaTIDBit | itime.TID(db.readTIDs.Add(1))
 }
 
 func (tx *Tx) check(write bool) error {
@@ -170,6 +202,9 @@ func (tx *Tx) check(write bool) error {
 	}
 	if write && tx.mode == asOf {
 		return ErrReadOnly
+	}
+	if write && tx.db.replica {
+		return ErrReplica
 	}
 	return nil
 }
