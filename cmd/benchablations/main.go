@@ -13,6 +13,9 @@
 //	             (O1), also written as JSON rows to -obsout
 //	repl       — primary-only vs primary+follower durable-commit throughput
 //	             and follower lag (R1), also written as JSON rows to -replout
+//	hist       — tiered history storage: cold-tier storage reduction, AS OF
+//	             latency hot vs cold, commit throughput under the background
+//	             compactor (H1), also written as JSON rows to -histout
 //	all        — everything
 //
 // Usage:
@@ -37,6 +40,7 @@ func main() {
 	serveOut := flag.String("serveout", "BENCH_server.json", "JSON output path for the serve experiment (empty disables)")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "JSON output path for the obs-overhead experiment (empty disables)")
 	replOut := flag.String("replout", "BENCH_repl.json", "JSON output path for the replication experiment (empty disables)")
+	histOut := flag.String("histout", "BENCH_hist.json", "JSON output path for the tiered-history experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -224,6 +228,34 @@ func main() {
 				fail(err)
 			}
 			fmt.Println("wrote", *replOut)
+		}
+	}
+
+	if all || run["hist"] {
+		rows, err := repro.RunHistAblation(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("H1 — Tiered history: cold-run storage, AS OF hot vs cold, compactor impact")
+		fmt.Printf("%18s %8s %10s %10s %14s %12s\n", "mode", "clients", "count", "total(s)", "per-sec/factor", "cold bytes")
+		for _, r := range rows {
+			cold := ""
+			if r.Mode == "storage-reduction" {
+				cold = fmt.Sprintf("%12d", r.ColdBytes)
+			}
+			fmt.Printf("%18s %8d %10d %10.3f %14.1f %12s\n",
+				r.Mode, r.Clients, r.Commits, r.Seconds, r.CommitsPerSec, cold)
+		}
+		fmt.Println()
+		if *histOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*histOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *histOut)
 		}
 	}
 }

@@ -61,6 +61,9 @@ func main() {
 	follow := flag.String("follow", "", "primary address to replicate from; serves read-only")
 	restoreFrom := flag.String("restore-from", "", "source directory for a point-in-time restore into -db")
 	restoreAsOf := flag.String("restore-asof", "", `restore cut time, e.g. "2004-08-12 10:15:20" (with -restore-from)`)
+	tiered := flag.Bool("tiered", false, "migrate cold history pages into compressed immutable runs (requires -index chain)")
+	retention := flag.Duration("retention", 0, "vacuum historical versions older than this from the cold tier (0 = keep forever; with -tiered)")
+	compactEvery := flag.Duration("compact-every", time.Minute, "background history-compaction interval (0 = manual only; with -tiered)")
 	flag.Parse()
 
 	obs.SetSlowOpThreshold(*slowOp)
@@ -70,6 +73,11 @@ func main() {
 	opts := &immortaldb.Options{DrainTimeout: *drain}
 	if *index == "tsb" {
 		opts.HistoricalIndex = immortaldb.IndexTSB
+	}
+	if *tiered {
+		opts.TieredHistory = true
+		opts.Retention = *retention
+		opts.HistCompactEvery = *compactEvery
 	}
 
 	if *restoreFrom != "" || *restoreAsOf != "" {

@@ -32,6 +32,7 @@ import (
 	"immortaldb/internal/buffer"
 	"immortaldb/internal/catalog"
 	"immortaldb/internal/cow"
+	"immortaldb/internal/hist"
 	"immortaldb/internal/itime"
 	"immortaldb/internal/lock"
 	"immortaldb/internal/obs"
@@ -149,6 +150,25 @@ type Options struct {
 	// and RestoreAsOf can rebuild the state at any past timestamp. The cost
 	// is unbounded log growth.
 	RetainWAL bool
+	// TieredHistory migrates history pages of immortal chain-indexed tables
+	// into the cold tier: compacted, prefix/delta-compressed immutable run
+	// files (CompactHistory, and the background compactor when
+	// HistCompactEvery is set). Reads spanning the hot/cold boundary are
+	// transparent either way — the cold tier is always consulted when a
+	// history chain ends without covering the requested time — so the option
+	// gates only whether new migrations happen. Requires IndexChain.
+	TieredHistory bool
+	// Retention drops historical versions older than now-Retention during
+	// history compaction: for each key, versions strictly older than the
+	// newest version at or before the horizon are vacuumed from merged runs.
+	// 0 keeps everything forever (the immortal default). Effective only with
+	// TieredHistory.
+	Retention time.Duration
+	// HistCompactEvery runs the background history compactor at this
+	// interval (a time split also kicks it early). 0 disables the goroutine;
+	// CompactHistory can always be called manually — crash and chaos tests
+	// rely on that for determinism. Effective only with TieredHistory.
+	HistCompactEvery time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -305,6 +325,18 @@ type DB struct {
 	degMu    sync.Mutex
 	degCause error
 
+	// Cold history tier (internal/hist). hist is always non-nil — reads
+	// consult it whenever a chain ends short — while migration into it is
+	// gated by Options.TieredHistory. histMu serializes migration/compaction
+	// passes; the remaining fields manage the background compactor.
+	hist                           *hist.Store
+	histMu                         sync.Mutex
+	histKick                       chan struct{}
+	histStop                       chan struct{}
+	histDone                       chan struct{}
+	histStopOnce                   sync.Once
+	pagesMigrated, histCompactions atomic.Uint64
+
 	commits, aborts atomic.Uint64
 }
 
@@ -322,6 +354,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 
 func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 	o := opts.withDefaults()
+	if o.TieredHistory && o.HistoricalIndex == IndexTSB {
+		return nil, fmt.Errorf("immortaldb: TieredHistory requires IndexChain (TSB mode indexes history in place)")
+	}
 	fsys := o.FS
 	if fsys == nil {
 		// Paths on a simulated FS are pure names; only the real one needs
@@ -376,6 +411,7 @@ func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 		active:       make(map[itime.TID]*Tx),
 		replica:      replica,
 		retainFloors: make(map[uint64]wal.LSN),
+		hist:         hist.NewStore(fsys, dir),
 	}
 	db.opDone = sync.NewCond(&db.mu)
 	db.stamp.GCEnabled = !o.DisablePTTGC
@@ -448,8 +484,16 @@ func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 	// the last issued timestamp.
 	last := db.seq.Last()
 	db.visible.Store(&last)
-	// Open a tree per table.
+	// Open a tree per table. The cold tier loads first: recovery's redo may
+	// already have swapped newer manifests into the store, and LoadTable is
+	// idempotent against that (file state is authoritative).
 	for _, t := range db.cat.List() {
+		if t.Immortal {
+			if err := db.hist.LoadTable(t.ID); err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("immortaldb: load history tier for %s: %w", t.Name, err)
+			}
+		}
 		db.trees[t.ID] = db.openTree(t)
 	}
 	if replica {
@@ -469,12 +513,27 @@ func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 	// free space is as good as it gets; from here on, rotations refuse below
 	// the low-water mark to keep the next recovery's headroom intact.
 	log.LowWater = o.WALLowWater
+	// Drop run files orphaned by a migration/compaction that crashed between
+	// writing runs and installing the manifest. Best-effort: a failure here
+	// only leaks disk space.
+	for _, t := range db.cat.List() {
+		if t.Immortal {
+			_ = db.hist.Cleanup(t.ID)
+		}
+	}
+	if o.TieredHistory && o.HistCompactEvery > 0 {
+		db.histKick = make(chan struct{}, 1)
+		db.histStop = make(chan struct{})
+		db.histDone = make(chan struct{})
+		go db.compactorLoop(o.HistCompactEvery)
+	}
 	// A fresh open is healthy by construction: recovery re-read disk state.
 	obsDegraded.Set(0)
 	return db, nil
 }
 
 func (db *DB) closeFiles() {
+	db.hist.Close()
 	db.ptt.Close()
 	db.log.Close()
 	db.pager.Close()
@@ -616,7 +675,7 @@ func (db *DB) openTree(t *catalog.Table) *tsb.Tree {
 }
 
 func (db *DB) treeConfig(t *catalog.Table) tsb.Config {
-	return tsb.Config{
+	cfg := tsb.Config{
 		Pool:      db.pool,
 		Pager:     db.pager,
 		TableID:   t.ID,
@@ -638,6 +697,17 @@ func (db *DB) treeConfig(t *catalog.Table) tsb.Config {
 		},
 		SnapshotHorizon: db.snapshotHorizon,
 	}
+	// Immortal chain tables read through to the cold tier whenever a history
+	// chain ends without covering the requested time. The hook is always on —
+	// runs written under TieredHistory must stay readable after a reopen with
+	// the option off — while migration (the compactor kick) is gated.
+	if t.Immortal && tsb.Mode(db.opts.HistoricalIndex) == tsb.ModeChain {
+		cfg.Hist = &treeHist{db: db, tableID: t.ID}
+		if db.opts.TieredHistory && !db.replica {
+			cfg.OnTimeSplit = db.kickCompactor
+		}
+	}
+	return cfg
 }
 
 // visibleTS returns the snapshot visibility watermark (see DB.visible).
@@ -901,6 +971,9 @@ func (db *DB) Checkpoint() error {
 // behalf, and the final checkpoint and file closes run against a quiesced
 // engine.
 func (db *DB) Close() error {
+	// Stop the background compactor first: it takes db.mu and appends to the
+	// log, so it must be parked before the drain and the final checkpoint.
+	db.stopCompactor()
 	db.mu.Lock()
 	if db.closed || db.draining {
 		db.mu.Unlock()
@@ -982,6 +1055,7 @@ func (db *DB) Close() error {
 	if err2 := db.pager.Close(); err == nil {
 		err = err2
 	}
+	db.hist.Close()
 	return err
 }
 
@@ -1044,6 +1118,12 @@ type Stats struct {
 	// ErrDegraded); WALSegments counts live log segment files.
 	Degraded    bool
 	WALSegments int
+	// Cold history tier: live run files and their byte total, history pages
+	// migrated into runs, and completed CompactHistory passes.
+	HistRuns        int
+	HistBytes       uint64
+	PagesMigrated   uint64
+	HistCompactions uint64
 }
 
 // MeanCommitBatch estimates the mean group-commit batch size: every fsync
@@ -1061,22 +1141,25 @@ func (db *DB) Stats() Stats {
 	h, m, _, _ := db.pool.Stats()
 	appends, syncs := db.log.Stats()
 	st := Stats{
-		Commits:        db.commits.Load(),
-		Aborts:         db.aborts.Load(),
-		Stamp:          db.stamp.Snapshot(),
-		VTTBacklog:     db.stamp.VTTLen(),
-		PTTEntries:     db.stamp.PTTLen(),
-		LogBytes:       db.log.Size(),
-		LogAppends:     appends,
-		LogSyncs:       syncs,
-		GroupedCommits: db.log.GroupedSyncs(),
-		PagerReads:     r,
-		PagerWrites:    w,
-		CacheHits:      h,
-		CacheMisses:    m,
-		Degraded:       db.degraded.Load(),
-		WALSegments:    db.log.SegmentCount(),
+		Commits:         db.commits.Load(),
+		Aborts:          db.aborts.Load(),
+		Stamp:           db.stamp.Snapshot(),
+		VTTBacklog:      db.stamp.VTTLen(),
+		PTTEntries:      db.stamp.PTTLen(),
+		LogBytes:        db.log.Size(),
+		LogAppends:      appends,
+		LogSyncs:        syncs,
+		GroupedCommits:  db.log.GroupedSyncs(),
+		PagerReads:      r,
+		PagerWrites:     w,
+		CacheHits:       h,
+		CacheMisses:     m,
+		Degraded:        db.degraded.Load(),
+		WALSegments:     db.log.SegmentCount(),
+		PagesMigrated:   db.pagesMigrated.Load(),
+		HistCompactions: db.histCompactions.Load(),
 	}
+	st.HistRuns, st.HistBytes = db.hist.Totals()
 	db.mu.Lock()
 	st.OpenTxns = len(db.active)
 	for _, t := range db.trees {

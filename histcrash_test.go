@@ -1,0 +1,233 @@
+package immortaldb_test
+
+// The tiered-history crash and chaos matrices: the same harnesses as
+// crashmatrix_test.go and persistmatrix_test.go, but with TieredHistory on
+// and a CompactHistory pass after every checkpoint. Crash points and
+// sustained faults then land inside the migration pipeline itself — cold-run
+// writes and fsyncs, the WAL records that anchor them, the dual-slot
+// manifest flip, the chain-cut SMOs, and the reclamation of migrated hot
+// pages and merged-away runs. The invariants are unchanged: no acked commit
+// (or any already-durable historical version) may be lost or duplicated, the
+// maybe-committed transaction is all-or-nothing, and after recovery AS OF
+// reads spanning hot pages and cold runs must reproduce the model exactly.
+//
+// Failing coordinates replay with the same flag sets as the base matrices:
+//
+//	go test -run TestHistCrashMatrix -seed=<N> -point=<M>
+//	go test -run TestHistCrashMatrixConcurrent -cseed=<N> -cpoint=<M>
+//	go test -run TestHistPersistMatrix -pseed=<S> -pkind=<K> -ppoint=<N> -ppersist=<P>
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"immortaldb/internal/fault"
+)
+
+func runHistPoint(t *testing.T, seed, point int64) {
+	t.Helper()
+	res := fault.Run(fault.Config{Seed: seed, CrashAt: point, Tiered: true})
+	if !fault.Crashed(res) {
+		t.Fatalf("point %d: workload finished without hitting the crash point (%d ops total)\n%s",
+			point, res.FS.OpCount(), fault.Describe(res))
+	}
+	if err := fault.Verify(res); err != nil {
+		t.Fatalf("crash point %d failed verification: %v\n%s", point, err, fault.Describe(res))
+	}
+}
+
+// TestHistCrashMatrix crashes the disk at every I/O operation of the tiered
+// workload — including every operation of each migration and compaction —
+// and verifies recovery. The migration protocol's crash windows are all
+// crossed: after the run file but before its WAL record, after the manifest
+// record but before the flip, after the flip but before the chain cut
+// (benign duplicate coverage), and mid-reclamation.
+func TestHistCrashMatrix(t *testing.T) {
+	seed := *matrixSeed
+
+	if *matrixPoint > 0 {
+		runHistPoint(t, seed, *matrixPoint)
+		return
+	}
+
+	base := fault.Run(fault.Config{Seed: seed, Tiered: true})
+	if !base.Clean {
+		t.Fatalf("baseline tiered workload failed: %v\n%s", base.Err, fault.Describe(base))
+	}
+	total := base.FS.OpCount()
+	if err := fault.Verify(base); err != nil {
+		t.Fatalf("baseline verification failed: %v", err)
+	}
+	// The tiered workload must be strictly bigger than the plain one — the
+	// extra operations ARE the migration pipeline under test.
+	plain := fault.Run(fault.Config{Seed: seed})
+	if !plain.Clean {
+		t.Fatalf("plain baseline failed: %v", plain.Err)
+	}
+	if total <= plain.FS.OpCount() {
+		t.Fatalf("tiered workload issued %d ops, plain %d; migrations generated no crash points",
+			total, plain.FS.OpCount())
+	}
+	if total < minCrashPoints {
+		t.Fatalf("workload generated only %d disk operations; need >= %d crash points", total, minCrashPoints)
+	}
+
+	// Determinism self-check: CompactHistory runs synchronously (no background
+	// compactor in the matrix), so the I/O sequence must replay exactly.
+	again := fault.Run(fault.Config{Seed: seed, Tiered: true})
+	if !again.Clean || again.FS.OpCount() != total || len(again.Committed) != len(base.Committed) {
+		t.Fatalf("tiered workload is not deterministic: run 1 = %d ops / %d commits, run 2 = %d ops / %d commits (err %v)",
+			total, len(base.Committed), again.FS.OpCount(), len(again.Committed), again.Err)
+	}
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 4
+	}
+	t.Logf("tiered crash matrix: seed=%d, %d crash points (stride %d), %d committed txns",
+		seed, total, stride, len(base.Committed))
+	for point := int64(1); point <= total; point += stride {
+		runHistPoint(t, seed, point)
+	}
+}
+
+// TestHistCrashMatrixConcurrent sweeps crash points while workers commit
+// through the group-commit pipeline and worker 0's mid-run CompactHistory
+// migrates their history to the cold tier underneath them.
+func TestHistCrashMatrixConcurrent(t *testing.T) {
+	seed := *concSeed
+
+	runConc := func(t *testing.T, after int64) bool {
+		t.Helper()
+		res := fault.RunConcurrent(fault.ConcurrentConfig{Seed: seed, CrashAfter: after, Tiered: true})
+		crashed := fault.ConcCrashed(res)
+		if !crashed && !res.Clean {
+			t.Fatalf("crash-after %d: workload failed without a crash\n%s", after, fault.DescribeConcurrent(res))
+		}
+		if err := fault.VerifyConcurrent(res); err != nil {
+			t.Fatalf("crash-after %d failed verification: %v\n%s", after, err, fault.DescribeConcurrent(res))
+		}
+		return crashed
+	}
+
+	if *concPoint > 0 {
+		runConc(t, *concPoint)
+		return
+	}
+
+	base := fault.RunConcurrent(fault.ConcurrentConfig{Seed: seed, Tiered: true})
+	if !base.Clean {
+		t.Fatalf("baseline tiered concurrent workload failed\n%s", fault.DescribeConcurrent(base))
+	}
+	total := base.FS.OpCount() - base.SetupOps
+	if err := fault.VerifyConcurrent(base); err != nil {
+		t.Fatalf("baseline concurrent verification failed: %v", err)
+	}
+
+	points := int64(36)
+	if testing.Short() {
+		points = 10
+	}
+	stride := total / points
+	if stride < 1 {
+		stride = 1
+	}
+	crashes, swept := 0, 0
+	for after := int64(1); after <= total; after += stride {
+		swept++
+		if runConc(t, after) {
+			crashes++
+		}
+	}
+	if crashes < swept/2 {
+		t.Fatalf("only %d of %d crash points actually crashed", crashes, swept)
+	}
+	t.Logf("tiered concurrent crash matrix: seed=%d, %d points swept, %d crashed", seed, swept, crashes)
+}
+
+// TestHistPersistMatrix sweeps the compactor-targeted sustained-fault kinds:
+// EIO and ENOSPC on cold-run writes, failing manifest fsyncs, and EIO on
+// old-run/old-page reclamation — each persisting for 1, 4 or unbounded
+// operations from start points sampled across the whole workload. Acked
+// history must survive every cell, reads must keep serving while degraded,
+// and after the fault clears the compactor must work again.
+func TestHistPersistMatrix(t *testing.T) {
+	// The kinds only fire inside CompactHistory, so a replay coordinate from
+	// this matrix needs Tiered set; route -pkind replays of hist kinds here.
+	runHistPersistCell := func(t *testing.T, seed int64, kind fault.PersistKind, startOp, persist int64) *fault.PersistResult {
+		t.Helper()
+		f := kind.Fault
+		f.StartOp = startOp
+		f.Count = persist
+		res := fault.RunPersist(fault.PersistConfig{Seed: seed, Fault: f, Txns: 36, Tiered: true})
+		if err := fault.VerifyPersist(res); err != nil {
+			t.Fatalf("%v\n%s", err, fault.DescribePersist(res, kind.Name))
+		}
+		return res
+	}
+
+	if *persistKind != "" {
+		kind, ok := fault.KindByName(*persistKind)
+		if !ok {
+			t.Fatalf("unknown -pkind %q", *persistKind)
+		}
+		runHistPersistCell(t, *persistSeed, kind, *persistPoint, *persistLen)
+		return
+	}
+
+	base := fault.RunPersist(fault.PersistConfig{Seed: *persistSeed, Txns: 36, Tiered: true})
+	if err := fault.VerifyPersist(base); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if !base.Clean {
+		t.Fatalf("baseline tiered workload did not finish clean: %+v", base)
+	}
+	total := base.FS.IOOpCount()
+	if total < 100 {
+		t.Fatalf("baseline generated only %d I/O ops; matrix would be vacuous", total)
+	}
+
+	starts := int64(9)
+	persists := []int64{1, 4, -1}
+	if testing.Short() {
+		starts = 3
+		persists = []int64{1, -1}
+	}
+	cells := 0
+	var degraded, clean atomic.Int64
+	for _, kind := range fault.HistPersistKinds {
+		kind := kind
+		for s := int64(0); s < starts; s++ {
+			startOp := s*total/starts + 1
+			for _, p := range persists {
+				p := p
+				cells++
+				name := fmt.Sprintf("%s/op%d/n%d", kind.Name, startOp, p)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					res := runHistPersistCell(t, *persistSeed, kind, startOp, p)
+					if res.Degraded {
+						degraded.Add(1)
+					}
+					if res.Clean {
+						clean.Add(1)
+					}
+				})
+			}
+		}
+	}
+	t.Cleanup(func() {
+		t.Logf("tiered persistence matrix: %d cells, %d degraded, %d clean", cells, degraded.Load(), clean.Load())
+		// Hist faults only have a target while a migration or compaction is
+		// in flight, but the permanent cells whose start precedes a
+		// compaction with work to do must degrade, and transient cells must
+		// be survived cleanly.
+		if d := degraded.Load(); d < int64(cells)/4 {
+			t.Errorf("only %d/%d cells degraded the engine; the compactor faults are not biting", d, cells)
+		}
+		if clean.Load() == 0 {
+			t.Errorf("no cell survived its transient fault cleanly; persistence clearing is not exercised")
+		}
+	})
+}

@@ -53,6 +53,10 @@ type ConcurrentConfig struct {
 	// CommitEvery, when non-zero, is passed to the engine as the
 	// group-commit max-delay knob.
 	CommitEvery time.Duration
+	// Tiered enables tiered history storage; worker 0 runs a CompactHistory
+	// pass right after its mid-run checkpoint, so cold-run writes, the
+	// manifest flip, and chain cuts race the other committers.
+	Tiered bool
 }
 
 // WorkerTxn is one transaction attempted by a worker.
@@ -118,7 +122,7 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 		Errs:    make([]error, cfg.Workers),
 	}
 
-	opts := options(fs)
+	opts := optionsFor(fs, cfg.Tiered)
 	opts.CommitEvery = cfg.CommitEvery
 	clock := opts.Clock.(*itime.SimClock)
 	// Workers advance the clock implicitly: one tick every few reads keeps
@@ -167,6 +171,14 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 					if err := db.Checkpoint(); err != nil {
 						fail(err)
 						return
+					}
+					if cfg.Tiered {
+						// Migrate checkpoint-stamped history to the cold tier
+						// while the other workers keep committing.
+						if err := db.CompactHistory(); err != nil {
+							fail(err)
+							return
+						}
 					}
 				}
 				tx, err := db.Begin(immortaldb.Serializable)
@@ -261,7 +273,7 @@ func VerifyConcurrent(res *ConcurrentResult) error {
 	fs := res.FS
 	fs.Reboot()
 
-	opts := options(fs)
+	opts := optionsFor(fs, res.Config.Tiered)
 	opts.CommitEvery = res.Config.CommitEvery
 	db, err := immortaldb.Open(concDirName, opts)
 	if err != nil {
@@ -381,6 +393,11 @@ func VerifyConcurrent(res *ConcurrentResult) error {
 	}
 	if err := db.Checkpoint(); err != nil {
 		return fmt.Errorf("post-recovery checkpoint: %w", err)
+	}
+	if res.Config.Tiered {
+		if err := db.CompactHistory(); err != nil {
+			return fmt.Errorf("post-recovery history compaction: %w", err)
+		}
 	}
 	if err := db.Close(); err != nil {
 		return fmt.Errorf("post-recovery close: %w", err)

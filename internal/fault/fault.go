@@ -35,6 +35,10 @@ type Config struct {
 	CrashAt int64
 	// Txns is the number of transactions to attempt (default 60).
 	Txns int
+	// Tiered enables tiered history storage and runs a CompactHistory pass
+	// after every checkpoint, so crash points land inside cold-run writes,
+	// manifest flips, chain cuts and old-page reclamation.
+	Tiered bool
 }
 
 // Event is one write inside a transaction.
@@ -99,6 +103,15 @@ func options(fs *vfs.SimFS) *immortaldb.Options {
 	}
 }
 
+// optionsFor is options plus, when tiered is set, the tiered-history knob.
+// The compactor interval stays zero either way: matrices call CompactHistory
+// at fixed workload points so the I/O sequence remains deterministic.
+func optionsFor(fs *vfs.SimFS, tiered bool) *immortaldb.Options {
+	o := options(fs)
+	o.TieredHistory = tiered
+	return o
+}
+
 // Run executes the deterministic workload for cfg, crashing at cfg.CrashAt.
 func Run(cfg Config) *RunResult {
 	if cfg.Txns == 0 {
@@ -110,7 +123,7 @@ func Run(cfg Config) *RunResult {
 	}
 	res := &RunResult{Config: cfg, FS: fs}
 
-	opts := options(fs)
+	opts := optionsFor(fs, cfg.Tiered)
 	clock := opts.Clock.(*itime.SimClock)
 	db, err := immortaldb.Open(dirName, opts)
 	if err != nil {
@@ -142,6 +155,14 @@ func Run(cfg Config) *RunResult {
 		if i%8 == 7 {
 			if err := db.Checkpoint(); err != nil {
 				return abandon(err)
+			}
+			if cfg.Tiered {
+				// The checkpoint just flush-stamped everything, so history
+				// pages are migratable; crash points now land inside run
+				// writes, the manifest flip, chain cuts and page frees.
+				if err := db.CompactHistory(); err != nil {
+					return abandon(err)
+				}
 			}
 		}
 		tx, err := db.Begin(immortaldb.Serializable)
@@ -288,7 +309,7 @@ func Verify(res *RunResult) error {
 	fs := res.FS
 	fs.Reboot()
 
-	db, err := immortaldb.Open(dirName, options(fs))
+	db, err := immortaldb.Open(dirName, optionsFor(fs, res.Config.Tiered))
 	if err != nil {
 		if !res.OpenCompleted && len(res.Committed) == 0 && res.Pending == nil {
 			// Creation window: the database never finished coming into
@@ -360,11 +381,18 @@ func Verify(res *RunResult) error {
 	if err := db.Checkpoint(); err != nil {
 		return fmt.Errorf("post-recovery checkpoint: %w", err)
 	}
+	if res.Config.Tiered {
+		// Migration after recovery exercises cold reads over runs written on
+		// a disk image that may hold a torn migration from before the crash.
+		if err := db.CompactHistory(); err != nil {
+			return fmt.Errorf("post-recovery history compaction: %w", err)
+		}
+	}
 	if err := db.Close(); err != nil {
 		return fmt.Errorf("post-recovery close: %w", err)
 	}
 
-	db2, err := immortaldb.Open(dirName, options(fs))
+	db2, err := immortaldb.Open(dirName, optionsFor(fs, res.Config.Tiered))
 	if err != nil {
 		return fmt.Errorf("second reopen: %w", err)
 	}

@@ -47,13 +47,32 @@ var PersistKinds = []PersistKind{
 	{"read-eio", vfs.Fault{Op: vfs.OpRead, Err: vfs.ErrInjectedIO}},
 }
 
+// HistPersistKinds are fault shapes aimed at the tiered history path:
+// cold-run writes, the manifest double-write flip, and the reclamation of
+// merged-away runs and migrated hot pages. Swept with PersistConfig.Tiered
+// so the workload actually drives migrations and compactions. A compactor
+// hitting any of these must trip the read-only latch without corrupting
+// acked history; reclamation faults at worst leave garbage files that a
+// later open sweeps.
+var HistPersistKinds = []PersistKind{
+	{"hist-run-write-eio", vfs.Fault{Op: vfs.OpWrite, File: ".run.", Err: vfs.ErrInjectedIO}},
+	{"hist-write-enospc", vfs.Fault{Op: vfs.OpWrite, File: "hist.", Err: vfs.ErrNoSpace}},
+	{"hist-manifest-sync-eio", vfs.Fault{Op: vfs.OpSync, File: ".manifest.", Err: vfs.ErrInjectedIO}},
+	{"hist-reclaim-remove-eio", vfs.Fault{Op: vfs.OpRemove, File: "hist.", Err: vfs.ErrInjectedIO}},
+}
+
 // walSegPrefix matches WAL segment files ("wal.log.00000001", ...) but not
 // the tiny control file, so the fault lands on record writes.
 const walSegPrefix = "wal.log."
 
-// KindByName resolves a -pkind replay coordinate.
+// KindByName resolves a -pkind replay coordinate from either kind list.
 func KindByName(name string) (PersistKind, bool) {
 	for _, k := range PersistKinds {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	for _, k := range HistPersistKinds {
 		if k.Name == name {
 			return k, true
 		}
@@ -70,6 +89,10 @@ type PersistConfig struct {
 	Fault vfs.Fault
 	// Txns is the number of transactions to attempt (default 24).
 	Txns int
+	// Tiered enables tiered history storage and runs CompactHistory after
+	// every checkpoint, so sustained faults land inside cold-run writes,
+	// manifest flips and run/page reclamation.
+	Tiered bool
 }
 
 // PersistResult is the observable outcome of one cell: what was acked, what
@@ -126,7 +149,7 @@ func RunPersist(cfg PersistConfig) *PersistResult {
 	}
 	res := &PersistResult{Config: cfg, FS: fs}
 
-	opts := options(fs)
+	opts := optionsFor(fs, cfg.Tiered)
 	clock := opts.Clock.(*itime.SimClock)
 	db, err := immortaldb.Open(dirName, opts)
 	if err != nil {
@@ -156,6 +179,12 @@ loop:
 			if err := db.Checkpoint(); err != nil && !injected(err) {
 				res.Err = fmt.Errorf("checkpoint: %w", err)
 				break
+			}
+			if cfg.Tiered && !degraded() {
+				if err := db.CompactHistory(); err != nil && !injected(err) {
+					res.Err = fmt.Errorf("compact history: %w", err)
+					break
+				}
 			}
 		}
 		tx, err := db.Begin(immortaldb.Serializable)
@@ -252,7 +281,7 @@ func VerifyPersist(res *PersistResult) error {
 	fs.Crash() // whatever was never synced is now at the mercy of the reboot
 	fs.Reboot()
 
-	db, err := immortaldb.Open(dirName, options(fs))
+	db, err := immortaldb.Open(dirName, optionsFor(fs, res.Config.Tiered))
 	if err != nil {
 		if !res.OpenCompleted && len(res.Committed) == 0 && res.Pending == nil {
 			return nil // the database never finished coming into existence
@@ -306,6 +335,24 @@ func VerifyPersist(res *PersistResult) error {
 	}
 	if err := db.Checkpoint(); err != nil {
 		return fmt.Errorf("post-reopen checkpoint: %w", err)
+	}
+	if res.Config.Tiered {
+		// The fault is gone; migration and compaction must work again, and a
+		// re-run of the AS OF sweep validates reads over the new cold runs.
+		if err := db.CompactHistory(); err != nil {
+			return fmt.Errorf("post-reopen history compaction: %w", err)
+		}
+		state = map[string]string{}
+		for i, c := range res.Committed {
+			apply(state, c.Events)
+			got, err := scanAt(db, tbl, c.TS)
+			if err != nil {
+				return fmt.Errorf("post-compaction AS OF commit %d (ts %v): %w", i, c.TS, err)
+			}
+			if !equal(got, state) {
+				return fmt.Errorf("post-compaction AS OF commit %d (ts %v) diverges:\n%s", i, c.TS, diff(got, state))
+			}
+		}
 	}
 	return nil
 }

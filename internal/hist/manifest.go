@@ -1,0 +1,120 @@
+package hist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"immortaldb/internal/itime"
+)
+
+// Manifest is the authoritative list of a table's cold-tier runs. It is
+// persisted with the same dual-slot ping-pong scheme as the pager meta:
+// version v goes to slot v%2, so a torn write destroys at most the slot
+// being written and the previous version survives in the other. The higher
+// valid version wins at open. A run not listed here does not exist as far
+// as reads are concerned — installing a new manifest is THE atomic flip
+// that moves the hot/cold boundary.
+type Manifest struct {
+	Ver     uint64 // monotone install counter; 0 = never installed
+	TableID uint32
+	NextSeq uint64 // next run sequence number to allocate
+	Runs    []RunMeta
+}
+
+// Manifest image layout (all integers big-endian):
+//
+//	magic "IHM1" | ver u64 | tableID u32 | nextSeq u64 | runCount u32
+//	per run: seq u64 | level u8 | count u64 | bytes u64
+//	         minKeyLen u16 | minKey | maxKeyLen u16 | maxKey | minTS 12B | maxTS 12B
+//	crc32c over everything above, u32
+const (
+	manMagic     = "IHM1"
+	manHeaderLen = 4 + 8 + 4 + 8 + 4
+	manRunFixed  = 8 + 1 + 8 + 8 + 2 + 2 + 2*itime.EncodedLen
+)
+
+// EncodeManifest encodes m; the result is what both the manifest file slots
+// and the TypeHistManifest WAL record carry.
+func EncodeManifest(m Manifest) []byte {
+	n := manHeaderLen
+	for i := range m.Runs {
+		n += manRunFixed + len(m.Runs[i].MinKey) + len(m.Runs[i].MaxKey)
+	}
+	b := make([]byte, 0, n+4)
+	b = append(b, manMagic...)
+	b = binary.BigEndian.AppendUint64(b, m.Ver)
+	b = binary.BigEndian.AppendUint32(b, m.TableID)
+	b = binary.BigEndian.AppendUint64(b, m.NextSeq)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Runs)))
+	for i := range m.Runs {
+		r := &m.Runs[i]
+		b = binary.BigEndian.AppendUint64(b, r.Seq)
+		b = append(b, r.Level)
+		b = binary.BigEndian.AppendUint64(b, r.Count)
+		b = binary.BigEndian.AppendUint64(b, r.Bytes)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(r.MinKey)))
+		b = append(b, r.MinKey...)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(r.MaxKey)))
+		b = append(b, r.MaxKey...)
+		b = r.MinTS.AppendEncode(b)
+		b = r.MaxTS.AppendEncode(b)
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// DecodeManifest decodes and validates a manifest image.
+func DecodeManifest(b []byte) (Manifest, error) {
+	var m Manifest
+	if len(b) < manHeaderLen+4 {
+		return m, fmt.Errorf("%w manifest: short", ErrCorrupt)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(tail) {
+		return m, fmt.Errorf("%w manifest: checksum", ErrCorrupt)
+	}
+	if string(body[:4]) != manMagic {
+		return m, fmt.Errorf("%w manifest: bad magic", ErrCorrupt)
+	}
+	m.Ver = binary.BigEndian.Uint64(body[4:])
+	m.TableID = binary.BigEndian.Uint32(body[12:])
+	m.NextSeq = binary.BigEndian.Uint64(body[16:])
+	runCount := binary.BigEndian.Uint32(body[24:])
+	body = body[manHeaderLen:]
+	if uint64(runCount)*manRunFixed > uint64(len(body)) {
+		return m, fmt.Errorf("%w manifest: run count %d", ErrCorrupt, runCount)
+	}
+	m.Runs = make([]RunMeta, 0, runCount)
+	for i := uint32(0); i < runCount; i++ {
+		var r RunMeta
+		if len(body) < 8+1+8+8+2 {
+			return m, fmt.Errorf("%w manifest: short run", ErrCorrupt)
+		}
+		r.Seq = binary.BigEndian.Uint64(body)
+		r.Level = body[8]
+		r.Count = binary.BigEndian.Uint64(body[9:])
+		r.Bytes = binary.BigEndian.Uint64(body[17:])
+		klen := int(binary.BigEndian.Uint16(body[25:]))
+		body = body[27:]
+		if len(body) < klen+2 {
+			return m, fmt.Errorf("%w manifest: short min key", ErrCorrupt)
+		}
+		r.MinKey = append([]byte(nil), body[:klen]...)
+		body = body[klen:]
+		klen = int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < klen+2*itime.EncodedLen {
+			return m, fmt.Errorf("%w manifest: short max key", ErrCorrupt)
+		}
+		r.MaxKey = append([]byte(nil), body[:klen]...)
+		body = body[klen:]
+		r.MinTS = itime.DecodeTimestamp(body[:itime.EncodedLen])
+		r.MaxTS = itime.DecodeTimestamp(body[itime.EncodedLen : 2*itime.EncodedLen])
+		body = body[2*itime.EncodedLen:]
+		m.Runs = append(m.Runs, r)
+	}
+	if len(body) != 0 {
+		return m, fmt.Errorf("%w manifest: %d trailing bytes", ErrCorrupt, len(body))
+	}
+	return m, nil
+}

@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/workload"
+)
+
+// ----------------------------------------- H1: tiered history storage
+
+// HistRow is one tiered-history measurement. All modes reuse the commit-row
+// JSON shape so the CI bench gate can compare (mode, clients) cells on
+// commits_per_sec:
+//
+//	hist-commit        — durable-pipeline commit throughput with the
+//	                     background compactor migrating history underneath
+//	                     (commits_per_sec is commits per second)
+//	asof-hot           — AS OF point reads with all history in hot TSB pages
+//	                     (commits_per_sec is queries per second)
+//	asof-cold          — the same reads after migration to compressed runs
+//	                     (commits_per_sec is queries per second)
+//	storage-reduction  — hot bytes the migrated pages occupied vs the cold
+//	                     bytes their versions now occupy (commits_per_sec is
+//	                     the reduction factor, so the gate also catches a
+//	                     compression regression)
+type HistRow struct {
+	Mode          string  `json:"mode"`
+	Clients       int     `json:"clients"`
+	Commits       int     `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// ColdBytes and PagesMigrated qualify the storage-reduction row.
+	ColdBytes     uint64 `json:"cold_bytes,omitempty"`
+	PagesMigrated uint64 `json:"pages_migrated,omitempty"`
+}
+
+// MinStorageReduction is the factor the compressed cold tier must beat: the
+// versions in a migrated history page must occupy at most 1/3 of the page
+// bytes they were freed from. The repro test enforces it; the CI gate then
+// holds the measured factor within the regression budget.
+const MinStorageReduction = 3.0
+
+// RunHistAblation measures the tiered-history cold tier: what migration does
+// to storage footprint, what cold runs cost AS OF readers relative to hot
+// pages, and what the background compactor costs committers.
+func RunHistAblation(o Options, clientCounts []int) ([]HistRow, error) {
+	o = o.withDefaults()
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 4, 16}
+	}
+	var out []HistRow
+
+	// --- Storage reduction and AS OF latency, hot vs cold. One database:
+	// measure the reads, migrate, measure again — same pages, same
+	// timestamps, only the tier changes.
+	oe := o
+	if oe.CacheFrames == 0 {
+		// A pool smaller than the accumulated history, as in Figure 6: deep
+		// reads must actually fetch, so the hot/cold comparison is I/O-bound
+		// on both sides rather than served from the buffer pool.
+		oe.CacheFrames = 64
+	}
+	total := o.scaled(12000)
+	inserts := o.scaled(300)
+	ops, err := workload.New(workload.Config{Seed: o.Seed}).Stream(inserts, total)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewEnv(oe, true, func(op *immortaldb.Options) {
+		op.TieredHistory = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	times, err := ApplyStream(e, ops)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	// Flush-stamp everything so the whole history is migratable.
+	if err := e.DB.Checkpoint(); err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	// Enough repetitions that even the hot side (microseconds per read)
+	// accumulates a stably measurable total; scaled workloads shrink the
+	// database, not the measurement.
+	const reps = 2000
+	pointReads := func() (float64, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			at := asOfPoint(times, 20+(r*13)%80) // spread over deep history
+			tx, err := e.DB.BeginAsOfTS(at)
+			if err != nil {
+				return 0, err
+			}
+			key := workload.Key(uint16(r * inserts / reps))
+			if _, _, err := tx.Get(e.Table, key); err != nil {
+				tx.Rollback()
+				return 0, err
+			}
+			tx.Commit()
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	hotSec, err := pointReads()
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	out = append(out, HistRow{
+		Mode: "asof-hot", Clients: 1, Commits: reps, Seconds: hotSec,
+		CommitsPerSec: float64(reps) / hotSec,
+	})
+
+	if err := e.DB.CompactHistory(); err != nil {
+		e.Close()
+		return nil, err
+	}
+	st := e.DB.Stats()
+	if st.PagesMigrated == 0 || st.HistBytes == 0 {
+		e.Close()
+		return nil, fmt.Errorf("histbench: migration moved nothing (pages=%d cold bytes=%d)", st.PagesMigrated, st.HistBytes)
+	}
+	hotBytes := st.PagesMigrated * uint64(oe.PageSize)
+	out = append(out, HistRow{
+		Mode: "storage-reduction", Clients: 1,
+		Commits:       int(st.PagesMigrated),
+		Seconds:       float64(st.HistBytes),
+		CommitsPerSec: float64(hotBytes) / float64(st.HistBytes),
+		ColdBytes:     st.HistBytes,
+		PagesMigrated: st.PagesMigrated,
+	})
+
+	coldSec, err := pointReads()
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	out = append(out, HistRow{
+		Mode: "asof-cold", Clients: 1, Commits: reps, Seconds: coldSec,
+		CommitsPerSec: float64(reps) / coldSec,
+	})
+	e.Close()
+
+	// --- Commit throughput with the background compactor on. Durable
+	// commits (the fsync is the cost the compactor's I/O could disturb),
+	// checkpoints between thirds so migrations find stamped victims while
+	// committers are still running.
+	stormTotal := o.scaled(800)
+	if stormTotal < 600 {
+		stormTotal = 600 // fsync-bound rates need enough commits to average out
+	}
+	storm := func(clients int) (HistRow, error) {
+		e, err := NewEnv(o, true, func(op *immortaldb.Options) {
+			op.NoSync = false
+			op.GroupCommit = immortaldb.GroupCommitOn
+			op.TieredHistory = true
+			op.HistCompactEvery = time.Millisecond
+		})
+		if err != nil {
+			return HistRow{}, err
+		}
+		defer e.Close()
+		var sec float64
+		commits := 0
+		for part := 0; part < 3; part++ {
+			s, n, err := CommitStorm(e, clients, stormTotal/3)
+			if err != nil {
+				return HistRow{}, err
+			}
+			sec += s
+			commits += n
+			if err := e.DB.Checkpoint(); err != nil {
+				return HistRow{}, err
+			}
+		}
+		if comp := e.DB.Stats().HistCompactions; comp == 0 {
+			return HistRow{}, fmt.Errorf("histbench: background compactor never ran during the %d-client storm", clients)
+		}
+		return HistRow{
+			Mode: "hist-commit", Clients: clients, Commits: commits, Seconds: sec,
+			CommitsPerSec: float64(commits) / sec,
+		}, nil
+	}
+	for _, clients := range clientCounts {
+		// Best of three: wall-clock fsync rates on a shared machine jitter
+		// far more than the engine cost under test; the fastest run is the
+		// least-disturbed one.
+		var best HistRow
+		for attempt := 0; attempt < 3; attempt++ {
+			row, err := storm(clients)
+			if err != nil {
+				return nil, err
+			}
+			if row.CommitsPerSec > best.CommitsPerSec {
+				best = row
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}

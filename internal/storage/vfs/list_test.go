@@ -1,0 +1,129 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// List takes a NAME prefix, not a directory: "a" matches everything that
+// starts with the string "a", including files under a sibling directory
+// "a2/". Call sites listing a directory must therefore pass
+// dir + string(filepath.Separator), and call sites listing a file family
+// ("wal.log.000001", "hist.3.run.7") must include the trailing separator of
+// the family name ("wal.log.", "hist."). These tests pin that contract for
+// both implementations so a future call site that drops the separator fails
+// here instead of silently over- or under-matching in production.
+
+func simWrite(t *testing.T, fs *SimFS, name string) {
+	t.Helper()
+	f, err := fs.OpenFile(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func TestSimListPrefixSemantics(t *testing.T) {
+	fs := NewSim(1)
+	sep := string(filepath.Separator)
+	for _, name := range []string{
+		"a" + sep + "wal.log.000001",
+		"a" + sep + "wal.logical", // extends the "wal.log" stem without the dot
+		"a2" + sep + "wal.log.000001",
+	} {
+		simWrite(t, fs, name)
+	}
+
+	// A bare directory name is a foot-gun: it also matches the sibling "a2".
+	got, err := fs.List("a")
+	if err != nil {
+		t.Fatalf("List(a): %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("List(%q) = %v; a bare name prefix must match sibling dirs too (the reason call sites append the separator)", "a", got)
+	}
+
+	// With the trailing separator, only the directory's own files match.
+	got, err = fs.List("a" + sep)
+	if err != nil {
+		t.Fatalf("List(a%s): %v", sep, err)
+	}
+	want := []string{"a" + sep + "wal.log.000001", "a" + sep + "wal.logical"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List(%q) = %v, want %v", "a"+sep, got, want)
+	}
+
+	// File families need their trailing dot, or name-extending siblings leak in.
+	got, err = fs.List("a" + sep + "wal.log.")
+	if err != nil {
+		t.Fatalf("List(wal.log.): %v", err)
+	}
+	want = []string{"a" + sep + "wal.log.000001"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List(%q) = %v, want %v", "a"+sep+"wal.log.", got, want)
+	}
+}
+
+func TestOSListPrefixSemantics(t *testing.T) {
+	base := t.TempDir()
+	sep := string(filepath.Separator)
+	for _, dir := range []string{"a", "a2"} {
+		if err := os.MkdirAll(filepath.Join(base, dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{
+		filepath.Join(base, "a", "wal.log.000001"),
+		filepath.Join(base, "a", "wal.logical"),
+		filepath.Join(base, "a2", "wal.log.000001"),
+	} {
+		if err := os.WriteFile(name, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := OS()
+
+	// The OS implementation reads filepath.Dir(prefix): with a bare directory
+	// name that is the PARENT, whose entries are all directories and are
+	// skipped — the listing is silently empty. Omitting the separator
+	// under-matches here where SimFS over-matches; both are wrong, which is
+	// why every call site appends it.
+	got, err := fs.List(filepath.Join(base, "a"))
+	if err != nil {
+		t.Fatalf("List(a): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("List(%q) = %v, want empty (parent holds only directories)", filepath.Join(base, "a"), got)
+	}
+
+	got, err = fs.List(filepath.Join(base, "a") + sep)
+	if err != nil {
+		t.Fatalf("List(a%s): %v", sep, err)
+	}
+	want := []string{
+		filepath.Join(base, "a", "wal.log.000001"),
+		filepath.Join(base, "a", "wal.logical"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List(%q) = %v, want %v", filepath.Join(base, "a")+sep, got, want)
+	}
+
+	got, err = fs.List(filepath.Join(base, "a", "wal.log."))
+	if err != nil {
+		t.Fatalf("List(wal.log.): %v", err)
+	}
+	want = []string{filepath.Join(base, "a", "wal.log.000001")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List(%q) = %v, want %v", filepath.Join(base, "a", "wal.log."), got, want)
+	}
+}

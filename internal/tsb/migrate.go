@@ -1,0 +1,185 @@
+package tsb
+
+import (
+	"fmt"
+	"sort"
+
+	"immortaldb/internal/itime"
+	"immortaldb/internal/storage/page"
+)
+
+// Cold-tier migration: after a time split a history page is immutable, and
+// its versions can move into compacted runs. The tree side is two
+// operations — CollectCold enumerates the history pages reachable from the
+// chains and extracts their versions; CutCold, after the engine has made
+// the extracted versions durable in the cold tier, severs every chain edge
+// into those pages so they can be freed.
+//
+// Key splits SHARE history chains between sibling current pages (the chain
+// graph is a DAG whose suffixes converge), so victims are collected as a
+// closed suffix set: every page reachable from a victim is itself a victim.
+// CutCold re-enumerates under the exclusive lock rather than trusting the
+// collected set's reverse edges — time splits between Collect and Cut may
+// have created NEW history pages whose Hist still points at a victim.
+
+// ColdEntry is one stamped version extracted from a history page.
+type ColdEntry struct {
+	Key   []byte
+	Value []byte
+	TS    itime.Timestamp
+	Stub  bool
+}
+
+// CollectCold walks, under the shared lock, every history chain of the tree
+// and returns the IDs of history pages that can migrate plus their versions,
+// (key, TS)-deduplicated and sorted. A chain is followed until its end; a
+// page holding an unstamped version (which should not exist on a history
+// page, but is checked defensively) stops the walk there, keeping the
+// returned victim set suffix-closed.
+func (t *Tree) CollectCold() ([]page.ID, []ColdEntry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	currents, err := t.currentPages(nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	visited := make(map[page.ID]bool)
+	type verKey struct {
+		key string
+		ts  itime.Timestamp
+	}
+	seen := make(map[verKey]bool)
+	var victims []page.ID
+	var entries []ColdEntry
+
+	for _, cid := range currents {
+		f, err := t.cfg.Pool.Fetch(cid)
+		if err != nil {
+			return nil, nil, err
+		}
+		dp := f.Data()
+		if dp == nil {
+			t.cfg.Pool.Release(f)
+			return nil, nil, fmt.Errorf("tsb: current page %d is not a data page", cid)
+		}
+		id := dp.Hist
+		t.cfg.Pool.Release(f)
+
+		for id != 0 && !visited[id] {
+			visited[id] = true
+			f, err := t.cfg.Pool.Fetch(id)
+			if err != nil {
+				return nil, nil, err
+			}
+			hp := f.Data()
+			if hp == nil {
+				t.cfg.Pool.Release(f)
+				return nil, nil, fmt.Errorf("tsb: history chain hit non-data page %d", id)
+			}
+			if hp.Current || hp.HasUnstamped() {
+				// Not migratable; stop here so victims stay a closed suffix
+				// (everything below remains reachable through this page).
+				t.cfg.Pool.Release(f)
+				break
+			}
+			for s := range hp.Slots {
+				for _, i := range hp.Chain(s) {
+					v := &hp.Recs[i]
+					if !v.Stamped {
+						continue
+					}
+					vk := verKey{key: string(v.Key), ts: v.TS}
+					if seen[vk] {
+						continue
+					}
+					seen[vk] = true
+					entries = append(entries, ColdEntry{
+						Key:   append([]byte(nil), v.Key...),
+						Value: append([]byte(nil), v.Value...),
+						TS:    v.TS,
+						Stub:  v.Stub,
+					})
+				}
+			}
+			victims = append(victims, id)
+			next := hp.Hist
+			t.cfg.Pool.Release(f)
+			id = next
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	return victims, entries, nil
+}
+
+// CutCold severs, under the writer lock, every chain edge pointing into
+// victims and logs each severed page as a structure modification. It is
+// called only after the victims' versions are durable in the cold tier
+// (manifest installed and its WAL record flushed). Returns the highest SMO
+// LSN written (0 when no page referenced a victim); the caller must flush
+// the log to it before freeing the victim pages.
+func (t *Tree) CutCold(victims []page.ID) (uint64, error) {
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	vset := make(map[page.ID]bool, len(victims))
+	for _, id := range victims {
+		vset[id] = true
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	currents, err := t.currentPages(nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	visited := make(map[page.ID]bool)
+	var lastLSN uint64
+	for _, cid := range currents {
+		id := cid
+		for id != 0 && !visited[id] {
+			visited[id] = true
+			if vset[id] {
+				// Should be unreachable: edges into victims are cut before
+				// descending. Defensive stop.
+				break
+			}
+			f, err := t.cfg.Pool.Fetch(id)
+			if err != nil {
+				return lastLSN, err
+			}
+			dp := f.Data()
+			if dp == nil {
+				t.cfg.Pool.Release(f)
+				return lastLSN, fmt.Errorf("tsb: chain hit non-data page %d", id)
+			}
+			next := dp.Hist
+			if next != 0 && vset[next] {
+				// Sever the edge. One SMO per page keeps pin counts at one
+				// regardless of chain count; each cut is independently
+				// consistent (the manifest already serves the severed
+				// suffix), so a crash between cuts loses nothing.
+				dp.Hist = 0
+				lsn, err := t.logSMO([]any{dp}, nil)
+				if err != nil {
+					dp.Hist = next // keep memory consistent for degraded reads
+					t.cfg.Pool.Release(f)
+					return lastLSN, err
+				}
+				if lsn != 0 {
+					dp.LSN = lsn
+					t.cfg.Pool.MarkDirty(f, lsn)
+					lastLSN = lsn
+				} else {
+					t.cfg.Pool.MarkDirty(f, dp.LSN)
+				}
+				t.cfg.Pool.Release(f)
+				break // everything below is a victim (suffix-closed)
+			}
+			t.cfg.Pool.Release(f)
+			id = next
+		}
+	}
+	return lastLSN, nil
+}

@@ -167,7 +167,10 @@ func (t *Tree) readViaChain(key []byte, ts itime.Timestamp, self itime.TID) (Res
 		hist := dp.Hist
 		t.cfg.Pool.Release(lf)
 		if hist == 0 {
-			return Result{}, nil // before the beginning of history
+			// The chain ends here without covering ts: either before the
+			// beginning of history, or the older pages have migrated to the
+			// cold tier.
+			return t.coldRead(key, ts)
 		}
 		lf, err = t.cfg.Pool.Fetch(hist)
 		if err != nil {
@@ -262,7 +265,16 @@ func (t *Tree) LatestInfo(key []byte, since itime.Timestamp) (ts itime.Timestamp
 		hist := dp.Hist
 		t.cfg.Pool.Release(lf)
 		if hist == 0 {
-			return itime.Timestamp{}, 0, false, false, nil
+			// Chain exhausted: the key's newest surviving version, if any,
+			// migrated to the cold tier (always stamped there).
+			if t.cfg.Hist == nil {
+				return itime.Timestamp{}, 0, false, false, nil
+			}
+			v, ok, cerr := t.cfg.Hist.Newest(key)
+			if cerr != nil || !ok {
+				return itime.Timestamp{}, 0, false, false, cerr
+			}
+			return v.TS, 0, v.Stub, true, nil
 		}
 		lf, err = t.cfg.Pool.Fetch(hist)
 		if err != nil {
@@ -310,8 +322,9 @@ func (t *Tree) ScanAsOf(lo, hi []byte, ts itime.Timestamp, self itime.TID, fn fu
 }
 
 func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID) (map[string]Result, error) {
-	// Collect the set of data pages whose region intersects the scan.
-	pages, err := t.pagesForScan(lo, hi, ts)
+	// Collect the set of data pages whose region intersects the scan, plus
+	// the key ranges whose history at ts lives only in the cold tier.
+	pages, cold, err := t.pagesForScan(lo, hi, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -353,15 +366,41 @@ func (t *Tree) collectScan(lo, hi []byte, ts itime.Timestamp, self itime.TID) (m
 		}
 		t.cfg.Pool.Release(lf)
 	}
+	// Cold ranges: key partitions whose chain ended before covering ts. No
+	// surviving chain page holds their keys at ts (sibling chains sharing a
+	// suffix converge on the same covering page), so any key already in
+	// results was answered hot and keeps priority; stubs read as absent.
+	if t.cfg.Hist != nil {
+		for _, cr := range cold {
+			err := t.cfg.Hist.ScanAsOf(cr.lo, cr.hi, ts, func(k []byte, v ColdVersion) bool {
+				if _, seen := results[string(k)]; seen {
+					return true
+				}
+				if !v.Stub {
+					results[string(k)] = coldResult(k, v)
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	return results, nil
 }
 
+// coldRange is a key range whose as-of-ts versions live in the cold tier.
+type coldRange struct{ lo, hi []byte }
+
 // pagesForScan returns the data pages an as-of-ts scan over [lo, hi) must
-// visit: via the index in ModeTSB, via current pages plus chain walks in
-// ModeChain. For NoTail tables there is no time dimension. The caller holds
-// the tree lock (shared or exclusive); nothing is mutated.
-func (t *Tree) pagesForScan(lo, hi []byte, ts itime.Timestamp) ([]page.ID, error) {
+// visit — via the index in ModeTSB, via current pages plus chain walks in
+// ModeChain — plus, in chain mode, the key ranges whose chain ended without
+// covering ts: their versions at ts, if any, migrated to the cold tier. For
+// NoTail tables there is no time dimension. The caller holds the tree lock
+// (shared or exclusive); nothing is mutated.
+func (t *Tree) pagesForScan(lo, hi []byte, ts itime.Timestamp) ([]page.ID, []coldRange, error) {
 	var out []page.ID
+	var cold []coldRange
 	seen := make(map[page.ID]bool)
 	add := func(id page.ID) {
 		if !seen[id] {
@@ -393,31 +432,39 @@ func (t *Tree) pagesForScan(lo, hi []byte, ts itime.Timestamp) ([]page.ID, error
 		root, rootIsLeaf := t.root, t.rootIsLeaf
 		if rootIsLeaf {
 			add(root)
-			return out, nil
+			return out, nil, nil
 		}
 		if err := walk(root); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return out, nil
+		return out, nil, nil
 	}
 
 	// Chain mode (and all current scans): find current pages, then follow
 	// each history chain back to the page covering ts.
 	currents, err := t.currentPages(lo, hi)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, cid := range currents {
 		id := cid
+		// The current page's fences bound the partition this chain serves;
+		// clipped against the scan bounds they become the cold range if the
+		// chain ends uncovered.
+		var partLo, partHi []byte
 		for id != 0 {
 			f, err := t.cfg.Pool.Fetch(id)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			dp := f.Data()
 			if dp == nil {
 				t.cfg.Pool.Release(f)
-				return nil, fmt.Errorf("tsb: chain hit non-data page %d", id)
+				return nil, nil, fmt.Errorf("tsb: chain hit non-data page %d", id)
+			}
+			if id == cid {
+				partLo = clipLo(dp.LowKey, lo)
+				partHi = clipHi(dp.HighKey, hi)
 			}
 			covers := !ts.Less(dp.StartTS)
 			next := dp.Hist
@@ -432,9 +479,36 @@ func (t *Tree) pagesForScan(lo, hi []byte, ts itime.Timestamp) ([]page.ID, error
 			}
 			t.cfg.Pool.Release(f)
 			id = next
+			if id == 0 && t.cfg.Hist != nil {
+				cold = append(cold, coldRange{lo: partLo, hi: partHi})
+			}
 		}
 	}
-	return out, nil
+	return out, cold, nil
+}
+
+// clipLo returns the tighter (larger) of a page's low fence and the scan's
+// low bound; nil means unbounded.
+func clipLo(fence, lo []byte) []byte {
+	if fence == nil {
+		return lo
+	}
+	if lo == nil || bytes.Compare(fence, lo) > 0 {
+		return fence
+	}
+	return lo
+}
+
+// clipHi returns the tighter (smaller) of a page's high fence and the
+// scan's exclusive high bound; nil means unbounded.
+func clipHi(fence, hi []byte) []byte {
+	if fence == nil {
+		return hi
+	}
+	if hi == nil || bytes.Compare(fence, hi) < 0 {
+		return fence
+	}
+	return hi
 }
 
 // currentPages returns the IDs of current data pages intersecting [lo, hi).
@@ -540,6 +614,27 @@ func (t *Tree) historyLocked(key []byte) ([]VersionInfo, error) {
 		hist := dp.Hist
 		t.cfg.Pool.Release(lf)
 		if hist == 0 {
+			// Chain exhausted: append the key's versions that migrated to the
+			// cold tier. seenStart already collapses replicated copies that
+			// exist both in a surviving chain page and in a run.
+			if t.cfg.Hist != nil {
+				cold, cerr := t.cfg.Hist.KeyHistory(key)
+				if cerr != nil {
+					return nil, cerr
+				}
+				for _, v := range cold {
+					if seenStart[v.TS] {
+						continue
+					}
+					seenStart[v.TS] = true
+					out = append(out, VersionInfo{
+						Value:   v.Value,
+						TS:      v.TS,
+						Stub:    v.Stub,
+						Stamped: true,
+					})
+				}
+			}
 			break
 		}
 		lf, err = t.cfg.Pool.Fetch(hist)

@@ -71,6 +71,9 @@ func (t *Tree) splitLeaf(path []pathEntry, lf *buffer.Frame) error {
 		if err := t.timeSplitLeaf(path, lf, splitTS); err != nil {
 			return err
 		}
+		if t.cfg.OnTimeSplit != nil {
+			t.cfg.OnTimeSplit()
+		}
 		didSomething = true
 		if len(path) == 0 && t.cfg.Mode == ModeTSB {
 			// The time split grew an index root above this (formerly root)

@@ -123,6 +123,16 @@ type Config struct {
 	// visible there are reclaimable on non-immortal tables. A nil func
 	// disables GC.
 	SnapshotHorizon func() itime.Timestamp
+	// Hist is the cold history tier. When a chain walk runs off the end of
+	// the in-tree history (Hist == 0) without reaching a page covering the
+	// requested time, the versions migrated into compacted runs answer
+	// through it. nil means the chain is complete — the pre-migration
+	// invariant that the first page ever created has StartTS == 0.
+	Hist HistStore
+	// OnTimeSplit, when non-nil, is called after every successful time split,
+	// inside the tree's writer section. It must not block; the engine wires
+	// it to a non-blocking kick of the history compactor.
+	OnTimeSplit func()
 }
 
 // Tree is one table's time-split B-tree. The engine serializes structural

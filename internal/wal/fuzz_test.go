@@ -33,6 +33,8 @@ func fuzzSeeds() [][]byte {
 			{Page: 13, Img: bytes.Repeat([]byte{0xCD}, 32)},
 			{Page: 14, Img: bytes.Repeat([]byte{0xEF}, 16)},
 		}, Blob: []byte("catalog-after-root-move")},
+		{Type: TypeHistRun, Table: 2, Page: 5, Blob: bytes.Repeat([]byte{0x5A}, 48)},
+		{Type: TypeHistManifest, Table: 2, Blob: bytes.Repeat([]byte{0x3C}, 40)},
 	}
 	out := make([][]byte, 0, len(records))
 	for _, r := range records {

@@ -40,6 +40,8 @@ func sampleRecords() []*Record {
 			{Page: 7, Img: []byte{9, 8, 7}},
 			{Page: 8, Img: []byte{6, 5}},
 		}, Blob: []byte("root-move")},
+		{Type: TypeHistRun, Table: 3, Page: 17, Blob: []byte("run-file-bytes")},
+		{Type: TypeHistManifest, Table: 3, Blob: []byte("manifest-image")},
 	}
 }
 

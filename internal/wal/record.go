@@ -68,6 +68,17 @@ const (
 	// structure or none of it — never a leaf rewritten without the parent
 	// entry (or root change) that routes to its sibling.
 	TypeSMO
+	// TypeHistRun carries one immutable cold-history run file: the table, the
+	// run sequence number (in the Page field) and the complete encoded file.
+	// The run file itself, fsynced before the manifest flip, is the local
+	// durability authority; the record makes the write idempotent under redo
+	// and lets replicas materialize their own copy of the cold tier.
+	TypeHistRun
+	// TypeHistManifest carries a table's cold-tier run manifest image. Redo
+	// installs it when newer than the one on disk, so the hot/cold boundary
+	// flip is crash-atomic and replicable: a run exists exactly when some
+	// installed manifest names it.
+	TypeHistManifest
 )
 
 func (t RecType) String() string {
@@ -92,6 +103,10 @@ func (t RecType) String() string {
 		return "stamp"
 	case TypeSMO:
 		return "smo"
+	case TypeHistRun:
+		return "hist-run"
+	case TypeHistManifest:
+		return "hist-manifest"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(t))
 	}
@@ -165,6 +180,10 @@ func (r *Record) payloadLen() int {
 			n += 12 + len(r.Images[i].Img)
 		}
 		return n
+	case TypeHistRun:
+		return 4 + 8 + 4 + len(r.Blob)
+	case TypeHistManifest:
+		return 4 + 4 + len(r.Blob)
 	default:
 		return 0
 	}
@@ -260,6 +279,15 @@ func (r *Record) encode(dst []byte) []byte {
 			copy(q[12:], r.Images[i].Img)
 			q = q[12+len(r.Images[i].Img):]
 		}
+	case TypeHistRun:
+		binary.BigEndian.PutUint32(p[0:], r.Table)
+		binary.BigEndian.PutUint64(p[4:], uint64(r.Page))
+		binary.BigEndian.PutUint32(p[12:], uint32(len(r.Blob)))
+		copy(p[16:], r.Blob)
+	case TypeHistManifest:
+		binary.BigEndian.PutUint32(p[0:], r.Table)
+		binary.BigEndian.PutUint32(p[4:], uint32(len(r.Blob)))
+		copy(p[8:], r.Blob)
 	}
 	binary.BigEndian.PutUint32(b[4:], crc32.Checksum(b[8:], crcTable))
 	return dst
@@ -416,6 +444,27 @@ func decodeRecord(b []byte) (*Record, int, error) {
 			r.Images = append(r.Images, PageImg{Page: id, Img: append([]byte(nil), q[12:12+n]...)})
 			q = q[12+n:]
 		}
+	case TypeHistRun:
+		if len(p) < 16 {
+			return bad()
+		}
+		r.Table = binary.BigEndian.Uint32(p[0:])
+		r.Page = page.ID(binary.BigEndian.Uint64(p[4:]))
+		n := int(binary.BigEndian.Uint32(p[12:]))
+		if n < 0 || len(p) < 16+n {
+			return bad()
+		}
+		r.Blob = append([]byte(nil), p[16:16+n]...)
+	case TypeHistManifest:
+		if len(p) < 8 {
+			return bad()
+		}
+		r.Table = binary.BigEndian.Uint32(p[0:])
+		n := int(binary.BigEndian.Uint32(p[4:]))
+		if n < 0 || len(p) < 8+n {
+			return bad()
+		}
+		r.Blob = append([]byte(nil), p[8:8+n]...)
 	default:
 		return nil, 0, fmt.Errorf("%w: unknown type %d", ErrCorruptRecord, b[8])
 	}

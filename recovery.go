@@ -219,6 +219,15 @@ func (a *redoApplier) apply(rec *wal.Record) error {
 			return err
 		}
 		return a.tornOK(t.ApplyStampRedo(rec.Page, rec.Key, rec.TID, rec.TS, uint64(rec.LSN)))
+	case wal.TypeHistRun:
+		// Rewrite the run file; the engine fsynced it before the manifest
+		// flip, so this is usually a no-op rewrite of identical bytes, and
+		// for replicas it is how run files arrive at all.
+		return db.hist.ApplyRunRecord(rec.Table, uint64(rec.Page), rec.Blob)
+	case wal.TypeHistManifest:
+		// Install the carried manifest if newer than the one on disk. Stale
+		// replays (redo behind the file state) are no-ops.
+		return db.hist.ApplyManifestRecord(rec.Table, rec.Blob)
 	}
 	return nil
 }
