@@ -16,6 +16,9 @@
 //	hist       — tiered history storage: cold-tier storage reduction, AS OF
 //	             latency hot vs cold, commit throughput under the background
 //	             compactor (H1), also written as JSON rows to -histout
+//	failover   — promotion time and client-visible write-unavailability vs
+//	             replication lag (F1), also written as JSON rows to
+//	             -failoverout
 //	all        — everything
 //
 // Usage:
@@ -41,6 +44,7 @@ func main() {
 	obsOut := flag.String("obsout", "BENCH_obs.json", "JSON output path for the obs-overhead experiment (empty disables)")
 	replOut := flag.String("replout", "BENCH_repl.json", "JSON output path for the replication experiment (empty disables)")
 	histOut := flag.String("histout", "BENCH_hist.json", "JSON output path for the tiered-history experiment (empty disables)")
+	failoverOut := flag.String("failoverout", "BENCH_failover.json", "JSON output path for the failover experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -256,6 +260,30 @@ func main() {
 				fail(err)
 			}
 			fmt.Println("wrote", *histOut)
+		}
+	}
+
+	if all || run["failover"] {
+		rows, err := repro.RunFailoverAblation(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("F1 — Promotion time vs replication lag (client-visible write unavailability)")
+		fmt.Printf("%8s %8s %10s %12s %12s %12s\n", "mode", "lag(KB)", "redo(KB)", "promote(ms)", "commit(ms)", "unavail(ms)")
+		for _, r := range rows {
+			fmt.Printf("%8s %8d %10.1f %12.2f %12.2f %12.2f\n",
+				r.Mode, r.Clients, r.RedoKB, r.PromoteMillis, r.FirstCommitMillis, r.UnavailMillis)
+		}
+		fmt.Println()
+		if *failoverOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*failoverOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *failoverOut)
 		}
 	}
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"immortaldb/internal/repro"
+)
+
+// checkGrids verifies every checked-in BENCH_*.json baseline still carries
+// exactly the (mode, clients) grid its experiment emits today. Compare
+// deliberately skips cells present on only one side, so a baseline left
+// behind by a grid change would silently shrink the gate's coverage — this
+// mode turns that into a hard failure. Returns the problems found, one line
+// per stale file.
+func checkGrids(dir string) []string {
+	var problems []string
+	grids := repro.BenchGrids()
+	files := make([]string, 0, len(grids))
+	for f := range grids {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		path := filepath.Join(dir, f)
+		rows, err := loadRows(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		want := make(map[cell]bool, len(grids[f]))
+		for _, c := range grids[f] {
+			want[cell{c.Mode, c.Clients}] = true
+		}
+		got := make(map[cell]bool, len(rows))
+		for _, r := range rows {
+			k := cell{r.Mode, r.Clients}
+			if got[k] {
+				problems = append(problems, fmt.Sprintf("%s: duplicate cell mode=%s clients=%d", f, k.Mode, k.Clients))
+			}
+			got[k] = true
+		}
+		var missing, extra []cell
+		for k := range want {
+			if !got[k] {
+				missing = append(missing, k)
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				extra = append(extra, k)
+			}
+		}
+		sortCells(missing)
+		sortCells(extra)
+		for _, k := range missing {
+			problems = append(problems, fmt.Sprintf("%s: missing cell mode=%s clients=%d — regenerate with benchablations", f, k.Mode, k.Clients))
+		}
+		for _, k := range extra {
+			problems = append(problems, fmt.Sprintf("%s: stale cell mode=%s clients=%d no longer in the experiment grid", f, k.Mode, k.Clients))
+		}
+	}
+	return problems
+}
+
+func sortCells(cs []cell) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Mode != cs[j].Mode {
+			return cs[i].Mode < cs[j].Mode
+		}
+		return cs[i].Clients < cs[j].Clients
+	})
+}

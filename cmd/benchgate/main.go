@@ -9,22 +9,47 @@
 // "commits_per_sec". Cells only one side has are reported and skipped —
 // adding a client count must not break the gate.
 //
+// With -check-grids it instead audits every checked-in baseline against the
+// grid its experiment emits today (repro.BenchGrids) and fails when a
+// baseline is stale — missing a cell the experiment now produces, or
+// carrying one it no longer does. Because Compare skips one-sided cells, a
+// stale baseline would otherwise silently shrink the gate's coverage.
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_commit.json -current /tmp/commit.json [-max-regress 25]
+//	benchgate -check-grids [-dir .]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+
+	"immortaldb/internal/repro"
 )
 
 func main() {
 	baseline := flag.String("baseline", "", "checked-in baseline JSON")
 	current := flag.String("current", "", "freshly measured JSON")
 	maxRegress := flag.Float64("max-regress", 25, "fail when throughput drops more than this percentage below baseline")
+	checkGridsMode := flag.Bool("check-grids", false, "audit checked-in baselines against the current experiment grids instead of comparing runs")
+	dir := flag.String("dir", ".", "directory holding the checked-in baselines (with -check-grids)")
 	flag.Parse()
+
+	if *checkGridsMode {
+		problems := checkGrids(*dir)
+		for _, p := range problems {
+			fmt.Println("  stale ", p)
+		}
+		if len(problems) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d baseline problem(s) — regenerate the listed BENCH_*.json with benchablations\n", len(problems))
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: OK — %d baseline file(s) match their experiment grids\n", len(repro.BenchGrids()))
+		return
+	}
+
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
 		os.Exit(2)

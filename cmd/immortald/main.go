@@ -31,6 +31,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -59,6 +60,7 @@ func main() {
 	index := flag.String("index", "chain", "historical access path: chain or tsb")
 	slowOp := flag.Duration("slowop-threshold", 100*time.Millisecond, "operations slower than this record their span tree in /debug/slowops (negative = off)")
 	follow := flag.String("follow", "", "primary address to replicate from; serves read-only")
+	promoteFlag := flag.Bool("promote", false, "with -follow: promote to read-write primary once the initial catch-up finishes (SIGUSR1 promotes a running follower)")
 	restoreFrom := flag.String("restore-from", "", "source directory for a point-in-time restore into -db")
 	restoreAsOf := flag.String("restore-asof", "", `restore cut time, e.g. "2004-08-12 10:15:20" (with -restore-from)`)
 	tiered := flag.Bool("tiered", false, "migrate cold history pages into compressed immutable runs (requires -index chain)")
@@ -134,6 +136,9 @@ func main() {
 			}
 		}()
 	} else {
+		if *promoteFlag {
+			logger.Fatalf("-promote requires -follow: only a follower can be promoted")
+		}
 		db, err = immortaldb.Open(*dir, opts)
 		if err != nil {
 			logger.Fatalf("open %s: %v", *dir, err)
@@ -146,6 +151,11 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Logf:           logger.Printf,
 	})
+	if follower != nil {
+		// Write refusals carry the primary's address, so clients re-resolve
+		// without an external directory.
+		srv.SetPrimaryAddr(*follow)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		db.Close()
@@ -176,23 +186,41 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
 			if err := db.Degraded(); err != nil {
 				// 503 with a machine-readable reason: orchestrators stop
 				// routing writes here, operators see why. Reads still work,
 				// so this process stays up until replaced.
-				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(http.StatusServiceUnavailable)
-				json.NewEncoder(w).Encode(map[string]string{
+				enc.Encode(map[string]any{
 					"status": "degraded",
 					"reason": err.Error(),
 				})
 				return
 			}
 			if srv.Stats().Draining {
-				http.Error(w, "draining", http.StatusServiceUnavailable)
+				w.WriteHeader(http.StatusServiceUnavailable)
+				enc.Encode(map[string]any{"status": "draining"})
 				return
 			}
-			fmt.Fprintln(w, "ok")
+			// Role, promotion epoch and — on a replica — the replication
+			// horizon and lag, so an orchestrator can pick the most
+			// caught-up follower to promote without a side channel.
+			h := map[string]any{"status": "ok", "epoch": db.Epoch()}
+			if db.IsReplica() {
+				hz := db.Horizon()
+				h["role"] = "replica"
+				h["applied_lsn"] = hz.AppliedLSN
+				h["max_visible"] = fmt.Sprint(hz.MaxVisible)
+				if follower != nil {
+					h["lag_bytes"] = follower.LagBytes()
+					h["primary"] = follower.Addr()
+				}
+			} else {
+				h["role"] = "primary"
+			}
+			enc.Encode(h)
 		})
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -210,17 +238,55 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 
+	// promote turns a follower into the read-write primary in place: redo
+	// finishes, the log seals, the epoch fences the deposed primary, and the
+	// same listener starts accepting writes — no restart, no reconnects.
+	promote := func(reason string) {
+		if follower == nil {
+			logger.Printf("promote (%s): not a follower, ignoring", reason)
+			return
+		}
+		epoch, err := follower.Promote()
+		if err != nil {
+			logger.Printf("promote (%s): %v", reason, err)
+			return
+		}
+		srv.SetPrimaryAddr("")
+		logger.Printf("promoted to primary (%s): epoch %d, fence LSN %d", reason, epoch, follower.Horizon().AppliedLSN)
+	}
+	if *promoteFlag {
+		promote("-promote")
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		logger.Printf("signal %v: draining (up to %v)", s, *drain)
-	case err := <-serveErr:
-		logger.Printf("serve: %v", err)
-	case <-replaced:
-		logger.Printf("local copy re-seeded from base snapshot; restarting to serve the fresh copy")
-	case err := <-followerDone:
-		logger.Printf("replication stream ended: %v", err)
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+wait:
+	for {
+		select {
+		case s := <-sig:
+			logger.Printf("signal %v: draining (up to %v)", s, *drain)
+			break wait
+		case err := <-serveErr:
+			logger.Printf("serve: %v", err)
+			break wait
+		case <-replaced:
+			logger.Printf("local copy re-seeded from base snapshot; restarting to serve the fresh copy")
+			break wait
+		case err := <-followerDone:
+			if errors.Is(err, repl.ErrPromoted) {
+				// The replication loop retired because this node is the
+				// primary now; keep serving.
+				logger.Printf("replication loop retired: %v", err)
+				followerDone = nil
+				continue
+			}
+			logger.Printf("replication stream ended: %v", err)
+			break wait
+		case <-usr1:
+			promote("SIGUSR1")
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

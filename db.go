@@ -232,6 +232,10 @@ var (
 	// so serving the read could expose a torn view. Retry once the horizon
 	// advances past the requested time, or read on the primary.
 	ErrBeyondHorizon = errors.New("immortaldb: AS OF time beyond replication horizon")
+	// ErrNotReplica reports Promote on a database that is already a primary —
+	// a typed no-op, so a supervisor retrying a promotion is told the node is
+	// already serving writes rather than fed a spurious failure.
+	ErrNotReplica = errors.New("immortaldb: already a primary, promotion is a no-op")
 )
 
 // Table is a handle to one table.
@@ -305,11 +309,18 @@ type DB struct {
 	// last fully applied record; replayMu serializes continuous redo;
 	// readTIDs issues local read-transaction IDs from a namespace disjoint
 	// from the primary's TIDs arriving in the stream.
-	replica    bool
+	// replica is atomic because promotion flips it at runtime: Promote turns
+	// a replica read-write, PromoteToFollower fences a deposed primary.
+	replica    atomic.Bool
 	appliedLSN atomic.Uint64
-	replayMu   sync.Mutex
-	replayer   *redoApplier
-	readTIDs   atomic.Uint64
+	// epoch is the promotion epoch: 0 for a never-failed-over database, then
+	// the value of the newest TypePromote record in the log. A promoted
+	// primary appends epoch+1 before accepting any write, so every commit it
+	// acks is attributable to a handover the cluster performed.
+	epoch    atomic.Uint64
+	replayMu sync.Mutex
+	replayer *redoApplier
+	readTIDs atomic.Uint64
 
 	// retainFloors holds WAL positions pinned against checkpoint truncation
 	// — one per open base snapshot, so a follower seeded from it can still
@@ -409,9 +420,16 @@ func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 		tids:         itime.NewTIDSource(1),
 		trees:        make(map[uint32]*tsb.Tree),
 		active:       make(map[itime.TID]*Tx),
-		replica:      replica,
 		retainFloors: make(map[uint64]wal.LSN),
 		hist:         hist.NewStore(fsys, dir),
+	}
+	db.replica.Store(replica)
+	if !replica {
+		// A primary's log appends its own timeline; no shipped byte may ever
+		// be grafted onto it. Sealing here also covers a promoted survivor
+		// reopened as a primary, whose in-memory promotion seal died with
+		// the old process.
+		log.Seal()
 	}
 	db.opDone = sync.NewCond(&db.mu)
 	db.stamp.GCEnabled = !o.DisablePTTGC
@@ -438,11 +456,17 @@ func openDB(dir string, opts *Options, replica bool) (*DB, error) {
 		db.degrade(err)
 	}
 	// A replica never appends to its log copy, so no full-page images are
-	// logged even when the option is set — it is still honored by recovery's
-	// torn-page tolerance, which must match the primary that wrote the
-	// shipped stream.
-	if o.FullPageWrites && !replica {
+	// logged while the replica flag holds — the primary's own images in the
+	// shipped stream are what recovery's torn-page tolerance leans on. The
+	// check is dynamic, not an open-time branch, because Promote flips the
+	// flag mid-life: the promotion checkpoint's flushes (and everything
+	// after) must log images again, or a flush torn by a crash right after
+	// the failover would have no covering image in the redo scan window.
+	if o.FullPageWrites {
 		db.pool.PreWrite = func(id page.ID, buf []byte) (uint64, error) {
+			if db.replica.Load() {
+				return 0, nil
+			}
 			lsn, err := log.Append(&wal.Record{Type: wal.TypePageImage, Page: id, Img: buf})
 			return uint64(lsn), err
 		}
@@ -703,7 +727,7 @@ func (db *DB) treeConfig(t *catalog.Table) tsb.Config {
 	// the option off — while migration (the compactor kick) is gated.
 	if t.Immortal && tsb.Mode(db.opts.HistoricalIndex) == tsb.ModeChain {
 		cfg.Hist = &treeHist{db: db, tableID: t.ID}
-		if db.opts.TieredHistory && !db.replica {
+		if db.opts.TieredHistory && !db.replica.Load() {
 			cfg.OnTimeSplit = db.kickCompactor
 		}
 	}
@@ -748,7 +772,7 @@ func (db *DB) snapshotHorizon() itime.Timestamp {
 // snapshot isolation; plain tables store bare records with no versioning
 // overhead at all.
 func (db *DB) CreateTable(name string, topts TableOptions) (*Table, error) {
-	if db.replica {
+	if db.replica.Load() {
 		return nil, ErrReplica
 	}
 	db.mu.Lock()
@@ -836,7 +860,7 @@ func (db *DB) saveCatalogMeta() error {
 // point has moved — completed PTT entries are garbage collected (Section
 // 2.2).
 func (db *DB) Checkpoint() error {
-	if db.replica {
+	if db.replica.Load() {
 		// Replica checkpoints are driven by the primary's checkpoint records
 		// in the shipped stream (see replicaCheckpoint); a locally-initiated
 		// one would append to the log copy.
@@ -911,6 +935,7 @@ func (db *DB) Checkpoint() error {
 		NextTID:    db.tids.Peek(),
 		LastTS:     db.seq.Last(),
 		BeginLSN:   beginLSN,
+		Epoch:      db.epoch.Load(),
 	}
 	for id, recLSN := range dpt {
 		ck.DirtyPages = append(ck.DirtyPages, wal.DirtyPage{ID: id, RecLSN: wal.LSN(recLSN)})
@@ -1028,7 +1053,7 @@ func (db *DB) Close() error {
 	// open's recovery scan starts from durable bytes.
 	err := db.Degraded()
 	if err == nil {
-		if db.replica {
+		if db.replica.Load() {
 			err = db.log.SyncIngested()
 		} else {
 			err = db.Checkpoint()
@@ -1194,7 +1219,7 @@ func (t *Table) Meta() *catalog.Table { return t.meta }
 // EnableSnapshot turns on snapshot versioning for an empty conventional
 // table — the engine-level ALTER TABLE ... ENABLE SNAPSHOT of Section 4.1.
 func (db *DB) EnableSnapshot(name string) error {
-	if db.replica {
+	if db.replica.Load() {
 		return ErrReplica
 	}
 	db.mu.Lock()

@@ -144,7 +144,7 @@ func (db *DB) stopCompactor() {
 // compactor calls on its ticks; tests and operators call it directly for
 // deterministic behaviour. Serialized: concurrent calls queue.
 func (db *DB) CompactHistory() error {
-	if db.replica {
+	if db.replica.Load() {
 		return ErrReplica
 	}
 	if !db.opts.TieredHistory {

@@ -101,6 +101,9 @@ var ErrPoolClosed = errors.New("client: pool closed")
 type RemoteError struct {
 	Code byte
 	Msg  string
+	// Primary is the primary address a read-only replica advertised with a
+	// CodeReadOnlyReplica refusal ("" when the replica does not know one).
+	Primary string
 }
 
 func (e *RemoteError) Error() string { return e.Msg }
@@ -126,7 +129,6 @@ func (e *RemoteError) BeyondHorizon() bool { return e.Code == wire.CodeBeyondHor
 
 // DB is a pooled client to one immortald server.
 type DB struct {
-	addr string
 	opts Options
 	tl   itime.Timeline
 
@@ -135,8 +137,12 @@ type DB struct {
 	slots chan struct{}
 
 	mu     sync.Mutex
+	addr   string
 	idle   []*wconn
 	closed bool
+	// gen increments on Repoint; connections from an older generation were
+	// dialed at the previous address and are discarded instead of pooled.
+	gen uint64
 }
 
 // Open validates the address by dialing (with retry) and returns a pool.
@@ -166,12 +172,13 @@ func (d *DB) dial(ctx context.Context) (*wconn, error) {
 				return nil, err
 			}
 		}
-		nc, err := d.dialConn(ctx)
+		addr, gen := d.target()
+		nc, err := d.dialConn(ctx, addr)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		c := &wconn{nc: nc, br: bufio.NewReader(nc), tl: d.tl, opTimeout: d.opts.OpTimeout}
+		c := &wconn{nc: nc, br: bufio.NewReader(nc), tl: d.tl, opTimeout: d.opts.OpTimeout, gen: gen}
 		if err := c.handshake(ctx, d.opts.DialTimeout); err != nil {
 			nc.Close()
 			lastErr = err
@@ -179,15 +186,49 @@ func (d *DB) dial(ctx context.Context) (*wconn, error) {
 		}
 		return c, nil
 	}
-	return nil, fmt.Errorf("client: dial %s: %w", d.addr, lastErr)
+	addr, _ := d.target()
+	return nil, fmt.Errorf("client: dial %s: %w", addr, lastErr)
+}
+
+// target reads the pool's current address and generation.
+func (d *DB) target() (string, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr, d.gen
+}
+
+// Repoint re-targets the pool at a new server address — typically the
+// primary a replica advertised in a write refusal, or the survivor of a
+// failover. Idle connections to the old server are dropped, and in-flight
+// connections are discarded when released rather than pooled.
+func (d *DB) Repoint(addr string) {
+	d.mu.Lock()
+	if d.closed || d.addr == addr {
+		d.mu.Unlock()
+		return
+	}
+	d.addr = addr
+	d.gen++
+	idle := d.idle
+	d.idle = nil
+	d.mu.Unlock()
+	for _, c := range idle {
+		c.nc.Close()
+	}
+}
+
+// Addr returns the pool's current target address.
+func (d *DB) Addr() string {
+	addr, _ := d.target()
+	return addr
 }
 
 // dialConn makes one raw connection via the configured dialer.
-func (d *DB) dialConn(ctx context.Context) (net.Conn, error) {
+func (d *DB) dialConn(ctx context.Context, addr string) (net.Conn, error) {
 	if d.opts.Dialer != nil {
-		return d.opts.Dialer(ctx, d.addr)
+		return d.opts.Dialer(ctx, addr)
 	}
-	return (&net.Dialer{Timeout: d.opts.DialTimeout}).DialContext(ctx, "tcp", d.addr)
+	return (&net.Dialer{Timeout: d.opts.DialTimeout}).DialContext(ctx, "tcp", addr)
 }
 
 // jitterBackoff is the delay before retry attempt (0-based): exponential,
@@ -236,10 +277,11 @@ func (d *DB) acquire(ctx context.Context) (c *wconn, fromIdle bool, err error) {
 	return c, false, nil
 }
 
-// release returns a connection to the pool, discarding broken ones.
+// release returns a connection to the pool, discarding broken ones and ones
+// dialed at a pre-Repoint address.
 func (d *DB) release(c *wconn, healthy bool) {
 	d.mu.Lock()
-	if healthy && !d.closed {
+	if healthy && !d.closed && c.gen == d.gen {
 		d.idle = append(d.idle, c)
 		c = nil
 	}
@@ -294,8 +336,32 @@ func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
 		}
 		res, err = c.exec(ctx, sql)
 	}
+	// A write refused by a replica that advertised its primary is retried
+	// exactly once there: the pool re-points (dropping idle connections to
+	// the replica) and the statement re-runs on a fresh connection. One hop
+	// only — if the "primary" also refuses, the refusal surfaces.
+	if re := remoteErr(err); re != nil && re.ReadOnlyReplica() && re.Primary != "" && ctx.Err() == nil {
+		d.Repoint(re.Primary)
+		c.nc.Close()
+		c.broken = true
+		c2, derr := d.dial(ctx)
+		if derr != nil {
+			d.slots <- struct{}{}
+			return nil, derr
+		}
+		c = c2
+		res, err = c.exec(ctx, sql)
+	}
 	d.release(c, !c.broken)
 	return res, err
+}
+
+func remoteErr(err error) *RemoteError {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
 }
 
 func isRemote(err error) bool {
@@ -456,6 +522,9 @@ type wconn struct {
 	br        *bufio.Reader
 	tl        itime.Timeline
 	opTimeout time.Duration
+	// gen is the pool generation the connection was dialed under; see
+	// DB.Repoint.
+	gen uint64
 	// broken marks the connection unusable (I/O error, protocol error).
 	broken bool
 }
@@ -475,10 +544,20 @@ func (c *wconn) handshake(ctx context.Context, timeout time.Duration) error {
 		return nil
 	case wire.MsgError:
 		code, msg := wire.ParseError(payload)
-		return &RemoteError{Code: code, Msg: msg}
+		return newRemoteError(code, msg)
 	default:
 		return wire.ErrBadHandshake
 	}
+}
+
+// newRemoteError builds a RemoteError, splitting out the redirect address a
+// read-only replica embeds in its refusal.
+func newRemoteError(code byte, msg string) *RemoteError {
+	re := &RemoteError{Code: code, Msg: msg}
+	if code == wire.CodeReadOnlyReplica {
+		re.Msg, re.Primary = wire.ParseRedirect(msg)
+	}
+	return re
 }
 
 // applyDeadline sets the connection deadline to the tighter of the context
@@ -534,7 +613,7 @@ func (c *wconn) roundTrip(ctx context.Context, reqType byte, payload []byte, wan
 	}
 	if typ == wire.MsgError {
 		code, msg := wire.ParseError(resp)
-		return nil, &RemoteError{Code: code, Msg: msg}
+		return nil, newRemoteError(code, msg)
 	}
 	if typ != wantType {
 		c.broken = true

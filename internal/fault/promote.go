@@ -1,0 +1,411 @@
+package fault
+
+// The promotion crash matrix: a primary runs the deterministic workload
+// while a follower replicates it to the end on a healthy disk. The primary
+// then commits one more "zombie" transaction that is only half-shipped —
+// the partition hit mid-frame — and the follower promotes on a disk armed
+// to crash at the CrashAt-th I/O operation of the promotion itself: the
+// final redo drain, the fence trim's physical truncation, the promote
+// record append and fsync, or the promotion checkpoint. After the crash the
+// follower reboots with torn/lost sectors and must finish the failover: if
+// the promote record survived it reopens directly as a primary, otherwise
+// it reopens as a replica and retries Promote. Either way the survivor must
+// hold every commit that was durably acknowledged before the promotion, no
+// byte of the zombie commit, an epoch strictly above the deposed primary's,
+// and must accept and retain new writes across a further clean reopen.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"immortaldb"
+	"immortaldb/internal/storage/vfs"
+)
+
+// PromoteConfig selects a promotion crash-matrix cell.
+type PromoteConfig struct {
+	// Seed drives the primary workload and the follower disk's torn-write
+	// coin flips.
+	Seed int64
+	// CrashAt crashes the follower's simulated disk at the CrashAt-th I/O
+	// operation of the promotion (1-based, counted from the Promote call —
+	// the replication phase runs on a healthy disk). 0 runs the promotion to
+	// a clean close, which is how callers learn the operation count.
+	CrashAt int64
+	// Txns is the number of primary transactions to attempt (default 40).
+	Txns int
+}
+
+// zombieKey/zombieVal identify the deposed primary's half-shipped commit: a
+// key outside the workload's key space, with a value long enough that the
+// partial final chunk can never contain the whole transaction.
+const (
+	zombieKey     = "zombie"
+	zombieShipMax = 96
+	zombiePadding = 300
+	promotedKey   = "promoted"
+	promotedVal   = "written-after-failover"
+)
+
+// PromoteRunResult captures one promotion crash-matrix run.
+type PromoteRunResult struct {
+	Config PromoteConfig
+
+	// PrimaryDB is the deposed primary, left open for VerifyPromote (which
+	// closes it). Its epoch is the bar the survivor must clear.
+	PrimaryDB *immortaldb.DB
+	// FollowerFS is the follower's crashed (or cleanly closed) disk.
+	FollowerFS *vfs.SimFS
+
+	// Committed is every commit shipped to and durably acknowledged by the
+	// follower before the promotion; none of it may be missing from the
+	// promoted survivor.
+	Committed []CommitRecord
+
+	// SyncedLSN/SyncedVisible form the follower's durably acknowledged
+	// horizon at promotion start. The fence may land above it (the zombie's
+	// complete update records) but never below.
+	SyncedLSN     uint64
+	SyncedVisible immortaldb.Timestamp
+
+	// PromoteOps is how many disk operations a clean promotion issues — the
+	// size of the crash matrix (CrashAt = 0 runs only).
+	PromoteOps int64
+	// PromotedEpoch is the epoch Promote returned, 0 if it never returned
+	// one (the crash landed before the promote record was durable).
+	PromotedEpoch uint64
+
+	// Clean is true when the promotion and the follow-up write ran to a
+	// clean close.
+	Clean bool
+	// Err is the first follower error (the injected crash, on a healthy
+	// engine).
+	Err error
+	// Trace is the tail of the follower disk-operation log at crash time.
+	Trace []vfs.Op
+}
+
+// RunPromote executes one promotion crash-matrix cell.
+func RunPromote(cfg PromoteConfig) *PromoteRunResult {
+	if cfg.Txns == 0 {
+		cfg.Txns = 40
+	}
+	res := &PromoteRunResult{Config: cfg}
+
+	pdb, committed, err := runReplicaPrimary(ReplicaConfig{Seed: cfg.Seed, Txns: cfg.Txns})
+	if err != nil {
+		res.Err = fmt.Errorf("primary workload: %w", err)
+		return res
+	}
+	res.PrimaryDB = pdb
+	res.Committed = committed
+
+	ffs := vfs.NewSim(cfg.Seed ^ 0x9107)
+	res.FollowerFS = ffs
+	abandon := func(fdb *immortaldb.DB, err error) *PromoteRunResult {
+		res.Err = err
+		res.Trace = ffs.Trace()
+		if fdb != nil {
+			fdb.Close() // best effort; the disk has usually crashed under it
+		}
+		return res
+	}
+
+	// Phase 1, healthy disk: full catch-up. Everything shipped here was
+	// fsynced and applied, so all of it counts as acknowledged.
+	fdb, err := immortaldb.OpenReplica(replFollowerDir, options(ffs))
+	if err != nil {
+		return abandon(nil, err)
+	}
+	err = shipAll(pdb, fdb, func(h immortaldb.ReplicaHorizon) {
+		res.SyncedLSN, res.SyncedVisible = h.AppliedLSN, h.MaxVisible
+	})
+	if err != nil {
+		return abandon(fdb, fmt.Errorf("catch-up: %w", err))
+	}
+
+	// Phase 2: the zombie commit. The primary — already partitioned from the
+	// cluster in this story — commits one more transaction, and only its
+	// first zombieShipMax bytes reach the follower: a half-shipped frame the
+	// dead primary will never finish. The padding guarantees the partial
+	// chunk cannot contain the commit record, so no crash point may ever
+	// resurrect it.
+	if err := commitZombie(pdb); err != nil {
+		return abandon(fdb, fmt.Errorf("zombie commit: %w", err))
+	}
+	ch, err := pdb.Log().ShipRead(fdb.Log().End(), zombieShipMax)
+	if err != nil {
+		return abandon(fdb, fmt.Errorf("zombie partial ship: %w", err))
+	}
+	if len(ch.Data) == 0 {
+		return abandon(fdb, errors.New("zombie partial ship: primary produced no bytes"))
+	}
+	if err := fdb.Log().IngestChunk(ch); err != nil {
+		return abandon(fdb, fmt.Errorf("zombie partial ingest: %w", err))
+	}
+	if err := fdb.Log().SyncIngested(); err != nil {
+		return abandon(fdb, fmt.Errorf("zombie partial sync: %w", err))
+	}
+	if _, err := fdb.ReplicaApply(0); err != nil {
+		return abandon(fdb, fmt.Errorf("zombie partial apply: %w", err))
+	}
+
+	// Phase 3: the promotion, with the crash armed relative to its first
+	// disk operation so the whole matrix lands inside the failover path.
+	startOps := ffs.OpCount()
+	if cfg.CrashAt > 0 {
+		ffs.SetCrashAt(startOps + cfg.CrashAt)
+	}
+	epoch, err := fdb.Promote()
+	res.PromotedEpoch = epoch
+	if err != nil {
+		return abandon(fdb, err)
+	}
+
+	// Clean run: prove the survivor accepts writes, then close. These
+	// operations sit inside the op count on purpose — the matrix must also
+	// crash the first post-promotion commit and the final close.
+	if err := commitPromoted(fdb); err != nil {
+		return abandon(fdb, fmt.Errorf("post-promotion write: %w", err))
+	}
+	if err := fdb.Close(); err != nil {
+		return abandon(nil, err)
+	}
+	res.PromoteOps = ffs.OpCount() - startOps
+	res.Clean = true
+	return res
+}
+
+// commitZombie commits the deposed primary's doomed transaction: one write
+// to a key inside the workload space (so a resurrected commit corrupts the
+// current-state comparison) and one to the zombie marker key.
+func commitZombie(pdb *immortaldb.DB) error {
+	tbl, err := pdb.Table(tableName)
+	if err != nil {
+		return err
+	}
+	tx, err := pdb.Begin(immortaldb.Serializable)
+	if err != nil {
+		return err
+	}
+	if err := tx.Set(tbl, []byte("k00"), []byte("ZOMBIE-"+strings.Repeat("z", zombiePadding))); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Set(tbl, []byte(zombieKey), []byte(strings.Repeat("z", zombiePadding))); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// commitPromoted commits the survivor's first post-failover write.
+func commitPromoted(db *immortaldb.DB) error {
+	tbl, err := db.Table(tableName)
+	if err != nil {
+		return err
+	}
+	tx, err := db.Begin(immortaldb.Serializable)
+	if err != nil {
+		return err
+	}
+	if err := tx.Set(tbl, []byte(promotedKey), []byte(promotedVal)); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// VerifyPromote reboots the crashed follower disk and drives the failover to
+// completion, checking the promotion contract:
+//
+//  1. The survivor reopens. If the promote record survived the crash it
+//     reopens directly as a primary at the recorded epoch; otherwise it
+//     reopens as a replica and a retried Promote must succeed.
+//  2. The durably acknowledged horizon never regresses, and no acked commit
+//     is lost: current state and AS OF every acked commit timestamp match
+//     the model.
+//  3. No zombie-primary commit survives: the half-shipped transaction the
+//     deposed primary committed after the partition is absent in full.
+//  4. The survivor's epoch is strictly above the deposed primary's, and its
+//     sealed log refuses further ingestion from any old stream.
+//  5. The survivor accepts a new write and retains it across a clean close
+//     and reopen.
+func VerifyPromote(res *PromoteRunResult) error {
+	defer func() {
+		if res.PrimaryDB != nil {
+			res.PrimaryDB.Close()
+		}
+	}()
+	fs := res.FollowerFS
+	fs.Reboot()
+
+	// Reopen as a replica first: that is always safe (recovery over the
+	// local chain, writes still fenced) and recovery surfaces the durable
+	// epoch, which decides the retry path.
+	fdb, err := immortaldb.OpenReplica(replFollowerDir, options(fs))
+	if err != nil {
+		return fmt.Errorf("reopen after crash failed despite acked position %d: %w", res.SyncedLSN, err)
+	}
+	h0 := fdb.Horizon()
+	if h0.AppliedLSN < res.SyncedLSN {
+		fdb.Close()
+		return fmt.Errorf("horizon regressed across crash: applied %d < acked %d", h0.AppliedLSN, res.SyncedLSN)
+	}
+	if h0.MaxVisible.Less(res.SyncedVisible) {
+		fdb.Close()
+		return fmt.Errorf("visibility regressed across crash: %v < acked %v", h0.MaxVisible, res.SyncedVisible)
+	}
+
+	sdb := fdb
+	if durable := fdb.Epoch(); res.PromotedEpoch != 0 && durable >= res.PromotedEpoch {
+		// The promote record survived: the node IS the primary; a supervisor
+		// reopens it as one without promoting again.
+		if err := fdb.Close(); err != nil {
+			return fmt.Errorf("close before primary reopen: %w", err)
+		}
+		sdb, err = immortaldb.Open(replFollowerDir, options(fs))
+		if err != nil {
+			return fmt.Errorf("reopen as primary (durable epoch %d): %w", durable, err)
+		}
+		if got := sdb.Epoch(); got != durable {
+			sdb.Close()
+			return fmt.Errorf("epoch lost across primary reopen: %d != %d", got, durable)
+		}
+	} else {
+		// The promotion never became durable: retry it, exactly as a
+		// supervisor looping on -promote would.
+		epoch, err := fdb.Promote()
+		if err != nil {
+			fdb.Close()
+			return fmt.Errorf("promotion retry after crash: %w", err)
+		}
+		if epoch == 0 {
+			fdb.Close()
+			return fmt.Errorf("promotion retry returned epoch 0")
+		}
+	}
+	defer sdb.Close()
+
+	if sdb.IsReplica() {
+		return fmt.Errorf("survivor still a replica after failover")
+	}
+	if se, pe := sdb.Epoch(), res.PrimaryDB.Epoch(); se <= pe {
+		return fmt.Errorf("survivor epoch %d does not fence deposed primary epoch %d", se, pe)
+	}
+	// The sealed log must refuse any further shipped bytes — a retargeting
+	// bug or a zombie shipper must not be able to graft onto this timeline.
+	if ch, err := res.PrimaryDB.Log().ShipRead(0, 64); err == nil && len(ch.Data) > 0 {
+		ship := ch
+		ship.At = sdb.Log().End()
+		if err := sdb.Log().IngestChunk(ship); err == nil {
+			return fmt.Errorf("promoted survivor's log accepted an ingested chunk")
+		}
+	}
+
+	if err := checkPromoted(sdb, res, false); err != nil {
+		return err
+	}
+
+	// The survivor accepts new writes (TIDs re-based above the fence, so
+	// this commit must not collide with anything replicated).
+	if err := commitPromoted(sdb); err != nil {
+		return fmt.Errorf("post-failover write refused: %w", err)
+	}
+
+	// Forward life: a clean close and reopen as primary preserves every
+	// answer, the epoch, and the new write.
+	epoch := sdb.Epoch()
+	if err := sdb.Close(); err != nil {
+		return fmt.Errorf("post-failover close: %w", err)
+	}
+	sdb, err = immortaldb.Open(replFollowerDir, options(fs))
+	if err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	// The deferred Close above captured the first handle (already closed,
+	// harmlessly); defer again for the fresh one.
+	defer sdb.Close()
+	if got := sdb.Epoch(); got != epoch {
+		return fmt.Errorf("epoch lost across clean reopen: %d != %d", got, epoch)
+	}
+	if err := checkPromoted(sdb, res, true); err != nil {
+		return fmt.Errorf("second reopen: %w", err)
+	}
+	return nil
+}
+
+// checkPromoted verifies the survivor's state: the acked model, the AS OF
+// answers, the zombie's absence, and (after the post-failover write) the new
+// key's presence.
+func checkPromoted(db *immortaldb.DB, res *PromoteRunResult, wantPromotedKey bool) error {
+	tbl, err := db.Table(tableName)
+	if err != nil {
+		return fmt.Errorf("table missing on survivor: %w", err)
+	}
+	model := map[string]string{}
+	for _, c := range res.Committed {
+		apply(model, c.Events)
+	}
+	cur, err := scanReplica(db, tbl) // snapshot scan; works on a primary too
+	if err != nil {
+		return fmt.Errorf("current-state scan: %w", err)
+	}
+	if wantPromotedKey {
+		model[promotedKey] = promotedVal
+	} else if v, ok := cur[promotedKey]; ok {
+		// The crash landed at or after the survivor's own first commit: a
+		// write that persisted without being acked is allowed, but only with
+		// the value the survivor actually wrote.
+		if v != promotedVal {
+			return fmt.Errorf("post-failover key holds foreign value %q", v)
+		}
+		model[promotedKey] = promotedVal
+	}
+	if v, ok := cur[zombieKey]; ok {
+		return fmt.Errorf("zombie commit survived the fence: %s=%q", zombieKey, v)
+	}
+	if strings.HasPrefix(cur["k00"], "ZOMBIE-") {
+		return fmt.Errorf("zombie overwrite of k00 survived the fence")
+	}
+	if !equal(cur, model) {
+		return fmt.Errorf("survivor state diverges from acked model:\n%s", diff(cur, model))
+	}
+	state := map[string]string{}
+	for i, c := range res.Committed {
+		apply(state, c.Events)
+		got, err := scanAt(db, tbl, c.TS)
+		if err != nil {
+			return fmt.Errorf("AS OF acked commit %d (ts %v): %w", i, c.TS, err)
+		}
+		if !equal(got, state) {
+			return fmt.Errorf("AS OF acked commit %d (ts %v) diverges:\n%s", i, c.TS, diff(got, state))
+		}
+	}
+	return nil
+}
+
+// DescribePromote renders a failure coordinate with enough context to replay.
+func DescribePromote(res *PromoteRunResult) string {
+	var b strings.Builder
+	ops := int64(0)
+	if res.FollowerFS != nil {
+		ops = res.FollowerFS.OpCount()
+	}
+	fmt.Fprintf(&b, "seed=%d crash-point=%d follower-ops=%d acked-commits=%d acked-lsn=%d promoted-epoch=%d\n",
+		res.Config.Seed, res.Config.CrashAt, ops, len(res.Committed), res.SyncedLSN, res.PromotedEpoch)
+	fmt.Fprintf(&b, "replay: go test -run TestPromoteCrashMatrix -pmseed=%d -pmpoint=%d\n",
+		res.Config.Seed, res.Config.CrashAt)
+	fmt.Fprintf(&b, "last follower disk ops before crash:\n")
+	for _, op := range res.Trace {
+		fmt.Fprintf(&b, "  %s\n", op.String())
+	}
+	return b.String()
+}
+
+// PromoteCrashed reports whether the follower actually hit the injected
+// crash, as opposed to finishing (or failing) without it.
+func PromoteCrashed(res *PromoteRunResult) bool {
+	return res.FollowerFS != nil && res.FollowerFS.Crashed()
+}

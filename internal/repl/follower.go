@@ -41,6 +41,23 @@ func (e *ReplError) Error() string { return "repl: primary: " + e.Msg }
 // follower reconnects and the new handshake sorts it out.
 func (e *ReplError) Retryable() bool { return e.Code == wire.CodeRetryable }
 
+// Terminal session errors: Run stops retrying when one of these surfaces,
+// because reconnecting to the same upstream can never fix them.
+var (
+	// ErrPromoted: this follower's engine was promoted to primary; the
+	// replication loop is permanently done.
+	ErrPromoted = errors.New("repl: follower promoted to primary")
+	// ErrStaleUpstream: the upstream's promotion epoch is behind what this
+	// follower has already replicated — it is a deposed (zombie) primary and
+	// nothing it ships can be trusted.
+	ErrStaleUpstream = errors.New("repl: upstream epoch behind local epoch, refusing deposed primary")
+	// ErrDiverged: the local log extends past the upstream's durable end, so
+	// the byte-prefix invariant is broken (e.g. retargeted at a primary that
+	// was promoted from a less-caught-up position). The replica must be
+	// re-seeded.
+	ErrDiverged = errors.New("repl: local log ahead of upstream durable end, reseed required")
+)
+
 // Config tunes a Follower. Dir and Addr are required.
 type Config struct {
 	// Dir is the local replica directory: the byte-identical log copy, page
@@ -109,8 +126,19 @@ type Follower struct {
 	db     *immortaldb.DB
 	closed bool
 
+	// ingestMu serializes log ingestion against Promote and Retarget, so a
+	// seal or trim never races a chunk landing in the local log.
+	ingestMu sync.Mutex
+
+	promoted atomic.Bool
+
 	ingested atomic.Uint64
 	resyncs  atomic.Uint64
+
+	// lastFlushed is the primary's durable end as last observed (handshake,
+	// or local ingested end when a caught-up pull confirms parity); LagBytes
+	// measures the horizon against it.
+	lastFlushed atomic.Uint64
 }
 
 // NewFollower returns a follower; no I/O happens until Sync or Run.
@@ -141,8 +169,26 @@ func (f *Follower) Stats() (ingestedBytes, baseResyncs uint64) {
 	return f.ingested.Load(), f.resyncs.Load()
 }
 
+// LagBytes estimates how far the replica's applied horizon trails the
+// primary's durable log end, in bytes: the distance to the durable end as of
+// the last handshake, or zero once a caught-up pull confirmed parity.
+func (f *Follower) LagBytes() uint64 {
+	applied := f.Horizon().AppliedLSN
+	if flushed := f.lastFlushed.Load(); flushed > applied {
+		return flushed - applied
+	}
+	return 0
+}
+
 // Dir returns the local replica directory.
 func (f *Follower) Dir() string { return f.cfg.Dir }
+
+// Addr returns the upstream primary address currently targeted.
+func (f *Follower) Addr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg.Addr
+}
 
 // Close stops serving and closes the local database. Concurrent Sync/Run
 // calls fail on their next step.
@@ -185,7 +231,9 @@ func (f *Follower) Sync(ctx context.Context) error {
 
 // Run streams continuously until ctx is done: sessions that fail (network
 // fault, primary restart, retention gap) are retried with exponential
-// backoff, re-seeding when required. Returns ctx.Err() on cancellation.
+// backoff, re-seeding when required. Returns ctx.Err() on cancellation, or a
+// terminal error (ErrPromoted, ErrStaleUpstream, ErrDiverged) that retrying
+// cannot fix.
 func (f *Follower) Run(ctx context.Context) error {
 	failures := 0
 	for {
@@ -199,6 +247,9 @@ func (f *Follower) Run(ctx context.Context) error {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return err
 			}
+			if errors.Is(err, ErrPromoted) || errors.Is(err, ErrStaleUpstream) || errors.Is(err, ErrDiverged) {
+				return err
+			}
 			failures++
 			f.logf("repl: session error (attempt %d): %v", failures, err)
 		}
@@ -209,9 +260,64 @@ func (f *Follower) Run(ctx context.Context) error {
 	}
 }
 
+// Promote turns the follower's engine into a read-write primary: finishes
+// redo over everything ingested, seals the local log at the applied
+// boundary, and fences the deposed primary's TID/LSN space under a bumped
+// epoch logged in a promotion record. The replication loop (Run) terminates
+// with ErrPromoted at its next step; the engine behind DB() keeps serving
+// throughout and accepts writes once this returns. Returns the new epoch.
+func (f *Follower) Promote() (uint64, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, errors.New("repl: follower closed")
+	}
+	db := f.db
+	f.mu.Unlock()
+	if db == nil {
+		return 0, errors.New("repl: no local database to promote")
+	}
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	f.promoted.Store(true) // fence the pull loop before the seal
+	epoch, err := db.Promote()
+	if err != nil && !errors.Is(err, immortaldb.ErrNotReplica) {
+		f.promoted.Store(false) // promotion did not happen; keep replicating
+	}
+	return epoch, err
+}
+
+// Retarget re-points the follower at a new primary after a promotion
+// elsewhere. The local log is trimmed back to the applied horizon so the
+// next session resumes from a position the new primary's log is guaranteed
+// to share: complete-record boundaries are byte-identical across replicas of
+// the same stream, and a correctly chosen promotion candidate (the most
+// caught-up follower) sealed at or past every peer's applied position. The
+// current session, if any, ends on its next pull (connection addressed at
+// the old primary) and the retry dials the new address.
+func (f *Follower) Retarget(addr string) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	f.mu.Lock()
+	f.cfg.Addr = addr
+	db := f.db
+	f.mu.Unlock()
+	if db == nil {
+		return nil
+	}
+	if _, err := db.ReplicaApply(0); err != nil {
+		return err
+	}
+	_, err := db.Log().TrimIngestTail(wal.LSN(db.Horizon().AppliedLSN))
+	return err
+}
+
 // session runs one connection: hello, optional base install, then the pull
 // loop. With once set it returns nil at the first caught-up (empty) chunk.
 func (f *Follower) session(ctx context.Context, once bool) error {
+	if f.promoted.Load() {
+		return ErrPromoted
+	}
 	db, err := f.openLocal()
 	if err != nil {
 		return err
@@ -247,6 +353,15 @@ func (f *Follower) session(ctx context.Context, once bool) error {
 	if err != nil {
 		return err
 	}
+	if db != nil {
+		if local := db.Epoch(); ok.Epoch < local {
+			return fmt.Errorf("%w: upstream epoch %d, local %d", ErrStaleUpstream, ok.Epoch, local)
+		}
+		if ok.Flags&wire.ReplFlagBase == 0 && ok.Flushed < from {
+			return fmt.Errorf("%w: local end %d, upstream durable end %d", ErrDiverged, from, ok.Flushed)
+		}
+	}
+	f.lastFlushed.Store(ok.Flushed)
 
 	if ok.Flags&wire.ReplFlagBase != 0 {
 		// The primary cannot serve our position from its log: rebuild the
@@ -288,12 +403,16 @@ func (f *Follower) pullLoop(ctx context.Context, nc net.Conn, br *bufio.Reader, 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if f.promoted.Load() {
+			return ErrPromoted
+		}
 		ch, err := f.pull(nc, br, db)
 		if err != nil {
 			return err
 		}
 		if len(ch.Data) == 0 {
 			// Caught up with the primary's durable prefix.
+			f.lastFlushed.Store(uint64(db.Log().End()))
 			if once {
 				return nil
 			}
@@ -302,20 +421,32 @@ func (f *Follower) pullLoop(ctx context.Context, nc net.Conn, br *bufio.Reader, 
 			}
 			continue
 		}
-		if err := db.Log().IngestChunk(wal.ShipChunk{
-			Seq:      ch.Seq,
-			SegStart: wal.LSN(ch.SegStart),
-			At:       wal.LSN(ch.At),
-			Data:     ch.Data,
-		}); err != nil {
-			return err
-		}
-		f.ingested.Add(uint64(len(ch.Data)))
-		obsIngested.Add(uint64(len(ch.Data)))
-		if _, err := db.ReplicaApply(0); err != nil {
+		if err := f.ingest(db, ch); err != nil {
 			return err
 		}
 	}
+}
+
+// ingest lands one chunk in the local log and applies it, serialized against
+// Promote and Retarget so a seal or trim never interleaves with new bytes.
+func (f *Follower) ingest(db *immortaldb.DB, ch wire.SegChunk) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	if f.promoted.Load() {
+		return ErrPromoted
+	}
+	if err := db.Log().IngestChunk(wal.ShipChunk{
+		Seq:      ch.Seq,
+		SegStart: wal.LSN(ch.SegStart),
+		At:       wal.LSN(ch.At),
+		Data:     ch.Data,
+	}); err != nil {
+		return err
+	}
+	f.ingested.Add(uint64(len(ch.Data)))
+	obsIngested.Add(uint64(len(ch.Data)))
+	_, err := db.ReplicaApply(0)
+	return err
 }
 
 // pull performs one MsgReplPull round trip.

@@ -156,6 +156,7 @@ func (s *Shipper) ServeConn(nc net.Conn, br *bufio.Reader, helloPayload []byte, 
 		Start:         from,
 		FirstRetained: uint64(log.FirstRetained()),
 		Flushed:       uint64(log.FlushedLSN()),
+		Epoch:         s.db.Epoch(),
 	}
 	var base *baseSender
 	if from < ok.FirstRetained {

@@ -1,0 +1,188 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/wal"
+)
+
+// ------------------------------------------- F1: failover / promotion cost
+
+// FailoverRow is one promotion measurement: a follower that trails the
+// primary's durable end by ~Clients KB of shipped-but-unapplied log promotes
+// to a read-write primary, and the row records how long the failover kept
+// writes unavailable. Mode/Clients/CommitsPerSec follow the benchgate row
+// convention so the CI gate can watch the grid: Clients carries the lag
+// bucket in KB, and CommitsPerSec is failovers per second (1000 /
+// UnavailMillis) — a promotion slowdown shows up as a throughput regression.
+type FailoverRow struct {
+	Mode          string  `json:"mode"`            // "promote"
+	Clients       int     `json:"clients"`         // lag bucket in KB of unapplied log
+	Commits       int     `json:"commits"`         // primary commits replicated before the failover
+	Seconds       float64 `json:"seconds"`         // the full unavailability window
+	CommitsPerSec float64 `json:"commits_per_sec"` // failovers per second
+	// RedoKB is the actual unapplied backlog at promotion start (the bucket
+	// is a target; record boundaries quantize it).
+	RedoKB float64 `json:"redo_kb"`
+	// PromoteMillis is Promote itself: the bounded redo drain, the fence
+	// trim, the durable promote record, and the promotion checkpoint.
+	PromoteMillis float64 `json:"promote_millis"`
+	// FirstCommitMillis is the survivor's first durable commit after
+	// promotion — the moment a redirected client is acked again.
+	FirstCommitMillis float64 `json:"first_commit_millis"`
+	// UnavailMillis is the client-visible write-unavailability window:
+	// PromoteMillis + FirstCommitMillis.
+	UnavailMillis float64 `json:"unavail_millis"`
+	Epoch         uint64  `json:"epoch"`
+}
+
+// RunFailoverAblation measures promotion time against replication lag. For
+// each lag bucket a fresh primary runs the commit workload, a follower
+// ingests the whole log but applies only up to lag KB short of the end, and
+// the follower promotes: the unapplied suffix is exactly the redo debt the
+// failover must pay before the fence seals. The window ends at the
+// survivor's first durable commit.
+func RunFailoverAblation(o Options, lagKBs []int) ([]FailoverRow, error) {
+	o = o.withDefaults()
+	if len(lagKBs) == 0 {
+		lagKBs = []int{0, 64, 256}
+	}
+	total := o.scaled(600)
+	var out []FailoverRow
+	for _, lagKB := range lagKBs {
+		e, err := NewEnv(o, true, func(op *immortaldb.Options) {
+			op.NoSync = false // the shipped stream must be durable to ship at all
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, commits, err := CommitStorm(e, 4, total)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+
+		// A promotion is a one-shot few-millisecond event; a single sample
+		// is too noisy to gate on. Build three independent followers of the
+		// same primary and keep the fastest failover — the latency floor.
+		var best FailoverRow
+		for trial := 0; trial < 3; trial++ {
+			row, err := promoteOnce(o, e.DB, lagKB)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			if trial == 0 || row.UnavailMillis < best.UnavailMillis {
+				best = row
+			}
+		}
+		e.Close()
+		best.Commits = commits
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// promoteOnce builds one lagged follower of pdb and times its promotion.
+func promoteOnce(o Options, pdb *immortaldb.DB, lagKB int) (FailoverRow, error) {
+	row := FailoverRow{Mode: "promote", Clients: lagKB}
+	fdir, err := os.MkdirTemp("", "immortaldb-failover")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(fdir)
+	// The survivor's clock sits past everything the primary's bench clock
+	// could have stamped, so post-promotion commits land after the
+	// replicated history.
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 12, 0, 0, 0, time.UTC))
+	clock.AutoStep = 1
+	clock.AutoEvery = 5
+	fdb, err := immortaldb.OpenReplica(fdir, &immortaldb.Options{
+		PageSize:    o.PageSize,
+		CacheFrames: o.CacheFrames,
+		NoSync:      false, // the promotion's fsyncs are the measured path
+		Clock:       clock,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer fdb.Close()
+
+	// Ingest the whole durable log; the lag lives purely in unapplied redo.
+	plog, flog := pdb.Log(), fdb.Log()
+	for {
+		ch, err := plog.ShipRead(flog.End(), 64<<10)
+		if err != nil {
+			return row, err
+		}
+		if len(ch.Data) == 0 {
+			break
+		}
+		if err := flog.IngestChunk(ch); err != nil {
+			return row, err
+		}
+	}
+	if err := flog.SyncIngested(); err != nil {
+		return row, err
+	}
+
+	// Apply up to ~lagKB short of the end, in bounded steps so the stop
+	// lands near the target instead of overshooting to the end.
+	end := uint64(flog.End())
+	target := uint64(wal.FirstLSN)
+	if back := uint64(lagKB) * 1024; end > back+target {
+		target = end - back
+	}
+	for fdb.Horizon().AppliedLSN < target {
+		n, err := fdb.ReplicaApply(32)
+		if err != nil {
+			return row, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	row.RedoKB = float64(end-fdb.Horizon().AppliedLSN) / 1024
+
+	t0 := time.Now()
+	epoch, err := fdb.Promote()
+	if err != nil {
+		return row, err
+	}
+	promoteDone := time.Now()
+	row.Epoch = epoch
+
+	// The survivor's first durable commit closes the unavailability window.
+	tbl, err := fdb.Table("MovingObjects")
+	if err != nil {
+		return row, err
+	}
+	tx, err := fdb.Begin(immortaldb.Serializable)
+	if err != nil {
+		return row, err
+	}
+	if err := tx.Set(tbl, []byte("failover-probe"), []byte("acked")); err != nil {
+		tx.Rollback()
+		return row, err
+	}
+	if err := tx.Commit(); err != nil {
+		return row, err
+	}
+	commitDone := time.Now()
+
+	row.PromoteMillis = float64(promoteDone.Sub(t0)) / float64(time.Millisecond)
+	row.FirstCommitMillis = float64(commitDone.Sub(promoteDone)) / float64(time.Millisecond)
+	row.UnavailMillis = row.PromoteMillis + row.FirstCommitMillis
+	row.Seconds = commitDone.Sub(t0).Seconds()
+	if row.UnavailMillis > 0 {
+		row.CommitsPerSec = 1000 / row.UnavailMillis
+	}
+	if fdb.IsReplica() {
+		return row, fmt.Errorf("failover bench: survivor still a replica after Promote")
+	}
+	return row, nil
+}

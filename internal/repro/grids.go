@@ -1,0 +1,51 @@
+package repro
+
+// GridCell names one expected row of a checked-in benchmark baseline: the
+// (mode, clients) pair every BENCH_*.json entry is keyed by.
+type GridCell struct {
+	Mode    string `json:"mode"`
+	Clients int    `json:"clients"`
+}
+
+func grid(mode string, clients ...int) []GridCell {
+	out := make([]GridCell, 0, len(clients))
+	for _, c := range clients {
+		out = append(out, GridCell{Mode: mode, Clients: c})
+	}
+	return out
+}
+
+// BenchGrids returns, per checked-in baseline file, the exact (mode, clients)
+// cell set the current benchablations experiments emit. benchgate
+// -check-grids compares each baseline against this map: a baseline missing a
+// cell (an experiment grew a new point) or carrying an extra one (a point was
+// dropped or renamed) is stale and must be regenerated, because the gate
+// silently skips cells that exist on only one side.
+func BenchGrids() map[string][]GridCell {
+	g := map[string][]GridCell{}
+	add := func(file string, cells ...[]GridCell) {
+		for _, cs := range cells {
+			g[file] = append(g[file], cs...)
+		}
+	}
+	add("BENCH_commit.json",
+		grid("group", 1, 2, 4, 8, 16),
+		grid("serial", 1, 2, 4, 8, 16))
+	add("BENCH_hist.json",
+		grid("asof-hot", 1),
+		grid("storage-reduction", 1),
+		grid("asof-cold", 1),
+		grid("hist-commit", 1, 4, 16))
+	add("BENCH_obs.json",
+		grid("obs-off", 1, 8),
+		grid("obs-on", 1, 8))
+	add("BENCH_repl.json",
+		grid("primary-only", 1, 4, 8),
+		grid("with-follower", 1, 4, 8))
+	add("BENCH_server.json",
+		grid("embedded", 1, 4, 16),
+		grid("wire", 1, 4, 16))
+	add("BENCH_failover.json",
+		grid("promote", 0, 64, 256))
+	return g
+}

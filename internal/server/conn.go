@@ -111,7 +111,7 @@ func (c *conn) serve() {
 				c.srv.errCount.Add(1)
 				obsExecLat.ObserveSince(execStart)
 				obsInflight.Dec()
-				if werr := writeError(c.nc, err); werr != nil {
+				if werr := c.srv.writeError(c.nc, err); werr != nil {
 					return
 				}
 				break
@@ -124,7 +124,7 @@ func (c *conn) serve() {
 			}
 		default:
 			c.srv.errCount.Add(1)
-			if err := writeError(c.nc, errors.New("server: unknown message type")); err != nil {
+			if err := c.srv.writeError(c.nc, errors.New("server: unknown message type")); err != nil {
 				return
 			}
 		}
@@ -153,7 +153,7 @@ func (c *conn) handshake(br *bufio.Reader) ([]byte, bool) {
 		return nil, false
 	}
 	if _, err := wire.CheckHello(payload); err != nil {
-		writeError(c.nc, err)
+		c.srv.writeError(c.nc, err)
 		return nil, false
 	}
 	if err := wire.WriteFrame(c.nc, wire.MsgHelloOK, []byte{wire.Version}); err != nil {
@@ -197,11 +197,13 @@ func (c *conn) drainContinue() bool {
 // writeError sends an error frame, classified so the client knows what a
 // retry is worth: degradation is terminal until an operator intervenes,
 // shutdown conditions are transient, a write refused by a replica must be
-// redirected to the primary, an AS OF read past the replication horizon is
+// redirected to the primary (the refusal carries the primary's address when
+// the server knows it), an AS OF read past the replication horizon is
 // retryable here once the horizon advances, and everything else is a
 // statement error.
-func writeError(w io.Writer, err error) error {
+func (s *Server) writeError(w io.Writer, err error) error {
 	code := wire.CodeGeneric
+	msg := err.Error()
 	switch {
 	case errors.Is(err, immortaldb.ErrDegraded):
 		code = wire.CodeDegraded
@@ -211,8 +213,9 @@ func writeError(w io.Writer, err error) error {
 		code = wire.CodeRetryable
 	case errors.Is(err, immortaldb.ErrReplica):
 		code = wire.CodeReadOnlyReplica
+		msg = wire.RedirectMsg(msg, s.PrimaryAddr())
 	case errors.Is(err, immortaldb.ErrBeyondHorizon):
 		code = wire.CodeBeyondHorizon
 	}
-	return wire.WriteFrame(w, wire.MsgError, wire.ErrorPayload(code, err.Error()))
+	return wire.WriteFrame(w, wire.MsgError, wire.ErrorPayload(code, msg))
 }

@@ -115,6 +115,11 @@ type Server struct {
 	requests, errCount atomic.Uint64
 	panics             atomic.Uint64
 	active             atomic.Int64
+
+	// primaryAddr is the cluster's current primary address, advertised in
+	// CodeReadOnlyReplica refusals so they double as redirects. Empty when
+	// unknown or when this server is itself the primary.
+	primaryAddr atomic.Value // string
 }
 
 // New returns a server over db.
@@ -236,7 +241,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // refuse best-effort sends an error frame and closes the connection.
 func (s *Server) refuse(nc net.Conn) {
 	nc.SetDeadline(s.now().Add(s.cfg.RequestTimeout))
-	writeError(nc, errBusy)
+	s.writeError(nc, errBusy)
 	nc.Close()
 }
 
@@ -336,6 +341,20 @@ func (s *Server) Stats() Stats {
 
 // DB exposes the served database (metrics endpoints read its Stats).
 func (s *Server) DB() *immortaldb.DB { return s.db }
+
+// SetPrimaryAddr records the cluster's current primary address. A replica
+// server embeds it in every write refusal so clients re-resolve without an
+// external directory; set it to "" (or to this server's own address) after a
+// promotion makes this server the primary.
+func (s *Server) SetPrimaryAddr(addr string) { s.primaryAddr.Store(addr) }
+
+// PrimaryAddr returns the advertised primary address, "" when unset.
+func (s *Server) PrimaryAddr() string {
+	if v := s.primaryAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
 
 // shipper lazily creates the replication shipper.
 func (s *Server) shipper() *repl.Shipper {

@@ -53,6 +53,19 @@ type Step struct {
 	// sync step — the final verification syncs everyone over a clean
 	// network first.
 	SyncReplicas bool
+	// KillServer abruptly stops a server: its address is partitioned and its
+	// listener and connections close, simulating a primary crash. The engine
+	// is never heard from again (the deposed primary stays out of the final
+	// verification).
+	KillServer string
+	// Promote promotes the most-caught-up follower to a read-write primary:
+	// bounded redo to its ingested end, log sealed, epoch fenced. A server
+	// is booted over the promoted engine and every surviving follower is
+	// retargeted at it.
+	Promote bool
+	// Repoint re-points every client pool at the current primary address
+	// (the promoted survivor after a Promote step).
+	Repoint bool
 }
 
 // Scenario describes one simulation: a cluster shape, a workload, a chaos
@@ -162,6 +175,32 @@ func Predefined(name string) (Scenario, bool) {
 				{SyncReplicas: true},
 			},
 		}, true
+	case "primary-kill-promote":
+		return Scenario{
+			Name: "primary-kill-promote", Servers: 1, Clients: 2, Followers: 2,
+			Profile: Profile{Latency: time.Millisecond, Jitter: time.Millisecond},
+			Script: []Step{
+				{Ops: 15},
+				{SyncReplicas: true},
+				{Ops: 10},
+				{SyncReplicas: true},
+				// Doom every client frame: writes tear three bytes in, so no
+				// commit can be acknowledged between the last sync barrier and
+				// the kill — exactly the uncertainty window a real primary
+				// crash leaves behind.
+				{Faults: []Fault{
+					{Dialer: "cli0", Op: "write", StartOp: 1, Count: -1, Mode: Kill, KeepBytes: 3},
+					{Dialer: "cli1", Op: "write", StartOp: 1, Count: -1, Mode: Kill, KeepBytes: 3},
+				}},
+				{Ops: 4},
+				{ClearFaults: true},
+				{KillServer: "srv0:7707"},
+				{Promote: true},
+				{Repoint: true},
+				{Ops: 12},
+				{SyncReplicas: true},
+			},
+		}, true
 	case "moving":
 		return Scenario{
 			Name: "moving", Servers: 1, Clients: 2, Workload: "moving",
@@ -180,7 +219,7 @@ func Predefined(name string) (Scenario, bool) {
 
 // ScenarioNames lists the predefined suite.
 func ScenarioNames() []string {
-	return []string{"smoke", "partition", "churn", "moving", "replica-kill", "replica-partition"}
+	return []string{"smoke", "partition", "churn", "moving", "replica-kill", "replica-partition", "primary-kill-promote"}
 }
 
 // Run executes one scenario under one seed: boots the cluster on a virtual
@@ -285,9 +324,10 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 	// every replication connection's operation sequence — and therefore
 	// every scripted fault coordinate on it — is deterministic.
 	type folRec struct {
-		f       *repl.Follower
-		dir     string
-		lastLSN uint64
+		f        *repl.Follower
+		dir      string
+		lastLSN  uint64
+		promoted bool
 	}
 	followers := make([]*folRec, sc.Followers)
 	defer func() {
@@ -320,6 +360,9 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 	var folViolations []string
 	syncReplicas := func() {
 		for i, fr := range followers {
+			if fr.promoted {
+				continue // the survivor is the primary now; nothing to sync
+			}
 			err := fr.f.Sync(ctx)
 			class := "ok"
 			var rerr *repl.ReplError
@@ -360,6 +403,18 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		}
 	}()
 
+	// Failover state: the cluster's current primary address, which servers
+	// have been killed, and the server booted over a promoted follower.
+	primaryAddr := servers[0].addr
+	killed := make(map[string]bool)
+	var promotedSrv *server.Server
+	var promotedAddr string
+	defer func() {
+		if promotedSrv != nil {
+			promotedSrv.Close()
+		}
+	}()
+
 	// Script.
 	for si, st := range sc.Script {
 		switch {
@@ -383,6 +438,75 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		case st.SyncReplicas:
 			trace.Add("run", fmt.Sprintf("phase %d sync replicas", si))
 			syncReplicas()
+		case st.KillServer != "":
+			n.Partition(st.KillServer)
+			for _, r := range servers {
+				if r.addr == st.KillServer {
+					r.srv.Close()
+					killed[r.addr] = true
+				}
+			}
+			trace.Add("run", "kill "+st.KillServer)
+		case st.Promote:
+			// Promote the most-caught-up follower: ties break toward the
+			// lowest index, so the choice is a pure function of the trace.
+			best := -1
+			var bestLSN uint64
+			for i, fr := range followers {
+				if fr.promoted {
+					continue
+				}
+				if h := fr.f.Horizon(); best == -1 || h.AppliedLSN > bestLSN {
+					best, bestLSN = i, h.AppliedLSN
+				}
+			}
+			if best == -1 {
+				return nil, errors.New("sim: promote step with no follower to promote")
+			}
+			fr := followers[best]
+			epoch, err := fr.f.Promote()
+			if err != nil {
+				return nil, fmt.Errorf("sim: promote repl%d: %w", best, err)
+			}
+			fr.promoted = true
+			fdb := fr.f.DB()
+			if fdb == nil {
+				return nil, fmt.Errorf("sim: promoted repl%d has no engine", best)
+			}
+			psrv := server.New(fdb, server.Config{
+				Clock:          tl,
+				IdleTimeout:    scnIdleTimeout,
+				RequestTimeout: scnReqTimeout,
+			})
+			promotedAddr = fmt.Sprintf("fol%d:7707", best)
+			plis, err := n.Listen(promotedAddr)
+			if err != nil {
+				return nil, fmt.Errorf("sim: listen on promoted %s: %w", promotedAddr, err)
+			}
+			if err := psrv.ListenOn(plis); err != nil {
+				return nil, fmt.Errorf("sim: promoted server: %w", err)
+			}
+			go psrv.Serve()
+			promotedSrv = psrv
+			primaryAddr = promotedAddr
+			for i, other := range followers {
+				if i == best || other.promoted {
+					continue
+				}
+				if err := other.f.Retarget(primaryAddr); err != nil {
+					return nil, fmt.Errorf("sim: retarget repl%d: %w", i, err)
+				}
+				trace.Add(fmt.Sprintf("repl%d", i), "retarget")
+			}
+			trace.Add("run", fmt.Sprintf("promote repl%d epoch=%d fence=%d", best, epoch, fr.f.Horizon().AppliedLSN))
+		case st.Repoint:
+			for _, w := range workers {
+				if w.db != nil {
+					w.db.Repoint(primaryAddr)
+				}
+				w.addr = primaryAddr
+			}
+			trace.Add("run", "repoint clients "+primaryAddr)
 		case st.ClearFaults:
 			n.ClearFaults()
 			trace.Add("run", "clear faults")
@@ -394,24 +518,37 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		}
 	}
 
-	// Heal everything and verify over a clean network.
+	// Heal everything and verify over a clean network. Killed servers stay
+	// dead: their engines left the cluster at the kill and the promoted
+	// survivor answers for their clients.
 	n.ClearFaults()
 	n.SetProfile(Profile{})
 	for _, r := range servers {
-		n.Heal(r.addr)
+		if !killed[r.addr] {
+			n.Heal(r.addr)
+		}
 	}
 
 	res := &Result{Scenario: sc.Name, Seed: seed, Trace: trace}
-	for i, r := range servers {
-		vdb, err := client.Open(r.addr, &client.Options{
+	verifyAddrs := make([]string, 0, len(servers)+1)
+	for _, r := range servers {
+		if !killed[r.addr] {
+			verifyAddrs = append(verifyAddrs, r.addr)
+		}
+	}
+	if promotedAddr != "" {
+		verifyAddrs = append(verifyAddrs, promotedAddr)
+	}
+	for i, addr := range verifyAddrs {
+		vdb, err := client.Open(addr, &client.Options{
 			MaxConns: 1, Dialer: n.Dialer(fmt.Sprintf("verify%d", i)),
 			Timeline: tl, OpTimeout: scnOpTimeout, RetryBackoff: scnBackoff,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("sim: verify dial %s: %w", r.addr, err)
+			return nil, fmt.Errorf("sim: verify dial %s: %w", addr, err)
 		}
 		for _, w := range workers {
-			if w.addr == r.addr {
+			if w.addr == addr {
 				res.Violations = append(res.Violations, w.verify(ctx, vdb)...)
 			}
 		}
@@ -429,7 +566,7 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 	// commit on the primary pushes the replicated horizon past every
 	// recorded close instant, exactly as any later primary activity would.
 	if len(followers) > 0 {
-		fcli, err := client.Open(servers[0].addr, &client.Options{
+		fcli, err := client.Open(primaryAddr, &client.Options{
 			MaxConns: 1, Dialer: n.Dialer("fence"),
 			Timeline: tl, OpTimeout: scnOpTimeout, RetryBackoff: scnBackoff,
 		})
@@ -452,12 +589,16 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 	// end (nothing writes anymore), then every worker's AS OF invoice audit
 	// replays against every replica — the replication horizon covers each
 	// recorded close instant, and the copied history must produce the exact
-	// recorded totals.
+	// recorded totals. A promoted survivor skips the sync (it IS the
+	// primary) but is audited the same way: its history must reproduce every
+	// invoice closed before and after the failover.
 	for fi, fr := range followers {
-		if err := fr.f.Sync(ctx); err != nil {
-			return nil, fmt.Errorf("sim: final replica %d sync: %w", fi, err)
+		if !fr.promoted {
+			if err := fr.f.Sync(ctx); err != nil {
+				return nil, fmt.Errorf("sim: final replica %d sync: %w", fi, err)
+			}
+			trace.Add(fmt.Sprintf("repl%d", fi), "sync ok")
 		}
-		trace.Add(fmt.Sprintf("repl%d", fi), "sync ok")
 		fdb := fr.f.DB()
 		if fdb == nil {
 			return nil, fmt.Errorf("sim: replica %d has no engine after final sync", fi)

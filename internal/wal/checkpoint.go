@@ -41,6 +41,12 @@ type Checkpoint struct {
 	// them: undoing a committed transaction, losing a window-born one's
 	// updates to redo, or never undoing it at all.
 	BeginLSN LSN
+	// Epoch is the promotion epoch at checkpoint time. Recovery restores it
+	// from here so the epoch survives once checkpoints move the redo scan
+	// start past the promote record that set it; a newer promote record
+	// inside the scan window then overrides. Encoded as an optional trailing
+	// field — blobs written before epochs existed decode as epoch 0.
+	Epoch uint64
 }
 
 // RedoScanStart returns the LSN at which redo must begin for this
@@ -70,7 +76,7 @@ func (c *Checkpoint) RedoScanStart(ckptLSN LSN) LSN {
 
 // Marshal encodes the checkpoint for a record blob.
 func (c *Checkpoint) Marshal() []byte {
-	n := 8 + itime.EncodedLen + 8 + 4 + len(c.ActiveTxns)*16 + 4 + len(c.DirtyPages)*16
+	n := 8 + itime.EncodedLen + 8 + 4 + len(c.ActiveTxns)*16 + 4 + len(c.DirtyPages)*16 + 8
 	b := make([]byte, n)
 	off := 0
 	binary.BigEndian.PutUint64(b[off:], uint64(c.NextTID))
@@ -93,6 +99,7 @@ func (c *Checkpoint) Marshal() []byte {
 		binary.BigEndian.PutUint64(b[off+8:], uint64(d.RecLSN))
 		off += 16
 	}
+	binary.BigEndian.PutUint64(b[off:], c.Epoch)
 	return b
 }
 
@@ -131,6 +138,9 @@ func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
 		c.DirtyPages[i].ID = page.ID(binary.BigEndian.Uint64(b[off:]))
 		c.DirtyPages[i].RecLSN = LSN(binary.BigEndian.Uint64(b[off+8:]))
 		off += 16
+	}
+	if len(b) >= off+8 {
+		c.Epoch = binary.BigEndian.Uint64(b[off:])
 	}
 	return c, nil
 }

@@ -79,6 +79,11 @@ type Log struct {
 	// Ordinary appends are refused: the copy must stay byte-identical to a
 	// prefix of the primary's stream.
 	ingest bool
+	// sealed marks a promoted log: Promote cut the ingested stream at the
+	// fence and this log now appends its own timeline, so any further
+	// ingestion — a late chunk from a retired pull loop, a zombie shipper —
+	// is refused instead of grafting foreign bytes past the fence.
+	sealed bool
 	// NoSync skips fsync on Flush; used by benchmarks where the paper's
 	// workload measures CPU and buffer behaviour rather than disk latency.
 	NoSync bool

@@ -79,6 +79,14 @@ const (
 	// flip is crash-atomic and replicable: a run exists exactly when some
 	// installed manifest names it.
 	TypeHistManifest
+	// TypePromote fences a primary handover: it is the first record a
+	// promoted follower appends to its (formerly replica) log copy, carrying
+	// the new monotonic promotion epoch and the fence LSN — the sealed end of
+	// the replicated prefix. Everything below the fence was written under an
+	// older epoch; recovery restores the epoch from the newest promote record
+	// it scans, so a rebooted node knows which generation of the cluster its
+	// log belongs to.
+	TypePromote
 )
 
 func (t RecType) String() string {
@@ -107,6 +115,8 @@ func (t RecType) String() string {
 		return "hist-run"
 	case TypeHistManifest:
 		return "hist-manifest"
+	case TypePromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(t))
 	}
@@ -141,6 +151,8 @@ type Record struct {
 	Undo    LSN             // CLR: next record of the transaction to undo
 	Blob    []byte          // Checkpoint, Catalog; SMO: catalog snapshot on root change
 	Images  []PageImg       // SMO: after-images of every touched page
+	Epoch   uint64          // Promote: the new promotion epoch
+	Fence   LSN             // Promote: sealed end of the replicated prefix
 }
 
 // recHeaderLen is the fixed record prefix: totalLen(4) crc(4) type(1)
@@ -184,6 +196,8 @@ func (r *Record) payloadLen() int {
 		return 4 + 8 + 4 + len(r.Blob)
 	case TypeHistManifest:
 		return 4 + 4 + len(r.Blob)
+	case TypePromote:
+		return 8 + 8
 	default:
 		return 0
 	}
@@ -288,6 +302,9 @@ func (r *Record) encode(dst []byte) []byte {
 		binary.BigEndian.PutUint32(p[0:], r.Table)
 		binary.BigEndian.PutUint32(p[4:], uint32(len(r.Blob)))
 		copy(p[8:], r.Blob)
+	case TypePromote:
+		binary.BigEndian.PutUint64(p[0:], r.Epoch)
+		binary.BigEndian.PutUint64(p[8:], uint64(r.Fence))
 	}
 	binary.BigEndian.PutUint32(b[4:], crc32.Checksum(b[8:], crcTable))
 	return dst
@@ -465,6 +482,12 @@ func decodeRecord(b []byte) (*Record, int, error) {
 			return bad()
 		}
 		r.Blob = append([]byte(nil), p[8:8+n]...)
+	case TypePromote:
+		if len(p) < 16 {
+			return bad()
+		}
+		r.Epoch = binary.BigEndian.Uint64(p[0:])
+		r.Fence = LSN(binary.BigEndian.Uint64(p[8:]))
 	default:
 		return nil, 0, fmt.Errorf("%w: unknown type %d", ErrCorruptRecord, b[8])
 	}

@@ -20,6 +20,22 @@ import (
 // needs, so it must re-seed from a base snapshot instead of the log.
 var ErrShipGap = errors.New("wal: requested LSN below first retained segment")
 
+// ErrSealed reports ingestion into a sealed log — a primary's, or a
+// promoted copy cut at the fence: the log appends its own timeline, which no
+// shipped byte may ever extend.
+var ErrSealed = errors.New("wal: log sealed, ingestion refused")
+
+// Seal latches the log against ingestion: every IngestChunk fails with
+// ErrSealed from here on. A primary seals its log at open, and Promote seals
+// a replica's copy at the fence, so a late chunk from a retired pull loop —
+// or a zombie shipper — can never graft foreign bytes onto the local
+// timeline (or trip the ingest latch and refuse the primary's own appends).
+func (l *Log) Seal() {
+	l.mu.Lock()
+	l.sealed = true
+	l.mu.Unlock()
+}
+
 // ShipChunk is one shipped span of the log. The bytes lie entirely inside
 // one segment of the primary's chain, identified by (Seq, SegStart) so the
 // follower can reproduce the same rotation points. At is the logical offset
@@ -110,6 +126,9 @@ func (l *Log) IngestChunk(ch ShipChunk) error {
 	}
 	if l.fail != nil {
 		return l.failedErrLocked()
+	}
+	if l.sealed {
+		return ErrSealed
 	}
 	if len(l.buf) > 0 {
 		return fmt.Errorf("wal: ingest into a log with buffered appends")
@@ -219,6 +238,100 @@ func (l *Log) SyncIngested() error {
 		seg.dirty = false
 	}
 	return nil
+}
+
+// TrimIngestTail seals the readable end of a follower's log copy at a record
+// boundary. Starting from a known boundary at or below the ingested end
+// (clamped up to the first retained byte), it walks complete records forward
+// and cuts the log at the first incomplete one — the half-shipped record a
+// dead primary will never finish. End, FlushedLSN and the append position all
+// move back to the cut, and the stale partial bytes past it are truncated
+// from the tail segment so no future crash scan can resurrect them. from must
+// lie on a record boundary (a replica's applied LSN always does). Returns the
+// boundary the log now ends at — the promotion fence.
+func (l *Log) TrimIngestTail(from LSN) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.fail != nil {
+		return 0, l.failedErrLocked()
+	}
+	if len(l.buf) > 0 {
+		return 0, fmt.Errorf("wal: trim of a log with buffered appends")
+	}
+	if from < FirstLSN {
+		from = FirstLSN
+	}
+	if first := l.segs[0].start; from < first {
+		from = first
+	}
+	if from > l.end {
+		return 0, fmt.Errorf("wal: trim from %d past end %d", from, l.end)
+	}
+	boundary := from
+	for i := segIndex(l.segs, from); i < len(l.segs); i++ {
+		seg := l.segs[i]
+		lo := boundary
+		if seg.start > lo {
+			lo = seg.start
+		}
+		hi := l.end
+		if i+1 < len(l.segs) && l.segs[i+1].start < hi {
+			hi = l.segs[i+1].start
+		}
+		if lo >= hi {
+			continue
+		}
+		data, err := io.ReadAll(io.NewSectionReader(seg.f, segHeaderLen+int64(lo-seg.start), int64(hi-lo)))
+		if err != nil {
+			return 0, fmt.Errorf("wal: trim read %s: %w", seg.path, err)
+		}
+		off := 0
+		for off < len(data) {
+			_, n, derr := decodeRecord(data[off:])
+			if derr != nil {
+				break
+			}
+			off += n
+		}
+		boundary = lo + LSN(off)
+		if off < len(data) {
+			break // incomplete trailing record: the fence sits here
+		}
+	}
+	if boundary < l.end {
+		seg := l.segs[segIndex(l.segs, boundary)]
+		if err := seg.f.Truncate(segHeaderLen + int64(boundary-seg.start)); err != nil {
+			err = fmt.Errorf("wal: trim truncate %s: %w", seg.path, err)
+			l.fail = err
+			return 0, err
+		}
+		seg.prealloc = false // shrunk: the next Append re-extends it
+	}
+	l.end, l.flushed, l.bufStart = boundary, boundary, boundary
+	return boundary, nil
+}
+
+// Promote seals a follower's log copy and reopens it for ordinary appends —
+// the log half of promoting a replica to primary. The ingested stream is
+// trimmed to its last complete record (TrimIngestTail) and the ingest latch
+// cleared, so Append works again; the caller then appends the promotion
+// record at the returned fence before accepting any write. Promote does not
+// require that the log ever ingested: a copy reopened after a crash
+// mid-promotion has only the on-disk chain, and promoting it again is the
+// recovery path.
+func (l *Log) Promote(from LSN) (LSN, error) {
+	fence, err := l.TrimIngestTail(from)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.ingest = false
+	l.sealed = true
+	l.mu.Unlock()
+	return fence, nil
 }
 
 // SegmentStart returns the (seq, start) coordinates of the segment that

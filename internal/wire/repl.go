@@ -120,6 +120,7 @@ type ReplHelloOK struct {
 	Start         uint64 // LSN the log stream will start at
 	FirstRetained uint64 // oldest LSN still on the primary's disk
 	Flushed       uint64 // primary's durable end at handshake time
+	Epoch         uint64 // primary's promotion epoch; the follower refuses a lower one
 }
 
 // AppendReplHelloOK builds a MsgReplHelloOK payload.
@@ -127,10 +128,12 @@ func AppendReplHelloOK(b []byte, h ReplHelloOK) []byte {
 	b = append(b, h.Flags)
 	b = binary.AppendUvarint(b, h.Start)
 	b = binary.AppendUvarint(b, h.FirstRetained)
-	return binary.AppendUvarint(b, h.Flushed)
+	b = binary.AppendUvarint(b, h.Flushed)
+	return binary.AppendUvarint(b, h.Epoch)
 }
 
-// ParseReplHelloOK decodes a MsgReplHelloOK payload.
+// ParseReplHelloOK decodes a MsgReplHelloOK payload. Epoch is an optional
+// trailing field — a pre-promotion peer's payload decodes with epoch 0.
 func ParseReplHelloOK(p []byte) (ReplHelloOK, error) {
 	if len(p) < 1 {
 		return ReplHelloOK{}, fmt.Errorf("%w: empty hello-ok", ErrReplProto)
@@ -144,8 +147,13 @@ func ParseReplHelloOK(p []byte) (ReplHelloOK, error) {
 	if h.FirstRetained, rest, err = ReadUvarint(rest); err != nil {
 		return ReplHelloOK{}, fmt.Errorf("%w: hello-ok first-retained", ErrReplProto)
 	}
-	if h.Flushed, rest, err = ReadUvarint(rest); err != nil || len(rest) != 0 {
+	if h.Flushed, rest, err = ReadUvarint(rest); err != nil {
 		return ReplHelloOK{}, fmt.Errorf("%w: hello-ok flushed", ErrReplProto)
+	}
+	if len(rest) != 0 {
+		if h.Epoch, rest, err = ReadUvarint(rest); err != nil || len(rest) != 0 {
+			return ReplHelloOK{}, fmt.Errorf("%w: hello-ok epoch", ErrReplProto)
+		}
 	}
 	return h, nil
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Message types. Requests flow client to server; responses have the high bit
@@ -144,6 +145,31 @@ func ParseError(payload []byte) (code byte, msg string) {
 		return CodeGeneric, "unknown server error"
 	}
 	return payload[0], string(payload[1:])
+}
+
+// redirectMarker separates a CodeReadOnlyReplica error message from the
+// primary address appended after it. The unit separator cannot appear in an
+// engine error string, so the split is unambiguous.
+const redirectMarker = "\x1f"
+
+// RedirectMsg appends the current primary's address to a read-only-replica
+// error message, so the refusal doubles as a redirect: the client re-resolves
+// to the named primary and retries there. An empty address is a refusal with
+// no forwarding information (the replica does not know its primary yet).
+func RedirectMsg(msg, primary string) string {
+	if primary == "" {
+		return msg
+	}
+	return msg + redirectMarker + primary
+}
+
+// ParseRedirect splits a CodeReadOnlyReplica error message into the bare
+// message and the primary address RedirectMsg embedded, if any.
+func ParseRedirect(msg string) (clean, primary string) {
+	if i := strings.LastIndex(msg, redirectMarker); i >= 0 {
+		return msg[:i], msg[i+len(redirectMarker):]
+	}
+	return msg, ""
 }
 
 // AppendString appends a uvarint-length-prefixed string.

@@ -91,6 +91,21 @@ func isoSeed() int64 {
 }
 
 func TestIsolationChecker(t *testing.T) {
+	seed := isoSeed()
+	t.Logf("seed=%d (override with IMMORTALDB_ISO_SEED)", seed)
+
+	db, _ := openTestDB(t, func(o *Options) {
+		o.LockTimeout = 500 * time.Millisecond
+	})
+	runIsolationCheck(t, db, seed)
+}
+
+// runIsolationCheck drives the concurrent workload against db and verifies
+// the recorded history offline. Shared with the promotion tests, which run
+// it on a freshly promoted survivor to prove a post-failover primary honors
+// the same isolation contract as one that never failed over.
+func runIsolationCheck(t *testing.T, db *DB, seed int64) {
+	t.Helper()
 	const (
 		goroutines  = 8
 		txnsPerGor  = 40
@@ -98,12 +113,6 @@ func TestIsolationChecker(t *testing.T) {
 		maxOps      = 6
 		maxFailures = 5
 	)
-	seed := isoSeed()
-	t.Logf("seed=%d (override with IMMORTALDB_ISO_SEED)", seed)
-
-	db, _ := openTestDB(t, func(o *Options) {
-		o.LockTimeout = 500 * time.Millisecond
-	})
 	tbl, err := db.CreateTable("iso", TableOptions{Immortal: true})
 	if err != nil {
 		t.Fatal(err)

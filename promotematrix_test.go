@@ -1,0 +1,115 @@
+package immortaldb_test
+
+// The promotion crash matrix: a fully caught-up follower — holding a
+// half-shipped zombie commit from the partitioned primary — promotes on a
+// disk that crashes at EVERY operation index of the promotion in turn: the
+// final redo drain, the fence trim's physical truncate, the promote record
+// append and fsync, the promotion checkpoint, the first post-failover
+// commit, the close. After each crash the follower reboots with torn/lost
+// sectors and must finish the failover (reopen as primary if the promote
+// record survived, retry Promote otherwise) and prove the contract: no
+// durably acked commit is lost, no byte of the zombie commit survives, the
+// epoch fences the deposed primary, and the survivor accepts and retains
+// new writes.
+//
+// A failing point is a replayable coordinate:
+//
+//	go test -run TestPromoteCrashMatrix -pmseed=<N> -pmpoint=<M>
+//
+// re-runs exactly that crash with full disk-op trace output.
+
+import (
+	"flag"
+	"testing"
+
+	"immortaldb/internal/fault"
+)
+
+var (
+	promoteSeed  = flag.Int64("pmseed", 1, "promotion crash-matrix workload seed")
+	promotePoint = flag.Int64("pmpoint", 0, "replay a single promotion crash point (0 = full matrix)")
+)
+
+// minPromotePoints is the floor the promotion must generate: the fence
+// trim's truncate, the promote record's write and fsync, the checkpoint's
+// page flushes and PTT sync, and the first post-failover commit all count.
+const minPromotePoints = 15
+
+func runPromotePoint(t *testing.T, seed, point int64) {
+	t.Helper()
+	res := fault.RunPromote(fault.PromoteConfig{Seed: seed, CrashAt: point})
+	if !fault.PromoteCrashed(res) {
+		t.Fatalf("point %d: promotion finished without hitting the crash point\n%s",
+			point, fault.DescribePromote(res))
+	}
+	if err := fault.VerifyPromote(res); err != nil {
+		t.Fatalf("promotion crash point %d failed verification: %v\n%s",
+			point, err, fault.DescribePromote(res))
+	}
+}
+
+func TestPromoteCrashMatrix(t *testing.T) {
+	seed := *promoteSeed
+
+	if *promotePoint > 0 {
+		runPromotePoint(t, seed, *promotePoint)
+		return
+	}
+
+	// Baseline: the promotion must run to a clean close with no fault
+	// injected, and the verifier must accept the uncrashed survivor.
+	base := fault.RunPromote(fault.PromoteConfig{Seed: seed})
+	if !base.Clean {
+		t.Fatalf("baseline promotion failed: %v\n%s", base.Err, fault.DescribePromote(base))
+	}
+	total := base.PromoteOps
+	if err := fault.VerifyPromote(base); err != nil {
+		t.Fatalf("baseline promotion verification failed: %v", err)
+	}
+	if total < minPromotePoints {
+		t.Fatalf("promotion issued only %d disk operations; need >= %d crash points", total, minPromotePoints)
+	}
+
+	// Determinism self-check: the same seed must produce the same promotion
+	// I/O sequence, or "crash at op N" is not a stable coordinate.
+	again := fault.RunPromote(fault.PromoteConfig{Seed: seed})
+	if !again.Clean || again.PromoteOps != total ||
+		len(again.Committed) != len(base.Committed) ||
+		again.SyncedLSN != base.SyncedLSN || again.PromotedEpoch != base.PromotedEpoch {
+		t.Fatalf("promotion is not deterministic: run 1 = %d ops / %d commits / lsn %d / epoch %d, run 2 = %d ops / %d commits / lsn %d / epoch %d (err %v)",
+			total, len(base.Committed), base.SyncedLSN, base.PromotedEpoch,
+			again.PromoteOps, len(again.Committed), again.SyncedLSN, again.PromotedEpoch, again.Err)
+	}
+	if err := fault.VerifyPromote(again); err != nil {
+		t.Fatalf("determinism re-run failed verification: %v", err)
+	}
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 3
+	}
+	t.Logf("promotion crash matrix: seed=%d, %d crash points (stride %d), %d acked commits",
+		seed, total, stride, len(base.Committed))
+	for point := int64(1); point <= total; point += stride {
+		runPromotePoint(t, seed, point)
+	}
+}
+
+// TestPromoteCrashMatrixSecondSeed runs the sweep under a different seed
+// (different workload, different torn-sector coin flips) unless -short.
+func TestPromoteCrashMatrixSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second-seed promotion sweep skipped in -short mode")
+	}
+	const seed = 31
+	base := fault.RunPromote(fault.PromoteConfig{Seed: seed})
+	if !base.Clean {
+		t.Fatalf("baseline promotion failed: %v\n%s", base.Err, fault.DescribePromote(base))
+	}
+	if err := fault.VerifyPromote(base); err != nil {
+		t.Fatalf("baseline promotion verification failed: %v", err)
+	}
+	for point := int64(1); point <= base.PromoteOps; point += 2 {
+		runPromotePoint(t, seed, point)
+	}
+}

@@ -286,6 +286,7 @@ func (db *DB) recover() error {
 		}
 		db.tids.Bump(ck.NextTID - 1)
 		db.seq.Reset(ck.LastTS)
+		db.epoch.Store(ck.Epoch)
 	}
 
 	// --- Analysis + Redo in one forward pass ---
@@ -314,6 +315,12 @@ func (db *DB) recover() error {
 			return nil
 		case wal.TypeCheckpoint:
 			return nil
+		case wal.TypePromote:
+			// Restore the promotion epoch; the forward scan makes the newest
+			// record win. Page state is untouched — the record exists to fence
+			// the deposed primary's TID/LSN space, not to change data.
+			db.epoch.Store(rec.Epoch)
+			return nil
 		default:
 			return a.apply(rec)
 		}
@@ -329,7 +336,7 @@ func (db *DB) recover() error {
 	}
 	db.mu.Unlock()
 
-	if db.replica {
+	if db.replica.Load() {
 		// Replica: continuous redo resumes where this scan ended.
 		db.appliedLSN.Store(uint64(db.log.End()))
 		return nil

@@ -39,8 +39,14 @@ func OpenReplica(dir string, opts *Options) (*DB, error) {
 	return openDB(dir, opts, true)
 }
 
-// IsReplica reports whether the database was opened with OpenReplica.
-func (db *DB) IsReplica() bool { return db.replica }
+// IsReplica reports whether the database currently serves as a read replica —
+// opened with OpenReplica and not yet promoted, or a primary demoted by
+// PromoteToFollower.
+func (db *DB) IsReplica() bool { return db.replica.Load() }
+
+// Epoch returns the promotion epoch: 0 for a database that never failed over,
+// otherwise the epoch of the newest promotion recorded in its log.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
 
 // Log exposes the write-ahead log for replication plumbing: ShipRead on a
 // primary, IngestChunk/SyncIngested on a replica. Misusing it on a live
@@ -76,11 +82,18 @@ var errPauseApply = errors.New("immortaldb: replica apply pause")
 // local checkpoint so follower recovery stays bounded. Safe to call
 // repeatedly and concurrently with reads; calls serialize among themselves.
 func (db *DB) ReplicaApply(limit int) (int, error) {
-	if !db.replica {
+	if !db.replica.Load() {
 		return 0, fmt.Errorf("immortaldb: ReplicaApply on a primary")
 	}
 	db.replayMu.Lock()
 	defer db.replayMu.Unlock()
+	return db.replicaApplyLocked(limit)
+}
+
+// replicaApplyLocked is ReplicaApply's body; callers hold replayMu. Promote
+// uses it directly to drain redo to the ingested end with the lock already
+// held, so no records can slip in between the final drain and the log seal.
+func (db *DB) replicaApplyLocked(limit int) (int, error) {
 	db.mu.Lock()
 	closed := db.closed || db.draining
 	db.mu.Unlock()
@@ -122,6 +135,11 @@ func (db *DB) applyReplicated(rec *wal.Record) error {
 		db.tids.Bump(rec.TID)
 	}
 	switch rec.Type {
+	case wal.TypePromote:
+		// The upstream primary is itself a promoted survivor; adopt its epoch
+		// so this follower refuses any lower-epoch zombie that comes calling.
+		db.epoch.Store(rec.Epoch)
+		return nil
 	case wal.TypeCommit:
 		// Publish the mapping first, then flip visibility: a snapshot begun
 		// between the two reads the old watermark and cannot see this
@@ -180,6 +198,109 @@ func (db *DB) replicaCheckpoint(rec *wal.Record) error {
 	return db.stamp.SyncPTT()
 }
 
+// Promote flips a replica to a read-write primary: continuous redo finishes
+// to the ingested end, the log copy is sealed at its last complete record
+// (the fence — a half-shipped record from the dead primary is cut away), and
+// a TypePromote record carrying the new monotonic epoch and the fence LSN is
+// appended and made durable BEFORE any write can be accepted. The epoch
+// fences the deposed primary: a zombie that comes back can never have acked a
+// commit this timeline lacks, because its own commit path refuses once it is
+// demoted (PromoteToFollower) and its unshipped log suffix was cut at the
+// fence. TIDs continue above everything replicated (each shipped record
+// bumped the allocator), so the new primary's transactions are disjoint from
+// the old one's.
+//
+// Returns the new epoch. Promoting a primary is a typed no-op error,
+// ErrNotReplica — a supervisor retrying promotion learns the node already
+// serves writes. Background history compaction (Options.HistCompactEvery)
+// starts on the next reopen, not at promotion.
+func (db *DB) Promote() (uint64, error) {
+	if !db.replica.Load() {
+		return 0, ErrNotReplica
+	}
+	db.replayMu.Lock()
+	db.mu.Lock()
+	closed := db.closed || db.draining
+	db.mu.Unlock()
+	if closed {
+		db.replayMu.Unlock()
+		return 0, ErrClosed
+	}
+	// Bounded redo to the ingested end: every complete record already shipped
+	// is applied, so the fence equals the applied horizon and nothing sealed
+	// into the log is missing from page state.
+	if _, err := db.replicaApplyLocked(0); err != nil {
+		db.replayMu.Unlock()
+		return 0, err
+	}
+	if err := db.Degraded(); err != nil {
+		db.replayMu.Unlock()
+		return 0, err
+	}
+	fence, err := db.log.Promote(wal.LSN(db.appliedLSN.Load()))
+	if err != nil {
+		db.degradeIf(err)
+		db.replayMu.Unlock()
+		return 0, err
+	}
+	db.appliedLSN.Store(uint64(fence))
+	// Arm the ENOSPC low-water gate before appends become possible — the
+	// open-path step a replica skipped. Safe here: the replica flag still
+	// refuses writers, so no Append races this field write.
+	db.log.LowWater = db.opts.WALLowWater
+	epoch := db.epoch.Load() + 1
+	lsn, err := db.log.Append(&wal.Record{Type: wal.TypePromote, Epoch: epoch, Fence: fence})
+	if err != nil {
+		db.degradeIf(err)
+		db.replayMu.Unlock()
+		return 0, err
+	}
+	if err := db.log.SyncTo(lsn); err != nil {
+		// The promotion never became durable; the node stays a replica.
+		db.degradeIf(err)
+		db.replayMu.Unlock()
+		return 0, err
+	}
+	db.epoch.Store(epoch)
+	db.replica.Store(false)
+	db.replayMu.Unlock()
+	// The promotion checkpoint bounds the next recovery and reclaims shipped
+	// segments; failure here does not undo the promotion — the record is
+	// durable — so the epoch is returned alongside the error.
+	if err := db.Checkpoint(); err != nil {
+		return epoch, err
+	}
+	return epoch, nil
+}
+
+// PromoteToFollower demotes a primary to a read replica — the fencing half of
+// a handover applied to the deposed node. Under commitMu, so it linearizes
+// against in-flight commits: a transaction whose commit record was already
+// appended committed before the fence; one that arrives after observes the
+// replica flag, is refused (ErrReplica, its updates compensated), and is
+// never acked — the zombie-primary guarantee. The node serves reads at its
+// final state; rejoining the cluster as a live follower requires a reseed
+// from the new primary (its unshipped log suffix diverges from the
+// survivor's timeline).
+//
+// Demoting a node that is already a replica returns ErrReplica.
+func (db *DB) PromoteToFollower() error {
+	if db.replica.Load() {
+		return ErrReplica
+	}
+	db.commitMu.Lock()
+	db.replica.Store(true)
+	db.commitMu.Unlock()
+	// A deposed primary never had a live applier; give it one so ReplicaApply
+	// works if the node is later fed a stream again (after a reseed).
+	db.replayMu.Lock()
+	if db.replayer == nil {
+		db.replayer = newLiveApplier(db)
+	}
+	db.replayMu.Unlock()
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // Base snapshots: seeding a follower that cannot catch up from the log alone
 // (its position fell below the primary's first retained segment).
@@ -223,7 +344,7 @@ type BaseSnapshot struct {
 // NewBaseSnapshot checkpoints the primary and opens a base snapshot at the
 // result. The caller must Close it.
 func (db *DB) NewBaseSnapshot() (*BaseSnapshot, error) {
-	if db.replica {
+	if db.replica.Load() {
 		return nil, ErrReplica
 	}
 	// The checkpoint bounds the log suffix a follower needs: everything

@@ -118,7 +118,7 @@ func (db *DB) Begin(level IsolationLevel) (*Tx, error) {
 	if db.draining {
 		return nil, ErrShuttingDown
 	}
-	if db.replica {
+	if db.replica.Load() {
 		// Any requested level downgrades to a snapshot read at the
 		// replication horizon: serializable 2PL would interleave with
 		// continuous redo, which takes no transaction locks, so the locks
@@ -169,7 +169,7 @@ func (db *DB) BeginAsOfTS(ts Timestamp) (*Tx, error) {
 		return nil, ErrShuttingDown
 	}
 	id := db.tids.Next()
-	if db.replica {
+	if db.replica.Load() {
 		// Serving a time past the horizon could expose a torn view: some of
 		// that moment's commits are applied, others still in flight on the
 		// wire. Reads exactly at the horizon are fine — the watermark is the
@@ -203,7 +203,7 @@ func (tx *Tx) check(write bool) error {
 	if write && tx.mode == asOf {
 		return ErrReadOnly
 	}
-	if write && tx.db.replica {
+	if write && tx.db.replica.Load() {
 		return ErrReplica
 	}
 	return nil
@@ -608,6 +608,25 @@ func (tx *Tx) Commit() error {
 	// fsync that covers a batch of commit records covers a timestamp prefix.
 	pubSpan := span.Child("commit.publish")
 	db.commitMu.Lock()
+	if db.replica.Load() {
+		// Fenced mid-flight: PromoteToFollower deposed this primary after the
+		// transaction's updates were logged but before its commit record.
+		// Refuse the ack and compensate the updates exactly like a rollback —
+		// a zombie commit record must never enter the log, because the
+		// cluster's surviving timeline will not contain it.
+		last := wal.LSN(tx.lastLSN.Load())
+		if uerr := db.undoTx(tx.id, last); uerr == nil {
+			tx.terminalLogged = true
+			db.log.Append(&wal.Record{Type: wal.TypeAbort, TID: tx.id, PrevLSN: last})
+		} else {
+			db.degradeIf(uerr)
+		}
+		db.stamp.Abort(tx.id)
+		db.commitMu.Unlock()
+		pubSpan.End()
+		db.aborts.Add(1)
+		return ErrReplica
+	}
 	ts := tx.fixedTS
 	if ts.IsZero() {
 		// Late choice: the timestamp is the commit time, so it necessarily
