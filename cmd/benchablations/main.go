@@ -19,6 +19,9 @@
 //	failover   — promotion time and client-visible write-unavailability vs
 //	             replication lag (F1), also written as JSON rows to
 //	             -failoverout
+//	overload   — goodput and p99 at 1×/2×/4× offered load with and without
+//	             admission control (O2), also written as JSON rows to
+//	             -overloadout
 //	all        — everything
 //
 // Usage:
@@ -45,6 +48,7 @@ func main() {
 	replOut := flag.String("replout", "BENCH_repl.json", "JSON output path for the replication experiment (empty disables)")
 	histOut := flag.String("histout", "BENCH_hist.json", "JSON output path for the tiered-history experiment (empty disables)")
 	failoverOut := flag.String("failoverout", "BENCH_failover.json", "JSON output path for the failover experiment (empty disables)")
+	overloadOut := flag.String("overloadout", "BENCH_overload.json", "JSON output path for the overload experiment (empty disables)")
 	flag.Parse()
 
 	o := repro.Options{Scale: *scale, PageSize: *pageSize, Seed: *seed}
@@ -284,6 +288,32 @@ func main() {
 				fail(err)
 			}
 			fmt.Println("wrote", *failoverOut)
+		}
+	}
+
+	if all || run["overload"] {
+		rows, err := repro.RunOverloadAblation(o, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("O2 — Goodput and p99 under overload, with and without admission control")
+		fmt.Printf("%8s %6s %9s %9s %8s %9s %8s %14s %10s %12s\n",
+			"mode", "load", "offered", "commits", "shed", "timeouts", "dropped", "goodput/s", "p99(ms)", "deadline(ms)")
+		for _, r := range rows {
+			fmt.Printf("%8s %5dx %9d %9d %8d %9d %8d %14.1f %10.2f %12.2f\n",
+				r.Mode, r.Clients, r.Offered, r.Commits, r.Shed, r.Timeouts, r.Dropped,
+				r.CommitsPerSec, r.P99Millis, r.DeadlineMillis)
+		}
+		fmt.Println()
+		if *overloadOut != "" {
+			blob, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*overloadOut, append(blob, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *overloadOut)
 		}
 	}
 }

@@ -39,15 +39,27 @@ func loadRows(path string) ([]Row, error) {
 	return rows, nil
 }
 
+// collapsedFrac marks baseline cells that measure a collapse rather than a
+// capacity: below this fraction of the file's best cell, a throughput is
+// noise (the overload ablation's ungated cells run at ~0 goodput by design),
+// and a percentage comparison against noise would flap on every run.
+const collapsedFrac = 0.02
+
 // Compare checks every cell present in both row sets. A cell fails when the
 // current throughput is more than maxRegressPct percent below baseline.
 // Improvements never fail (the baseline is a floor, not a pin); cells only
 // one side has are noted but never fail, so changing the experiment grid
-// doesn't break the gate.
+// doesn't break the gate. Cells whose baseline is collapsed — under
+// collapsedFrac of the file's best baseline cell — are noted and skipped:
+// they exist to demonstrate a failure mode, not to pin a throughput.
 func Compare(base, cur []Row, maxRegressPct float64) Report {
 	baseBy := make(map[cell]Row, len(base))
+	bestBase := 0.0
 	for _, r := range base {
 		baseBy[cell{r.Mode, r.Clients}] = r
+		if r.CommitsPerSec > bestBase {
+			bestBase = r.CommitsPerSec
+		}
 	}
 	curBy := make(map[cell]Row, len(cur))
 	cells := make([]cell, 0, len(cur))
@@ -71,6 +83,10 @@ func Compare(base, cur []Row, maxRegressPct float64) Report {
 			rep.Lines = append(rep.Lines, fmt.Sprintf("  new   %-10s clients=%-3d %12.1f commits/s (no baseline)", k.Mode, k.Clients, c.CommitsPerSec))
 			continue
 		}
+		if b.CommitsPerSec < collapsedFrac*bestBase {
+			rep.Lines = append(rep.Lines, fmt.Sprintf("  skip  %-10s clients=%-3d %12.1f commits/s (collapsed baseline)", k.Mode, k.Clients, b.CommitsPerSec))
+			continue
+		}
 		rep.Compared++
 		delta := 100 * (c.CommitsPerSec - b.CommitsPerSec) / b.CommitsPerSec
 		verdict := "ok"
@@ -87,4 +103,73 @@ func Compare(base, cur []Row, maxRegressPct float64) Report {
 		}
 	}
 	return rep
+}
+
+// overloadRow is the extra shape of BENCH_overload.json rows: Clients holds
+// the offered-load multiplier, and the latency fields carry the ablation's
+// own deadline and tail.
+type overloadRow struct {
+	Row
+	P99Millis      float64 `json:"p99_millis"`
+	DeadlineMillis float64 `json:"deadline_millis"`
+}
+
+// CheckOverload validates the overload ablation's within-run invariants —
+// the claims a single BENCH_overload.json makes regardless of the machine
+// that produced it:
+//
+//   - Admitted goodput holds: at the highest offered-load multiplier, the
+//     gated run keeps at least 80% of its lowest-multiplier goodput.
+//   - Admitted tail stays bounded: gated p99 at the highest multiplier is
+//     within 2× the run's deadline.
+//
+// It also warns (never fails) when the ungated run fails to collapse at the
+// highest multiplier — that contrast is the point of the ablation, but it
+// depends on machine shape (core count, fsync cost), so a beefy runner must
+// not turn it into a flake.
+func CheckOverload(rows []overloadRow) (failures, warnings []string) {
+	byMode := map[string][]overloadRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	for mode, rs := range byMode {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Clients < rs[j].Clients })
+		byMode[mode] = rs
+	}
+	admit, ok := byMode["admit"]
+	if !ok || len(admit) < 2 {
+		return []string{"no admit rows with at least two load multipliers"}, nil
+	}
+	lo, hi := admit[0], admit[len(admit)-1]
+	if hi.CommitsPerSec < 0.8*lo.CommitsPerSec {
+		failures = append(failures, fmt.Sprintf(
+			"admitted goodput collapsed: %.1f commits/s at %dx vs %.1f at %dx (floor 80%%)",
+			hi.CommitsPerSec, hi.Clients, lo.CommitsPerSec, lo.Clients))
+	}
+	if hi.P99Millis > 2*hi.DeadlineMillis {
+		failures = append(failures, fmt.Sprintf(
+			"admitted p99 unbounded: %.1fms at %dx vs %.1fms deadline (bound 2x)",
+			hi.P99Millis, hi.Clients, hi.DeadlineMillis))
+	}
+	if noadmit := byMode["noadmit"]; len(noadmit) >= 2 {
+		nlo, nhi := noadmit[0], noadmit[len(noadmit)-1]
+		if nhi.CommitsPerSec > 0.5*nlo.CommitsPerSec {
+			warnings = append(warnings, fmt.Sprintf(
+				"ungated goodput did not collapse: %.1f commits/s at %dx vs %.1f at %dx — admission shows no benefit on this machine",
+				nhi.CommitsPerSec, nhi.Clients, nlo.CommitsPerSec, nlo.Clients))
+		}
+	}
+	return failures, warnings
+}
+
+func loadOverloadRows(path string) ([]overloadRow, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []overloadRow
+	if err := json.Unmarshal(blob, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
 }

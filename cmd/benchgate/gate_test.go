@@ -55,6 +55,100 @@ func TestCompareBoundaryIsInclusive(t *testing.T) {
 	}
 }
 
+// TestCompareSkipsCollapsedBaseline pins the overload-file behavior: cells
+// whose baseline goodput is noise (under 2% of the file's best cell) are
+// reported as skipped, never compared — a 10× swing on a ~0 baseline must
+// not flap the gate.
+func TestCompareSkipsCollapsedBaseline(t *testing.T) {
+	base := []Row{
+		{Mode: "admit", Clients: 1, CommitsPerSec: 10000},
+		{Mode: "noadmit", Clients: 4, CommitsPerSec: 50}, // collapsed by design
+	}
+	cur := []Row{
+		{Mode: "admit", Clients: 1, CommitsPerSec: 9500},
+		{Mode: "noadmit", Clients: 4, CommitsPerSec: 2}, // -96%: noise
+	}
+	rep := Compare(base, cur, 25)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("collapsed baseline failed the gate: %v", rep.Failures)
+	}
+	if rep.Compared != 1 {
+		t.Fatalf("compared = %d, want 1 (the healthy cell)", rep.Compared)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "collapsed baseline") {
+		t.Fatalf("report lacks skip annotation:\n%s", joined)
+	}
+}
+
+func ovRow(mode string, mult int, cps, p99, deadline float64) overloadRow {
+	return overloadRow{
+		Row:            Row{Mode: mode, Clients: mult, CommitsPerSec: cps},
+		P99Millis:      p99,
+		DeadlineMillis: deadline,
+	}
+}
+
+// TestCheckOverloadHealthyRun passes a run shaped like the ablation's
+// intended outcome and expects no failures; the ungated collapse must not
+// warn either.
+func TestCheckOverloadHealthyRun(t *testing.T) {
+	rows := []overloadRow{
+		ovRow("admit", 1, 10000, 10, 20),
+		ovRow("admit", 2, 11000, 28, 20),
+		ovRow("admit", 4, 9500, 35, 20),
+		ovRow("noadmit", 1, 11000, 15, 20),
+		ovRow("noadmit", 2, 200, 70, 20),
+		ovRow("noadmit", 4, 5, 90, 20),
+	}
+	failures, warnings := CheckOverload(rows)
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Fatalf("healthy run flagged: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+// TestCheckOverloadCatchesCollapse is the check's own proof: a gated run
+// whose goodput collapses at high load, or whose admitted tail blows past
+// 2× the deadline, must fail.
+func TestCheckOverloadCatchesCollapse(t *testing.T) {
+	rows := []overloadRow{
+		ovRow("admit", 1, 10000, 10, 20),
+		ovRow("admit", 4, 1000, 35, 20), // goodput collapsed
+	}
+	failures, _ := CheckOverload(rows)
+	if len(failures) != 1 || !strings.Contains(failures[0], "goodput collapsed") {
+		t.Fatalf("goodput collapse not caught: %v", failures)
+	}
+
+	rows = []overloadRow{
+		ovRow("admit", 1, 10000, 10, 20),
+		ovRow("admit", 4, 9500, 55, 20), // p99 2.75× deadline
+	}
+	failures, _ = CheckOverload(rows)
+	if len(failures) != 1 || !strings.Contains(failures[0], "p99 unbounded") {
+		t.Fatalf("unbounded p99 not caught: %v", failures)
+	}
+}
+
+// TestCheckOverloadWarnsWithoutFailingOnMissingContrast: a machine where the
+// ungated run keeps its goodput only warns — the admit-side invariants are
+// the gate, the contrast is informational.
+func TestCheckOverloadWarnsWithoutFailingOnMissingContrast(t *testing.T) {
+	rows := []overloadRow{
+		ovRow("admit", 1, 10000, 10, 20),
+		ovRow("admit", 4, 9500, 30, 20),
+		ovRow("noadmit", 1, 11000, 15, 20),
+		ovRow("noadmit", 4, 10500, 18, 20),
+	}
+	failures, warnings := CheckOverload(rows)
+	if len(failures) != 0 {
+		t.Fatalf("missing contrast failed the check: %v", failures)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "did not collapse") {
+		t.Fatalf("missing contrast did not warn: %v", warnings)
+	}
+}
+
 func TestCompareGridChangesDoNotFail(t *testing.T) {
 	base := []Row{{Mode: "group", Clients: 1, CommitsPerSec: 1000}}
 	cur := []Row{

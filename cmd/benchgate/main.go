@@ -15,10 +15,16 @@
 // carrying one it no longer does. Because Compare skips one-sided cells, a
 // stale baseline would otherwise silently shrink the gate's coverage.
 //
+// With -overload-check it validates the within-run invariants of an
+// overload ablation JSON (admitted goodput holds across load multipliers,
+// admitted p99 stays bounded relative to the run's own deadline) — claims a
+// single run makes about itself, independent of any baseline.
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_commit.json -current /tmp/commit.json [-max-regress 25]
 //	benchgate -check-grids [-dir .]
+//	benchgate -overload-check BENCH_overload.json
 package main
 
 import (
@@ -35,7 +41,29 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 25, "fail when throughput drops more than this percentage below baseline")
 	checkGridsMode := flag.Bool("check-grids", false, "audit checked-in baselines against the current experiment grids instead of comparing runs")
 	dir := flag.String("dir", ".", "directory holding the checked-in baselines (with -check-grids)")
+	overloadCheck := flag.String("overload-check", "", "validate an overload ablation JSON's within-run invariants instead of comparing runs")
 	flag.Parse()
+
+	if *overloadCheck != "" {
+		rows, err := loadOverloadRows(*overloadCheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		failures, warnings := CheckOverload(rows)
+		for _, w := range warnings {
+			fmt.Println("  warn  ", w)
+		}
+		for _, f := range failures {
+			fmt.Println("  FAIL  ", f)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d overload invariant(s) violated in %s\n", len(failures), *overloadCheck)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: OK — overload invariants hold in %s\n", *overloadCheck)
+		return
+	}
 
 	if *checkGridsMode {
 		problems := checkGrids(*dir)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"immortaldb"
+	"immortaldb/internal/repl"
+	"immortaldb/internal/server"
+)
+
+// healthzHandler answers /healthz: degradation and draining as 503 with a
+// machine-readable reason, otherwise role, promotion epoch, the replication
+// horizon and lag on a replica, and the admission gate's overload signals
+// when one is installed. follower may be nil (a primary).
+func healthzHandler(db *immortaldb.DB, srv *server.Server, follower *repl.Follower) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if err := db.Degraded(); err != nil {
+			// 503 with a machine-readable reason: orchestrators stop
+			// routing writes here, operators see why. Reads still work,
+			// so this process stays up until replaced.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			enc.Encode(map[string]any{
+				"status": "degraded",
+				"reason": err.Error(),
+			})
+			return
+		}
+		if srv.Stats().Draining {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			enc.Encode(map[string]any{"status": "draining"})
+			return
+		}
+		// Role, promotion epoch and — on a replica — the replication
+		// horizon and lag, so an orchestrator can pick the most
+		// caught-up follower to promote without a side channel.
+		h := map[string]any{"status": "ok", "epoch": db.Epoch()}
+		if db.IsReplica() {
+			hz := db.Horizon()
+			h["role"] = "replica"
+			h["applied_lsn"] = hz.AppliedLSN
+			h["max_visible"] = fmt.Sprint(hz.MaxVisible)
+			if follower != nil {
+				h["lag_bytes"] = follower.LagBytes()
+				h["primary"] = follower.Addr()
+			}
+		} else {
+			h["role"] = "primary"
+		}
+		// Overload signals: load balancers drain hosts whose gate is
+		// shedding, autoscalers read the admitted/shed ratio.
+		if g := srv.Gate(); g != nil {
+			gs := g.Stats()
+			h["admission"] = map[string]any{
+				"limit":    gs.Limit,
+				"inflight": gs.Inflight,
+				"queued":   gs.Queued,
+				"admitted": gs.Admitted,
+				"shed":     gs.Shed,
+			}
+		}
+		enc.Encode(h)
+	}
+}

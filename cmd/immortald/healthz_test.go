@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/itime"
+	"immortaldb/internal/repl"
+	"immortaldb/internal/server"
+	"immortaldb/internal/sim"
+)
+
+func healthzOpts() *immortaldb.Options {
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
+	clock.AutoStep = 1
+	clock.AutoEvery = 3
+	return &immortaldb.Options{
+		PageSize:       1024,
+		CacheFrames:    64,
+		NoSync:         true,
+		WALSegmentSize: 4096,
+		Clock:          clock,
+	}
+}
+
+// healthzGet drives the handler exactly as an HTTP client would and decodes
+// the JSON body.
+func healthzGet(t *testing.T, db *immortaldb.DB, srv *server.Server, f *repl.Follower) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	healthzHandler(db, srv, f)(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+// TestHealthzFollowerLagFields pins the replica /healthz contract an
+// orchestrator depends on: the payload carries applied_lsn, max_visible and
+// lag_bytes, and the first two advance monotonically as the follower syncs a
+// shipping workload. The primary payload must carry none of them.
+func TestHealthzFollowerLagFields(t *testing.T) {
+	primary, err := immortaldb.Open(t.TempDir(), healthzOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	n := sim.NewNet(nil, 7)
+	const addr = "primary:7707"
+	lis, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(primary, server.Config{Logf: t.Logf})
+	if err := srv.ListenOn(lis); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	tbl, err := primary.CreateTable("kv", immortaldb.TableOptions{Immortal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(round int) {
+		for i := 0; i < 8; i++ {
+			if err := primary.Update(func(tx *immortaldb.Tx) error {
+				k := fmt.Sprintf("k%d-%d", round, i)
+				return tx.Set(tbl, []byte(k), []byte("v"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write(0)
+
+	f := repl.NewFollower(repl.Config{
+		Dir:       t.TempDir(),
+		Addr:      addr,
+		DBOptions: healthzOpts(),
+		Dialer:    n.Dialer("follower"),
+		Logf:      t.Logf,
+	})
+	defer f.Close()
+	ctx := context.Background()
+	if err := f.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary payload: role only, never the replica lag fields.
+	code, body := healthzGet(t, primary, srv, nil)
+	if code != 200 || body["status"] != "ok" || body["role"] != "primary" {
+		t.Fatalf("primary healthz = %d %v", code, body)
+	}
+	for _, field := range []string{"applied_lsn", "max_visible", "lag_bytes"} {
+		if _, ok := body[field]; ok {
+			t.Fatalf("primary healthz leaked replica field %q: %v", field, body)
+		}
+	}
+
+	// Follower payload after the first sync.
+	fdb := f.DB()
+	fsrv := server.New(fdb, server.Config{Logf: t.Logf})
+	code, body = healthzGet(t, fdb, fsrv, f)
+	if code != 200 || body["status"] != "ok" || body["role"] != "replica" {
+		t.Fatalf("follower healthz = %d %v", code, body)
+	}
+	for _, field := range []string{"applied_lsn", "max_visible", "lag_bytes"} {
+		if _, ok := body[field]; !ok {
+			t.Fatalf("follower healthz missing %q: %v", field, body)
+		}
+	}
+	if body["primary"] != addr {
+		t.Fatalf("follower healthz primary = %v, want %s", body["primary"], addr)
+	}
+	applied1, ok := body["applied_lsn"].(float64)
+	if !ok || applied1 <= 0 {
+		t.Fatalf("applied_lsn = %v, want positive number", body["applied_lsn"])
+	}
+	hz1 := fdb.Horizon()
+	if got := body["max_visible"]; got != fmt.Sprint(hz1.MaxVisible) {
+		t.Fatalf("max_visible = %v, want %v", got, hz1.MaxVisible)
+	}
+	if _, ok := body["lag_bytes"].(float64); !ok {
+		t.Fatalf("lag_bytes = %v, want number", body["lag_bytes"])
+	}
+
+	// Ship more work and sync twice more: the advertised horizon must be
+	// strictly monotone in applied_lsn and max_visible.
+	prevApplied, prevVisible := applied1, hz1.MaxVisible
+	for round := 1; round <= 2; round++ {
+		write(round)
+		if err := f.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		fdb = f.DB() // a base re-seed may have swapped the engine
+		code, body = healthzGet(t, fdb, fsrv, f)
+		if code != 200 {
+			t.Fatalf("round %d healthz = %d %v", round, code, body)
+		}
+		applied, _ := body["applied_lsn"].(float64)
+		if applied <= prevApplied {
+			t.Fatalf("round %d: applied_lsn %v did not advance past %v", round, applied, prevApplied)
+		}
+		hz := fdb.Horizon()
+		if got := body["max_visible"]; got != fmt.Sprint(hz.MaxVisible) {
+			t.Fatalf("round %d: max_visible = %v, want %v", round, got, hz.MaxVisible)
+		}
+		if !prevVisible.Less(hz.MaxVisible) {
+			t.Fatalf("round %d: max_visible %v did not advance past %v", round, hz.MaxVisible, prevVisible)
+		}
+		prevApplied, prevVisible = applied, hz.MaxVisible
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/admit"
 	"immortaldb/internal/obs"
 	"immortaldb/internal/repl"
 	"immortaldb/internal/server"
@@ -66,6 +67,14 @@ func main() {
 	tiered := flag.Bool("tiered", false, "migrate cold history pages into compressed immutable runs (requires -index chain)")
 	retention := flag.Duration("retention", 0, "vacuum historical versions older than this from the cold tier (0 = keep forever; with -tiered)")
 	compactEvery := flag.Duration("compact-every", time.Minute, "background history-compaction interval (0 = manual only; with -tiered)")
+	admitLimit := flag.Int("admit-limit", 0, "starting adaptive concurrency limit for the admission gate (0 = admission control off unless a quota flag enables it)")
+	admitTarget := flag.Duration("admit-target", 25*time.Millisecond, "commit latency the adaptive limit steers toward (0 = fixed limit)")
+	admitQueue := flag.Int("admit-queue", 0, "admission queue depth (0 = 2x the limit)")
+	admitWait := flag.Duration("admit-wait", 0, "longest a request may wait for an admission slot before it is shed (0 = 1s)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant token refill rate in requests/s (0 = no refill beyond the burst)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token bucket capacity (0 = tenants unlimited)")
+	untaggedRate := flag.Float64("untagged-rate", 0, "token refill rate for statements carrying no tenant key (0 = no refill)")
+	untaggedBurst := flag.Float64("untagged-burst", 0, "token bucket capacity shared by untagged statements (0 = unlimited)")
 	flag.Parse()
 
 	obs.SetSlowOpThreshold(*slowOp)
@@ -145,10 +154,26 @@ func main() {
 		}
 	}
 
+	// Any admission flag turns the gate on: a concurrency limit alone, tenant
+	// quotas alone, or both. With only quotas set, the concurrency limit
+	// takes the gate's own default.
+	var admission *admit.Config
+	if *admitLimit > 0 || *tenantBurst > 0 || *untaggedBurst > 0 {
+		admission = &admit.Config{
+			Default:  admit.Quota{Rate: *untaggedRate, Burst: *untaggedBurst},
+			Tenant:   admit.Quota{Rate: *tenantRate, Burst: *tenantBurst},
+			Limit:    *admitLimit,
+			Target:   *admitTarget,
+			MaxQueue: *admitQueue,
+			MaxWait:  *admitWait,
+		}
+	}
+
 	srv := server.New(db, server.Config{
 		MaxConns:       *maxConns,
 		IdleTimeout:    *idle,
 		RequestTimeout: *reqTimeout,
+		Admission:      admission,
 		Logf:           logger.Printf,
 	})
 	if follower != nil {
@@ -185,43 +210,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			if err := db.Degraded(); err != nil {
-				// 503 with a machine-readable reason: orchestrators stop
-				// routing writes here, operators see why. Reads still work,
-				// so this process stays up until replaced.
-				w.WriteHeader(http.StatusServiceUnavailable)
-				enc.Encode(map[string]any{
-					"status": "degraded",
-					"reason": err.Error(),
-				})
-				return
-			}
-			if srv.Stats().Draining {
-				w.WriteHeader(http.StatusServiceUnavailable)
-				enc.Encode(map[string]any{"status": "draining"})
-				return
-			}
-			// Role, promotion epoch and — on a replica — the replication
-			// horizon and lag, so an orchestrator can pick the most
-			// caught-up follower to promote without a side channel.
-			h := map[string]any{"status": "ok", "epoch": db.Epoch()}
-			if db.IsReplica() {
-				hz := db.Horizon()
-				h["role"] = "replica"
-				h["applied_lsn"] = hz.AppliedLSN
-				h["max_visible"] = fmt.Sprint(hz.MaxVisible)
-				if follower != nil {
-					h["lag_bytes"] = follower.LagBytes()
-					h["primary"] = follower.Addr()
-				}
-			} else {
-				h["role"] = "primary"
-			}
-			enc.Encode(h)
-		})
+		mux.HandleFunc("/healthz", healthzHandler(db, srv, follower))
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			logger.Fatalf("http listen %s: %v", *httpAddr, err)
@@ -359,6 +348,8 @@ func writeMetrics(w http.ResponseWriter, ds immortaldb.Stats, ss server.Stats) {
 	p("immortald_requests_total", "Statements executed.", ss.Requests)
 	p("immortald_request_errors_total", "Statements answered with an error frame.", ss.Errors)
 	p("immortald_conn_panics_total", "Connection handlers killed by a panic.", ss.Panics)
+	p("immortald_admitted_total", "Requests admitted by the admission gate (0 when the gate is off).", ss.Admitted)
+	p("immortald_shed_total", "Requests shed by the admission gate with a retryable overload response.", ss.Shed)
 	draining := 0
 	if ss.Draining {
 		draining = 1

@@ -9,6 +9,7 @@
 //	DELETE FROM t WHERE pk = x
 //	SELECT * FROM t [WHERE pk < x]
 //	SHOW HISTORY FOR t WHERE pk = x
+//	VACUUM HISTORY
 //	COMMIT / ROLLBACK
 //
 // Usage:
@@ -87,6 +88,8 @@ func main() {
 	connect := flag.String("connect", "", "immortald address (host:port); overrides -db")
 	script := flag.String("f", "", "execute statements from a file instead of stdin")
 	index := flag.String("index", "chain", "historical access path: chain or tsb")
+	tiered := flag.Bool("tiered", false, "migrate cold history pages into compressed immutable runs (VACUUM HISTORY needs this; requires -index chain)")
+	retention := flag.Duration("retention", 0, "vacuum historical versions older than this (0 = keep forever; with -tiered)")
 	restoreFrom := flag.String("restore-from", "", "point-in-time restore source; clones into -db before opening it")
 	restoreAsOf := flag.String("restore-asof", "", `restore cut time, e.g. "2004-08-12 10:15:20" (with -restore-from)`)
 	flag.Parse()
@@ -129,6 +132,10 @@ func main() {
 		opts := &immortaldb.Options{}
 		if *index == "tsb" {
 			opts.HistoricalIndex = immortaldb.IndexTSB
+		}
+		if *tiered {
+			opts.TieredHistory = true
+			opts.Retention = *retention
 		}
 		db, err := immortaldb.Open(*dir, opts)
 		if err != nil {

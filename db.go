@@ -342,6 +342,7 @@ type DB struct {
 	// passes; the remaining fields manage the background compactor.
 	hist                           *hist.Store
 	histMu                         sync.Mutex
+	histPass                       *VacuumStats // non-nil while a collecting pass runs; guarded by histMu
 	histKick                       chan struct{}
 	histStop                       chan struct{}
 	histDone                       chan struct{}

@@ -137,6 +137,38 @@ func (db *DB) stopCompactor() {
 	<-db.histDone
 }
 
+// VacuumStats reports what one VacuumHistory pass reclaimed.
+type VacuumStats struct {
+	// VersionsReclaimed counts historical versions dropped by retention
+	// vacuuming and merge deduplication.
+	VersionsReclaimed uint64
+	// BytesReclaimed is the net shrink of the cold tier's run files: bytes
+	// of merged-away inputs minus bytes of their replacement runs.
+	BytesReclaimed uint64
+	// PagesMigrated counts hot history pages moved into cold runs.
+	PagesMigrated uint64
+	// RunsMerged counts run files consumed by merges.
+	RunsMerged uint64
+}
+
+// VacuumHistory checkpoints (stamping history pages so they become
+// migratable) and runs one synchronous cold-tier pass, returning what it
+// reclaimed. It is the engine behind the VACUUM HISTORY statement; the
+// background compactor does the same work on its ticks without the
+// accounting.
+func (db *DB) VacuumHistory() (VacuumStats, error) {
+	if db.replica.Load() {
+		return VacuumStats{}, ErrReplica
+	}
+	if !db.opts.TieredHistory {
+		return VacuumStats{}, ErrTieredOff
+	}
+	if err := db.Checkpoint(); err != nil {
+		return VacuumStats{}, err
+	}
+	return db.vacuumHistory(true)
+}
+
 // CompactHistory runs one full cold-tier pass over every immortal
 // chain-indexed table: migratable history pages move into new run files, and
 // levels holding histFanout or more runs merge into the next level, vacuuming
@@ -150,14 +182,23 @@ func (db *DB) CompactHistory() error {
 	if !db.opts.TieredHistory {
 		return ErrTieredOff
 	}
+	_, err := db.vacuumHistory(false)
+	return err
+}
+
+// vacuumHistory is the shared pass body; with collect set it wires a
+// VacuumStats into db.histPass (under histMu) for migrateCold and mergeRuns
+// to fill.
+func (db *DB) vacuumHistory(collect bool) (VacuumStats, error) {
+	var stats VacuumStats
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
-		return ErrClosed
+		return stats, ErrClosed
 	}
 	if db.draining {
 		db.mu.Unlock()
-		return ErrShuttingDown
+		return stats, ErrShuttingDown
 	}
 	type target struct {
 		tid  uint32
@@ -175,24 +216,28 @@ func (db *DB) CompactHistory() error {
 	db.mu.Unlock()
 	defer db.opExit()
 	if err := db.Degraded(); err != nil {
-		return err
+		return stats, err
 	}
 	db.histMu.Lock()
 	defer db.histMu.Unlock()
+	if collect {
+		db.histPass = &stats
+		defer func() { db.histPass = nil }()
+	}
 	start := obs.Now()
 	for _, tgt := range targets {
 		if err := db.migrateCold(tgt.tid, tgt.tree); err != nil {
 			db.degradeIf(err)
-			return err
+			return stats, err
 		}
 		if err := db.compactRuns(tgt.tid); err != nil {
 			db.degradeIf(err)
-			return err
+			return stats, err
 		}
 	}
 	db.histCompactions.Add(1)
 	obsHistCompactLatency.ObserveSince(start)
-	return nil
+	return stats, nil
 }
 
 // histChunks splits sorted entries into run-sized chunks by an approximate
@@ -306,6 +351,9 @@ func (db *DB) migrateCold(tid uint32, tree *tsb.Tree) error {
 		}
 	}
 	db.pagesMigrated.Add(uint64(len(victims)))
+	if db.histPass != nil {
+		db.histPass.PagesMigrated += uint64(len(victims))
+	}
 	return nil
 }
 
@@ -424,6 +472,7 @@ func (db *DB) mergeRuns(tid uint32, m hist.Manifest, group []hist.RunMeta, outLe
 	}
 	// Retention can vacuum a whole group away; the manifest then simply
 	// drops it.
+	kept := len(next.Runs)
 	if len(merged) > 0 {
 		if err := db.writeRuns(tid, &next, outLevel, histChunks(merged)); err != nil {
 			return err
@@ -432,6 +481,22 @@ func (db *DB) mergeRuns(tid uint32, m hist.Manifest, group []hist.RunMeta, outLe
 	next.Ver++
 	if err := db.installManifest(tid, next); err != nil {
 		return err
+	}
+	if db.histPass != nil {
+		db.histPass.RunsMerged += uint64(len(group))
+		if d := inCount - len(merged); d > 0 {
+			db.histPass.VersionsReclaimed += uint64(d)
+		}
+		var oldBytes, newBytes uint64
+		for _, rm := range group {
+			oldBytes += rm.Bytes
+		}
+		for _, rm := range next.Runs[kept:] {
+			newBytes += rm.Bytes
+		}
+		if oldBytes > newBytes {
+			db.histPass.BytesReclaimed += oldBytes - newBytes
+		}
 	}
 	// The installed manifest no longer references the merged inputs; a
 	// failure removing them is still an I/O fault worth degrading on (the

@@ -1,0 +1,54 @@
+package admit
+
+// TenantFromStatement attributes a statement to a tenant via the
+// tenant-packed BIGINT key scheme used by the metering workload
+// (workload.MeterKey packs the tenant into the high 32 bits of the key).
+// The first integer literal wide enough to carry a packed tenant — greater
+// than 2^32-1 — names it; a statement with no such literal is untagged and
+// returns 0, routing it to the gate's shared default bucket. Quoted spans
+// are skipped so a key-shaped number inside a string literal cannot
+// mislabel the session, and digit runs glued to identifier characters
+// (t1, x_42) are ignored.
+func TenantFromStatement(stmt string) uint32 {
+	var quote byte
+	for i := 0; i < len(stmt); i++ {
+		c := stmt[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch {
+		case c == '\'' || c == '"':
+			quote = c
+		case c >= '0' && c <= '9':
+			if i > 0 && identChar(stmt[i-1]) {
+				// Tail of an identifier: skip the whole digit run.
+				for i+1 < len(stmt) && stmt[i+1] >= '0' && stmt[i+1] <= '9' {
+					i++
+				}
+				continue
+			}
+			var v uint64
+			overflow := false
+			j := i
+			for ; j < len(stmt) && stmt[j] >= '0' && stmt[j] <= '9'; j++ {
+				if v > (1<<63-1)/10 {
+					overflow = true
+				}
+				v = v*10 + uint64(stmt[j]-'0')
+			}
+			i = j - 1
+			if !overflow && v <= 1<<63-1 && v > 0xFFFFFFFF {
+				return uint32(v >> 32)
+			}
+		}
+	}
+	return 0
+}
+
+func identChar(c byte) bool {
+	return c == '_' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}

@@ -104,6 +104,10 @@ type RemoteError struct {
 	// Primary is the primary address a read-only replica advertised with a
 	// CodeReadOnlyReplica refusal ("" when the replica does not know one).
 	Primary string
+	// RetryAfter is the backoff hint an overloaded server attached to a
+	// CodeOverloaded shed (zero when it sent none): how long it expects to
+	// stay busy. The pool honors it in place of exponential backoff.
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string { return e.Msg }
@@ -126,6 +130,10 @@ func (e *RemoteError) ReadOnlyReplica() bool { return e.Code == wire.CodeReadOnl
 // beyond its replication horizon: retryable on the same replica once it
 // catches up, or immediately against the primary.
 func (e *RemoteError) BeyondHorizon() bool { return e.Code == wire.CodeBeyondHorizon }
+
+// Overloaded reports that the server shed the request (admission gate) or
+// refused the connection (cap): retryable after RetryAfter.
+func (e *RemoteError) Overloaded() bool { return e.Code == wire.CodeOverloaded }
 
 // DB is a pooled client to one immortald server.
 type DB struct {
@@ -153,7 +161,11 @@ func Open(addr string, opts *Options) (*DB, error) {
 	for i := 0; i < d.opts.MaxConns; i++ {
 		d.slots <- struct{}{}
 	}
-	c, err := d.dial(context.Background())
+	// The retry budget bounds the opening dial like any other operation, so
+	// hinted overload retries cannot stall Open past the caller's patience.
+	ctx, cancel := d.withRetryBudget(context.Background())
+	defer cancel()
+	c, err := d.dial(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +175,16 @@ func Open(addr string, opts *Options) (*DB, error) {
 	return d, nil
 }
 
-// dial connects, with jittered exponential-backoff retry, and shakes hands.
+// dial connects, with retry, and shakes hands. Plain dial failures back off
+// with jittered exponential delays; a handshake refused CodeOverloaded — the
+// connection cap — waits out the server's retry-after hint instead, so a
+// momentarily full server costs one hint's worth of patience per attempt
+// rather than the whole escalating backoff schedule.
 func (d *DB) dial(ctx context.Context) (*wconn, error) {
 	var lastErr error
 	for attempt := 0; attempt <= d.opts.DialRetries; attempt++ {
 		if attempt > 0 {
-			if err := d.tl.Sleep(ctx, jitterBackoff(d.opts.RetryBackoff, attempt-1)); err != nil {
+			if err := d.tl.Sleep(ctx, retryDelay(lastErr, d.opts.RetryBackoff, attempt-1)); err != nil {
 				return nil, err
 			}
 		}
@@ -316,13 +332,16 @@ func (d *DB) Exec(ctx context.Context, sql string) (*sqlish.Result, error) {
 		c = c2
 		res, err = c.exec(ctx, sql)
 	}
-	// Only errors the server tagged retryable (a drain in progress) are
-	// retried, with jittered exponential backoff inside the retry budget.
-	// Degraded and plain statement errors are terminal: retrying a degraded
-	// server cannot succeed until an operator restarts it, and hammering it
-	// with retries would only mask the page.
+	// Only errors the server tagged retryable — a drain in progress, or an
+	// overload shed — are retried inside the retry budget: jittered
+	// exponential backoff for drains, the server's retry-after hint for
+	// sheds. Degraded and plain statement errors are terminal: retrying a
+	// degraded server cannot succeed until an operator restarts it, and
+	// hammering it with retries would only mask the page. When the retries
+	// run out, the last typed error surfaces (*RemoteError, Overloaded for
+	// sheds) so callers can tell backpressure from failure.
 	for attempt := 0; err != nil && isRetryable(err) && attempt <= d.opts.DialRetries; attempt++ {
-		if d.tl.Sleep(ctx, jitterBackoff(d.opts.RetryBackoff, attempt)) != nil {
+		if d.tl.Sleep(ctx, retryDelay(err, d.opts.RetryBackoff, attempt)) != nil {
 			break
 		}
 		if c.broken {
@@ -371,7 +390,17 @@ func isRemote(err error) bool {
 
 func isRetryable(err error) bool {
 	var re *RemoteError
-	return errors.As(err, &re) && re.Retryable()
+	return errors.As(err, &re) && (re.Retryable() || re.Overloaded())
+}
+
+// retryDelay picks the wait before one retry: the retry-after hint when the
+// failure was an overload shed that carried one — the server knows how long
+// it expects to stay busy — and jittered exponential backoff otherwise.
+func retryDelay(err error, base time.Duration, attempt int) time.Duration {
+	if re := remoteErr(err); re != nil && re.Overloaded() && re.RetryAfter > 0 {
+		return re.RetryAfter
+	}
+	return jitterBackoff(base, attempt)
 }
 
 // withRetryBudget caps the total time an operation and its retries may take.
@@ -551,11 +580,15 @@ func (c *wconn) handshake(ctx context.Context, timeout time.Duration) error {
 }
 
 // newRemoteError builds a RemoteError, splitting out the redirect address a
-// read-only replica embeds in its refusal.
+// read-only replica embeds in its refusal and the retry-after hint an
+// overloaded server embeds in its shed.
 func newRemoteError(code byte, msg string) *RemoteError {
 	re := &RemoteError{Code: code, Msg: msg}
-	if code == wire.CodeReadOnlyReplica {
+	switch code {
+	case wire.CodeReadOnlyReplica:
 		re.Msg, re.Primary = wire.ParseRedirect(msg)
+	case wire.CodeOverloaded:
+		re.Msg, re.RetryAfter = wire.ParseOverload(msg)
 	}
 	return re
 }

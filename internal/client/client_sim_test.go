@@ -137,10 +137,13 @@ func TestDialRetryBackoffSim(t *testing.T) {
 }
 
 // stubServer speaks just enough wire protocol to answer every Exec with a
-// scripted error frame, counting what it sees.
+// scripted error frame, counting what it sees. Set msg before any client
+// dials to script the error string (redirects, overload hints); it defaults
+// to "stub says no".
 type stubServer struct {
 	lis      net.Listener
 	code     byte
+	msg      string
 	accepted chan struct{}
 	execs    chan struct{}
 }
@@ -187,7 +190,11 @@ func (s *stubServer) serve(nc net.Conn) {
 		switch typ {
 		case wire.MsgExec:
 			s.execs <- struct{}{}
-			if err := wire.WriteFrame(nc, wire.MsgError, wire.ErrorPayload(s.code, "stub says no")); err != nil {
+			msg := s.msg
+			if msg == "" {
+				msg = "stub says no"
+			}
+			if err := wire.WriteFrame(nc, wire.MsgError, wire.ErrorPayload(s.code, msg)); err != nil {
 				return
 			}
 		case wire.MsgPing:

@@ -47,5 +47,8 @@ func BenchGrids() map[string][]GridCell {
 		grid("wire", 1, 4, 16))
 	add("BENCH_failover.json",
 		grid("promote", 0, 64, 256))
+	add("BENCH_overload.json",
+		grid("admit", 1, 2, 4),
+		grid("noadmit", 1, 2, 4))
 	return g
 }

@@ -1,0 +1,358 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"immortaldb"
+	"immortaldb/internal/admit"
+	"immortaldb/internal/client"
+	"immortaldb/internal/server"
+)
+
+// ------------------------------------------- O2: admission control vs overload
+
+// OverloadRow is one open-loop overload measurement. Clients holds the
+// offered-load multiplier over measured capacity (1 = offered ≈ what the
+// server sustains closed-loop), so the row fits the (mode, clients) cell
+// shape every BENCH_*.json shares. CommitsPerSec is goodput: only requests
+// that completed within their deadline count.
+type OverloadRow struct {
+	Mode           string  `json:"mode"`    // "admit" or "noadmit"
+	Clients        int     `json:"clients"` // offered-load multiplier
+	Offered        int     `json:"offered"`
+	Commits        int     `json:"commits"`  // completed within deadline
+	Shed           int     `json:"shed"`     // refused by the admission gate
+	Timeouts       int     `json:"timeouts"` // completed late, or failed
+	Dropped        int     `json:"dropped"`  // abandoned: no connection free
+	Seconds        float64 `json:"seconds"`
+	CommitsPerSec  float64 `json:"commits_per_sec"` // goodput, the gated metric
+	P99Millis      float64 `json:"p99_millis"`      // executed requests only
+	DeadlineMillis float64 `json:"deadline_millis"`
+}
+
+// RunOverloadAblation measures what admission control buys when offered load
+// exceeds capacity. A closed-loop phase first measures the server's durable
+// commit capacity R; open-loop phases then push arrivals at mult×R for each
+// multiplier, once gated ("admit") and once ungated ("noadmit").
+//
+// Past saturation the server is a single queueing station, so response time
+// is backlog/R. Every request carries a deadline derived from R, and each
+// outstanding request holds one of ~4×R×deadline connections — a fleet
+// sized so that, fully resident, its backlog alone pushes response time to
+// several deadlines, independent of how fast the machine is.
+//
+// The two modes differ exactly by the cooperative-backpressure loop this
+// package exists to measure. The gated fleet behaves like the pooled
+// client: a shed (hinted CodeOverloaded) parks that connection for the
+// server's retry-after hint, so offered pressure adapts to what the gate
+// admits and the admitted requests' response time stays bounded. The
+// ungated fleet gets no hints and no sheds: every connection goes resident
+// in the server's backlog until response time blows through the deadline.
+// Goodput divides timely commits by total elapsed time — dropping or
+// shedding work can bound p99, but only actually serving requests scores.
+func RunOverloadAblation(o Options, mults []int) ([]OverloadRow, error) {
+	o = o.withDefaults()
+	if len(mults) == 0 {
+		mults = []int{1, 2, 4}
+	}
+	capacity, err := overloadCapacity(o)
+	if err != nil {
+		return nil, fmt.Errorf("repro: overload capacity phase: %w", err)
+	}
+	// The deadline is ~4× the saturated closed-loop response time (8 clients
+	// resident → ~8/R each), clamped away from timer-granularity noise.
+	deadline := time.Duration(32 / capacity * float64(time.Second))
+	deadline = clampDur(deadline, 20*time.Millisecond, 500*time.Millisecond)
+	capOut := clampInt(int(4*capacity*deadline.Seconds()), 64, 4096)
+
+	var out []OverloadRow
+	for _, mode := range []string{"admit", "noadmit"} {
+		for _, mult := range mults {
+			row, err := overloadPhase(mode, mult, capacity, deadline, capOut)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// overloadEnv is one phase's serving stack: a fresh database, a server
+// (gated or not), and conns pinned sessions in a free list. Pinned
+// sessions give exactly one attempt per request — the pool's transparent
+// hint-driven retries are the simulation suite's subject, and here they
+// would smear shed latencies into the admitted requests' tail.
+type overloadEnv struct {
+	sessions chan *ovSession
+	closers  []func()
+}
+
+// ovSession is one fleet connection plus its backoff state. consecShed is
+// only touched while the session is checked out, so it needs no lock.
+type ovSession struct {
+	s          *client.Session
+	consecShed int
+}
+
+func (e *overloadEnv) Close() {
+	for i := len(e.closers) - 1; i >= 0; i-- {
+		e.closers[i]()
+	}
+}
+
+func newOverloadEnv(adm *admit.Config, conns int) (*overloadEnv, error) {
+	e := &overloadEnv{}
+	dir, err := os.MkdirTemp("", "immortaldb-overload")
+	if err != nil {
+		return nil, err
+	}
+	e.closers = append(e.closers, func() { os.RemoveAll(dir) })
+	db, err := immortaldb.Open(dir, &immortaldb.Options{NoSync: false})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.closers = append(e.closers, func() { db.Close() })
+	srv := server.New(db, server.Config{MaxConns: conns + 8, Admission: adm})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	go srv.Serve()
+	e.closers = append(e.closers, func() { srv.Close() })
+	pool, err := client.Open(addr.String(), &client.Options{MaxConns: conns})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.closers = append(e.closers, func() { pool.Close() })
+	ctx := context.Background()
+	if _, err := pool.Exec(ctx, "CREATE IMMORTAL TABLE bench (k INT PRIMARY KEY, v INT)"); err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.sessions = make(chan *ovSession, conns)
+	for i := 0; i < conns; i++ {
+		s, err := pool.Session(ctx)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.closers = append(e.closers, func() { s.Close() })
+		e.sessions <- &ovSession{s: s}
+	}
+	return e, nil
+}
+
+// overloadCapacity measures the ungated server's closed-loop durable commit
+// throughput with 8 resident clients — the R the open-loop phases dose
+// against. One warmup window settles group-commit batching and the page
+// cache; the best of three measured windows is R, because transient stalls
+// (GC, compaction) only ever depress a window, never inflate it, and an
+// underestimated R underdoses every overload phase.
+func overloadCapacity(o Options) (float64, error) {
+	const clients = 8
+	env, err := newOverloadEnv(nil, clients)
+	if err != nil {
+		return 0, err
+	}
+	defer env.Close()
+	per := o.scaled(1200) / clients
+	if per == 0 {
+		per = 1
+	}
+	window := func(round int) (float64, error) {
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				s := <-env.sessions
+				defer func() { env.sessions <- s }()
+				base := (round*clients + c) * per
+				for i := 0; i < per; i++ {
+					if _, err := s.s.Exec(ctx, fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", base+i, i)); err != nil {
+						errs[c] = err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		sec := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return float64(per*clients) / sec, nil
+	}
+	if _, err := window(0); err != nil { // warmup
+		return 0, err
+	}
+	best := 0.0
+	for round := 1; round <= 3; round++ {
+		r, err := window(round)
+		if err != nil {
+			return 0, err
+		}
+		best = math.Max(best, r)
+	}
+	return best, nil
+}
+
+// overloadPhase runs one open-loop arrival phase against a fresh server.
+func overloadPhase(mode string, mult int, capacity float64, deadline time.Duration, capOut int) (OverloadRow, error) {
+	row := OverloadRow{
+		Mode:           mode,
+		Clients:        mult,
+		DeadlineMillis: float64(deadline.Microseconds()) / 1000,
+	}
+	var adm *admit.Config
+	if mode == "admit" {
+		adm = &admit.Config{
+			Limit:     16,
+			MaxLimit:  32,
+			Target:    deadline / 4,
+			MaxQueue:  16,
+			MaxWait:   deadline / 2,
+			RetryHint: 100 * time.Millisecond,
+		}
+	}
+	env, err := newOverloadEnv(adm, capOut)
+	if err != nil {
+		return row, err
+	}
+	defer env.Close()
+
+	rate := float64(mult) * capacity
+	offered := clampInt(int(rate*1.5), 200, 60000)
+	interval := time.Duration(float64(time.Second) / rate)
+	row.Offered = offered
+
+	var (
+		mu       sync.Mutex
+		lats     []float64 // milliseconds; one sample per executed request
+		commits  int
+		shed     int
+		timeouts int
+		dropped  int
+	)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < offered; i++ {
+		if next := start.Add(time.Duration(i) * interval); time.Until(next) > 0 {
+			time.Sleep(time.Until(next))
+		}
+		select {
+		case s := <-env.sessions:
+			wg.Add(1)
+			go func(i int, s *ovSession) {
+				defer wg.Done()
+				t0 := time.Now()
+				_, err := s.s.Exec(ctx, fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", i, i))
+				lat := time.Since(t0)
+				var re *client.RemoteError
+				overloaded := errors.As(err, &re) && re.Overloaded()
+				if overloaded && re.RetryAfter > 0 {
+					// Cooperative backpressure: the hint is the floor, and
+					// repeated sheds escalate it multiplicatively — under
+					// sustained overload each connection self-paces down until
+					// its share of the offered load fits what the gate admits.
+					// A success only halves the escalation (additive-ish
+					// recovery): resetting it outright would let the fleet
+					// snap back to full pressure off one lucky admit.
+					park := re.RetryAfter << min(s.consecShed, 4)
+					s.consecShed++
+					time.AfterFunc(park, func() { env.sessions <- s })
+				} else {
+					s.consecShed /= 2
+					env.sessions <- s
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					lats = append(lats, float64(lat.Microseconds())/1000)
+					if lat <= deadline {
+						commits++
+					} else {
+						timeouts++
+					}
+				case overloaded:
+					shed++
+				default:
+					timeouts++
+					lats = append(lats, float64(lat.Microseconds())/1000)
+				}
+			}(i, s)
+		default:
+			// An open-loop arrival with no connection free: the whole fleet
+			// is resident in the backlog (ungated) or parked in hinted
+			// backoff (gated). The request is abandoned — it scores no
+			// goodput, and the elapsed-time denominator keeps the miss
+			// honest.
+			mu.Lock()
+			dropped++
+			mu.Unlock()
+		}
+	}
+	wg.Wait()
+	row.Seconds = time.Since(start).Seconds()
+	row.Commits = commits
+	row.Shed = shed
+	row.Timeouts = timeouts
+	row.Dropped = dropped
+	row.CommitsPerSec = float64(commits) / row.Seconds
+	row.P99Millis = pctile(lats, 0.99)
+	return row, nil
+}
+
+// pctile returns the p-th percentile of samples (nearest-rank), 0 when empty.
+func pctile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	idx := int(math.Ceil(p*float64(len(xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

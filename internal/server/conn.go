@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/admit"
 	"immortaldb/internal/obs"
 	"immortaldb/internal/repl"
 	"immortaldb/internal/sqlish"
@@ -101,17 +103,45 @@ func (c *conn) serve() {
 			obsPingLat.ObserveSince(pingStart)
 		case wire.MsgExec:
 			c.srv.requests.Add(1)
+			stmt := string(payload)
+			// The admission gate runs before execution. Requests from a
+			// session holding an open transaction outrank new work (they
+			// bypass the gate entirely — stalling a lock holder behind fresh
+			// arrivals would turn overload into deadlock), and degradation
+			// beats overload: a degraded engine answers for itself with the
+			// terminal CodeDegraded instead of a shed that lies "retry later".
+			var release func()
+			if g := c.srv.gate; g != nil && c.srv.db.Degraded() == nil {
+				pri := admit.PriorityNew
+				if c.sess.InTransaction() {
+					pri = admit.PriorityTxn
+				}
+				rel, aerr := g.Admit(context.Background(), admit.TenantFromStatement(stmt), pri)
+				if aerr != nil {
+					c.srv.errCount.Add(1)
+					c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
+					if werr := c.srv.writeError(c.nc, aerr); werr != nil {
+						return
+					}
+					break
+				}
+				release = rel
+			}
 			obsInflight.Inc()
 			execStart := obs.Now()
 			span := obs.NewRootSpan("server.exec")
-			res, err := c.sess.Exec(string(payload))
+			res, err := c.sess.Exec(stmt)
 			span.End()
 			c.nc.SetWriteDeadline(c.srv.now().Add(c.srv.cfg.RequestTimeout))
 			if err != nil {
 				c.srv.errCount.Add(1)
 				obsExecLat.ObserveSince(execStart)
 				obsInflight.Dec()
-				if werr := c.srv.writeError(c.nc, err); werr != nil {
+				werr := c.srv.writeError(c.nc, err)
+				if release != nil {
+					release()
+				}
+				if werr != nil {
 					return
 				}
 				break
@@ -119,6 +149,9 @@ func (c *conn) serve() {
 			werr := wire.WriteFrame(c.nc, wire.MsgResult, res.AppendBinary(nil))
 			obsExecLat.ObserveSince(execStart)
 			obsInflight.Dec()
+			if release != nil {
+				release()
+			}
 			if werr != nil {
 				return
 			}
@@ -216,6 +249,12 @@ func (s *Server) writeError(w io.Writer, err error) error {
 		msg = wire.RedirectMsg(msg, s.PrimaryAddr())
 	case errors.Is(err, immortaldb.ErrBeyondHorizon):
 		code = wire.CodeBeyondHorizon
+	case errors.Is(err, admit.ErrOverloaded):
+		code = wire.CodeOverloaded
+		var oe *admit.OverloadError
+		if errors.As(err, &oe) {
+			msg = wire.OverloadMsg(msg, oe.RetryAfter)
+		}
 	}
 	return wire.WriteFrame(w, wire.MsgError, wire.ErrorPayload(code, msg))
 }

@@ -21,9 +21,11 @@ import (
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/admit"
 	"immortaldb/internal/itime"
 	"immortaldb/internal/obs"
 	"immortaldb/internal/repl"
+	"immortaldb/internal/wire"
 )
 
 // Observability: request-path latency per verb, the in-flight gauge, and
@@ -58,6 +60,11 @@ type Config struct {
 	// carry no deadline (a real-time context deadline cannot be compared
 	// against virtual time); bound the drain with the context's cancel.
 	Clock itime.Timeline
+	// Admission, when set, puts an admission gate in front of the Exec
+	// path: per-tenant quotas, an adaptive concurrency limit, and bounded
+	// deadline-aware queueing (see internal/admit). Nil serves ungated.
+	// The gate inherits Clock unless Admission.Clock is set.
+	Admission *admit.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,9 @@ type Stats struct {
 	// Requests counts statements executed; Errors those answered with an
 	// error frame; Panics connection handlers killed by a panic.
 	Requests, Errors, Panics uint64
+	// Admitted and Shed mirror the admission gate's counters (zero when the
+	// server runs ungated).
+	Admitted, Shed uint64
 	// Draining reports an in-progress graceful shutdown.
 	Draining bool
 }
@@ -120,15 +130,27 @@ type Server struct {
 	// CodeReadOnlyReplica refusals so they double as redirects. Empty when
 	// unknown or when this server is itself the primary.
 	primaryAddr atomic.Value // string
+
+	// gate is the admission gate, nil when Config.Admission is nil.
+	gate *admit.Gate
 }
 
 // New returns a server over db.
 func New(db *immortaldb.DB, cfg Config) *Server {
-	return &Server{
+	cfg = cfg.withDefaults()
+	s := &Server{
 		db:    db,
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		conns: make(map[*conn]struct{}),
 	}
+	if cfg.Admission != nil {
+		ac := *cfg.Admission
+		if ac.Clock == nil {
+			ac.Clock = cfg.Clock
+		}
+		s.gate = admit.New(ac)
+	}
+	return s
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -238,10 +260,19 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve()
 }
 
-// refuse best-effort sends an error frame and closes the connection.
+// connRetryAfter is the retry-after hint attached to connection-cap
+// refusals: long enough for a slot to open under churn, short enough that a
+// waiting client notices promptly.
+const connRetryAfter = 100 * time.Millisecond
+
+// refuse best-effort sends an error frame and closes the connection. The
+// refusal is a retryable CodeOverloaded with a retry-after hint — a full
+// connection table is a moment, not a verdict, and a cooperative client
+// should wait it out instead of burning its dial budget rediscovering it.
 func (s *Server) refuse(nc net.Conn) {
 	nc.SetDeadline(s.now().Add(s.cfg.RequestTimeout))
-	s.writeError(nc, errBusy)
+	msg := wire.OverloadMsg(errBusy.Error(), connRetryAfter)
+	wire.WriteFrame(nc, wire.MsgError, wire.ErrorPayload(wire.CodeOverloaded, msg))
 	nc.Close()
 }
 
@@ -328,7 +359,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Accepted:    s.accepted.Load(),
 		Refused:     s.refused.Load(),
 		ActiveConns: s.active.Load(),
@@ -337,7 +368,17 @@ func (s *Server) Stats() Stats {
 		Panics:      s.panics.Load(),
 		Draining:    draining,
 	}
+	if s.gate != nil {
+		gs := s.gate.Stats()
+		st.Admitted, st.Shed = gs.Admitted, gs.Shed
+	}
+	return st
 }
+
+// Gate exposes the admission gate, nil when the server runs ungated. The
+// simulation harness uses it to refill quota buckets at deterministic phase
+// barriers; /healthz reads its Stats.
+func (s *Server) Gate() *admit.Gate { return s.gate }
 
 // DB exposes the served database (metrics endpoints read its Stats).
 func (s *Server) DB() *immortaldb.DB { return s.db }

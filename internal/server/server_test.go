@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/admit"
 	"immortaldb/internal/client"
 	"immortaldb/internal/itime"
 	"immortaldb/internal/sqlish"
 	"immortaldb/internal/storage/vfs"
+	"immortaldb/internal/workload"
 )
 
 // startServer opens a database and serves it on a loopback port, returning
@@ -399,6 +401,67 @@ func TestServerKillRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestServerAdmissionGate runs the admission gate end to end over the wire:
+// a tenant that exhausts its token bucket is shed with a typed, hinted
+// CodeOverloaded; other tenants and untagged statements are untouched; and a
+// session holding an open transaction bypasses the gate even with its
+// tenant's bucket empty — a lock holder must always be able to finish.
+func TestServerAdmissionGate(t *testing.T) {
+	_, srv, addr := startServer(t, t.TempDir(), &immortaldb.Options{NoSync: true}, Config{
+		Admission: &admit.Config{Tenant: admit.Quota{Burst: 2}},
+	})
+	ctx := context.Background()
+	pool, err := client.Open(addr, &client.Options{DialRetries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Untagged DDL draws from the (unlimited) default bucket.
+	if _, err := pool.Exec(ctx, workload.MeterCreate()); err != nil {
+		t.Fatal(err)
+	}
+	stmt := func(tenant, seq uint32) string {
+		return workload.MeterOp{Kind: workload.MeterAppend, Tenant: tenant, Period: 1, Seq: seq, Amount: 5}.Statement()
+	}
+	// Tenant 7 spends its burst of 2...
+	for seq := uint32(1); seq <= 2; seq++ {
+		if _, err := pool.Exec(ctx, stmt(7, seq)); err != nil {
+			t.Fatalf("within quota (seq %d): %v", seq, err)
+		}
+	}
+	// ...and the third statement is shed, typed and hinted.
+	_, err = pool.Exec(ctx, stmt(7, 3))
+	var re *client.RemoteError
+	if !errors.As(err, &re) || !re.Overloaded() {
+		t.Fatalf("over quota: got %v, want overloaded RemoteError", err)
+	}
+	if re.RetryAfter <= 0 {
+		t.Fatal("quota shed carried no retry-after hint")
+	}
+	if srv.Stats().Shed == 0 {
+		t.Fatal("gate shed counter did not move")
+	}
+	// Tenant 8 has its own bucket and is unaffected by 7's storm.
+	if _, err := pool.Exec(ctx, stmt(8, 1)); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	// In-transaction statements bypass the gate even for the throttled
+	// tenant: the transaction already holds locks.
+	tx, err := pool.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint32(4); seq <= 6; seq++ {
+		if _, err := tx.Exec(ctx, stmt(7, seq)); err != nil {
+			t.Fatalf("in-tx exec (seq %d): %v", seq, err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServerRefusesOverCap fills the connection cap with pinned sessions and
 // verifies the next connection is turned away, then admitted again after a
 // slot frees up.
@@ -421,6 +484,16 @@ func TestServerRefusesOverCap(t *testing.T) {
 	}
 	if _, err := pool.Session(ctx); err == nil {
 		t.Fatal("third connection admitted over cap")
+	} else {
+		// The refusal is a typed, retryable overload with a retry-after
+		// hint — not a dead-end generic dial failure.
+		var re *client.RemoteError
+		if !errors.As(err, &re) || !re.Overloaded() {
+			t.Fatalf("over-cap refusal: got %v, want overloaded RemoteError", err)
+		}
+		if re.RetryAfter <= 0 {
+			t.Fatal("over-cap refusal carried no retry-after hint")
+		}
 	}
 	if srv.Stats().Refused == 0 {
 		t.Fatal("refused counter did not move")

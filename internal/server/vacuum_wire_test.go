@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"immortaldb"
+	"immortaldb/internal/client"
+)
+
+// TestServerVacuumHistoryOverWire pins the operator path end to end: VACUUM
+// HISTORY sent by a pooled wire client runs a real cold-tier pass and comes
+// back as a one-row result set of reclamation counters.
+func TestServerVacuumHistoryOverWire(t *testing.T) {
+	_, _, addr := startServer(t, t.TempDir(), &immortaldb.Options{
+		NoSync:        true,
+		TieredHistory: true,
+		PageSize:      1024,
+		CacheFrames:   32,
+	}, Config{})
+	pool, err := client.Open(addr, &client.Options{MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx := context.Background()
+
+	if _, err := pool.Exec(ctx, "CREATE IMMORTAL TABLE kv (k INT PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(ctx, "INSERT INTO kv VALUES (1, 'seed')"); err != nil {
+		t.Fatal(err)
+	}
+	// Pile up history so the pass has pages to migrate.
+	for i := 0; i < 40; i++ {
+		sql := fmt.Sprintf("UPDATE kv SET v = 'v%03d-padpadpadpadpadpadpadpadpadpad' WHERE k = 1", i)
+		if _, err := pool.Exec(ctx, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := pool.Exec(ctx, "VACUUM HISTORY")
+	if err != nil {
+		t.Fatalf("VACUUM HISTORY over wire: %v", err)
+	}
+	wantCols := []string{"versions_reclaimed", "bytes_reclaimed", "pages_migrated", "runs_merged"}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+		}
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v, want exactly one", res.Rows)
+	}
+	cells := make(map[string]uint64, len(wantCols))
+	for i, cell := range res.Rows[0] {
+		n, err := strconv.ParseUint(cell, 10, 64)
+		if err != nil {
+			t.Fatalf("cell %s = %q, want a number", res.Columns[i], cell)
+		}
+		cells[res.Columns[i]] = n
+	}
+	if cells["pages_migrated"] == 0 {
+		t.Fatalf("vacuum migrated no pages over the wire: %v", cells)
+	}
+
+	// The verb is rejected mid-transaction: it commits its own WAL records.
+	sess, err := pool.Session(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Exec(ctx, "BEGIN TRAN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, "VACUUM HISTORY"); err == nil {
+		t.Fatal("VACUUM HISTORY inside a transaction succeeded, want error")
+	}
+	if _, err := sess.Exec(ctx, "ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+}

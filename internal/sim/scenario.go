@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"immortaldb"
+	"immortaldb/internal/admit"
 	"immortaldb/internal/client"
 	"immortaldb/internal/itime"
 	"immortaldb/internal/repl"
@@ -66,6 +67,12 @@ type Step struct {
 	// Repoint re-points every client pool at the current primary address
 	// (the promoted survivor after a Promote step).
 	Repoint bool
+	// RefillQuotas refills every admission token bucket on every live server
+	// to its burst capacity. Deterministic scenarios use manual-refill quotas
+	// (Rate zero) and replenish them at script barriers, so every shed
+	// decision is a pure function of each actor's operation sequence rather
+	// than of the virtual-time pump's cadence.
+	RefillQuotas bool
 }
 
 // Scenario describes one simulation: a cluster shape, a workload, a chaos
@@ -82,6 +89,16 @@ type Scenario struct {
 	Followers int
 	// Workload is "metering" (default) or "moving".
 	Workload string
+	// Admission installs an admission-control gate on every server, including
+	// a promoted survivor. Deterministic scenarios use manual-refill quotas;
+	// see Step.RefillQuotas.
+	Admission *admit.Config
+	// ShedFree and MustShed are the admission oracle, by client index:
+	// ShedFree workers must finish with zero sheds and zero errors (the
+	// well-behaved tenant's goodput floor), MustShed workers must observe at
+	// least one shed. Every worker, listed or not, must never see a shed
+	// without a retry-after hint.
+	ShedFree, MustShed []int
 	// Profile is the probabilistic chaos profile for connections dialed
 	// during op phases.
 	Profile Profile
@@ -201,6 +218,30 @@ func Predefined(name string) (Scenario, bool) {
 				{SyncReplicas: true},
 			},
 		}, true
+	case "overload-storm":
+		// Four tenants share one gated server: clients 2 and 3 are greedy —
+		// their quota (six tokens per phase, replenished only at the script
+		// barrier) sits far below their offered load — while client 1 holds
+		// an explicit generous quota and client 0 runs untagged on the
+		// default bucket. The greedy tenants must be shed, every shed must
+		// carry a retry-after hint, and the well-behaved tenants must sail
+		// through at full goodput. The concurrency limit is set above the
+		// client count so the storm exercises the quota mechanism alone —
+		// queue behavior would couple actors and is covered by unit tests.
+		return Scenario{
+			Name: "overload-storm", Servers: 1, Clients: 4,
+			Profile: Profile{Latency: time.Millisecond, Jitter: time.Millisecond},
+			Admission: &admit.Config{
+				Default:   admit.Quota{Burst: 1e6},
+				Tenant:    admit.Quota{Burst: 6},
+				PerTenant: map[uint32]admit.Quota{1: {Burst: 1e6}},
+				Limit:     64,
+				MaxQueue:  16,
+			},
+			ShedFree: []int{0, 1},
+			MustShed: []int{2, 3},
+			Script:   []Step{{Ops: 14}, {RefillQuotas: true}, {Ops: 14}},
+		}, true
 	case "moving":
 		return Scenario{
 			Name: "moving", Servers: 1, Clients: 2, Workload: "moving",
@@ -219,7 +260,7 @@ func Predefined(name string) (Scenario, bool) {
 
 // ScenarioNames lists the predefined suite.
 func ScenarioNames() []string {
-	return []string{"smoke", "partition", "churn", "moving", "replica-kill", "replica-partition", "primary-kill-promote"}
+	return []string{"smoke", "partition", "churn", "moving", "replica-kill", "replica-partition", "primary-kill-promote", "overload-storm"}
 }
 
 // Run executes one scenario under one seed: boots the cluster on a virtual
@@ -271,6 +312,7 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 			Clock:          tl,
 			IdleTimeout:    scnIdleTimeout,
 			RequestTimeout: scnReqTimeout,
+			Admission:      sc.Admission,
 		})
 		addr := fmt.Sprintf("srv%d:7707", i)
 		lis, err := n.Listen(addr)
@@ -477,6 +519,7 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 				Clock:          tl,
 				IdleTimeout:    scnIdleTimeout,
 				RequestTimeout: scnReqTimeout,
+				Admission:      sc.Admission,
 			})
 			promotedAddr = fmt.Sprintf("fol%d:7707", best)
 			plis, err := n.Listen(promotedAddr)
@@ -507,6 +550,21 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 				w.addr = primaryAddr
 			}
 			trace.Add("run", "repoint clients "+primaryAddr)
+		case st.RefillQuotas:
+			for _, r := range servers {
+				if killed[r.addr] {
+					continue
+				}
+				if g := r.srv.Gate(); g != nil {
+					g.Refill()
+				}
+			}
+			if promotedSrv != nil {
+				if g := promotedSrv.Gate(); g != nil {
+					g.Refill()
+				}
+			}
+			trace.Add("run", "refill quotas")
 		case st.ClearFaults:
 			n.ClearFaults()
 			trace.Add("run", "clear faults")
@@ -526,6 +584,19 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 	for _, r := range servers {
 		if !killed[r.addr] {
 			n.Heal(r.addr)
+		}
+	}
+	// The oracle phase must observe everything: flip every gate to
+	// pass-through so verification reads are never shed on quotas the
+	// workload just exhausted.
+	for _, r := range servers {
+		if g := r.srv.Gate(); g != nil {
+			g.SetBypass(true)
+		}
+	}
+	if promotedSrv != nil {
+		if g := promotedSrv.Gate(); g != nil {
+			g.SetBypass(true)
 		}
 	}
 
@@ -558,6 +629,29 @@ func Run(sc Scenario, seed int64) (*Result, error) {
 		res.Ops += w.ops
 		res.Errors += w.errs
 		res.Violations = append(res.Violations, w.violations...)
+	}
+
+	// Admission oracle: the well-behaved tenants' goodput floor (never shed,
+	// never errored while the greedy tenants starved), the greedy tenants'
+	// backpressure (actually shed), and cooperative shedding everywhere —
+	// every shed must have carried a retry-after hint.
+	for _, i := range sc.ShedFree {
+		if w := workers[i]; w.shed != 0 || w.errs != 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"cli%d: goodput floor broken: shed=%d errs=%d", i, w.shed, w.errs))
+		}
+	}
+	for _, i := range sc.MustShed {
+		if workers[i].shed == 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"cli%d: greedy tenant was never shed", i))
+		}
+	}
+	for _, w := range workers {
+		if w.shedBad != 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"cli%d: %d sheds carried no retry-after hint", w.id, w.shedBad))
+		}
 	}
 
 	// Replica oracle. A replica only serves AS OF instants at or below its
@@ -709,8 +803,12 @@ type scnWorker struct {
 	ackedMO   map[uint16]bool
 	uncertain map[int64]bool
 
-	ops, errs  int
-	violations []string
+	ops, errs int
+	// shed counts operations the gate refused (class "overloaded"); shedBad
+	// counts the subset that arrived without a retry-after hint — the
+	// admission oracle requires it to stay zero everywhere.
+	shed, shedBad int
+	violations    []string
 }
 
 func newScnWorker(id int, sc Scenario, addr string, n *Net, tl itime.Timeline, trace *Trace, seed int64, totalOps int) *scnWorker {
@@ -766,11 +864,28 @@ func classify(err error) string {
 		return "ok"
 	case errors.As(err, &re) && strings.Contains(re.Msg, "duplicate primary key"):
 		return "dup"
+	case errors.As(err, &re) && re.Overloaded():
+		return "overloaded"
 	case errors.As(err, &re):
 		return "remote"
 	default:
 		return "neterr"
 	}
+}
+
+// classify folds one operation's final error into its trace class, counting
+// sheds — and sheds that arrived without a retry-after hint — for the
+// admission oracle.
+func (w *scnWorker) classify(err error) string {
+	class := classify(err)
+	if class == "overloaded" {
+		w.shed++
+		var re *client.RemoteError
+		if !errors.As(err, &re) || re.RetryAfter <= 0 {
+			w.shedBad++
+		}
+	}
+	return class
 }
 
 func (w *scnWorker) event(detail string) { w.trace.Add(w.actor, detail) }
@@ -788,7 +903,7 @@ func (w *scnWorker) runOp(ctx context.Context) {
 	switch op.Kind {
 	case workload.MeterAppend:
 		_, err := w.db.Exec(ctx, op.Statement())
-		class := classify(err)
+		class := w.classify(err)
 		key := workload.MeterKey(op.Tenant, op.Period, op.Seq)
 		switch class {
 		case "ok", "dup":
@@ -805,10 +920,10 @@ func (w *scnWorker) runOp(ctx context.Context) {
 		}
 		w.event(fmt.Sprintf("append p%d r%d %s", op.Period, op.Seq, class))
 	case workload.MeterClose:
-		total, ok := w.sumCurrent(ctx, op.Period)
-		if !ok {
+		total, err := w.sumCurrent(ctx, op.Period)
+		if err != nil {
 			w.errs++
-			w.event(fmt.Sprintf("close p%d neterr", op.Period))
+			w.event(fmt.Sprintf("close p%d %s", op.Period, w.classify(err)))
 			return
 		}
 		// Quarantine the AS OF capture by two ticks on each side, so every
@@ -822,7 +937,7 @@ func (w *scnWorker) runOp(ctx context.Context) {
 		w.event(fmt.Sprintf("close p%d total=%d", op.Period, total))
 	case workload.MeterCorrect:
 		_, err := w.db.Exec(ctx, op.Statement())
-		class := classify(err)
+		class := w.classify(err)
 		key := workload.MeterKey(op.Tenant, op.Period, op.Seq)
 		switch class {
 		case "ok":
@@ -842,10 +957,10 @@ func (w *scnWorker) runOp(ctx context.Context) {
 			w.event(fmt.Sprintf("audit p%d unrecorded", op.Period))
 			return
 		}
-		got, ok := w.sumAsOf(ctx, op.Period, inv.asOf)
-		if !ok {
+		got, err := w.sumAsOf(ctx, op.Period, inv.asOf)
+		if err != nil {
 			w.errs++
-			w.event(fmt.Sprintf("audit p%d neterr", op.Period))
+			w.event(fmt.Sprintf("audit p%d %s", op.Period, w.classify(err)))
 			return
 		}
 		if got != inv.total {
@@ -860,38 +975,38 @@ func (w *scnWorker) runOp(ctx context.Context) {
 }
 
 // sumCurrent totals a period's rows with current-state point reads.
-func (w *scnWorker) sumCurrent(ctx context.Context, period uint32) (int64, bool) {
+func (w *scnWorker) sumCurrent(ctx context.Context, period uint32) (int64, error) {
 	var total int64
 	for _, seq := range w.gen.RowSeqs(period) {
 		res, err := w.db.Exec(ctx, workload.MeterSelect(uint32(w.id), period, seq))
 		if err != nil {
-			return 0, false
+			return 0, err
 		}
 		if len(res.Rows) == 0 {
 			continue // that append never landed
 		}
 		v, err := strconv.ParseInt(res.Rows[0][0], 10, 64)
 		if err != nil {
-			return 0, false
+			return 0, err
 		}
 		total += v
 	}
-	return total, true
+	return total, nil
 }
 
 // sumAsOf totals a period's rows as of the recorded close instant, inside
 // one AS OF transaction.
-func (w *scnWorker) sumAsOf(ctx context.Context, period uint32, asOf string) (int64, bool) {
+func (w *scnWorker) sumAsOf(ctx context.Context, period uint32, asOf string) (int64, error) {
 	tx, err := w.db.BeginAsOf(ctx, asOf)
 	if err != nil {
-		return 0, false
+		return 0, err
 	}
 	var total int64
 	for _, seq := range w.gen.RowSeqs(period) {
 		res, err := tx.Exec(ctx, workload.MeterSelect(uint32(w.id), period, seq))
 		if err != nil {
 			tx.Rollback(ctx)
-			return 0, false
+			return 0, err
 		}
 		if len(res.Rows) == 0 {
 			continue
@@ -899,14 +1014,14 @@ func (w *scnWorker) sumAsOf(ctx context.Context, period uint32, asOf string) (in
 		v, perr := strconv.ParseInt(res.Rows[0][0], 10, 64)
 		if perr != nil {
 			tx.Rollback(ctx)
-			return 0, false
+			return 0, perr
 		}
 		total += v
 	}
 	if err := tx.Commit(ctx); err != nil {
-		return 0, false
+		return 0, err
 	}
-	return total, true
+	return total, nil
 }
 
 // runMovingOp executes the next moving-objects stream op.
@@ -923,7 +1038,7 @@ func (w *scnWorker) runMovingOp(ctx context.Context) {
 		sql = fmt.Sprintf("UPDATE %s SET LocationX = %d WHERE Oid = %d", w.table, op.Pos.X, op.OID)
 	}
 	_, err := w.db.Exec(ctx, sql)
-	class := classify(err)
+	class := w.classify(err)
 	if op.Kind == workload.OpInsert && (class == "ok" || class == "dup") {
 		w.ackedMO[op.OID] = true
 	}

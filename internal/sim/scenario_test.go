@@ -139,6 +139,38 @@ func TestScenarioChurnDeterminism(t *testing.T) {
 	}
 }
 
+// TestScenarioOverloadStorm runs the admission-control storm twice:
+// identical hashes, the greedy tenants demonstrably shed (with hints —
+// runScenario fails on the shedBad violation), and the well-behaved tenants'
+// goodput floor held. Shed decisions must be a pure function of each actor's
+// operation sequence: manual-refill quotas replenish only at the script
+// barrier, so the trace cannot depend on the virtual-time pump's cadence.
+func TestScenarioOverloadStorm(t *testing.T) {
+	a := runScenario(t, "overload-storm", 1)
+	b := runScenario(t, "overload-storm", 1)
+	if a.Hash != b.Hash {
+		diffTraces(t, a, b)
+	}
+	var shed, refills int
+	for _, l := range a.Trace.Lines() {
+		if strings.Contains(l, " overloaded") {
+			shed++
+		}
+		if strings.Contains(l, "refill quotas") {
+			refills++
+		}
+	}
+	if shed == 0 {
+		t.Error("no overloaded events in trace; the quotas never bit")
+	}
+	if refills != 1 {
+		t.Errorf("trace records %d refill barriers, want 1", refills)
+	}
+	if a.Errors == 0 {
+		t.Error("storm saw no errors; greedy tenants were never pushed back")
+	}
+}
+
 func TestScenarioMovingWorkload(t *testing.T) {
 	res := runScenario(t, "moving", 5)
 	if res.Ops == 0 || res.Events == 0 {

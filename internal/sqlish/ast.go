@@ -72,6 +72,10 @@ type ShowHistory struct {
 	Where *Cond
 }
 
+// VacuumHistory is VACUUM HISTORY — one synchronous cold-tier pass with
+// retention vacuuming, reporting what it reclaimed.
+type VacuumHistory struct{}
+
 // Cond is a single comparison on one column.
 type Cond struct {
 	Column string
@@ -97,6 +101,7 @@ func (Update) stmt()              {}
 func (Delete) stmt()              {}
 func (Select) stmt()              {}
 func (ShowHistory) stmt()         {}
+func (VacuumHistory) stmt()       {}
 
 type parser struct {
 	toks []token
@@ -189,6 +194,11 @@ func (p *parser) statement() (Stmt, error) {
 		return p.selectStmt()
 	case p.accept(tokIdent, "SHOW"):
 		return p.showHistory()
+	case p.accept(tokIdent, "VACUUM"):
+		if _, err := p.expect(tokIdent, "HISTORY"); err != nil {
+			return nil, err
+		}
+		return VacuumHistory{}, nil
 	default:
 		return nil, fmt.Errorf("sql: unrecognized statement starting with %q", p.cur().text)
 	}

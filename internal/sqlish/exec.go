@@ -3,6 +3,7 @@ package sqlish
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"immortaldb"
@@ -77,6 +78,8 @@ func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
 		return s.execSelect(st)
 	case ShowHistory:
 		return s.execHistory(st)
+	case VacuumHistory:
+		return s.execVacuum()
 	default:
 		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
 	}
@@ -518,6 +521,29 @@ func (s *Session) execHistory(st ShowHistory) (*Result, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// execVacuum runs one synchronous cold-tier vacuum pass and reports the
+// reclamation as a one-row result set. Rejected inside an explicit
+// transaction: the pass commits its own WAL records and cannot roll back
+// with the session's work.
+func (s *Session) execVacuum() (*Result, error) {
+	if s.tx != nil {
+		return nil, errors.New("sql: VACUUM HISTORY inside a transaction is not supported")
+	}
+	st, err := s.db.VacuumHistory()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns: []string{"versions_reclaimed", "bytes_reclaimed", "pages_migrated", "runs_merged"},
+		Rows: [][]string{{
+			strconv.FormatUint(st.VersionsReclaimed, 10),
+			strconv.FormatUint(st.BytesReclaimed, 10),
+			strconv.FormatUint(st.PagesMigrated, 10),
+			strconv.FormatUint(st.RunsMerged, 10),
+		}},
+	}, nil
 }
 
 func columnNames(meta *catalog.Table) []string {

@@ -323,3 +323,58 @@ func TestStringEscapes(t *testing.T) {
 		t.Fatalf("escape = %q", r.Rows[0][0])
 	}
 }
+
+// TestVacuumHistoryStatement pins the VACUUM HISTORY verb: a one-row result
+// set of reclamation counters on a tiered engine, a clear error mid-
+// transaction, and ErrTieredOff surfaced when the engine keeps history hot.
+func TestVacuumHistoryStatement(t *testing.T) {
+	clock := itime.NewSimClock(time.Date(2004, 8, 12, 10, 0, 0, 0, time.UTC))
+	clock.AutoStep = 1
+	clock.AutoEvery = 2
+	db, err := immortaldb.Open(t.TempDir(), &immortaldb.Options{
+		PageSize: 1024, CacheFrames: 32, NoSync: true, Clock: clock,
+		TieredHistory: true, Retention: 10 * itime.TickDuration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := NewSession(db)
+	t.Cleanup(func() { s.Close() })
+
+	mustExec(t, s, "CREATE IMMORTAL TABLE t (id int PRIMARY KEY, v varchar(64))")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 'seed')")
+	for i := 0; i < 40; i++ {
+		mustExec(t, s, "UPDATE t SET v = 'v"+itoa(i)+"-padpadpadpadpadpadpadpadpadpad' WHERE id = 1")
+	}
+	clock.Advance(1000 * itime.TickDuration)
+
+	r := mustExec(t, s, "VACUUM HISTORY")
+	want := []string{"versions_reclaimed", "bytes_reclaimed", "pages_migrated", "runs_merged"}
+	if len(r.Columns) != len(want) || len(r.Rows) != 1 {
+		t.Fatalf("result shape = %v / %v", r.Columns, r.Rows)
+	}
+	for i, c := range want {
+		if r.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", r.Columns, want)
+		}
+		if _, err := strconv.ParseUint(r.Rows[0][i], 10, 64); err != nil {
+			t.Fatalf("cell %s = %q, want a number", c, r.Rows[0][i])
+		}
+	}
+	if r.Rows[0][2] == "0" {
+		t.Fatalf("vacuum migrated no pages: %v", r.Rows[0])
+	}
+
+	mustExec(t, s, "BEGIN TRAN")
+	if _, err := s.Exec("VACUUM HISTORY"); err == nil {
+		t.Fatal("VACUUM HISTORY inside a transaction succeeded")
+	}
+	mustExec(t, s, "ROLLBACK")
+
+	// Hot-history engine: the verb parses but the engine refuses.
+	s2, _ := testSession(t)
+	if _, err := s2.Exec("VACUUM HISTORY"); err == nil {
+		t.Fatal("VACUUM HISTORY without TieredHistory succeeded")
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Message types. Requests flow client to server; responses have the high bit
@@ -58,9 +60,18 @@ const (
 	// restarts the server (reads still work).
 	CodeDegraded = byte(1)
 	// CodeRetryable is a transient server condition — a graceful shutdown
-	// drain, a full connection table. The statement may succeed on another
-	// connection or after a backoff.
+	// drain. The statement may succeed on another connection or after a
+	// backoff.
 	CodeRetryable = byte(2)
+
+	// Codes 3 (CodeReadOnlyReplica) and 4 (CodeBeyondHorizon) live in
+	// repl.go with the replication protocol.
+
+	// CodeOverloaded reports the server shed the request — an admission-gate
+	// quota or concurrency shed, or a refused connection over the cap.
+	// Retryable, and the message may carry a retry-after hint (see
+	// OverloadMsg) telling the client when a retry is worth sending.
+	CodeOverloaded = byte(5)
 )
 
 // Magic opens every MsgHello payload.
@@ -170,6 +181,40 @@ func ParseRedirect(msg string) (clean, primary string) {
 		return msg[:i], msg[i+len(redirectMarker):]
 	}
 	return msg, ""
+}
+
+// overloadMarker separates a CodeOverloaded error message from the
+// retry-after hint appended after it. Like redirectMarker, a C0 control
+// character cannot appear in an engine error string, so the split is
+// unambiguous; a distinct separator keeps the two encodings from ever
+// shadowing each other.
+const overloadMarker = "\x1e"
+
+// OverloadMsg appends a retry-after hint to a CodeOverloaded error message.
+// The hint is encoded as decimal milliseconds (rounded up to at least 1ms so
+// a positive hint survives the trip); a non-positive hint leaves the message
+// bare, which clients read as "back off on your own schedule".
+func OverloadMsg(msg string, retryAfter time.Duration) string {
+	if retryAfter <= 0 {
+		return msg
+	}
+	ms := (retryAfter + time.Millisecond - 1) / time.Millisecond
+	return msg + overloadMarker + strconv.FormatInt(int64(ms), 10)
+}
+
+// ParseOverload splits a CodeOverloaded error message into the bare message
+// and the retry-after hint OverloadMsg embedded, if any. A missing or
+// malformed hint parses as zero (no hint).
+func ParseOverload(msg string) (clean string, retryAfter time.Duration) {
+	i := strings.LastIndex(msg, overloadMarker)
+	if i < 0 {
+		return msg, 0
+	}
+	ms, err := strconv.ParseInt(msg[i+len(overloadMarker):], 10, 64)
+	if err != nil || ms < 0 {
+		return msg, 0
+	}
+	return msg[:i], time.Duration(ms) * time.Millisecond
 }
 
 // AppendString appends a uvarint-length-prefixed string.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -65,6 +66,37 @@ func TestHello(t *testing.T) {
 	bad[len(bad)-1] = 99
 	if _, err := CheckHello(bad); !errors.Is(err, ErrBadHandshake) {
 		t.Fatalf("bad version: got %v", err)
+	}
+}
+
+func TestOverloadMsg(t *testing.T) {
+	cases := []struct {
+		msg   string
+		hint  time.Duration
+		want  string
+		parse time.Duration
+	}{
+		{"server: overloaded", 100 * time.Millisecond, "server: overloaded", 100 * time.Millisecond},
+		{"server: overloaded", 0, "server: overloaded", 0},
+		{"server: overloaded", -time.Second, "server: overloaded", 0},
+		// Sub-millisecond hints round up so a positive hint survives the trip.
+		{"shed", 10 * time.Microsecond, "shed", time.Millisecond},
+	}
+	for _, c := range cases {
+		enc := OverloadMsg(c.msg, c.hint)
+		clean, got := ParseOverload(enc)
+		if clean != c.want || got != c.parse {
+			t.Fatalf("OverloadMsg(%q, %v) round-trip: got (%q, %v), want (%q, %v)",
+				c.msg, c.hint, clean, got, c.want, c.parse)
+		}
+	}
+	// A malformed hint parses as zero instead of failing.
+	if _, hint := ParseOverload("msg" + overloadMarker + "not-a-number"); hint != 0 {
+		t.Fatalf("malformed hint: got %v, want 0", hint)
+	}
+	// Hint-less messages pass through untouched.
+	if clean, hint := ParseOverload("bare"); clean != "bare" || hint != 0 {
+		t.Fatalf("bare message: got (%q, %v)", clean, hint)
 	}
 }
 

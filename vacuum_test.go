@@ -1,0 +1,79 @@
+package immortaldb
+
+// Tests for VacuumHistory: the synchronous, accounted cold-tier pass behind
+// the VACUUM HISTORY statement. The pass must do real work (migrate pages,
+// merge runs, vacuum behind the retention horizon), report that work in its
+// stats, and leave current reads intact.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"immortaldb/internal/itime"
+)
+
+func TestVacuumHistoryReclaimsAndReports(t *testing.T) {
+	clock := testClock()
+	db, _ := openTestDB(t, tieredOpts(func(o *Options) {
+		o.Clock = clock
+		o.Retention = 10 * itime.TickDuration
+	}))
+	tbl, _ := db.CreateTable("objects", TableOptions{Immortal: true})
+
+	for i := 0; i < 30; i++ {
+		set(t, db, tbl, "k", fmt.Sprintf("v%03d-padpadpadpadpadpadpadpadpadpadpadpad", i))
+	}
+	before, err := db.History(tbl, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the clock run far past every version, then vacuum until the
+	// passes have migrated the chains and swept behind the horizon.
+	clock.Advance(1000 * itime.TickDuration)
+	var total VacuumStats
+	for i := 0; i < 4; i++ {
+		st, err := db.VacuumHistory()
+		if err != nil {
+			t.Fatalf("VacuumHistory pass %d: %v", i, err)
+		}
+		total.VersionsReclaimed += st.VersionsReclaimed
+		total.BytesReclaimed += st.BytesReclaimed
+		total.PagesMigrated += st.PagesMigrated
+		total.RunsMerged += st.RunsMerged
+	}
+	if total.PagesMigrated == 0 {
+		t.Fatalf("vacuum migrated no pages: %+v", total)
+	}
+	if total.RunsMerged == 0 {
+		t.Fatalf("vacuum merged no runs: %+v", total)
+	}
+	if total.VersionsReclaimed == 0 {
+		t.Fatalf("vacuum reclaimed no versions: %+v", total)
+	}
+	if total.BytesReclaimed == 0 {
+		t.Fatalf("vacuum reclaimed no bytes: %+v", total)
+	}
+
+	after, err := db.History(tbl, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("history did not shrink: %d -> %d versions", len(before), len(after))
+	}
+	// The newest version must always survive and read correctly now.
+	tx, _ := db.Begin(Serializable)
+	if v, ok := get(t, tx, tbl, "k"); !ok || v[:4] != "v029" {
+		t.Fatalf("current read after vacuum = %q, %v", v, ok)
+	}
+	tx.Commit()
+}
+
+func TestVacuumHistoryRequiresTieredHistory(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	if _, err := db.VacuumHistory(); !errors.Is(err, ErrTieredOff) {
+		t.Fatalf("VacuumHistory without TieredHistory = %v, want ErrTieredOff", err)
+	}
+}
